@@ -1,0 +1,47 @@
+//! **Ablation: governor analysis** — the paper's central negative result
+//! and its proposed fix.
+//!
+//! With the published extraction rules (`Explicit`) the SHA256 implicit
+//! clock-composed governor in AutoSoC Variant #2 is invisible: the block
+//! never enters the AR_CFG, the engine never schedules a clock-high reset
+//! assertion, and the leak goes undetected. The `Refined` extension
+//! ("more refined comprehension of … the interplay of clock and
+//! asynchronous resets to create implicit governors") recovers it.
+
+use soccar::evaluation::{evaluate_variant, render_outcomes};
+use soccar::SoccarConfig;
+use soccar_bench::{paper_config, render_table};
+use soccar_cfg::GovernorAnalysis;
+
+fn main() {
+    let spec = soccar_soc::variant(soccar_soc::SocModel::AutoSoc, 2).expect("variant");
+    let mut rows = Vec::new();
+    for analysis in [GovernorAnalysis::Explicit, GovernorAnalysis::Refined] {
+        let config = SoccarConfig {
+            analysis,
+            ..paper_config()
+        };
+        let eval = evaluate_variant(&spec, config).expect("evaluates");
+        let sha = eval
+            .outcomes
+            .iter()
+            .find(|o| o.implicit)
+            .expect("implicit bug present");
+        rows.push(vec![
+            format!("{analysis:?}"),
+            eval.report.extraction.ar_events.to_string(),
+            format!("{}/{}", eval.detected(), eval.outcomes.len()),
+            if sha.detected { "DETECTED" } else { "MISSED" }.to_owned(),
+            format!("{:.2}", eval.verification_time().as_secs_f64()),
+        ]);
+        println!("{}", render_outcomes(&eval));
+    }
+    println!("Ablation — governor analysis on AutoSoC Variant #2");
+    println!(
+        "{}",
+        render_table(
+            &["Analysis", "AR events", "Detected", "SHA256 implicit bug", "Seconds"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,86 @@
+//! **Ablation: register initialization policy** — Algorithm 3 initializes
+//! registers to all-ones "instead of zeros; consequently, we can validate
+//! the major functionalities of asynchronous resets such as register
+//! clearance and value reset".
+//!
+//! The experiment runs a *pure reset regression* (no data stimulus at all:
+//! the test port is held at zero, only reset schedules vary) on ClusterSoC
+//! Variant #1, whose leak bugs are missing `key_reg`/`pt_reg` clears. With
+//! all-ones initialization the uncleared registers are visible in round 1;
+//! with zero initialization an uncleared register is indistinguishable
+//! from a cleared one, and the leak bugs are missed outright.
+
+use soccar::evaluation::score;
+use soccar::{Soccar, SoccarConfig};
+use soccar_bench::{paper_config, render_table};
+use soccar_concolic::{ConcolicConfig, SecurityProperty};
+use soccar_sim::InitPolicy;
+use soccar_soc::SocModel;
+
+fn main() {
+    let spec = soccar_soc::variant(SocModel::ClusterSoc, 1).expect("variant");
+    let design = soccar_soc::generate(spec.soc, Some(spec.number));
+    let properties: Vec<SecurityProperty> = soccar_soc::security_checks(spec.soc)
+        .iter()
+        .map(soccar::property_of)
+        .collect();
+    let mut rows = Vec::new();
+    for (label, init) in [("Ones (paper)", InitPolicy::Ones), ("Zeros", InitPolicy::Zeros)] {
+        let base = paper_config();
+        let config = SoccarConfig {
+            concolic: ConcolicConfig {
+                init,
+                // Pure reset regression: no symbolic data inputs.
+                symbolic_inputs: Vec::new(),
+                ..base.concolic
+            },
+            ..base
+        };
+        let report = Soccar::new(config)
+            .analyze("soc.v", &design.source, &design.top, properties.clone())
+            .expect("analyze");
+        let eval = score(&spec, report);
+        let leak_detected = eval
+            .outcomes
+            .iter()
+            .filter(|o| o.violation.contains("Leakage") && o.detected)
+            .count();
+        let leak_total = eval
+            .outcomes
+            .iter()
+            .filter(|o| o.violation.contains("Leakage"))
+            .count();
+        rows.push(vec![
+            label.to_owned(),
+            format!("{leak_detected}/{leak_total}"),
+            format!("{}/{}", eval.detected(), eval.outcomes.len()),
+            eval.report
+                .concolic
+                .first_violation_round
+                .map_or_else(|| "-".to_owned(), |r| r.to_string()),
+            format!("{:.2}", eval.verification_time().as_secs_f64()),
+        ]);
+    }
+    println!(
+        "Ablation — register initialization policy\n\
+         (ClusterSoC Variant #1, pure reset regression: no data stimulus)"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Init policy",
+                "Leak bugs found",
+                "All bugs found",
+                "First hit (round)",
+                "Seconds"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "With zeros, an uncleared secret register reads 0 — identical to a\n\
+         cleared one — so the clearance checks pass vacuously. All-ones makes\n\
+         the missing clear observable at the first reset assertion."
+    );
+}

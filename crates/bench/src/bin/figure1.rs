@@ -1,0 +1,40 @@
+//! **Figure 1** — the SoCCAR framework workflow, rendered as a pipeline
+//! stage trace of a real run (ClusterSoC Variant #1).
+
+use soccar::evaluation::evaluate_variant;
+use soccar_bench::paper_config;
+
+fn main() {
+    let spec = soccar_soc::variant(soccar_soc::SocModel::ClusterSoc, 1)
+        .expect("variant exists");
+    let eval = evaluate_variant(&spec, paper_config()).expect("evaluates");
+    println!("Figure 1 — SoCCAR framework workflow ({}):", eval.variant);
+    println!();
+    println!("  RTL design (Verilog)");
+    for stage in &eval.report.stages {
+        println!("        │");
+        println!("        ▼");
+        println!(
+            "  ┌─ {} ({:.3}s)\n  │    {}",
+            stage.stage,
+            stage.elapsed.as_secs_f64(),
+            stage.detail
+        );
+    }
+    println!("        │");
+    println!("        ▼");
+    println!(
+        "  invalidation messages: {}",
+        eval.report.concolic.violations.len()
+    );
+    for v in &eval.report.concolic.violations {
+        println!("    {v}");
+    }
+    println!();
+    println!(
+        "  total: {:.3}s; solver: {} calls ({} SAT)",
+        eval.report.total.as_secs_f64(),
+        eval.report.concolic.solver_calls,
+        eval.report.concolic.solver_sat
+    );
+}

@@ -1,0 +1,21 @@
+//! **Figure 2** — the ClusterSoC / AutoSoC block diagrams, rendered as
+//! structural topology dumps of the generated designs.
+
+use soccar_soc::topology::Topology;
+use soccar_soc::SocModel;
+
+fn main() {
+    for model in [SocModel::ClusterSoc, SocModel::AutoSoc] {
+        let design = soccar_soc::generate(model, None);
+        let (d, _) = soccar_rtl::compile("soc.v", &design.source, &design.top)
+            .expect("benchmark SoCs compile");
+        let topo = Topology::of(&d);
+        println!(
+            "Figure 2{} — {}:",
+            if model == SocModel::ClusterSoc { "a" } else { "b" },
+            design.name
+        );
+        println!("{}", topo.render());
+        println!();
+    }
+}

@@ -1,0 +1,24 @@
+//! **Table II** — Classification of IP class and violation types.
+
+use soccar_bench::render_table;
+use soccar_soc::catalog::table_ii;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table_ii()
+        .into_iter()
+        .map(|class| {
+            vec![
+                class.name().to_owned(),
+                class.example_ips().join(", "),
+                class
+                    .violation()
+                    .map_or_else(|| "-".to_owned(), |v| format!("{v}.")),
+            ]
+        })
+        .collect();
+    println!("Table II — Classification of IP class and violation types");
+    println!(
+        "{}",
+        render_table(&["IP Class", "Example IPs", "Violation Type"], &rows)
+    );
+}

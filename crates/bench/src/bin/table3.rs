@@ -1,0 +1,30 @@
+//! **Table III** — Summary of security bugs.
+
+use soccar_bench::render_table;
+use soccar_soc::ViolationType;
+
+fn main() {
+    let rows: Vec<Vec<String>> = [
+        ViolationType::InformationLeakage,
+        ViolationType::DataIntegrity,
+        ViolationType::PrivilegeMode,
+    ]
+    .into_iter()
+    .map(|v| {
+        vec![
+            v.to_string(),
+            v.trigger().to_owned(),
+            v.payload().to_owned(),
+            v.impact().to_owned(),
+        ]
+    })
+    .collect();
+    println!("Table III — Summary of security bugs");
+    println!(
+        "{}",
+        render_table(
+            &["Violation Type", "Trigger Condition", "Payload", "Impact"],
+            &rows
+        )
+    );
+}

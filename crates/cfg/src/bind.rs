@@ -1,0 +1,232 @@
+//! Binding the composed AR_CFG onto an elaborated [`Design`].
+//!
+//! The extractor works at module/AST granularity (as in the paper's
+//! Algorithm 1); the concolic engine executes the elaborated design. This
+//! module connects the two: every reset-governed event is resolved to the
+//! runtime [`ProcessId`] it lives in, the [`BranchSiteId`] of its governing
+//! conditional (for explicit governors), and the [`NetId`]s of its local
+//! reset and domain source, so coverage and path constraints can be
+//! tracked during co-simulation.
+
+use soccar_rtl::design::{BranchSiteId, Design, NetId, ProcessId, RStmt, SiteKind};
+
+use crate::compose::SocArCfg;
+use crate::extract::{EventArm, HardwareEvent};
+
+/// One AR_CFG event bound to runtime entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundEvent {
+    /// Hierarchical instance path.
+    pub instance: String,
+    /// The extracted event (cloned for self-containedness).
+    pub event: HardwareEvent,
+    /// The process implementing the event's `always` block.
+    pub process: ProcessId,
+    /// The branch site of the governing conditional; `None` for
+    /// whole-block (implicit-governor) events.
+    pub site: Option<BranchSiteId>,
+    /// Whether the reset arm is the *taken* direction of the site
+    /// (`if (!rst_n) <reset arm> else ...` → `true`).
+    pub reset_arm_taken: bool,
+    /// The instance-local reset net.
+    pub reset_net: NetId,
+    /// The domain source net, when the domain source is a design net
+    /// (always the case for top-level domains).
+    pub domain_net: Option<NetId>,
+    /// Domain source name (see [`crate::compose::ResetDomain::source`]).
+    pub domain_source: String,
+    /// `true` if the domain source is a top-level input.
+    pub domain_top_level: bool,
+    /// Assertion polarity of the domain source.
+    pub domain_active_low: bool,
+}
+
+/// Errors from binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// No process matched (instance path, module, always index).
+    ProcessNotFound {
+        /// The offending instance path.
+        instance: String,
+        /// Always-block index that failed to resolve.
+        always_index: u32,
+    },
+    /// The reset net does not exist in the design.
+    ResetNetNotFound {
+        /// The offending hierarchical net name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::ProcessNotFound {
+                instance,
+                always_index,
+            } => write!(
+                f,
+                "no process for always-block {always_index} of `{instance}`"
+            ),
+            BindError::ResetNetNotFound { name } => {
+                write!(f, "reset net `{name}` not found in design")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Binds every reset-governed event of `soc` onto `design`.
+///
+/// # Errors
+///
+/// Returns a [`BindError`] if the AR_CFG and the elaborated design
+/// disagree (which would indicate the extractor and elaborator saw
+/// different sources).
+pub fn bind_events(design: &Design, soc: &SocArCfg) -> Result<Vec<BoundEvent>, BindError> {
+    let mut out = Vec::new();
+    for inst in &soc.instances {
+        for ev in &inst.cfg.events {
+            let Some(governor) = &ev.governor else {
+                continue;
+            };
+            // Locate the process: same instance path + always index.
+            let process = design
+                .processes()
+                .iter()
+                .enumerate()
+                .find(|(_, p)| {
+                    p.origin.always_index == Some(ev.always_index)
+                        && design.instance(p.instance).name == inst.path
+                })
+                .map(|(i, _)| ProcessId(i as u32))
+                .ok_or_else(|| BindError::ProcessNotFound {
+                    instance: inst.path.clone(),
+                    always_index: ev.always_index,
+                })?;
+            // Governing site: for explicit governors, the leading `if` of
+            // the process body (the first If site).
+            let site = if ev.arm == EventArm::ResetArm {
+                first_if_site(design, process)
+            } else {
+                None
+            };
+            let reset_name = format!("{}.{}", inst.path, governor.reset);
+            let reset_net = design
+                .find_net(&reset_name)
+                .ok_or(BindError::ResetNetNotFound { name: reset_name })?;
+            let domain = soc.domain_of(&inst.path, &governor.reset);
+            let (domain_source, domain_top_level, domain_active_low, domain_net) = match domain {
+                Some(d) => (
+                    d.source.clone(),
+                    d.top_level,
+                    d.active_low,
+                    design.find_net(&d.source),
+                ),
+                None => (
+                    format!("{}.{}", inst.path, governor.reset),
+                    false,
+                    governor.active_low,
+                    Some(reset_net),
+                ),
+            };
+            out.push(BoundEvent {
+                instance: inst.path.clone(),
+                event: ev.clone(),
+                process,
+                site,
+                reset_arm_taken: true,
+                reset_net,
+                domain_net,
+                domain_source,
+                domain_top_level,
+                domain_active_low,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The site of the first `if` in the process body (descending through
+/// leading blocks), which for the classic reset template is the governing
+/// conditional.
+fn first_if_site(design: &Design, process: ProcessId) -> Option<BranchSiteId> {
+    fn walk(stmt: &RStmt) -> Option<BranchSiteId> {
+        match stmt {
+            RStmt::Block(stmts) => stmts.first().and_then(walk),
+            RStmt::If { site, .. } => Some(*site),
+            _ => None,
+        }
+    }
+    let site = walk(&design.process(process).body)?;
+    debug_assert_eq!(design.site(site).kind, SiteKind::If);
+    Some(site)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::compose_soc;
+    use crate::extract::GovernorAnalysis;
+    use crate::reset_id::ResetNaming;
+    use soccar_rtl::elaborate::elaborate;
+    use soccar_rtl::parser::parse;
+    use soccar_rtl::span::FileId;
+
+    const SRC: &str = "
+        module ip(input clk, input rst_n, input [3:0] d, output reg [3:0] q);
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) q <= 4'd0; else q <= d;
+        endmodule
+        module top(input clk, input sys_rst_n, input [3:0] d, output [3:0] q);
+          ip u_a (.clk(clk), .rst_n(sys_rst_n), .d(d), .q(q));
+          ip u_b (.clk(clk), .rst_n(sys_rst_n), .d(d), .q());
+        endmodule";
+
+    #[test]
+    fn binds_all_events_with_sites_and_nets() {
+        let unit = parse(FileId(0), SRC).expect("parse");
+        let design = elaborate(&unit, "top").expect("elaborate");
+        let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
+            .expect("compose");
+        let bound = bind_events(&design, &soc).expect("bind");
+        assert_eq!(bound.len(), 2);
+        for b in &bound {
+            assert!(b.site.is_some(), "explicit governor has a site");
+            assert!(b.domain_net.is_some());
+            assert_eq!(b.domain_source, "top.sys_rst_n");
+            assert!(b.domain_top_level);
+            assert!(b.domain_active_low);
+            // The reset net is the instance-local rst_n.
+            assert!(design.net(b.reset_net).name.ends_with(".rst_n"));
+        }
+        // The two events live in different processes.
+        assert_ne!(bound[0].process, bound[1].process);
+    }
+
+    #[test]
+    fn implicit_event_binds_without_site() {
+        let src = "
+            module sha(input clk, input sec_rst_n, input [7:0] pt, output reg [7:0] ct);
+              always @(negedge sec_rst_n)
+                if (clk) ct <= pt;
+            endmodule
+            module top(input clk, input sec_rst_n, input [7:0] pt, output [7:0] ct);
+              sha u (.clk(clk), .sec_rst_n(sec_rst_n), .pt(pt), .ct(ct));
+            endmodule";
+        let unit = parse(FileId(0), src).expect("parse");
+        let design = elaborate(&unit, "top").expect("elaborate");
+        // Refined analysis sees the implicit governor.
+        let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Refined)
+            .expect("compose");
+        let bound = bind_events(&design, &soc).expect("bind");
+        assert_eq!(bound.len(), 1);
+        assert_eq!(bound[0].site, None);
+        assert_eq!(bound[0].event.arm, EventArm::WholeBlock);
+        // Explicit analysis binds nothing (the documented miss).
+        let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
+            .expect("compose");
+        assert!(bind_events(&design, &soc).expect("bind").is_empty());
+    }
+}

@@ -1,0 +1,985 @@
+//! The concolic testing engine — the paper's **Algorithm 3**.
+//!
+//! Each *round* is one concrete simulation of the SoC with a symbolic
+//! shadow riding along ([`crate::coalg::CoAlgebra`]):
+//!
+//! 1. Round 1 drives random inputs with registers initialized to all-ones
+//!    (so un-cleared registers are visible), and a power-on pulse on every
+//!    controllable reset domain.
+//! 2. During the run, every branch whose condition depends on a symbolic
+//!    input (reset lines and selected data inputs are symbolic, fresh
+//!    variables per cycle) is logged; security properties ("Restricts")
+//!    are checked every cycle and produce *invalidation messages* naming
+//!    the violating module.
+//! 3. After a round, if a target event of the AR_CFG is still uncovered,
+//!    the engine picks one of its branch occurrences, conjoins the path
+//!    prefix with the flipped condition — clock edges and reset tests are
+//!    already equivalences over per-cycle input variables, exactly the
+//!    transformation the paper describes — and asks the solver for a new
+//!    input schedule.
+//! 4. Once coverage saturates (or no flip is solvable), a systematic
+//!    *reset sweep* moves an asynchronous pulse across every cycle of
+//!    every domain, exploring the reset-timing space the paper calls
+//!    "prohibitive" for plain dynamic validation — here it is tractable
+//!    because the AR_CFG restricts attention to reset-governed logic.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use soccar_cfg::bind::BoundEvent;
+use soccar_cfg::extract::EventArm;
+use soccar_rtl::design::{BranchSiteId, Design, NetId, ProcessId};
+use soccar_rtl::value::LogicVec;
+use soccar_sim::{InitPolicy, SimResult, Simulator};
+use soccar_smt::{CheckResult, Solver, Term, TermGraph, TermId};
+
+use crate::coalg::{from_bv, BranchObservation, CoAlgebra};
+use crate::property::{PropertyMonitor, SecurityProperty, Violation};
+use crate::schedule::TestSchedule;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ConcolicConfig {
+    /// Simulation horizon per round, in cycles.
+    pub cycles: u64,
+    /// Maximum concolic rounds before the sweep phase.
+    pub max_rounds: usize,
+    /// Seed for the round-1 random schedule.
+    pub seed: u64,
+    /// Register initialization policy (the paper uses all-ones).
+    pub init: InitPolicy,
+    /// Hierarchical names of top-level data inputs to treat symbolically.
+    pub symbolic_inputs: Vec<String>,
+    /// Stride of the reset sweep (1 = try every cycle).
+    pub sweep_stride: u64,
+    /// Flip attempts per uncovered target per round.
+    pub max_flip_attempts: usize,
+    /// Maximum path-prefix observations conjoined per flip query.
+    pub max_prefix: usize,
+    /// Skip the sweep phase (coverage-only mode, used by ablations).
+    pub skip_sweep: bool,
+    /// Additional 1-bit asynchronous event lines (hierarchical names of
+    /// top-level inputs) to sweep like reset domains — the paper's
+    /// future-work extension to "other asynchronous events" (IRQs,
+    /// AMS comparator outputs, sensor strobes). Pulsed active-high.
+    pub async_events: Vec<String>,
+}
+
+impl Default for ConcolicConfig {
+    fn default() -> ConcolicConfig {
+        ConcolicConfig {
+            cycles: 24,
+            max_rounds: 48,
+            seed: 0xC0FFEE,
+            init: InitPolicy::Ones,
+            symbolic_inputs: Vec::new(),
+            sweep_stride: 1,
+            max_flip_attempts: 4,
+            max_prefix: 256,
+            skip_sweep: false,
+            async_events: Vec::new(),
+        }
+    }
+}
+
+/// What one coverage target demands.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TargetGoal {
+    /// A branch site must be observed taking direction `dir`.
+    Site {
+        site: BranchSiteId,
+        dir: bool,
+    },
+    /// A process (whole-block implicit event) must execute.
+    Process(ProcessId),
+}
+
+/// A coverage target derived from the AR_CFG.
+#[derive(Debug, Clone)]
+struct Target {
+    goal: TargetGoal,
+    /// Index of the controllable domain to pulse, when direct reset
+    /// scheduling can reach the target.
+    domain_idx: Option<usize>,
+    /// Human-readable description (kept for Debug output and diagnostics).
+    #[allow(dead_code)]
+    desc: String,
+}
+
+/// A property violation together with the schedule that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Violated property name.
+    pub property: String,
+    /// The reproducing schedule.
+    pub schedule: TestSchedule,
+    /// Round (1-based) at which the violation was first observed.
+    pub round: usize,
+}
+
+/// The outcome of a full engine run.
+#[derive(Debug, Clone)]
+pub struct ConcolicReport {
+    /// Rounds executed (concolic + sweep).
+    pub rounds: usize,
+    /// Total coverage targets derived from the AR_CFG.
+    pub targets_total: usize,
+    /// Targets covered.
+    pub targets_covered: usize,
+    /// Targets proven out of reach of the controllable inputs.
+    pub targets_unreachable: usize,
+    /// All distinct invalidation messages.
+    pub violations: Vec<Violation>,
+    /// Round (1-based) at which the first violation was observed.
+    pub first_violation_round: Option<usize>,
+    /// One witness schedule per violated property.
+    pub witnesses: Vec<Witness>,
+    /// Solver invocations.
+    pub solver_calls: usize,
+    /// Of which SAT.
+    pub solver_sat: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ConcolicReport {
+    /// `true` if any property was violated.
+    #[must_use]
+    pub fn has_violations(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// `true` if the named property was violated.
+    #[must_use]
+    pub fn violated(&self, property: &str) -> bool {
+        self.violations.iter().any(|v| v.property == property)
+    }
+
+    /// Coverage ratio over reachable targets.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let reachable = self.targets_total - self.targets_unreachable;
+        if reachable == 0 {
+            1.0
+        } else {
+            self.targets_covered as f64 / reachable as f64
+        }
+    }
+}
+
+/// The reset-aware concolic engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ConcolicEngine<'d> {
+    design: &'d Design,
+    properties: Vec<SecurityProperty>,
+    config: ConcolicConfig,
+    clocks: Vec<NetId>,
+    plain_inputs: Vec<NetId>,
+    domains: Vec<(String, NetId, bool)>,
+    inputs: Vec<(String, NetId, u32)>,
+    targets: Vec<Target>,
+    covered: Vec<bool>,
+    unreachable: Vec<bool>,
+    pulse_attempts: HashMap<usize, u64>,
+    domain_polarity: Vec<(String, bool)>,
+    /// Domains owning at least one clock-composed implicit governor
+    /// (Refined analysis only); these also get a high-phase sweep.
+    clock_composed: Vec<bool>,
+}
+
+impl<'d> ConcolicEngine<'d> {
+    /// Builds an engine from bound AR_CFG events.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a configured symbolic input does not exist or
+    /// is not a top-level input.
+    pub fn new(
+        design: &'d Design,
+        events: &[BoundEvent],
+        properties: Vec<SecurityProperty>,
+        config: ConcolicConfig,
+    ) -> Result<ConcolicEngine<'d>, String> {
+        // Clocks & leftover inputs, by name.
+        let naming = soccar_cfg::ResetNaming::new();
+        let mut clocks = Vec::new();
+        let mut plain_inputs = Vec::new();
+        // Controllable domains (unique, ordered by name).
+        let mut domains: Vec<(String, NetId, bool)> = Vec::new();
+        for ev in events {
+            if !ev.domain_top_level {
+                continue;
+            }
+            let Some(net) = ev.domain_net else { continue };
+            if !design.net(net).is_top_input {
+                continue;
+            }
+            if !domains.iter().any(|(s, _, _)| *s == ev.domain_source) {
+                domains.push((ev.domain_source.clone(), net, ev.domain_active_low));
+            }
+        }
+        domains.sort_by(|a, b| a.0.cmp(&b.0));
+        // Extra asynchronous event lines become pseudo-domains: swept and
+        // randomized like resets, but asserted active-high and carrying no
+        // AR_CFG events of their own.
+        for name in &config.async_events {
+            let net = design
+                .find_net(name)
+                .ok_or_else(|| format!("async event `{name}` not found"))?;
+            let info = design.net(net);
+            if !info.is_top_input || info.width != 1 {
+                return Err(format!("async event `{name}` must be a 1-bit top input"));
+            }
+            if !domains.iter().any(|(s, _, _)| s == name) {
+                domains.push((name.clone(), net, false));
+            }
+        }
+        // Symbolic data inputs.
+        let mut inputs = Vec::new();
+        for name in &config.symbolic_inputs {
+            let net = design
+                .find_net(name)
+                .ok_or_else(|| format!("symbolic input `{name}` not found"))?;
+            if !design.net(net).is_top_input {
+                return Err(format!("symbolic input `{name}` is not a top-level input"));
+            }
+            inputs.push((name.clone(), net, design.net(net).width));
+        }
+        for net in design.top_inputs() {
+            let info = design.net(net);
+            let is_domain = domains.iter().any(|(_, n, _)| *n == net);
+            let is_symbolic = inputs.iter().any(|(_, n, _)| *n == net);
+            if is_domain || is_symbolic {
+                continue;
+            }
+            if naming.is_clock_name(&info.local_name) {
+                clocks.push(net);
+            } else {
+                plain_inputs.push(net);
+            }
+        }
+        // Targets.
+        let mut targets = Vec::new();
+        let mut seen = HashSet::new();
+        for ev in events {
+            let domain_idx = domains.iter().position(|(s, _, _)| *s == ev.domain_source);
+            if ev.event.arm == EventArm::WholeBlock {
+                let goal = TargetGoal::Process(ev.process);
+                if seen.insert(goal.clone()) {
+                    targets.push(Target {
+                        goal,
+                        domain_idx,
+                        desc: format!(
+                            "whole-block reset event in `{}` (always #{})",
+                            ev.instance, ev.event.always_index
+                        ),
+                    });
+                }
+                continue;
+            }
+            // Explicit event: its own site both ways, plus every nested
+            // site of the process (the subCFGs of the reset-governed
+            // block), both ways.
+            let mut sites: Vec<BranchSiteId> = design
+                .sites()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.process == ev.process)
+                .map(|(i, _)| BranchSiteId(i as u32))
+                .collect();
+            sites.sort_unstable();
+            for site in sites {
+                for dir in [true, false] {
+                    let goal = TargetGoal::Site { site, dir };
+                    if seen.insert(goal.clone()) {
+                        targets.push(Target {
+                            goal,
+                            domain_idx,
+                            desc: format!(
+                                "site {} dir {dir} in `{}` (always #{})",
+                                site.0, ev.instance, ev.event.always_index
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let n = targets.len();
+        let domain_polarity = domains
+            .iter()
+            .map(|(s, _, al)| (s.clone(), *al))
+            .collect();
+        let mut clock_composed = vec![false; domains.len()];
+        for ev in events {
+            let composed = ev
+                .event
+                .governor
+                .as_ref()
+                .is_some_and(|g| g.composed_with_clock);
+            if composed {
+                if let Some(di) = domains.iter().position(|(s, _, _)| *s == ev.domain_source) {
+                    clock_composed[di] = true;
+                }
+            }
+        }
+        Ok(ConcolicEngine {
+            design,
+            properties,
+            config,
+            clocks,
+            plain_inputs,
+            domains,
+            inputs,
+            targets,
+            covered: vec![false; n],
+            unreachable: vec![false; n],
+            pulse_attempts: HashMap::new(),
+            domain_polarity,
+            clock_composed,
+        })
+    }
+
+    /// Controllable reset domains `(source, net, active_low)`.
+    #[must_use]
+    pub fn domains(&self) -> &[(String, NetId, bool)] {
+        &self.domains
+    }
+
+    /// Number of coverage targets.
+    #[must_use]
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Runs Algorithm 3 to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (e.g. an unstable design).
+    pub fn run(&mut self) -> SimResult<ConcolicReport> {
+        let start = Instant::now();
+        let mut schedule = self.base_schedule();
+        schedule.randomize(self.config.seed);
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut witnesses: Vec<Witness> = Vec::new();
+        let mut first_violation_round: Option<usize> = None;
+        let mut rounds = 0usize;
+        let mut solver_calls = 0usize;
+        let mut solver_sat = 0usize;
+
+        // Phase 1: concolic coverage loop.
+        while rounds < self.config.max_rounds {
+            rounds += 1;
+            let (mut sim, round_violations) = self.execute_round(&schedule)?;
+            self.absorb_coverage(&sim);
+            self.merge_violations(rounds, &schedule, round_violations, &mut violations, &mut witnesses);
+            if first_violation_round.is_none() && !violations.is_empty() {
+                first_violation_round = Some(rounds);
+            }
+            if self.all_covered() {
+                break;
+            }
+            match self.plan_next(&mut sim, &schedule, &mut solver_calls, &mut solver_sat) {
+                Some(next) => schedule = next,
+                None => break,
+            }
+        }
+
+        // Phase 2: systematic reset sweep (assert each domain at each
+        // cycle position; catches state-dependent payloads).
+        if !self.config.skip_sweep {
+            for di in 0..self.domains.len() {
+                let mut at = 1;
+                while at < self.config.cycles {
+                    let mut s = self.base_schedule();
+                    s.randomize(self.config.seed.wrapping_add(at));
+                    s.power_on_only();
+                    s.add_pulse(di, at, 1);
+                    rounds += 1;
+                    let (sim, round_violations) = self.execute_round(&s)?;
+                    self.absorb_coverage(&sim);
+                    self.merge_violations(rounds, &s, round_violations, &mut violations, &mut witnesses);
+                    if first_violation_round.is_none() && !violations.is_empty() {
+                        first_violation_round = Some(rounds);
+                    }
+                    at += self.config.sweep_stride;
+                }
+            }
+            // Phase 3: clock-high-phase sweep for domains that the
+            // Refined analysis flagged as having clock-composed implicit
+            // governors. The Explicit analysis never flags any, so this
+            // phase is empty there — which is precisely why the published
+            // tool misses the AutoSoC #2 SHA256 bug.
+            for di in 0..self.domains.len() {
+                if !self.clock_composed[di] {
+                    continue;
+                }
+                let mut at = 1;
+                while at < self.config.cycles {
+                    let mut s = self.base_schedule();
+                    s.randomize(self.config.seed.wrapping_add(0x9E37 + at));
+                    s.power_on_only();
+                    s.add_high_phase_pulse(di, at);
+                    rounds += 1;
+                    let (sim, round_violations) = self.execute_round(&s)?;
+                    self.absorb_coverage(&sim);
+                    self.merge_violations(rounds, &s, round_violations, &mut violations, &mut witnesses);
+                    if first_violation_round.is_none() && !violations.is_empty() {
+                        first_violation_round = Some(rounds);
+                    }
+                    at += self.config.sweep_stride;
+                }
+            }
+        }
+
+        let covered = self.covered.iter().filter(|c| **c).count();
+        let unreachable = self.unreachable.iter().filter(|u| **u).count();
+        Ok(ConcolicReport {
+            rounds,
+            targets_total: self.targets.len(),
+            targets_covered: covered,
+            targets_unreachable: unreachable,
+            violations,
+            first_violation_round,
+            witnesses,
+            solver_calls,
+            solver_sat,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    fn base_schedule(&self) -> TestSchedule {
+        TestSchedule::quiet(
+            self.config.cycles,
+            self.domains.clone(),
+            self.inputs.clone(),
+        )
+    }
+
+    /// One `Simulate(Input, Restricts)` call of Algorithm 3.
+    fn execute_round(
+        &self,
+        schedule: &TestSchedule,
+    ) -> SimResult<(Simulator<'d, CoAlgebra>, Vec<Violation>)> {
+        let mut sim = Simulator::with_algebra(self.design, CoAlgebra::new(), self.config.init);
+        let mut monitors: Vec<PropertyMonitor> = self
+            .properties
+            .iter()
+            .filter_map(|p| {
+                PropertyMonitor::resolve(self.design, p.clone(), &self.domain_polarity).ok()
+            })
+            .collect();
+        let mut violations = Vec::new();
+
+        // Time-zero: deassert resets, park clocks, zero uncontrolled inputs.
+        for track in &schedule.resets {
+            let deassert = LogicVec::from_u64(1, u64::from(track.active_low));
+            sim.write_input(track.net, deassert)?;
+        }
+        for clk in &self.clocks {
+            sim.write_input(*clk, LogicVec::from_u64(1, 0))?;
+        }
+        for net in &self.plain_inputs {
+            let w = self.design.net(*net).width;
+            sim.write_input(*net, LogicVec::zeros(w))?;
+        }
+        sim.settle()?;
+
+        for cycle in 0..schedule.cycles {
+            for (i, track) in schedule.inputs.iter().enumerate() {
+                let v = sim
+                    .algebra_mut()
+                    .symbolic_input(&format!("in_{i}_{cycle}"), track.values[cycle as usize].clone());
+                sim.write_input_value(track.net, v)?;
+            }
+            // Asynchronous reset lines change before the clock edge —
+            // except high-phase pulses, which assert after the rise.
+            for (d, track) in schedule.resets.iter().enumerate() {
+                let hp = track
+                    .high_phase
+                    .get(cycle as usize)
+                    .copied()
+                    .unwrap_or(false);
+                let value = if hp {
+                    LogicVec::from_u64(1, u64::from(track.active_low))
+                } else {
+                    track.value_at(cycle)
+                };
+                let v = sim
+                    .algebra_mut()
+                    .symbolic_input(&format!("rst_{d}_{cycle}"), value);
+                sim.write_input_value(track.net, v)?;
+            }
+            sim.settle()?;
+            for clk in &self.clocks {
+                sim.write_input(*clk, LogicVec::from_u64(1, 1))?;
+            }
+            sim.settle()?;
+            // High-phase assertion: the reset edge lands while the clock
+            // is high (excites clock-composed implicit governors).
+            for (d, track) in schedule.resets.iter().enumerate() {
+                if track
+                    .high_phase
+                    .get(cycle as usize)
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    let v = sim
+                        .algebra_mut()
+                        .symbolic_input(&format!("rsthi_{d}_{cycle}"), track.value_at(cycle));
+                    sim.write_input_value(track.net, v)?;
+                    sim.settle()?;
+                }
+            }
+            sim.advance_time(1);
+            for clk in &self.clocks {
+                sim.write_input(*clk, LogicVec::from_u64(1, 0))?;
+            }
+            sim.settle()?;
+            sim.advance_time(1);
+            for mon in &mut monitors {
+                violations.extend(mon.check_cycle(&sim, cycle));
+            }
+        }
+        Ok((sim, violations))
+    }
+
+    fn absorb_coverage(&mut self, sim: &Simulator<'d, CoAlgebra>) {
+        let site_cov = sim.algebra().coverage();
+        let runs = sim.process_run_counts();
+        for (i, t) in self.targets.iter().enumerate() {
+            if self.covered[i] {
+                continue;
+            }
+            let hit = match &t.goal {
+                TargetGoal::Site { site, dir } => site_cov.contains(&(*site, *dir)),
+                TargetGoal::Process(p) => runs[p.0 as usize] > 0,
+            };
+            if hit {
+                self.covered[i] = true;
+            }
+        }
+    }
+
+    fn all_covered(&self) -> bool {
+        self.covered
+            .iter()
+            .zip(&self.unreachable)
+            .all(|(c, u)| *c || *u)
+    }
+
+    fn merge_violations(
+        &self,
+        round: usize,
+        schedule: &TestSchedule,
+        fresh: Vec<Violation>,
+        out: &mut Vec<Violation>,
+        witnesses: &mut Vec<Witness>,
+    ) {
+        for v in fresh {
+            if out.iter().any(|e| e.property == v.property) {
+                continue;
+            }
+            witnesses.push(Witness {
+                property: v.property.clone(),
+                schedule: schedule.clone(),
+                round,
+            });
+            out.push(v);
+        }
+    }
+
+    /// Picks an uncovered target and produces the next schedule, either by
+    /// solver-driven branch flipping or by direct reset scheduling.
+    fn plan_next(
+        &mut self,
+        sim: &mut Simulator<'d, CoAlgebra>,
+        schedule: &TestSchedule,
+        solver_calls: &mut usize,
+        solver_sat: &mut usize,
+    ) -> Option<TestSchedule> {
+        let obs: Vec<BranchObservation> = sim.algebra().observations().to_vec();
+        let targets: Vec<(usize, Target)> = self
+            .targets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.covered[*i] && !self.unreachable[*i])
+            .map(|(i, t)| (i, t.clone()))
+            .collect();
+        for (ti, target) in targets {
+            match &target.goal {
+                TargetGoal::Site { site, dir } => {
+                    let occurrences: Vec<usize> = obs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, o)| o.site == *site && o.taken != *dir)
+                        .map(|(k, _)| k)
+                        .collect();
+                    if !occurrences.is_empty() {
+                        // Solver-driven flip.
+                        for &k in occurrences.iter().take(self.config.max_flip_attempts) {
+                            *solver_calls += 1;
+                            if let Some(next) =
+                                self.try_flip(sim, schedule, &obs, k, *dir)
+                            {
+                                *solver_sat += 1;
+                                return Some(next);
+                            }
+                        }
+                        // All attempted flips UNSAT: keep for the sweep.
+                        continue;
+                    }
+                    // Site never ran with a symbolic condition: schedule a
+                    // pulse so the process (and its governor test) runs.
+                    if let Some(next) = self.schedule_pulse(ti, &target, schedule) {
+                        return Some(next);
+                    }
+                }
+                TargetGoal::Process(_) => {
+                    if let Some(next) = self.schedule_pulse(ti, &target, schedule) {
+                        return Some(next);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Direct reset scheduling: assert the target's domain at a rotating
+    /// cycle position.
+    fn schedule_pulse(
+        &mut self,
+        target_idx: usize,
+        target: &Target,
+        schedule: &TestSchedule,
+    ) -> Option<TestSchedule> {
+        let Some(di) = target.domain_idx else {
+            // No controllable domain reaches this target.
+            self.unreachable[target_idx] = true;
+            return None;
+        };
+        let attempt = self.pulse_attempts.entry(target_idx).or_insert(0);
+        *attempt += 1;
+        if *attempt >= self.config.cycles {
+            self.unreachable[target_idx] = true;
+            return None;
+        }
+        let at = *attempt; // cycles 1, 2, 3, ...
+        let mut next = schedule.clone();
+        next.add_pulse(di, at, 1);
+        Some(next)
+    }
+
+    /// Attempts to flip observation `k` towards `dir`, conjoining the path
+    /// prefix, and rebuilds the schedule from the model.
+    fn try_flip(
+        &self,
+        sim: &mut Simulator<'d, CoAlgebra>,
+        schedule: &TestSchedule,
+        obs: &[BranchObservation],
+        k: usize,
+        dir: bool,
+    ) -> Option<TestSchedule> {
+        let graph = &mut sim.algebra_mut().graph;
+        let mut solver = Solver::new();
+        let prefix_start = k.saturating_sub(self.config.max_prefix);
+        for o in &obs[prefix_start..k] {
+            let c = if o.taken { o.cond } else { graph.not(o.cond) };
+            solver.assert(c);
+        }
+        let goal = if dir { obs[k].cond } else { graph.not(obs[k].cond) };
+        solver.assert(goal);
+        match solver.check(graph) {
+            CheckResult::Unsat => None,
+            CheckResult::Sat(model) => {
+                // Only variables in the constraint support are updated;
+                // everything else keeps its previous schedule value.
+                let mut support = HashSet::new();
+                for t in solver.assertions() {
+                    collect_vars(graph, *t, &mut support);
+                }
+                let mut next = schedule.clone();
+                for var in support {
+                    let Term::Var(name) = graph.term(var) else {
+                        continue;
+                    };
+                    let Some(value) = model.value(var) else {
+                        continue;
+                    };
+                    if let Some((d, c)) = parse_slot(name, "rst_") {
+                        if d < next.resets.len() && c < next.cycles {
+                            let track = &mut next.resets[d];
+                            let line_high = value.to_u64() == Some(1);
+                            track.asserted[c as usize] = line_high != track.active_low;
+                        }
+                    } else if let Some((i, c)) = parse_slot(name, "in_") {
+                        if i < next.inputs.len() && c < next.cycles {
+                            next.inputs[i].values[c as usize] = from_bv(value);
+                        }
+                    }
+                }
+                Some(next)
+            }
+        }
+    }
+}
+
+/// Parses `prefix{index}_{cycle}` variable names.
+fn parse_slot(name: &str, prefix: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix(prefix)?;
+    let (idx, cycle) = rest.split_once('_')?;
+    Some((idx.parse().ok()?, cycle.parse().ok()?))
+}
+
+/// Collects variable terms reachable from `t`.
+fn collect_vars(graph: &TermGraph, t: TermId, out: &mut HashSet<TermId>) {
+    let mut stack = vec![t];
+    let mut seen = HashSet::new();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match graph.term(id) {
+            Term::Var(_) => {
+                out.insert(id);
+            }
+            Term::Const(_) => {}
+            Term::Not(a) | Term::RedAnd(a) | Term::RedOr(a) | Term::RedXor(a) => stack.push(*a),
+            Term::Extract { arg, .. } | Term::ZExt { arg, .. } => stack.push(*arg),
+            Term::And(a, b)
+            | Term::Or(a, b)
+            | Term::Xor(a, b)
+            | Term::Add(a, b)
+            | Term::Sub(a, b)
+            | Term::Mul(a, b)
+            | Term::Udiv(a, b)
+            | Term::Urem(a, b)
+            | Term::Shl(a, b)
+            | Term::Lshr(a, b)
+            | Term::Ashr(a, b)
+            | Term::Eq(a, b)
+            | Term::Ult(a, b)
+            | Term::Ule(a, b)
+            | Term::Concat(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Term::Ite(c, a, b) => {
+                stack.push(*c);
+                stack.push(*a);
+                stack.push(*b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::PropertyKind;
+    use soccar_cfg::{bind_events, compose_soc, GovernorAnalysis, ResetNaming};
+    use soccar_rtl::parser::parse;
+    use soccar_rtl::span::FileId;
+
+    fn setup(
+        src: &str,
+        props: Vec<SecurityProperty>,
+        analysis: GovernorAnalysis,
+        config: ConcolicConfig,
+    ) -> ConcolicReport {
+        let unit = parse(FileId(0), src).expect("parse");
+        let design = soccar_rtl::elaborate::elaborate(&unit, "top").expect("elaborate");
+        let soc = compose_soc(&unit, "top", &ResetNaming::new(), analysis).expect("compose");
+        let bound = bind_events(&design, &soc).expect("bind");
+        let mut engine = ConcolicEngine::new(&design, &bound, props, config).expect("engine");
+        engine.run().expect("run")
+    }
+
+    const LEAKY_CRYPTO: &str = "
+        module aes(input clk, input rst_n, input load, input [7:0] key_in,
+                   output reg [7:0] key_reg, output reg [7:0] busy_ctr);
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) begin
+              busy_ctr <= 8'd0;          // BUG: key_reg not cleared
+            end else begin
+              if (load) key_reg <= key_in;
+              busy_ctr <= busy_ctr + 8'd1;
+            end
+        endmodule
+        module top(input clk, input crypto_rst_n, input load, input [7:0] key_in,
+                   output [7:0] key_reg, output [7:0] busy);
+          aes u_aes (.clk(clk), .rst_n(crypto_rst_n), .load(load),
+                     .key_in(key_in), .key_reg(key_reg), .busy_ctr(busy));
+        endmodule";
+
+    fn leak_property() -> SecurityProperty {
+        SecurityProperty {
+            name: "aes-key-cleared".into(),
+            module: "aes".into(),
+            kind: PropertyKind::ClearedAfterReset {
+                domain: "top.crypto_rst_n".into(),
+                signal: "top.u_aes.key_reg".into(),
+                expected: LogicVec::zeros(8),
+                window: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn engine_detects_uncleaned_key_register() {
+        let report = setup(
+            LEAKY_CRYPTO,
+            vec![leak_property()],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                cycles: 12,
+                max_rounds: 8,
+                symbolic_inputs: vec!["top.load".into(), "top.key_in".into()],
+                ..ConcolicConfig::default()
+            },
+        );
+        assert!(report.violated("aes-key-cleared"), "report: {report:?}");
+        assert!(!report.witnesses.is_empty());
+        assert!(report.targets_covered > 0);
+    }
+
+    #[test]
+    fn clean_design_produces_no_violations() {
+        let clean = LEAKY_CRYPTO.replace(
+            "busy_ctr <= 8'd0;          // BUG: key_reg not cleared",
+            "busy_ctr <= 8'd0; key_reg <= 8'd0;",
+        );
+        let report = setup(
+            &clean,
+            vec![leak_property()],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                cycles: 12,
+                max_rounds: 16,
+                symbolic_inputs: vec!["top.load".into(), "top.key_in".into()],
+                ..ConcolicConfig::default()
+            },
+        );
+        assert!(!report.has_violations(), "report: {report:?}");
+        assert_eq!(report.coverage(), 1.0, "all targets coverable: {report:?}");
+    }
+
+    #[test]
+    fn solver_flip_reaches_data_guarded_branch() {
+        // The reset arm contains a branch guarded by a *data* condition
+        // (magic == 8'h5A) that random inputs are unlikely to hit; the
+        // solver must construct it.
+        let src = "
+            module ip(input clk, input rst_n, input [7:0] magic,
+                      output reg flag, output reg [7:0] ctr);
+              always @(posedge clk or negedge rst_n)
+                if (!rst_n) begin
+                  if (magic == 8'h5A) flag <= 1'b1;
+                  ctr <= 8'd0;
+                end else ctr <= ctr + 8'd1;
+            endmodule
+            module top(input clk, input dom_rst_n, input [7:0] magic,
+                       output flag, output [7:0] ctr);
+              ip u (.clk(clk), .rst_n(dom_rst_n), .magic(magic),
+                    .flag(flag), .ctr(ctr));
+            endmodule";
+        let report = setup(
+            src,
+            vec![],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                cycles: 10,
+                max_rounds: 16,
+                seed: 7,
+                symbolic_inputs: vec!["top.magic".into()],
+                skip_sweep: true,
+                ..ConcolicConfig::default()
+            },
+        );
+        // Full coverage requires taking the magic branch both ways.
+        assert_eq!(
+            report.targets_covered,
+            report.targets_total,
+            "solver must reach the magic-guarded branch: {report:?}"
+        );
+        assert!(report.solver_sat > 0, "at least one flip solved: {report:?}");
+    }
+
+    #[test]
+    fn explicit_analysis_misses_implicit_governor_refined_catches() {
+        // The Section V-C scenario as a minimal engine test.
+        let src = "
+            module sha(input clk, input sec_rst_n, input [7:0] pt,
+                       output reg [7:0] ct);
+              always @(negedge sec_rst_n)
+                if (clk) ct <= pt;      // implicit governor construct
+            endmodule
+            module top(input clk, input sec_rst_n, input [7:0] pt, output [7:0] ct);
+              sha u (.clk(clk), .sec_rst_n(sec_rst_n), .pt(pt), .ct(ct));
+            endmodule";
+        let prop = SecurityProperty {
+            name: "sha-ct-cleared".into(),
+            module: "sha".into(),
+            kind: PropertyKind::NeverEqual {
+                a: "top.u.ct".into(),
+                b: "top.u.pt".into(),
+                enable: None,
+            },
+        };
+        // Explicit: no AR_CFG events → no reset domains → reset never
+        // pulsed → bug not excited.
+        let explicit = setup(
+            src,
+            vec![prop.clone()],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                cycles: 10,
+                max_rounds: 4,
+                symbolic_inputs: vec!["top.pt".into()],
+                ..ConcolicConfig::default()
+            },
+        );
+        assert_eq!(explicit.targets_total, 0);
+        assert!(!explicit.has_violations(), "{explicit:?}");
+        // Refined: the whole block is an event; the domain is pulsed and
+        // the leak becomes visible.
+        let refined = setup(
+            src,
+            vec![prop],
+            GovernorAnalysis::Refined,
+            ConcolicConfig {
+                cycles: 10,
+                max_rounds: 8,
+                symbolic_inputs: vec!["top.pt".into()],
+                ..ConcolicConfig::default()
+            },
+        );
+        assert!(refined.targets_total > 0);
+        assert!(refined.violated("sha-ct-cleared"), "{refined:?}");
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = setup(
+            LEAKY_CRYPTO,
+            vec![],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                cycles: 6,
+                max_rounds: 2,
+                ..ConcolicConfig::default()
+            },
+        );
+        assert!(!report.violated("nonexistent"));
+        assert!(report.rounds >= 1);
+        assert!(report.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn parse_slot_names() {
+        assert_eq!(parse_slot("rst_0_12", "rst_"), Some((0, 12)));
+        assert_eq!(parse_slot("in_3_7", "in_"), Some((3, 7)));
+        assert_eq!(parse_slot("rst_x_7", "rst_"), None);
+        assert_eq!(parse_slot("other", "rst_"), None);
+    }
+}

@@ -1,0 +1,225 @@
+//! The `soccar` command-line tool: run the pipeline on a Verilog file.
+//!
+//! ```sh
+//! soccar design.v --top my_soc \
+//!   --property cleared:key-scrub:aes:my_soc.crypto_rst_n:my_soc.u_aes.key_reg:32 \
+//!   --property armed:guard:sram:my_soc.mem_rst_n:my_soc.u_sram.prot_en \
+//!   --symbolic my_soc.test_data \
+//!   --refined --cycles 24 --rounds 12
+//! ```
+//!
+//! With no `--property`, the tool still extracts and reports the AR_CFG
+//! and reset domains (`--list-domains` prints them and exits).
+//!
+//! Property specs (colon-separated):
+//!
+//! * `cleared:<name>:<module>:<domain>:<signal>:<width>` — signal must be
+//!   zero while the domain reset is asserted;
+//! * `armed:<name>:<module>:<domain>:<signal>` — signal must be non-zero
+//!   while the domain reset is asserted;
+//! * `oneof:<name>:<module>:<signal>:<width>:<v1|v2|…>` — signal must
+//!   always hold one of the listed values (decimal or 0x-hex);
+//! * `neverflag:<name>:<module>:<signal>` — a 1-bit observation point
+//!   that must never read 1.
+
+use std::process::ExitCode;
+
+use soccar::cli::parse_property;
+use soccar::{Soccar, SoccarConfig};
+use soccar_cfg::{compose_soc, GovernorAnalysis, ResetNaming};
+use soccar_concolic::{ConcolicConfig, SecurityProperty};
+
+struct Args {
+    file: String,
+    top: String,
+    properties: Vec<SecurityProperty>,
+    symbolic: Vec<String>,
+    refined: bool,
+    cycles: u64,
+    rounds: usize,
+    list_domains: bool,
+    verbose: bool,
+    vcd: Option<String>,
+}
+
+const USAGE: &str = "usage: soccar <file.v> --top <module> [options]
+options:
+  --property <spec>   add a security property (repeatable); see --help-properties
+  --symbolic <net>    treat a top-level input as symbolic (repeatable)
+  --refined           use the refined (implicit-governor) analysis
+  --cycles <n>        simulation horizon per round (default 24)
+  --rounds <n>        max concolic rounds before the sweep (default 12)
+  --list-domains      print reset domains / AR_CFG summary and exit
+  --verbose           print witness schedules
+  --vcd <path>        replay the first witness and write a VCD waveform";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        file: String::new(),
+        top: String::new(),
+        properties: Vec::new(),
+        symbolic: Vec::new(),
+        refined: false,
+        cycles: 24,
+        rounds: 12,
+        list_domains: false,
+        verbose: false,
+        vcd: None,
+    };
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => out.top = next(&mut args, "--top")?,
+            "--property" => out
+                .properties
+                .push(parse_property(&next(&mut args, "--property")?)?),
+            "--symbolic" => out.symbolic.push(next(&mut args, "--symbolic")?),
+            "--refined" => out.refined = true,
+            "--cycles" => {
+                out.cycles = next(&mut args, "--cycles")?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?;
+            }
+            "--rounds" => {
+                out.rounds = next(&mut args, "--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--list-domains" => out.list_domains = true,
+            "--vcd" => out.vcd = Some(next(&mut args, "--vcd")?),
+            "--verbose" => out.verbose = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if out.file.is_empty() && !other.starts_with('-') => {
+                out.file = other.to_owned();
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if out.file.is_empty() || out.top.is_empty() {
+        return Err(USAGE.to_owned());
+    }
+    Ok(out)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let source = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("{}: {e}", args.file))?;
+    let analysis = if args.refined {
+        GovernorAnalysis::Refined
+    } else {
+        GovernorAnalysis::Explicit
+    };
+
+    if args.list_domains {
+        let unit = soccar_rtl::parser::parse(soccar_rtl::span::FileId(0), &source)
+            .map_err(|e| e.to_string())?;
+        let soc = compose_soc(&unit, &args.top, &ResetNaming::new(), analysis)?;
+        println!(
+            "{}: {} instances, {} reset-governed events",
+            args.top,
+            soc.instances.len(),
+            soc.event_count()
+        );
+        for d in &soc.reset_domains {
+            println!(
+                "domain {} ({}, active-{}): {} members, {} events",
+                d.source,
+                if d.top_level { "top input" } else { "internal" },
+                if d.active_low { "low" } else { "high" },
+                d.members.len(),
+                d.events.len()
+            );
+        }
+        return Ok(true);
+    }
+
+    let config = SoccarConfig {
+        analysis,
+        concolic: ConcolicConfig {
+            cycles: args.cycles,
+            max_rounds: args.rounds,
+            symbolic_inputs: args.symbolic.clone(),
+            ..ConcolicConfig::default()
+        },
+        ..SoccarConfig::default()
+    };
+    let report = Soccar::new(config)
+        .analyze(&args.file, &source, &args.top, args.properties.clone())
+        .map_err(|e| e.to_string())?;
+
+    for stage in &report.stages {
+        println!(
+            "[{}] {:.3}s  {}",
+            stage.stage,
+            stage.elapsed.as_secs_f64(),
+            stage.detail
+        );
+    }
+    println!(
+        "coverage: {}/{} AR_CFG targets ({} unreachable); solver {} calls / {} sat",
+        report.concolic.targets_covered,
+        report.concolic.targets_total,
+        report.concolic.targets_unreachable,
+        report.concolic.solver_calls,
+        report.concolic.solver_sat,
+    );
+    if report.violations().is_empty() {
+        println!("RESULT: no violations");
+        Ok(true)
+    } else {
+        for v in report.violations() {
+            println!("{v}");
+        }
+        if args.verbose {
+            for w in &report.concolic.witnesses {
+                println!("  witness [{}] round {}: {}", w.property, w.round, w.schedule.summary());
+            }
+        }
+        if let Some(path) = &args.vcd {
+            if let Some(w) = report.concolic.witnesses.first() {
+                // Recompile to replay (the pipeline consumed nothing mutable,
+                // but the design lives inside the analysis scope).
+                let (design, _) = soccar_rtl::compile(&args.file, &source, &args.top)
+                    .map_err(|e| e.to_string())?;
+                let naming = ResetNaming::new();
+                let clocks: Vec<_> = design
+                    .top_inputs()
+                    .filter(|n| naming.is_clock_name(&design.net(*n).local_name))
+                    .collect();
+                let sim = w
+                    .schedule
+                    .replay_concrete(&design, &clocks)
+                    .map_err(|e| e.to_string())?;
+                let vcd = soccar_sim::vcd::write_vcd(&design, sim.trace(), &[]);
+                std::fs::write(path, vcd).map_err(|e| e.to_string())?;
+                println!("witness [{}] waveform written to {path}", w.property);
+            }
+        }
+        println!("RESULT: {} violation(s)", report.violations().len());
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

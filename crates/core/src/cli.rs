@@ -1,0 +1,160 @@
+//! Helpers for the `soccar` command-line tool (kept in the library so the
+//! property-spec grammar is unit-tested).
+//!
+//! Property specs are colon-separated:
+//!
+//! * `cleared:<name>:<module>:<domain>:<signal>:<width>`
+//! * `armed:<name>:<module>:<domain>:<signal>`
+//! * `oneof:<name>:<module>:<signal>:<width>:<v1|v2|…>`
+//! * `neverflag:<name>:<module>:<signal>`
+
+use soccar_concolic::{PropertyKind, SecurityProperty};
+use soccar_rtl::LogicVec;
+
+/// Parses a decimal or `0x`-prefixed value into a `width`-bit vector.
+///
+/// # Errors
+///
+/// Returns a message when the number does not parse.
+pub fn parse_value(s: &str, width: u32) -> Result<LogicVec, String> {
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| e.to_string())?
+    } else {
+        s.parse::<u64>().map_err(|e| e.to_string())?
+    };
+    Ok(LogicVec::from_u64(width, v))
+}
+
+/// Parses one property spec (see module docs for the grammar).
+///
+/// # Errors
+///
+/// Returns a message naming the malformed field.
+pub fn parse_property(spec: &str) -> Result<SecurityProperty, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let need = |n: usize| -> Result<(), String> {
+        if parts.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{spec}`: expected {n} fields, got {}", parts.len()))
+        }
+    };
+    let kind = match parts.first().copied() {
+        Some("cleared") => {
+            need(6)?;
+            let width: u32 = parts[5].parse().map_err(|e| format!("width: {e}"))?;
+            PropertyKind::ClearedAfterReset {
+                domain: parts[3].to_owned(),
+                signal: parts[4].to_owned(),
+                expected: LogicVec::zeros(width),
+                window: 0,
+            }
+        }
+        Some("armed") => {
+            need(5)?;
+            PropertyKind::AssertedAfterReset {
+                domain: parts[3].to_owned(),
+                signal: parts[4].to_owned(),
+                window: 0,
+            }
+        }
+        Some("oneof") => {
+            need(6)?;
+            let width: u32 = parts[4].parse().map_err(|e| format!("width: {e}"))?;
+            let allowed = parts[5]
+                .split('|')
+                .map(|v| parse_value(v, width))
+                .collect::<Result<Vec<_>, _>>()?;
+            PropertyKind::AlwaysOneOf {
+                signal: parts[3].to_owned(),
+                allowed,
+            }
+        }
+        Some("neverflag") => {
+            need(4)?;
+            PropertyKind::AlwaysOneOf {
+                signal: parts[3].to_owned(),
+                allowed: vec![LogicVec::zeros(1)],
+            }
+        }
+        other => return Err(format!("unknown property kind {other:?}")),
+    };
+    Ok(SecurityProperty {
+        name: parts[1].to_owned(),
+        module: parts[2].to_owned(),
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleared_spec() {
+        let p = parse_property("cleared:key:aes:top.rst_n:top.u.key:32").expect("parse");
+        assert_eq!(p.name, "key");
+        assert_eq!(p.module, "aes");
+        match p.kind {
+            PropertyKind::ClearedAfterReset {
+                domain,
+                signal,
+                expected,
+                window,
+            } => {
+                assert_eq!(domain, "top.rst_n");
+                assert_eq!(signal, "top.u.key");
+                assert_eq!(expected.width(), 32);
+                assert_eq!(window, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn armed_spec() {
+        let p = parse_property("armed:g:sram:top.rst:top.u.prot").expect("parse");
+        assert!(matches!(p.kind, PropertyKind::AssertedAfterReset { .. }));
+    }
+
+    #[test]
+    fn oneof_spec_with_hex() {
+        let p = parse_property("oneof:priv:core:top.u.priv:2:0|1|0x3").expect("parse");
+        match p.kind {
+            PropertyKind::AlwaysOneOf { allowed, .. } => {
+                let vals: Vec<Option<u64>> =
+                    allowed.iter().map(soccar_rtl::LogicVec::to_u64).collect();
+                assert_eq!(vals, vec![Some(0), Some(1), Some(3)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn neverflag_spec() {
+        let p = parse_property("neverflag:leak:aes:top.u.leak_obs").expect("parse");
+        match p.kind {
+            PropertyKind::AlwaysOneOf { allowed, .. } => {
+                assert_eq!(allowed.len(), 1);
+                assert!(allowed[0].is_all_zero());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_specs_rejected() {
+        assert!(parse_property("cleared:too:few").is_err());
+        assert!(parse_property("bogus:a:b:c").is_err());
+        assert!(parse_property("cleared:k:m:d:s:notanumber").is_err());
+        assert!(parse_property("oneof:p:m:s:2:zz").is_err());
+        assert!(parse_property("").is_err());
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("42", 8).expect("dec").to_u64(), Some(42));
+        assert_eq!(parse_value("0xff", 8).expect("hex").to_u64(), Some(0xFF));
+        assert!(parse_value("nope", 8).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Top-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure of the SoCCAR pipeline.
+#[derive(Debug)]
+pub enum SoccarError {
+    /// Frontend (lex/parse/elaborate) failure.
+    Rtl(soccar_rtl::RtlError),
+    /// Simulation failure (unstable design, bad stimulus).
+    Sim(soccar_sim::SimError),
+    /// CFG composition or binding failure.
+    Cfg(String),
+    /// Configuration problem (bad property, missing signal, …).
+    Config(String),
+}
+
+impl fmt::Display for SoccarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoccarError::Rtl(e) => write!(f, "rtl frontend: {e}"),
+            SoccarError::Sim(e) => write!(f, "simulation: {e}"),
+            SoccarError::Cfg(m) => write!(f, "cfg extraction: {m}"),
+            SoccarError::Config(m) => write!(f, "configuration: {m}"),
+        }
+    }
+}
+
+impl Error for SoccarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SoccarError::Rtl(e) => Some(e),
+            SoccarError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<soccar_rtl::RtlError> for SoccarError {
+    fn from(e: soccar_rtl::RtlError) -> SoccarError {
+        SoccarError::Rtl(e)
+    }
+}
+
+impl From<soccar_sim::SimError> for SoccarError {
+    fn from(e: soccar_sim::SimError) -> SoccarError {
+        SoccarError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SoccarError::Config("bad property".into());
+        assert!(e.to_string().contains("bad property"));
+        assert!(e.source().is_none());
+        let e: SoccarError = soccar_sim::SimError::Unstable { executed: 1 }.into();
+        assert!(e.source().is_some());
+    }
+}

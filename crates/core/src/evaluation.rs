@@ -1,0 +1,302 @@
+//! The red-team/blue-team evaluation harness (Section V-C).
+//!
+//! The red team's artifacts live in `soccar-soc` (benchmark generation and
+//! bug insertion); the blue team's tool is the [`crate::Soccar`] pipeline.
+//! The only shared information is the *security regression* — the checks
+//! shipped with the base SoCs — exactly as the paper stipulates ("no
+//! communication was made between the red to blue team regarding the
+//! description of bugs").
+//!
+//! Detection scoring happens post-hoc: a bug counts as detected when at
+//! least one of its expected detector checks produced an invalidation
+//! message.
+
+use std::time::Duration;
+
+use serde::Serialize;
+use soccar_concolic::{PropertyKind, SecurityProperty};
+use soccar_rtl::LogicVec;
+use soccar_soc::{
+    expected_detectors, security_checks, symbolic_inputs, CheckKind, CheckSpec,
+    SocModel, VariantSpec,
+};
+
+use crate::error::SoccarError;
+use crate::pipeline::{AnalysisReport, Soccar, SoccarConfig};
+
+/// Converts a neutral [`CheckSpec`] into a concolic [`SecurityProperty`].
+#[must_use]
+pub fn property_of(check: &CheckSpec) -> SecurityProperty {
+    let kind = match &check.kind {
+        CheckKind::SecretCleared { signal, width } => PropertyKind::ClearedAfterReset {
+            domain: check.domain.clone(),
+            signal: signal.clone(),
+            expected: LogicVec::zeros(*width),
+            window: 0,
+        },
+        CheckKind::GuardArmed { signal } => PropertyKind::AssertedAfterReset {
+            domain: check.domain.clone(),
+            signal: signal.clone(),
+            window: 0,
+        },
+        CheckKind::LegalValues {
+            signal,
+            width,
+            allowed,
+        } => PropertyKind::AlwaysOneOf {
+            signal: signal.clone(),
+            allowed: allowed
+                .iter()
+                .map(|v| LogicVec::from_u64(*width, *v))
+                .collect(),
+        },
+        CheckKind::NeverFlagged { signal } => PropertyKind::AlwaysOneOf {
+            signal: signal.clone(),
+            allowed: vec![LogicVec::zeros(1)],
+        },
+    };
+    SecurityProperty {
+        name: check.name.clone(),
+        module: check.module.clone(),
+        kind,
+    }
+}
+
+/// The outcome for one inserted bug.
+#[derive(Debug, Clone, Serialize)]
+pub struct BugOutcome {
+    /// Violation class (Table III wording).
+    pub violation: String,
+    /// Target IP.
+    pub ip: String,
+    /// Whether the implicit-governor construct was used.
+    pub implicit: bool,
+    /// Whether any expected detector fired.
+    pub detected: bool,
+    /// The detector checks that fired.
+    pub fired: Vec<String>,
+}
+
+/// The evaluation of one SoC variant.
+#[derive(Debug)]
+pub struct VariantEvaluation {
+    /// Variant display name.
+    pub variant: String,
+    /// Per-bug outcomes.
+    pub outcomes: Vec<BugOutcome>,
+    /// Violations that map to no inserted bug (false alarms).
+    pub false_alarms: Vec<String>,
+    /// The underlying pipeline report.
+    pub report: AnalysisReport,
+}
+
+impl VariantEvaluation {
+    /// Bugs detected.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.detected).count()
+    }
+
+    /// Bugs missed.
+    #[must_use]
+    pub fn missed(&self) -> usize {
+        self.outcomes.len() - self.detected()
+    }
+
+    /// Verification wall-clock time.
+    #[must_use]
+    pub fn verification_time(&self) -> Duration {
+        self.report.total
+    }
+}
+
+/// Runs the blue-team tool on one red-team variant and scores detection.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn evaluate_variant(
+    spec: &VariantSpec,
+    config: SoccarConfig,
+) -> Result<VariantEvaluation, SoccarError> {
+    let design = soccar_soc::generate(spec.soc, Some(spec.number));
+    let checks = security_checks(spec.soc);
+    let properties: Vec<SecurityProperty> = checks.iter().map(property_of).collect();
+    let mut config = config;
+    config.concolic.symbolic_inputs = symbolic_inputs(spec.soc);
+    let soccar = Soccar::new(config);
+    let report = soccar.analyze("soc.v", &design.source, &design.top, properties)?;
+    Ok(score(spec, report))
+}
+
+/// Scores a finished report against the variant's bug list.
+#[must_use]
+pub fn score(spec: &VariantSpec, report: AnalysisReport) -> VariantEvaluation {
+    let fired: Vec<String> = report
+        .concolic
+        .violations
+        .iter()
+        .map(|v| v.property.clone())
+        .collect();
+    let mut outcomes = Vec::new();
+    let mut explained: Vec<String> = Vec::new();
+    for bug in &spec.bugs {
+        let detectors = expected_detectors(spec.soc, bug);
+        let hit: Vec<String> = detectors
+            .iter()
+            .filter(|d| fired.contains(d))
+            .cloned()
+            .collect();
+        explained.extend(detectors.iter().cloned());
+        outcomes.push(BugOutcome {
+            violation: bug.violation.to_string(),
+            ip: bug.ip.clone(),
+            implicit: bug.implicit,
+            detected: !hit.is_empty(),
+            fired: hit,
+        });
+    }
+    let false_alarms = fired
+        .into_iter()
+        .filter(|f| !explained.contains(f))
+        .collect();
+    VariantEvaluation {
+        variant: spec.name(),
+        outcomes,
+        false_alarms,
+        report,
+    }
+}
+
+/// Convenience: the clean baseline must produce zero violations.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn evaluate_clean(
+    model: SocModel,
+    config: SoccarConfig,
+) -> Result<AnalysisReport, SoccarError> {
+    let design = soccar_soc::generate(model, None);
+    let checks = security_checks(model);
+    let properties: Vec<SecurityProperty> = checks.iter().map(property_of).collect();
+    let mut config = config;
+    config.concolic.symbolic_inputs = symbolic_inputs(model);
+    let soccar = Soccar::new(config);
+    soccar.analyze("soc.v", &design.source, &design.top, properties)
+}
+
+/// Sanity helper for tests: a bug outcome table as text.
+#[must_use]
+pub fn render_outcomes(eval: &VariantEvaluation) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", eval.variant);
+    for o in &eval.outcomes {
+        let _ = writeln!(
+            out,
+            "  [{}] {} @ {}{} — fired: {}",
+            if o.detected { "DETECTED" } else { "MISSED" },
+            o.violation,
+            o.ip,
+            if o.implicit { " (implicit)" } else { "" },
+            if o.fired.is_empty() {
+                "-".to_owned()
+            } else {
+                o.fired.join(", ")
+            }
+        );
+    }
+    if !eval.false_alarms.is_empty() {
+        let _ = writeln!(out, "  false alarms: {}", eval.false_alarms.join(", "));
+    }
+    out
+}
+
+/// A bug outcome list for an entire evaluation campaign.
+#[derive(Debug, Default, Serialize)]
+pub struct Campaign {
+    /// Variant name → (detected, total, seconds).
+    pub rows: Vec<CampaignRow>,
+}
+
+/// One row of the detection-results table.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignRow {
+    /// Variant name.
+    pub variant: String,
+    /// Bugs detected.
+    pub detected: usize,
+    /// Bugs inserted.
+    pub total: usize,
+    /// False alarms.
+    pub false_alarms: usize,
+    /// Verification seconds.
+    pub seconds: f64,
+}
+
+impl Campaign {
+    /// Adds one evaluation.
+    pub fn push(&mut self, eval: &VariantEvaluation) {
+        self.rows.push(CampaignRow {
+            variant: eval.variant.clone(),
+            detected: eval.detected(),
+            total: eval.outcomes.len(),
+            false_alarms: eval.false_alarms.len(),
+            seconds: eval.verification_time().as_secs_f64(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soccar_cfg::GovernorAnalysis;
+    use soccar_concolic::ConcolicConfig;
+    use soccar_sim::InitPolicy;
+
+    fn fast_config(analysis: GovernorAnalysis) -> SoccarConfig {
+        SoccarConfig {
+            analysis,
+            concolic: ConcolicConfig {
+                cycles: 10,
+                max_rounds: 3,
+                sweep_stride: 3,
+                init: InitPolicy::Ones,
+                ..ConcolicConfig::default()
+            },
+            ..SoccarConfig::default()
+        }
+    }
+
+    #[test]
+    fn property_conversion_shapes() {
+        let checks = security_checks(SocModel::ClusterSoc);
+        for c in &checks {
+            let p = property_of(c);
+            assert_eq!(p.name, c.name);
+            assert_eq!(p.module, c.module);
+        }
+    }
+
+    #[test]
+    fn cluster_variant2_detects_both_bugs() {
+        let spec = soccar_soc::variant(SocModel::ClusterSoc, 2).expect("variant");
+        let eval =
+            evaluate_variant(&spec, fast_config(GovernorAnalysis::Explicit)).expect("evaluate");
+        assert_eq!(eval.outcomes.len(), 2);
+        assert_eq!(eval.detected(), 2, "{}", render_outcomes(&eval));
+        assert!(eval.false_alarms.is_empty(), "{}", render_outcomes(&eval));
+    }
+
+    #[test]
+    fn clean_cluster_produces_no_violations() {
+        let report = evaluate_clean(SocModel::ClusterSoc, fast_config(GovernorAnalysis::Explicit))
+            .expect("clean");
+        assert!(
+            report.violations().is_empty(),
+            "violations: {:?}",
+            report.violations()
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! The SoCCAR pipeline — the paper's **Figure 1** workflow.
+//!
+//! Three stages, exactly as published:
+//!
+//! 1. **AR_CFG generation** (Algorithm 1) — per-module extraction of
+//!    reset-governed events;
+//! 2. **Module connection profile & composition** (Algorithm 2) — the
+//!    SoC-level `AR(S)` with reset-domain analysis, bound onto the
+//!    elaborated design;
+//! 3. **Concolic testing** (Algorithm 3) — systematic exploration of the
+//!    extracted design space with security-property checking.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use soccar_cfg::{bind_events, compose_soc, GovernorAnalysis, ResetNaming};
+use soccar_concolic::{ConcolicConfig, ConcolicEngine, ConcolicReport, SecurityProperty};
+use soccar_rtl::{elaborate::elaborate, parser::parse, span::SourceMap, Design};
+
+use crate::error::SoccarError;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct SoccarConfig {
+    /// Governor-analysis level (Explicit = the published tool).
+    pub analysis: GovernorAnalysis,
+    /// Reset naming convention.
+    pub naming: ResetNaming,
+    /// Concolic engine parameters.
+    pub concolic: ConcolicConfig,
+}
+
+impl Default for SoccarConfig {
+    fn default() -> SoccarConfig {
+        SoccarConfig {
+            analysis: GovernorAnalysis::Explicit,
+            naming: ResetNaming::new(),
+            concolic: ConcolicConfig::default(),
+        }
+    }
+}
+
+/// Timing of one pipeline stage (for the Figure 1 report).
+#[derive(Debug, Clone, Serialize)]
+pub struct StageReport {
+    /// Stage name.
+    pub stage: String,
+    /// Wall-clock duration.
+    #[serde(with = "duration_secs")]
+    pub elapsed: Duration,
+    /// One-line summary.
+    pub detail: String,
+}
+
+mod duration_secs {
+    use serde::Serializer;
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64())
+    }
+}
+
+/// Summary of the extraction stages.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtractionSummary {
+    /// Modules in the source.
+    pub modules: usize,
+    /// Instances after composition.
+    pub instances: usize,
+    /// Reset-governed events in `AR(S)`.
+    pub ar_events: usize,
+    /// Reset domains found.
+    pub reset_domains: usize,
+    /// Events bound onto the elaborated design.
+    pub bound_events: usize,
+}
+
+/// The complete result of one SoCCAR run.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Per-stage timing (Figure 1).
+    pub stages: Vec<StageReport>,
+    /// Extraction summary.
+    pub extraction: ExtractionSummary,
+    /// Concolic testing outcome (violations, coverage, witnesses).
+    pub concolic: ConcolicReport,
+    /// Total wall-clock time.
+    pub total: Duration,
+}
+
+impl AnalysisReport {
+    /// All invalidation messages.
+    #[must_use]
+    pub fn violations(&self) -> &[soccar_concolic::Violation] {
+        &self.concolic.violations
+    }
+}
+
+/// The SoCCAR framework facade.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soccar::{Soccar, SoccarConfig};
+/// use soccar_concolic::{PropertyKind, SecurityProperty};
+/// use soccar_rtl::LogicVec;
+///
+/// let src = "
+///   module ip(input clk, input rst_n, output reg [7:0] key);
+///     always @(posedge clk or negedge rst_n)
+///       if (!rst_n) key <= 8'd0;   // correct: reset scrubs the key
+///       else key <= 8'hA5;
+///   endmodule
+///   module top(input clk, input sec_rst_n);
+///     ip u (.clk(clk), .rst_n(sec_rst_n));
+///   endmodule";
+/// let property = SecurityProperty {
+///     name: "key-cleared".into(),
+///     module: "ip".into(),
+///     kind: PropertyKind::ClearedAfterReset {
+///         domain: "top.sec_rst_n".into(),
+///         signal: "top.u.key".into(),
+///         expected: LogicVec::zeros(8),
+///         window: 0,
+///     },
+/// };
+/// let soccar = Soccar::new(SoccarConfig::default());
+/// let report = soccar.analyze("t.v", src, "top", vec![property])?;
+/// assert!(report.violations().is_empty());
+/// assert_eq!(report.extraction.reset_domains, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Soccar {
+    config: SoccarConfig,
+}
+
+impl Soccar {
+    /// Creates the framework with the given configuration.
+    #[must_use]
+    pub fn new(config: SoccarConfig) -> Soccar {
+        Soccar { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SoccarConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on Verilog source text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend, composition, binding, engine-setup and
+    /// simulation failures.
+    pub fn analyze(
+        &self,
+        file_name: &str,
+        source: &str,
+        top: &str,
+        properties: Vec<SecurityProperty>,
+    ) -> Result<AnalysisReport, SoccarError> {
+        let t0 = Instant::now();
+        let mut stages = Vec::new();
+
+        // Frontend.
+        let t = Instant::now();
+        let mut map = SourceMap::new();
+        let file = map.add_file(file_name, source);
+        let unit = parse(file, source)?;
+        let design: Design = elaborate(&unit, top)?;
+        stages.push(StageReport {
+            stage: "frontend".into(),
+            elapsed: t.elapsed(),
+            detail: format!("{} modules; {}", unit.modules.len(), design.stats()),
+        });
+
+        // Stage 1+2: AR_CFG generation and composition (Algorithms 1–2).
+        let t = Instant::now();
+        let soc = compose_soc(&unit, top, &self.config.naming, self.config.analysis)
+            .map_err(SoccarError::Cfg)?;
+        let bound = bind_events(&design, &soc)
+            .map_err(|e| SoccarError::Cfg(e.to_string()))?;
+        stages.push(StageReport {
+            stage: "ar_cfg".into(),
+            elapsed: t.elapsed(),
+            detail: format!(
+                "{} reset-governed events across {} instances; {} reset domains",
+                soc.event_count(),
+                soc.instances.len(),
+                soc.reset_domains.len()
+            ),
+        });
+        let extraction = ExtractionSummary {
+            modules: unit.modules.len(),
+            instances: soc.instances.len(),
+            ar_events: soc.event_count(),
+            reset_domains: soc.reset_domains.len(),
+            bound_events: bound.len(),
+        };
+
+        // Stage 3: concolic testing (Algorithm 3).
+        let t = Instant::now();
+        let mut engine =
+            ConcolicEngine::new(&design, &bound, properties, self.config.concolic.clone())
+                .map_err(SoccarError::Config)?;
+        let concolic = engine.run()?;
+        stages.push(StageReport {
+            stage: "concolic".into(),
+            elapsed: t.elapsed(),
+            detail: format!(
+                "{} rounds, {}/{} targets covered, {} violations",
+                concolic.rounds,
+                concolic.targets_covered,
+                concolic.targets_total,
+                concolic.violations.len()
+            ),
+        });
+
+        Ok(AnalysisReport {
+            stages,
+            extraction,
+            concolic,
+            total: t0.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soccar_concolic::{PropertyKind, SecurityProperty};
+    use soccar_rtl::LogicVec;
+
+    const LEAKY: &str = "
+        module ip(input clk, input rst_n, output reg [7:0] key);
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) key <= key;   // BUG: not scrubbed
+            else key <= 8'hA5;
+        endmodule
+        module top(input clk, input sec_rst_n);
+          ip u (.clk(clk), .rst_n(sec_rst_n));
+        endmodule";
+
+    fn key_property() -> SecurityProperty {
+        SecurityProperty {
+            name: "key-cleared".into(),
+            module: "ip".into(),
+            kind: PropertyKind::ClearedAfterReset {
+                domain: "top.sec_rst_n".into(),
+                signal: "top.u.key".into(),
+                expected: LogicVec::zeros(8),
+                window: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn pipeline_detects_and_reports_stages() {
+        let soccar = Soccar::new(SoccarConfig::default());
+        let report = soccar
+            .analyze("t.v", LEAKY, "top", vec![key_property()])
+            .expect("analyze");
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stages[0].stage, "frontend");
+        assert_eq!(report.stages[1].stage, "ar_cfg");
+        assert_eq!(report.stages[2].stage, "concolic");
+        assert_eq!(report.extraction.ar_events, 1);
+        assert_eq!(report.extraction.reset_domains, 1);
+        assert_eq!(report.violations().len(), 1);
+        assert_eq!(report.violations()[0].module, "ip");
+        assert!(report.total >= report.stages[2].elapsed);
+    }
+
+    #[test]
+    fn pipeline_errors_are_typed() {
+        let soccar = Soccar::new(SoccarConfig::default());
+        assert!(matches!(
+            soccar.analyze("t.v", "module broken(", "broken", vec![]),
+            Err(SoccarError::Rtl(_))
+        ));
+        assert!(matches!(
+            soccar.analyze("t.v", "module a(input x); endmodule", "missing", vec![]),
+            Err(SoccarError::Rtl(_))
+        ));
+    }
+}

@@ -1,0 +1,663 @@
+//! Hand-written lexer for the Verilog subset.
+//!
+//! Handles line (`//`) and block (`/* */`) comments, based literals with
+//! optional size (`8'hA5`, `'b1x0z`, `4'd12`), bare decimals, identifiers,
+//! escaped identifiers (`\foo+bar `), strings, system names (`$display`)
+//! and all subset operators with maximal-munch disambiguation
+//! (`===` vs `==` vs `=`, `>>>` vs `>>`, `<=` etc).
+
+use crate::error::{RtlError, RtlErrorKind, RtlResult};
+use crate::span::{FileId, Span};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use crate::value::{Bit, LogicVec};
+
+/// Lexes `text` (belonging to `file`) into a token stream terminated by
+/// a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns an [`RtlError`] of kind [`RtlErrorKind::Lex`] on malformed
+/// input (stray characters, unterminated comments/strings, bad digits
+/// for the literal base, zero-width literals).
+pub fn lex(file: FileId, text: &str) -> RtlResult<Vec<Token>> {
+    Lexer {
+        file,
+        bytes: text.as_bytes(),
+        pos: 0,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    file: FileId,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> RtlResult<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match c {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_word(start),
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'\'' => self.lex_based_literal(start, None)?,
+                b'\\' => self.lex_escaped_ident(start)?,
+                b'"' => self.lex_string(start)?,
+                b'$' => self.lex_sysname(start),
+                _ => self.lex_punct(start)?,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(self.file, start as u32, self.pos as u32)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let span = self.span_from(start);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn err(&self, msg: impl Into<String>, start: usize) -> RtlError {
+        RtlError::new(RtlErrorKind::Lex, msg, self.span_from(start))
+    }
+
+    fn skip_trivia(&mut self) -> RtlResult<()> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(self.err("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                // Compiler directives (`timescale etc.) are skipped to
+                // end of line; the subset does not interpret them.
+                Some(b'`') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_word(&mut self, start: usize) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("lexer input is ascii here");
+        let kind = match Keyword::lookup(word) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(word.to_owned()),
+        };
+        self.push(kind, start);
+    }
+
+    fn lex_escaped_ident(&mut self, start: usize) -> RtlResult<()> {
+        self.pos += 1; // backslash
+        let id_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == id_start {
+            return Err(self.err("empty escaped identifier", start));
+        }
+        let word = std::str::from_utf8(&self.bytes[id_start..self.pos])
+            .map_err(|_| self.err("non-ascii escaped identifier", start))?
+            .to_owned();
+        self.push(TokenKind::Ident(word), start);
+        Ok(())
+    }
+
+    fn lex_string(&mut self, start: usize) -> RtlResult<()> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(c) => out.push(c as char),
+                    None => return Err(self.err("unterminated string", start)),
+                },
+                Some(c) => out.push(c as char),
+                None => return Err(self.err("unterminated string", start)),
+            }
+        }
+        self.push(TokenKind::Str(out), start);
+        Ok(())
+    }
+
+    fn lex_sysname(&mut self, start: usize) {
+        self.pos += 1; // $
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii")
+            .to_owned();
+        self.push(TokenKind::SysName(word), start);
+    }
+
+    fn lex_number(&mut self, start: usize) -> RtlResult<()> {
+        // Leading decimal digits: either a bare decimal or the size of a
+        // based literal.
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                if c != b'_' {
+                    digits.push(c as char);
+                }
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // Allow whitespace between size and base per IEEE 1364.
+        let save = self.pos;
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'\'') {
+            let size: u32 = digits
+                .parse()
+                .map_err(|_| self.err("literal size too large", start))?;
+            if size == 0 {
+                return Err(self.err("zero-width literal", start));
+            }
+            return self.lex_based_literal(start, Some(size));
+        }
+        self.pos = save;
+        let value: u64 = digits
+            .parse()
+            .map_err(|_| self.err("decimal literal does not fit in 64 bits", start))?;
+        self.push(
+            TokenKind::Number {
+                value: LogicVec::from_u64(32, value),
+                sized: false,
+            },
+            start,
+        );
+        Ok(())
+    }
+
+    fn lex_based_literal(&mut self, start: usize, size: Option<u32>) -> RtlResult<()> {
+        self.pos += 1; // apostrophe
+        // Optional signedness marker, ignored (subset is unsigned).
+        if matches!(self.peek(), Some(b's' | b'S')) {
+            self.pos += 1;
+        }
+        let base = match self.bump() {
+            Some(b'b' | b'B') => 2u32,
+            Some(b'o' | b'O') => 8,
+            Some(b'd' | b'D') => 10,
+            Some(b'h' | b'H') => 16,
+            _ => return Err(self.err("expected base after `'`", start)),
+        };
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        let mut bits: Vec<Bit> = Vec::new(); // LSB first
+        let mut dec_value: u64 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            let ch = c.to_ascii_lowercase();
+            match ch {
+                b'_' => {
+                    self.pos += 1;
+                }
+                b'x' | b'z' | b'?' if base != 10 => {
+                    let bit = if ch == b'x' { Bit::X } else { Bit::Z };
+                    let per = base.trailing_zeros();
+                    let mut new = vec![bit; per as usize];
+                    new.extend_from_slice(&bits);
+                    bits = new;
+                    any = true;
+                    self.pos += 1;
+                }
+                b'0'..=b'9' | b'a'..=b'f' => {
+                    let d = if ch.is_ascii_digit() {
+                        u32::from(ch - b'0')
+                    } else {
+                        u32::from(ch - b'a') + 10
+                    };
+                    if d >= base {
+                        break;
+                    }
+                    if base == 10 {
+                        dec_value = dec_value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(u64::from(d)))
+                            .ok_or_else(|| {
+                                self.err("decimal literal does not fit in 64 bits", start)
+                            })?;
+                    } else {
+                        let per = base.trailing_zeros();
+                        let mut new: Vec<Bit> = (0..per)
+                            .map(|i| Bit::from((d >> i) & 1 == 1))
+                            .collect();
+                        new.extend_from_slice(&bits);
+                        bits = new;
+                    }
+                    any = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if !any {
+            return Err(self.err("based literal has no digits", digits_start));
+        }
+        let natural = if base == 10 {
+            LogicVec::from_u64(64, dec_value)
+        } else if bits.is_empty() {
+            LogicVec::zeros(1)
+        } else {
+            LogicVec::from_bits(&bits)
+        };
+        let width = size.unwrap_or(32);
+        // Per IEEE 1364, a literal narrower than its size is zero-extended
+        // unless its MSB is x/z, in which case that state is extended.
+        let mut value = natural.resize(width);
+        if natural.width() < width {
+            let msb = natural.bit(natural.width() - 1);
+            if msb.is_unknown() {
+                for i in natural.width()..width {
+                    value.set_bit(i, msb);
+                }
+            }
+        }
+        self.push(
+            TokenKind::Number {
+                value,
+                sized: size.is_some(),
+            },
+            start,
+        );
+        Ok(())
+    }
+
+    fn lex_punct(&mut self, start: usize) -> RtlResult<()> {
+        use Punct::*;
+        let c = self.bump().expect("caller checked non-empty");
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b';' => Semi,
+            b',' => Comma,
+            b':' => Colon,
+            b'.' => Dot,
+            b'#' => Hash,
+            b'@' => At,
+            b'?' => Question,
+            b'+' => {
+                if self.peek() == Some(b':') {
+                    self.pos += 1;
+                    PlusColon
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b':') {
+                    self.pos += 1;
+                    MinusColon
+                } else {
+                    Minus
+                }
+            }
+            b'/' => Slash,
+            b'%' => Percent,
+            b'^' => Caret,
+            b'*' => {
+                if self.peek() == Some(b'*') {
+                    self.pos += 1;
+                    Star2
+                } else {
+                    Star
+                }
+            }
+            b'~' => {
+                if self.peek() == Some(b'^') {
+                    self.pos += 1;
+                    TildeCaret
+                } else {
+                    Tilde
+                }
+            }
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        CaseEq
+                    } else {
+                        EqEq
+                    }
+                } else {
+                    Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        CaseNotEq
+                    } else {
+                        NotEq
+                    }
+                } else {
+                    Bang
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    LtEq
+                } else if self.peek() == Some(b'<') {
+                    self.pos += 1;
+                    Shl
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    GtEq
+                } else if self.peek() == Some(b'>') {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        AShr
+                    } else {
+                        Shr
+                    }
+                } else {
+                    Gt
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.pos += 1;
+                    AmpAmp
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    PipePipe
+                } else {
+                    Pipe
+                }
+            }
+            _ => {
+                return Err(self.err(
+                    format!("unexpected character `{}`", c as char),
+                    start,
+                ))
+            }
+        };
+        self.push(TokenKind::Punct(p), start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(FileId(0), src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let k = kinds("module foo; endmodule");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Module));
+        assert_eq!(k[1], TokenKind::Ident("foo".into()));
+        assert_eq!(k[2], TokenKind::Punct(Punct::Semi));
+        assert_eq!(k[3], TokenKind::Keyword(Keyword::Endmodule));
+        assert_eq!(k[4], TokenKind::Eof);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("a // line\n /* block\nmore */ b");
+        assert_eq!(k.len(), 3);
+        assert_eq!(k[0], TokenKind::Ident("a".into()));
+        assert_eq!(k[1], TokenKind::Ident("b".into()));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex(FileId(0), "/* oops").is_err());
+    }
+
+    #[test]
+    fn directives_skipped() {
+        let k = kinds("`timescale 1ns/1ps\nwire");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Wire));
+    }
+
+    #[test]
+    fn sized_hex_literal() {
+        let k = kinds("8'hA5");
+        match &k[0] {
+            TokenKind::Number { value, sized } => {
+                assert!(sized);
+                assert_eq!(value.width(), 8);
+                assert_eq!(value.to_u64(), Some(0xA5));
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_literal_with_xz() {
+        let k = kinds("4'b1x0z");
+        match &k[0] {
+            TokenKind::Number { value, .. } => {
+                assert_eq!(format!("{value:b}"), "1x0z");
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn x_extension_to_size() {
+        // 8'bx → all bits x.
+        let k = kinds("8'bx");
+        match &k[0] {
+            TokenKind::Number { value, .. } => assert!(value.is_all_x()),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decimal_literals() {
+        let k = kinds("42 10'd512");
+        match &k[0] {
+            TokenKind::Number { value, sized } => {
+                assert!(!sized);
+                assert_eq!(value.width(), 32);
+                assert_eq!(value.to_u64(), Some(42));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &k[1] {
+            TokenKind::Number { value, sized } => {
+                assert!(sized);
+                assert_eq!(value.width(), 10);
+                assert_eq!(value.to_u64(), Some(512));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn underscores_in_literals() {
+        let k = kinds("16'hAB_CD 1_000");
+        match &k[0] {
+            TokenKind::Number { value, .. } => assert_eq!(value.to_u64(), Some(0xABCD)),
+            other => panic!("{other:?}"),
+        }
+        match &k[1] {
+            TokenKind::Number { value, .. } => assert_eq!(value.to_u64(), Some(1000)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_with_space_before_base() {
+        let k = kinds("4 'b1010");
+        match &k[0] {
+            TokenKind::Number { value, .. } => assert_eq!(value.to_u64(), Some(0b1010)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        let k = kinds("=== == = !== != ! <= < << >>> >> > && & || | ~^ ~ ** *");
+        let expect = [
+            Punct::CaseEq,
+            Punct::EqEq,
+            Punct::Assign,
+            Punct::CaseNotEq,
+            Punct::NotEq,
+            Punct::Bang,
+            Punct::LtEq,
+            Punct::Lt,
+            Punct::Shl,
+            Punct::AShr,
+            Punct::Shr,
+            Punct::Gt,
+            Punct::AmpAmp,
+            Punct::Amp,
+            Punct::PipePipe,
+            Punct::Pipe,
+            Punct::TildeCaret,
+            Punct::Tilde,
+            Punct::Star2,
+            Punct::Star,
+        ];
+        for (i, p) in expect.iter().enumerate() {
+            assert_eq!(k[i], TokenKind::Punct(*p), "token {i}");
+        }
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        let e = lex(FileId(0), "wire \x01;").expect_err("should fail");
+        assert_eq!(e.kind, RtlErrorKind::Lex);
+    }
+
+    #[test]
+    fn zero_width_literal_errors() {
+        assert!(lex(FileId(0), "0'h0").is_err());
+    }
+
+    #[test]
+    fn based_literal_without_digits_errors() {
+        assert!(lex(FileId(0), "4'h").is_err());
+    }
+
+    #[test]
+    fn string_and_sysname() {
+        let k = kinds("$display(\"hi\\n\")");
+        assert_eq!(k[0], TokenKind::SysName("$display".into()));
+        assert_eq!(k[2], TokenKind::Str("hi\n".into()));
+    }
+
+    #[test]
+    fn escaped_identifier() {
+        let k = kinds("\\a+b module");
+        assert_eq!(k[0], TokenKind::Ident("a+b".into()));
+        assert_eq!(k[1], TokenKind::Keyword(Keyword::Module));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex(FileId(0), "ab cd").expect("lex ok");
+        assert_eq!(toks[0].span.start, 0);
+        assert_eq!(toks[0].span.end, 2);
+        assert_eq!(toks[1].span.start, 3);
+        assert_eq!(toks[1].span.end, 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! # soccar-rtl
+//!
+//! Verilog-2005 synthesizable-subset frontend for the SoCCAR reproduction:
+//! four-state logic values, lexer, parser, constant folding and elaboration
+//! into a flattened, width-annotated design IR.
+//!
+//! SoCCAR (DAC 2021) "works directly on the RTL implementation of complex
+//! SoCs"; this crate is the substrate that makes that possible in pure Rust.
+//! The pipeline is:
+//!
+//! ```text
+//! Verilog text ──lex──▶ tokens ──parse──▶ ast::SourceUnit
+//!                                     ──elaborate──▶ design::Design
+//! ```
+//!
+//! Downstream crates consume both representations: `soccar-cfg` extracts
+//! the asynchronous-reset CFG from the AST (module granularity, as in the
+//! paper's Algorithm 1), while `soccar-sim` and `soccar-concolic` execute
+//! the elaborated [`design::Design`].
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), soccar_rtl::error::RtlError> {
+//! use soccar_rtl::{elaborate::elaborate, parser::parse, span::SourceMap};
+//!
+//! let src = "module counter(input clk, input rst_n, output reg [3:0] q);
+//!   always @(posedge clk or negedge rst_n)
+//!     if (!rst_n) q <= 4'd0;
+//!     else        q <= q + 4'd1;
+//! endmodule";
+//!
+//! let mut map = SourceMap::new();
+//! let file = map.add_file("counter.v", src);
+//! let unit = parse(file, src)?;
+//! let design = elaborate(&unit, "counter")?;
+//! assert_eq!(design.nets().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Subset boundaries
+//!
+//! `generate`, functions/tasks, delays, strengths, `inout` ports and
+//! gate-level primitives are rejected with [`error::RtlErrorKind::Unsupported`]
+//! diagnostics. See `DESIGN.md` §8 for the rationale.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod constfold;
+pub mod design;
+pub mod elaborate;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+pub mod value;
+
+pub use design::Design;
+pub use error::{RtlError, RtlErrorKind, RtlResult};
+pub use value::{Bit, LogicVec};
+
+/// Convenience: parse and elaborate a single source string.
+///
+/// Registers `text` in a fresh [`span::SourceMap`] under `name` and returns
+/// the map alongside the design so callers can render diagnostics.
+///
+/// # Errors
+///
+/// Propagates any lex, parse, semantic or elaboration error.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), soccar_rtl::error::RtlError> {
+/// let (design, _map) = soccar_rtl::compile("t.v", "module t(input a, output y);
+///   assign y = a;
+/// endmodule", "t")?;
+/// assert_eq!(design.top_module, "t");
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile(name: &str, text: &str, top: &str) -> RtlResult<(Design, span::SourceMap)> {
+    let mut map = span::SourceMap::new();
+    let file = map.add_file(name, text);
+    let unit = parser::parse(file, text)?;
+    let design = elaborate::elaborate(&unit, top)?;
+    Ok((design, map))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compile_smoke() {
+        let (design, map) = crate::compile(
+            "t.v",
+            "module t(input a, output y); assign y = ~a; endmodule",
+            "t",
+        )
+        .expect("compile");
+        assert_eq!(design.nets().len(), 2);
+        assert_eq!(map.file_name(crate::span::FileId(0)), "t.v");
+    }
+
+    #[test]
+    fn compile_error_propagates() {
+        assert!(crate::compile("t.v", "module t(input a);", "t").is_err());
+        assert!(crate::compile("t.v", "module t(input a); endmodule", "missing_top").is_err());
+    }
+}

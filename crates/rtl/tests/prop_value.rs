@@ -1,0 +1,157 @@
+//! Property tests for the four-state value library: algebraic laws over
+//! random fully-defined vectors, unknown-propagation invariants, and
+//! slice/concat round trips.
+
+use proptest::prelude::*;
+use soccar_rtl::value::{Bit, LogicVec};
+
+fn logic_vec(width: u32) -> impl Strategy<Value = LogicVec> {
+    proptest::collection::vec(0u8..2, width as usize).prop_map(move |bits| {
+        let bs: Vec<Bit> = bits
+            .iter()
+            .map(|b| if *b == 1 { Bit::One } else { Bit::Zero })
+            .collect();
+        LogicVec::from_bits(&bs)
+    })
+}
+
+fn logic_vec_4state(width: u32) -> impl Strategy<Value = LogicVec> {
+    proptest::collection::vec(0u8..4, width as usize).prop_map(move |bits| {
+        let bs: Vec<Bit> = bits
+            .iter()
+            .map(|b| match b {
+                0 => Bit::Zero,
+                1 => Bit::One,
+                2 => Bit::X,
+                _ => Bit::Z,
+            })
+            .collect();
+        LogicVec::from_bits(&bs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_is_commutative_and_associative(
+        a in logic_vec(16), b in logic_vec(16), c in logic_vec(16)
+    ) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in logic_vec(16), b in logic_vec(16)) {
+        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+        prop_assert_eq!(a.sub(&a).to_u64(), Some(0));
+        prop_assert_eq!(a.add(&b.neg()), a.sub(&b));
+    }
+
+    #[test]
+    fn mul_matches_u64(a in 0u64..65536, b in 0u64..65536) {
+        let va = LogicVec::from_u64(16, a);
+        let vb = LogicVec::from_u64(16, b);
+        prop_assert_eq!(va.mul(&vb).to_u64(), Some((a * b) & 0xFFFF));
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in 1u64..4096, b in 1u64..4096) {
+        let va = LogicVec::from_u64(16, a);
+        let vb = LogicVec::from_u64(16, b);
+        let q = va.udiv(&vb);
+        let r = va.urem(&vb);
+        prop_assert_eq!(q.mul(&vb).add(&r), va);
+        prop_assert!(r.ult(&vb).is_all_ones());
+    }
+
+    #[test]
+    fn bitwise_de_morgan(a in logic_vec(24), b in logic_vec(24)) {
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+        prop_assert_eq!(a.xor(&b), a.and(&b.not()).or(&a.not().and(&b)));
+    }
+
+    #[test]
+    fn shifts_compose(a in logic_vec(32), s1 in 0u32..16, s2 in 0u32..16) {
+        prop_assert_eq!(
+            a.shl_const(s1).shl_const(s2),
+            a.shl_const(s1 + s2)
+        );
+        prop_assert_eq!(
+            a.lshr_const(s1).lshr_const(s2),
+            a.lshr_const(s1 + s2)
+        );
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(hi in logic_vec_4state(9), lo in logic_vec_4state(7)) {
+        let cat = hi.concat(&lo);
+        prop_assert_eq!(cat.width(), 16);
+        prop_assert_eq!(cat.slice(7, 9), hi);
+        prop_assert_eq!(cat.slice(0, 7), lo);
+    }
+
+    #[test]
+    fn replicate_is_repeated_concat(a in logic_vec_4state(5), n in 1u32..5) {
+        let rep = a.replicate(n);
+        prop_assert_eq!(rep.width(), 5 * n);
+        for i in 0..n {
+            prop_assert_eq!(rep.slice(i * 5, 5), a.clone());
+        }
+    }
+
+    #[test]
+    fn unknowns_poison_arithmetic(a in logic_vec(12), x in logic_vec_4state(12)) {
+        prop_assume!(x.has_unknown());
+        prop_assert!(a.add(&x).is_all_x());
+        prop_assert!(a.sub(&x).is_all_x());
+        prop_assert!(a.mul(&x).is_all_x());
+        prop_assert!(a.eq_logic(&x).is_all_x());
+        prop_assert!(a.ult(&x).is_all_x());
+    }
+
+    #[test]
+    fn case_equality_is_reflexive_total(a in logic_vec_4state(10), b in logic_vec_4state(10)) {
+        prop_assert!(a.case_eq(&a).is_all_ones());
+        let ab = a.case_eq(&b);
+        prop_assert!(ab.is_all_ones() || ab.is_all_zero(), "=== is 2-state");
+        prop_assert_eq!(ab.is_all_ones(), a == b);
+    }
+
+    #[test]
+    fn comparisons_match_u64(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let va = LogicVec::from_u64(24, a);
+        let vb = LogicVec::from_u64(24, b);
+        prop_assert_eq!(va.ult(&vb).is_all_ones(), a < b);
+        prop_assert_eq!(va.ule(&vb).is_all_ones(), a <= b);
+        prop_assert_eq!(va.eq_logic(&vb).is_all_ones(), a == b);
+    }
+
+    #[test]
+    fn reductions_match_counts(a in logic_vec(20)) {
+        let ones = a.count_ones();
+        prop_assert_eq!(a.reduce_or().is_all_ones(), ones > 0);
+        prop_assert_eq!(a.reduce_and().is_all_ones(), ones == 20);
+        prop_assert_eq!(a.reduce_xor().is_all_ones(), ones % 2 == 1);
+    }
+
+    #[test]
+    fn resize_preserves_low_bits(a in logic_vec_4state(18), w in 1u32..40) {
+        let r = a.resize(w);
+        prop_assert_eq!(r.width(), w);
+        for i in 0..w.min(18) {
+            prop_assert_eq!(r.bit(i), a.bit(i));
+        }
+        for i in 18..w {
+            prop_assert_eq!(r.bit(i), Bit::Zero);
+        }
+    }
+
+    #[test]
+    fn bin_str_roundtrip(a in logic_vec_4state(14)) {
+        let s = format!("{a:b}");
+        let back = LogicVec::from_bin_str(&s).expect("parse");
+        prop_assert_eq!(back, a);
+    }
+}

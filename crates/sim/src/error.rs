@@ -1,0 +1,80 @@
+//! Simulation error types.
+
+use std::error::Error;
+use std::fmt;
+
+use soccar_rtl::design::{NetId, ProcessId};
+
+/// An error raised during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A `for` loop exceeded the iteration bound (likely non-terminating).
+    LoopLimit {
+        /// Process containing the loop.
+        process: ProcessId,
+    },
+    /// The design did not stabilize within the activity budget (likely a
+    /// combinational loop).
+    Unstable {
+        /// Process executions performed before giving up.
+        executed: u64,
+    },
+    /// An attempt to drive a net that is not a top-level input.
+    NotAnInput {
+        /// The offending net.
+        net: NetId,
+    },
+    /// A value of the wrong width was supplied for a net.
+    WidthMismatch {
+        /// Target net.
+        net: NetId,
+        /// Net width.
+        expected: u32,
+        /// Supplied width.
+        got: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LoopLimit { process } => {
+                write!(f, "for-loop iteration limit exceeded in process {}", process.0)
+            }
+            SimError::Unstable { executed } => write!(
+                f,
+                "design did not stabilize after {executed} process executions (combinational loop?)"
+            ),
+            SimError::NotAnInput { net } => {
+                write!(f, "net {} is not a top-level input", net.0)
+            }
+            SimError::WidthMismatch { net, expected, got } => write!(
+                f,
+                "width mismatch driving net {}: expected {expected} bits, got {got}",
+                net.0
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Convenience alias for simulation results.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::Unstable { executed: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = SimError::WidthMismatch {
+            net: NetId(3),
+            expected: 8,
+            got: 4,
+        };
+        assert!(e.to_string().contains("expected 8"));
+    }
+}

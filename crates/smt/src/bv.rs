@@ -1,0 +1,444 @@
+//! Two-state bit-vector constants.
+//!
+//! [`BvVal`] is the constant domain of the term language: fixed-width,
+//! unsigned, two-state (no X/Z — the concolic layer drops symbolic terms
+//! when concrete values carry unknowns, so the solver only ever sees
+//! fully-defined bits). It doubles as the reference evaluator's value type,
+//! against which the bit-blaster is property-tested.
+
+use std::fmt;
+
+/// A fixed-width two-state bit-vector value.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BvVal {
+    width: u32,
+    /// Little-endian 64-bit words; bits above `width` are zero.
+    words: Vec<u64>,
+}
+
+fn words_for(width: u32) -> usize {
+    (width as usize).div_ceil(64)
+}
+
+impl BvVal {
+    /// All-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn zeros(width: u32) -> BvVal {
+        assert!(width > 0, "BvVal width must be non-zero");
+        BvVal {
+            width,
+            words: vec![0; words_for(width)],
+        }
+    }
+
+    /// All-ones value of the given width.
+    #[must_use]
+    pub fn ones(width: u32) -> BvVal {
+        let mut v = BvVal::zeros(width);
+        for w in &mut v.words {
+            *w = u64::MAX;
+        }
+        v.mask();
+        v
+    }
+
+    /// Value from the low bits of `x`, truncated/extended to `width`.
+    #[must_use]
+    pub fn from_u64(width: u32, x: u64) -> BvVal {
+        let mut v = BvVal::zeros(width);
+        v.words[0] = x;
+        v.mask();
+        v
+    }
+
+    /// Builds a value from bits, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> BvVal {
+        assert!(!bits.is_empty());
+        let mut v = BvVal::zeros(bits.len() as u32);
+        for (i, b) in bits.iter().enumerate() {
+            v.set_bit(i as u32, *b);
+        }
+        v
+    }
+
+    /// The width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The bit at `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set_bit(&mut self, i: u32, b: bool) {
+        assert!(i < self.width);
+        let w = (i / 64) as usize;
+        let m = 1u64 << (i % 64);
+        if b {
+            self.words[w] |= m;
+        } else {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.words.iter().skip(1).any(|w| *w != 0) {
+            None
+        } else {
+            Some(self.words[0])
+        }
+    }
+
+    /// `true` if every bit is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    fn mask(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            if let Some(w) = self.words.last_mut() {
+                *w &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Zero-extend or truncate.
+    #[must_use]
+    pub fn resize(&self, width: u32) -> BvVal {
+        let mut out = BvVal::zeros(width);
+        let n = out.words.len().min(self.words.len());
+        out.words[..n].copy_from_slice(&self.words[..n]);
+        out.mask();
+        out
+    }
+
+    /// Bitwise NOT.
+    #[must_use]
+    pub fn not(&self) -> BvVal {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.mask();
+        out
+    }
+
+    /// Bitwise AND (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn and(&self, o: &BvVal) -> BvVal {
+        self.zip(o, |a, b| a & b)
+    }
+
+    /// Bitwise OR (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn or(&self, o: &BvVal) -> BvVal {
+        self.zip(o, |a, b| a | b)
+    }
+
+    /// Bitwise XOR (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn xor(&self, o: &BvVal) -> BvVal {
+        self.zip(o, |a, b| a ^ b)
+    }
+
+    fn zip(&self, o: &BvVal, f: impl Fn(u64, u64) -> u64) -> BvVal {
+        assert_eq!(self.width, o.width, "width mismatch");
+        let mut out = self.clone();
+        for (w, ow) in out.words.iter_mut().zip(&o.words) {
+            *w = f(*w, *ow);
+        }
+        out.mask();
+        out
+    }
+
+    /// Wrapping addition (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn add(&self, o: &BvVal) -> BvVal {
+        assert_eq!(self.width, o.width, "width mismatch");
+        let mut out = BvVal::zeros(self.width);
+        let mut carry = 0u64;
+        for i in 0..out.words.len() {
+            let (s1, c1) = self.words[i].overflowing_add(o.words[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.words[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        out.mask();
+        out
+    }
+
+    /// Wrapping subtraction (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn sub(&self, o: &BvVal) -> BvVal {
+        self.add(&o.not().add(&BvVal::from_u64(o.width, 1)))
+    }
+
+    /// Two's-complement negation.
+    #[must_use]
+    pub fn neg(&self) -> BvVal {
+        BvVal::zeros(self.width).sub(self)
+    }
+
+    /// Wrapping multiplication (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn mul(&self, o: &BvVal) -> BvVal {
+        assert_eq!(self.width, o.width, "width mismatch");
+        let n = self.words.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let mut carry = 0u128;
+            for j in 0..n - i {
+                let cur = u128::from(acc[i + j])
+                    + u128::from(self.words[i]) * u128::from(o.words[j])
+                    + carry;
+                acc[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        let mut out = BvVal::zeros(self.width);
+        out.words.copy_from_slice(&acc);
+        out.mask();
+        out
+    }
+
+    /// Restoring unsigned division: returns `(quotient, remainder)`.
+    /// With a zero divisor, returns `(ones, self)` — the fixed semantics of
+    /// the division circuit (the concrete Verilog layer never lets a zero
+    /// divisor reach the solver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn udivrem(&self, o: &BvVal) -> (BvVal, BvVal) {
+        assert_eq!(self.width, o.width, "width mismatch");
+        if o.is_zero() {
+            return (BvVal::ones(self.width), self.clone());
+        }
+        let mut quo = BvVal::zeros(self.width);
+        let mut rem = BvVal::zeros(self.width);
+        for i in (0..self.width).rev() {
+            rem = rem.shl(1);
+            rem.set_bit(0, self.bit(i));
+            if !rem.ult(o) {
+                rem = rem.sub(o);
+                quo.set_bit(i, true);
+            }
+        }
+        (quo, rem)
+    }
+
+    /// Logical shift left by a constant.
+    #[must_use]
+    pub fn shl(&self, amount: u32) -> BvVal {
+        let mut out = BvVal::zeros(self.width);
+        for i in amount..self.width {
+            out.set_bit(i, self.bit(i - amount));
+        }
+        out
+    }
+
+    /// Logical shift right by a constant.
+    #[must_use]
+    pub fn lshr(&self, amount: u32) -> BvVal {
+        let mut out = BvVal::zeros(self.width);
+        if amount >= self.width {
+            return out;
+        }
+        for i in 0..self.width - amount {
+            out.set_bit(i, self.bit(i + amount));
+        }
+        out
+    }
+
+    /// Arithmetic shift right by a constant.
+    #[must_use]
+    pub fn ashr(&self, amount: u32) -> BvVal {
+        let msb = self.bit(self.width - 1);
+        let mut out = self.lshr(amount);
+        for i in self.width.saturating_sub(amount)..self.width {
+            out.set_bit(i, msb);
+        }
+        out
+    }
+
+    /// Unsigned less-than (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn ult(&self, o: &BvVal) -> bool {
+        assert_eq!(self.width, o.width, "width mismatch");
+        for i in (0..self.words.len()).rev() {
+            if self.words[i] != o.words[i] {
+                return self.words[i] < o.words[i];
+            }
+        }
+        false
+    }
+
+    /// Concatenation: `self` is the high part.
+    #[must_use]
+    pub fn concat(&self, lo: &BvVal) -> BvVal {
+        let mut out = BvVal::zeros(self.width + lo.width);
+        for i in 0..lo.width {
+            out.set_bit(i, lo.bit(i));
+        }
+        for i in 0..self.width {
+            out.set_bit(lo.width + i, self.bit(i));
+        }
+        out
+    }
+
+    /// Bits `[lo ..= hi]` as a new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    #[must_use]
+    pub fn extract(&self, hi: u32, lo: u32) -> BvVal {
+        assert!(hi >= lo && hi < self.width, "bad extract range");
+        let mut out = BvVal::zeros(hi - lo + 1);
+        for i in lo..=hi {
+            out.set_bit(i - lo, self.bit(i));
+        }
+        out
+    }
+
+    /// Iterates bits LSB-first.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.width).map(move |i| self.bit(i))
+    }
+}
+
+impl fmt::Debug for BvVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BvVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = BvVal::from_u64(8, 200);
+        let b = BvVal::from_u64(8, 100);
+        assert_eq!(a.add(&b).to_u64(), Some(44)); // wraps
+        assert_eq!(a.sub(&b).to_u64(), Some(100));
+        assert_eq!(b.sub(&a).to_u64(), Some(156));
+        assert_eq!(a.mul(&b).to_u64(), Some((200u64 * 100) & 0xFF));
+        assert_eq!(a.neg().to_u64(), Some(56));
+    }
+
+    #[test]
+    fn division() {
+        let a = BvVal::from_u64(8, 200);
+        let b = BvVal::from_u64(8, 7);
+        let (q, r) = a.udivrem(&b);
+        assert_eq!(q.to_u64(), Some(200 / 7));
+        assert_eq!(r.to_u64(), Some(200 % 7));
+        let (q0, r0) = a.udivrem(&BvVal::zeros(8));
+        assert_eq!(q0, BvVal::ones(8));
+        assert_eq!(r0, a);
+    }
+
+    #[test]
+    fn shifts_and_extract() {
+        let a = BvVal::from_u64(8, 0b1001_0110);
+        assert_eq!(a.shl(2).to_u64(), Some(0b0101_1000));
+        assert_eq!(a.lshr(2).to_u64(), Some(0b0010_0101));
+        assert_eq!(a.ashr(2).to_u64(), Some(0b1110_0101));
+        assert_eq!(a.extract(7, 4).to_u64(), Some(0b1001));
+        assert_eq!(a.extract(0, 0).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn comparisons_and_concat() {
+        let a = BvVal::from_u64(8, 5);
+        let b = BvVal::from_u64(8, 9);
+        assert!(a.ult(&b));
+        assert!(!b.ult(&a));
+        assert!(!a.ult(&a));
+        assert_eq!(
+            BvVal::from_u64(4, 0xA).concat(&BvVal::from_u64(4, 0x5)).to_u64(),
+            Some(0xA5)
+        );
+    }
+
+    #[test]
+    fn wide_values() {
+        let a = BvVal::ones(130);
+        assert_eq!(a.add(&BvVal::from_u64(130, 1)).to_u64(), Some(0));
+        assert!(a.bit(129));
+        let b = a.lshr(129);
+        assert_eq!(b.to_u64(), Some(1));
+    }
+
+    #[test]
+    fn display_binary() {
+        assert_eq!(BvVal::from_u64(4, 0b1010).to_string(), "4'b1010");
+    }
+}

@@ -1,0 +1,635 @@
+//! A CDCL SAT solver.
+//!
+//! Standard modern architecture, sized for the formulas the concolic engine
+//! produces (thousands of variables, tens of thousands of clauses):
+//!
+//! * two-watched-literal unit propagation;
+//! * first-UIP conflict analysis with clause learning and
+//!   non-chronological backjumping;
+//! * EVSIDS variable activities with a lazy max-heap;
+//! * phase saving;
+//! * Luby-sequence restarts.
+//!
+//! Learned-clause garbage collection is intentionally omitted — the
+//! instances this reproduction generates stay far below the sizes where it
+//! pays off (documented trade-off; see DESIGN.md §8).
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: variable plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    #[must_use]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    #[must_use]
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Literal of `v` with the given sign (`true` = positive).
+    #[must_use]
+    pub fn new(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is the positive literal.
+    #[must_use]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "¬x{}", self.var().0)
+        }
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable; query assignments via [`SatSolver::value`].
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unset,
+    True,
+    False,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use soccar_smt::sat::{Lit, SatOutcome, SatSolver, Var};
+///
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(), SatOutcome::Sat);
+/// assert_eq!(s.value(a), Some(false));
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>, // per literal index: clause indices
+    assigns: Vec<Assign>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    order: Vec<Var>, // lazy heap (sorted occasionally)
+    unsat: bool,
+    conflicts: u64,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const ACTIVITY_RESCALE: f64 = 1e100;
+
+impl SatSolver {
+    /// Creates an empty solver.
+    #[must_use]
+    pub fn new() -> SatSolver {
+        SatSolver {
+            var_inc: 1.0,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learnt).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Conflicts encountered so far (diagnostics).
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(Assign::Unset);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push(v);
+        v
+    }
+
+    /// Adds a clause. An empty clause makes the instance trivially unsat.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        // Deduplicate and check for tautology.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return; // x ∨ ¬x: tautology
+        }
+        // Drop literals already false at level 0; satisfied clauses vanish.
+        ls.retain(|l| !(self.value_lit(*l) == Some(false) && self.levels[l.var().0 as usize] == 0));
+        if ls
+            .iter()
+            .any(|l| self.value_lit(*l) == Some(true) && self.levels[l.var().0 as usize] == 0)
+        {
+            return;
+        }
+        match ls.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(ls[0], None) {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[ls[0].negate().index()].push(idx);
+                self.watches[ls[1].negate().index()].push(idx);
+                self.clauses.push(Clause { lits: ls });
+            }
+        }
+    }
+
+    /// The model value of `v` after [`SatSolver::solve`] returned `Sat`.
+    #[must_use]
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assigns[v.0 as usize] {
+            Assign::Unset => None,
+            Assign::True => Some(true),
+            Assign::False => Some(false),
+        }
+    }
+
+    fn value_lit(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b == l.is_pos())
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) -> bool {
+        match self.value_lit(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = l.var().0 as usize;
+                self.assigns[v] = if l.is_pos() { Assign::True } else { Assign::False };
+                self.levels[v] = self.decision_level();
+                self.reasons[v] = reason;
+                self.phase[v] = l.is_pos();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            // Clauses watching ¬l need a new watch or produce units.
+            let mut watch_list = std::mem::take(&mut self.watches[l.index()]);
+            let mut keep = Vec::with_capacity(watch_list.len());
+            let mut conflict = None;
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                i += 1;
+                let false_lit = l.negate();
+                // Normalize: watched literal in position 1.
+                {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.value_lit(first) == Some(true) {
+                    keep.push(ci);
+                    continue;
+                }
+                // Find a new watch.
+                let mut found = None;
+                {
+                    let c = &self.clauses[ci as usize];
+                    for (k, cand) in c.lits.iter().enumerate().skip(2) {
+                        if self.value_lit(*cand) != Some(false) {
+                            found = Some(k);
+                            break;
+                        }
+                    }
+                }
+                if let Some(k) = found {
+                    let c = &mut self.clauses[ci as usize];
+                    c.lits.swap(1, k);
+                    let new_watch = c.lits[1];
+                    self.watches[new_watch.negate().index()].push(ci);
+                    continue;
+                }
+                // No new watch: clause is unit or conflicting.
+                keep.push(ci);
+                if !self.enqueue(first, Some(ci)) {
+                    conflict = Some(ci);
+                    // Keep the remaining watchers.
+                    keep.extend_from_slice(&watch_list[i..]);
+                    break;
+                }
+            }
+            watch_list.clear();
+            debug_assert!(self.watches[l.index()].is_empty());
+            self.watches[l.index()] = keep;
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let a = &mut self.activity[v.0 as usize];
+        *a += self.var_inc;
+        if *a > ACTIVITY_RESCALE {
+            for act in &mut self.activity {
+                *act /= ACTIVITY_RESCALE;
+            }
+            self.var_inc /= ACTIVITY_RESCALE;
+        }
+    }
+
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 reserved for UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+        loop {
+            // Visit the reason clause.
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[conflict as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var().0 as usize;
+                if !seen[v] && self.levels[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.levels[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to resolve on.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("resolvent literal").var().0 as usize;
+            seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.expect("uip").negate();
+                break;
+            }
+            conflict = self.reasons[pv].expect("non-decision has a reason");
+        }
+        // Backjump level: second-highest level in the learnt clause.
+        let bt = learnt[1..]
+            .iter()
+            .map(|l| self.levels[l.var().0 as usize])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level in position 1 for watching.
+        if learnt.len() > 1 {
+            let pos = 1 + learnt[1..]
+                .iter()
+                .position(|l| self.levels[l.var().0 as usize] == bt)
+                .expect("literal at backjump level");
+            learnt.swap(1, pos);
+        }
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level to pop");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail entry");
+                let v = l.var().0 as usize;
+                self.assigns[v] = Assign::Unset;
+                self.reasons[v] = None;
+            }
+        }
+        self.prop_head = self.trail.len().min(self.prop_head);
+        self.prop_head = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        // Lazy max-activity scan (instances are small enough).
+        let mut best: Option<Var> = None;
+        let mut best_act = -1.0;
+        for v in 0..self.num_vars() {
+            if self.assigns[v] == Assign::Unset && self.activity[v] > best_act {
+                best_act = self.activity[v];
+                best = Some(Var(v as u32));
+            }
+        }
+        best.map(|v| Lit::new(v, self.phase[v.0 as usize]))
+    }
+
+    /// Decides satisfiability of the accumulated clauses.
+    pub fn solve(&mut self) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        let mut luby_idx = 1u64;
+        let mut conflicts_until_restart = 100 * luby(luby_idx);
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.conflicts += 1;
+                    if self.decision_level() == 0 {
+                        self.unsat = true;
+                        return SatOutcome::Unsat;
+                    }
+                    let (learnt, bt) = self.analyze(conflict);
+                    self.backtrack(bt);
+                    if learnt.len() == 1 {
+                        let ok = self.enqueue(learnt[0], None);
+                        debug_assert!(ok, "learnt unit must be enqueueable");
+                    } else {
+                        let idx = self.clauses.len() as u32;
+                        self.watches[learnt[0].negate().index()].push(idx);
+                        self.watches[learnt[1].negate().index()].push(idx);
+                        let first = learnt[0];
+                        self.clauses.push(Clause { lits: learnt });
+                        let ok = self.enqueue(first, Some(idx));
+                        debug_assert!(ok, "uip literal must be enqueueable");
+                    }
+                    self.var_inc /= VAR_DECAY;
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                    if conflicts_until_restart == 0 {
+                        luby_idx += 1;
+                        conflicts_until_restart = 100 * luby(luby_idx);
+                        self.backtrack(0);
+                    }
+                }
+                None => match self.pick_branch() {
+                    None => return SatOutcome::Sat,
+                    Some(decision) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(decision, None);
+                        debug_assert!(ok, "decision variable was unset");
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+fn luby(mut i: u64) -> u64 {
+    loop {
+        // Find k with 2^k - 1 >= i.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(true));
+
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::neg(a)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = SatSolver::new();
+        s.new_var();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn tautologies_ignored() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::neg(a)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn chain_propagation() {
+        // a ∧ (¬a∨b) ∧ (¬b∨c) ∧ (¬c∨d) forces all true.
+        let mut s = SatSolver::new();
+        let vs: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[Lit::pos(vs[0])]);
+        for w in vs.windows(2) {
+            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        for v in vs {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: classic small UNSAT requiring real search.
+        let mut s = SatSolver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for hole in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i][hole]), Lit::neg(p[j][hole])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_sat_with_model() {
+        // (a⊕b)=1, (b⊕c)=1, a=1 → b=0, c=1.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let xor = |s: &mut SatSolver, x: Var, y: Var| {
+            s.add_clause(&[Lit::pos(x), Lit::pos(y)]);
+            s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+        };
+        xor(&mut s, a, b);
+        xor(&mut s, b, c);
+        s.add_clause(&[Lit::pos(a)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(false));
+        assert_eq!(s.value(c), Some(true));
+    }
+
+    #[test]
+    fn random_3sat_brute_force_agreement() {
+        // Deterministic pseudo-random instances cross-checked against
+        // exhaustive enumeration (≤ 12 vars).
+        let mut seed = 0x2545F491_4F6CDD1Du64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..40 {
+            let n_vars = 4 + (rng() % 9) as usize; // 4..=12
+            let n_clauses = 2 + (rng() % (3 * n_vars as u64 + 1)) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..n_clauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (rng() % n_vars as u64) as u32;
+                    let pos = rng() % 2 == 0;
+                    c.push(Lit::new(Var(v), pos));
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0u64..(1 << n_vars) {
+                for c in &clauses {
+                    if !c.iter().any(|l| ((m >> l.var().0) & 1 == 1) == l.is_pos()) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = SatSolver::new();
+            for _ in 0..n_vars {
+                s.new_var();
+            }
+            for c in &clauses {
+                s.add_clause(c);
+            }
+            let got = s.solve() == SatOutcome::Sat;
+            assert_eq!(got, brute_sat, "round {round} disagreed");
+            if got {
+                // Verify the model satisfies every clause.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| s.value(l.var()) == Some(l.is_pos())),
+                        "model violates clause in round {round}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The bug-insertion methodology: Tables III and IV.
+//!
+//! Bugs "get triggered at asynchronous reset events and deliver specific
+//! payloads leading to eventual violation of the basic security properties
+//! of the SoC designs in terms of integrity, confidentiality, and
+//! availability" (Section V-B). Insertion is a source-level choice made at
+//! generation time — the red team edits the RTL; the blue-team tool never
+//! reads this module.
+
+use std::fmt;
+
+/// The violation classes of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationType {
+    /// Uncleared plaintext/keys in crypto registers (confidentiality).
+    InformationLeakage,
+    /// Address-range check lost after reset (integrity).
+    DataIntegrity,
+    /// Privilege mode stuck/undefined after reset (availability).
+    PrivilegeMode,
+}
+
+impl ViolationType {
+    /// Table III trigger-condition text.
+    #[must_use]
+    pub fn trigger(&self) -> &'static str {
+        match self {
+            ViolationType::InformationLeakage => "Async. reset at crypto engine",
+            ViolationType::DataIntegrity => "Async. reset at memory module",
+            ViolationType::PrivilegeMode => "Async. reset at processor core",
+        }
+    }
+
+    /// Table III payload text.
+    #[must_use]
+    pub fn payload(&self) -> &'static str {
+        match self {
+            ViolationType::InformationLeakage => {
+                "Uncleared values of plain text and crypto keys at internal registers"
+            }
+            ViolationType::DataIntegrity => {
+                "Failure of address range check for subsequent read/write requests"
+            }
+            ViolationType::PrivilegeMode => {
+                "Processor privilege mode stuck at current state of operation"
+            }
+        }
+    }
+
+    /// Table III impact text.
+    #[must_use]
+    pub fn impact(&self) -> &'static str {
+        match self {
+            ViolationType::InformationLeakage => {
+                "Leakage of secret asset: unencrypted plain text retrievable via \
+                 cipher text port (confidentiality)"
+            }
+            ViolationType::DataIntegrity => {
+                "Unauthorized read/write access to secure memory regions \
+                 (integrity and confidentiality)"
+            }
+            ViolationType::PrivilegeMode => {
+                "Failure to switch between privilege modes (availability)"
+            }
+        }
+    }
+}
+
+impl fmt::Display for ViolationType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ViolationType::InformationLeakage => "Information Leakage",
+            ViolationType::DataIntegrity => "Loss of Data Integrity",
+            ViolationType::PrivilegeMode => "Unavailability of Privilege Modes",
+        })
+    }
+}
+
+/// One inserted bug: a violation class at a named IP.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BugInstance {
+    /// Violation class.
+    pub violation: ViolationType,
+    /// Target IP (generator module name: `md5`, `aes192`, `sram_sp`,
+    /// `wb_fabric`, `rv32i_core`, ...).
+    pub ip: String,
+    /// `true` for the AutoSoC Variant #2 SHA256 implicit-governor
+    /// construct (Section V-C) — undetectable by the Explicit analysis.
+    pub implicit: bool,
+}
+
+impl BugInstance {
+    /// Explicit bug constructor.
+    #[must_use]
+    pub fn new(violation: ViolationType, ip: &str) -> BugInstance {
+        BugInstance {
+            violation,
+            ip: ip.to_owned(),
+            implicit: false,
+        }
+    }
+
+    /// Implicit-governor bug constructor.
+    #[must_use]
+    pub fn implicit(violation: ViolationType, ip: &str) -> BugInstance {
+        BugInstance {
+            violation,
+            ip: ip.to_owned(),
+            implicit: true,
+        }
+    }
+}
+
+/// Which benchmark SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SocModel {
+    /// The mobile/IoT SoC.
+    ClusterSoc,
+    /// The automotive SoC.
+    AutoSoc,
+}
+
+impl SocModel {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SocModel::ClusterSoc => "ClusterSoC",
+            SocModel::AutoSoc => "AutoSoC",
+        }
+    }
+
+    /// Top module name.
+    #[must_use]
+    pub fn top_module(self) -> &'static str {
+        match self {
+            SocModel::ClusterSoc => "cluster_soc",
+            SocModel::AutoSoc => "auto_soc",
+        }
+    }
+}
+
+/// A bug-seeded SoC variant (one row set of Table IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantSpec {
+    /// Which SoC.
+    pub soc: SocModel,
+    /// Variant number (1-based, as in the paper).
+    pub number: u32,
+    /// Inserted bugs.
+    pub bugs: Vec<BugInstance>,
+}
+
+impl VariantSpec {
+    /// Display name, e.g. `AutoSoC Variant #2`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("{} Variant #{}", self.soc.name(), self.number)
+    }
+
+    /// Bugs of a given class.
+    pub fn bugs_of(&self, v: ViolationType) -> impl Iterator<Item = &BugInstance> {
+        self.bugs.iter().filter(move |b| b.violation == v)
+    }
+
+    /// Whether `ip` carries a bug of class `v`.
+    #[must_use]
+    pub fn has_bug(&self, v: ViolationType, ip: &str) -> bool {
+        self.bugs.iter().any(|b| b.violation == v && b.ip == ip)
+    }
+
+    /// The bug instance at `ip` of class `v`, if any.
+    #[must_use]
+    pub fn bug_at(&self, v: ViolationType, ip: &str) -> Option<&BugInstance> {
+        self.bugs.iter().find(|b| b.violation == v && b.ip == ip)
+    }
+}
+
+/// The five seeded variants of Table IV.
+///
+/// Note on a paper-internal inconsistency: Table IV lists the AutoSoC
+/// Variant #2 information-leakage bug at AES192, while the Section V-C
+/// narrative places the *missed* leakage bug in the SHA256 core of the
+/// same variant. We reconcile by including both: the AES192 bug uses the
+/// explicit construct (detected), the SHA256 bug uses the implicit
+/// clock-composed construct (missed by the Explicit analysis) — which
+/// reproduces the paper's "all bugs except one" outcome verbatim.
+#[must_use]
+pub fn variants() -> Vec<VariantSpec> {
+    use ViolationType::{DataIntegrity, InformationLeakage, PrivilegeMode};
+    vec![
+        VariantSpec {
+            soc: SocModel::ClusterSoc,
+            number: 1,
+            bugs: vec![
+                BugInstance::new(InformationLeakage, "md5"),
+                BugInstance::new(InformationLeakage, "aes192"),
+                BugInstance::new(DataIntegrity, "sram_sp"),
+            ],
+        },
+        VariantSpec {
+            soc: SocModel::ClusterSoc,
+            number: 2,
+            bugs: vec![
+                BugInstance::new(DataIntegrity, "sram_sp"),
+                BugInstance::new(PrivilegeMode, "rv32i_core"),
+            ],
+        },
+        VariantSpec {
+            soc: SocModel::ClusterSoc,
+            number: 3,
+            bugs: vec![
+                BugInstance::new(InformationLeakage, "aes192"),
+                BugInstance::new(InformationLeakage, "sha256"),
+                BugInstance::new(DataIntegrity, "wb_fabric"),
+                BugInstance::new(PrivilegeMode, "rv32e_core"),
+            ],
+        },
+        VariantSpec {
+            soc: SocModel::AutoSoc,
+            number: 1,
+            bugs: vec![
+                BugInstance::new(InformationLeakage, "md5"),
+                BugInstance::new(InformationLeakage, "sha256"),
+                BugInstance::new(DataIntegrity, "sram_sp"),
+                BugInstance::new(PrivilegeMode, "rv32ic_core"),
+                BugInstance::new(PrivilegeMode, "rv32im_core"),
+            ],
+        },
+        VariantSpec {
+            soc: SocModel::AutoSoc,
+            number: 2,
+            bugs: vec![
+                BugInstance::new(InformationLeakage, "aes192"),
+                BugInstance::implicit(InformationLeakage, "sha256"),
+                BugInstance::new(PrivilegeMode, "rv32im_core"),
+            ],
+        },
+    ]
+}
+
+/// Looks up a variant by SoC and number.
+#[must_use]
+pub fn variant(soc: SocModel, number: u32) -> Option<VariantSpec> {
+    variants()
+        .into_iter()
+        .find(|v| v.soc == soc && v.number == number)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_shape() {
+        let vs = variants();
+        assert_eq!(vs.len(), 5);
+        assert_eq!(
+            vs.iter().filter(|v| v.soc == SocModel::ClusterSoc).count(),
+            3
+        );
+        assert_eq!(vs.iter().filter(|v| v.soc == SocModel::AutoSoc).count(), 2);
+        // Every variant has at least one bug; numbering is 1-based.
+        for v in &vs {
+            assert!(!v.bugs.is_empty());
+            assert!(v.number >= 1);
+        }
+    }
+
+    #[test]
+    fn autosoc_v2_carries_the_implicit_sha_bug() {
+        let v = variant(SocModel::AutoSoc, 2).expect("variant");
+        let sha = v
+            .bug_at(ViolationType::InformationLeakage, "sha256")
+            .expect("sha bug");
+        assert!(sha.implicit);
+        let aes = v
+            .bug_at(ViolationType::InformationLeakage, "aes192")
+            .expect("aes bug");
+        assert!(!aes.implicit);
+        // No other variant uses the implicit construct.
+        for other in variants() {
+            if other.name() != v.name() {
+                assert!(other.bugs.iter().all(|b| !b.implicit));
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_v1_matches_table_iv() {
+        let v = variant(SocModel::ClusterSoc, 1).expect("variant");
+        assert!(v.has_bug(ViolationType::InformationLeakage, "md5"));
+        assert!(v.has_bug(ViolationType::InformationLeakage, "aes192"));
+        assert!(v.has_bug(ViolationType::DataIntegrity, "sram_sp"));
+        assert_eq!(v.bugs_of(ViolationType::PrivilegeMode).count(), 0);
+    }
+
+    #[test]
+    fn table_iii_text_nonempty() {
+        for v in [
+            ViolationType::InformationLeakage,
+            ViolationType::DataIntegrity,
+            ViolationType::PrivilegeMode,
+        ] {
+            assert!(!v.trigger().is_empty());
+            assert!(!v.payload().is_empty());
+            assert!(!v.impact().is_empty());
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(
+            variant(SocModel::AutoSoc, 1).expect("v").name(),
+            "AutoSoC Variant #1"
+        );
+        assert_eq!(SocModel::ClusterSoc.top_module(), "cluster_soc");
+        assert!(variant(SocModel::ClusterSoc, 9).is_none());
+    }
+}

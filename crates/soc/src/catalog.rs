@@ -1,0 +1,151 @@
+//! IP classification — the paper's **Table II**.
+//!
+//! "Certain bugs are relevant to certain IP types, e.g., an information
+//! flow violation that compromises a key or plaintext is relevant to a
+//! crypto core while a DoS attack making some privilege modes unavailable
+//! would make sense in a processor IP."
+
+use crate::bugs::ViolationType;
+
+/// The IP classes of Table II (plus the infrastructure classes the SoCs
+/// also contain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpClass {
+    /// SRAMs, DMA engines.
+    Memory,
+    /// RISC-V cores.
+    Processor,
+    /// Crypto engines.
+    Cryptographic,
+    /// DSP datapaths (no Table II violation class).
+    Dsp,
+    /// Communication peripherals (no Table II violation class).
+    Communication,
+    /// Bus fabrics and bridges (bug target in ClusterSoC #3).
+    Interconnect,
+}
+
+impl IpClass {
+    /// Display name, matching Table II's wording.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IpClass::Memory => "Memory IP",
+            IpClass::Processor => "Processor Core",
+            IpClass::Cryptographic => "Cryptographic IP",
+            IpClass::Dsp => "DSP Core",
+            IpClass::Communication => "Communication IP",
+            IpClass::Interconnect => "Interconnect",
+        }
+    }
+
+    /// The violation class relevant to this IP class (Table II's third
+    /// column), if any.
+    #[must_use]
+    pub fn violation(self) -> Option<ViolationType> {
+        match self {
+            IpClass::Memory | IpClass::Interconnect => Some(ViolationType::DataIntegrity),
+            IpClass::Processor => Some(ViolationType::PrivilegeMode),
+            IpClass::Cryptographic => Some(ViolationType::InformationLeakage),
+            IpClass::Dsp | IpClass::Communication => None,
+        }
+    }
+
+    /// Example IPs implemented in this testbed (Table II's second column).
+    #[must_use]
+    pub fn example_ips(self) -> &'static [&'static str] {
+        match self {
+            IpClass::Memory => &["SRAM(SP)", "SRAM(DP)", "DMA Engine"],
+            IpClass::Processor => &["RV32I", "RV32E", "RV32IC", "RV32IM"],
+            IpClass::Cryptographic => &["AES192", "SHA256", "RSA", "MD5", "DES3"],
+            IpClass::Dsp => &["FIR", "DFT", "IDFT", "IIR"],
+            IpClass::Communication => &["UART", "SPI", "Ethernet"],
+            IpClass::Interconnect => &["Wishbone B3", "AXI4-Lite"],
+        }
+    }
+}
+
+/// Classifies a generator module name into its IP class.
+#[must_use]
+pub fn classify(module: &str) -> Option<IpClass> {
+    Some(match module {
+        "sram_sp" | "sram_dp" | "dma_engine" => IpClass::Memory,
+        m if m.starts_with("rv32") => IpClass::Processor,
+        "aes192" | "sha256" | "md5" | "des3" | "rsa" => IpClass::Cryptographic,
+        "fir_filter" | "iir_filter" | "dft_core" | "idft_core" => IpClass::Dsp,
+        "uart" | "spi_ctrl" | "eth_mac" => IpClass::Communication,
+        m if m.starts_with("wb_") || m.starts_with("axi") || m == "wb2axi_shim" => {
+            IpClass::Interconnect
+        }
+        _ => return None,
+    })
+}
+
+/// The Table II rows (classes that carry a violation type).
+#[must_use]
+pub fn table_ii() -> Vec<IpClass> {
+    vec![IpClass::Memory, IpClass::Processor, IpClass::Cryptographic]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_rows_match_paper() {
+        let rows = table_ii();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows[0].violation(),
+            Some(ViolationType::DataIntegrity)
+        );
+        assert_eq!(rows[1].violation(), Some(ViolationType::PrivilegeMode));
+        assert_eq!(
+            rows[2].violation(),
+            Some(ViolationType::InformationLeakage)
+        );
+    }
+
+    #[test]
+    fn classification_covers_bug_targets() {
+        for v in crate::bugs::variants() {
+            for bug in &v.bugs {
+                let class = classify(&bug.ip)
+                    .unwrap_or_else(|| panic!("unclassified bug target {}", bug.ip));
+                assert_eq!(
+                    class.violation(),
+                    Some(bug.violation),
+                    "{}: bug at {} has mismatched class",
+                    v.name(),
+                    bug.ip
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_generators_classified() {
+        for m in [
+            "sram_sp", "sram_dp", "dma_engine", "rv32i_core", "rv32imc_core", "aes192",
+            "rsa", "fir_filter", "uart", "eth_mac", "wb_fabric", "axi_xbar", "wb2axi_shim",
+        ] {
+            assert!(classify(m).is_some(), "{m}");
+        }
+        assert!(classify("mystery").is_none());
+    }
+
+    #[test]
+    fn class_metadata_nonempty() {
+        for c in [
+            IpClass::Memory,
+            IpClass::Processor,
+            IpClass::Cryptographic,
+            IpClass::Dsp,
+            IpClass::Communication,
+            IpClass::Interconnect,
+        ] {
+            assert!(!c.name().is_empty());
+            assert!(!c.example_ips().is_empty());
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The security regression ("Restricts") shipped with each benchmark SoC.
+//!
+//! Per the paper, such constraints "are generally available as part of the
+//! security regression in industrial practice" — they come with the *base*
+//! design and are identical across variants; the blue-team tool knows them
+//! but not the bugs. The `soccar` crate converts these neutral specs into
+//! `soccar-concolic` properties.
+
+use crate::bugs::{BugInstance, SocModel, ViolationType};
+
+/// What a check asserts (a neutral mirror of the concolic property kinds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckKind {
+    /// While the domain reset is asserted, the signal must equal zero.
+    SecretCleared {
+        /// Hierarchical signal name.
+        signal: String,
+        /// Signal width.
+        width: u32,
+    },
+    /// While the domain reset is asserted, the signal must be non-zero.
+    GuardArmed {
+        /// Hierarchical signal name.
+        signal: String,
+    },
+    /// The signal must always hold one of the listed values.
+    LegalValues {
+        /// Hierarchical signal name.
+        signal: String,
+        /// Signal width.
+        width: u32,
+        /// Allowed encodings.
+        allowed: Vec<u64>,
+    },
+    /// The (1-bit) observation point must never read 1.
+    NeverFlagged {
+        /// Hierarchical signal name.
+        signal: String,
+    },
+}
+
+/// One security check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSpec {
+    /// Unique check name.
+    pub name: String,
+    /// Module blamed when the check fires.
+    pub module: String,
+    /// Hierarchical name of the governing reset domain source (top input).
+    pub domain: String,
+    /// The assertion.
+    pub kind: CheckKind,
+}
+
+fn crypto_checks(top: &str, prefix: &str, domain: &str, engines: &[&str]) -> Vec<CheckSpec> {
+    let mut out = Vec::new();
+    for e in engines {
+        let inst = format!("{top}.{prefix}u_{e}");
+        out.push(CheckSpec {
+            name: format!("{e}-key-cleared"),
+            module: (*e).to_owned(),
+            domain: format!("{top}.{domain}"),
+            kind: CheckKind::SecretCleared {
+                signal: format!("{inst}.key_reg"),
+                width: 192,
+            },
+        });
+        out.push(CheckSpec {
+            name: format!("{e}-pt-cleared"),
+            module: (*e).to_owned(),
+            domain: format!("{top}.{domain}"),
+            kind: CheckKind::SecretCleared {
+                signal: format!("{inst}.pt_reg"),
+                width: 64,
+            },
+        });
+        out.push(CheckSpec {
+            name: format!("{e}-no-leak"),
+            module: (*e).to_owned(),
+            domain: format!("{top}.{domain}"),
+            kind: CheckKind::NeverFlagged {
+                signal: format!("{inst}.leak_obs"),
+            },
+        });
+    }
+    out
+}
+
+fn guard_check(name: &str, module: &str, domain: &str, signal: &str) -> CheckSpec {
+    CheckSpec {
+        name: name.to_owned(),
+        module: module.to_owned(),
+        domain: domain.to_owned(),
+        kind: CheckKind::GuardArmed {
+            signal: signal.to_owned(),
+        },
+    }
+}
+
+fn priv_check(name: &str, module: &str, domain: &str, signal: &str) -> CheckSpec {
+    CheckSpec {
+        name: name.to_owned(),
+        module: module.to_owned(),
+        domain: domain.to_owned(),
+        kind: CheckKind::LegalValues {
+            signal: signal.to_owned(),
+            width: 2,
+            allowed: vec![0b00, 0b01, 0b11],
+        },
+    }
+}
+
+/// The security regression of a benchmark SoC (variant-independent).
+#[must_use]
+pub fn security_checks(model: SocModel) -> Vec<CheckSpec> {
+    match model {
+        SocModel::ClusterSoc => {
+            let t = "cluster_soc";
+            let mut out = crypto_checks(t, "", "crypto_rst_n", &["sha256", "des3", "aes192", "md5"]);
+            out.push(guard_check(
+                "sram0-guard-armed",
+                "sram_sp",
+                "cluster_soc.mem_rst_n",
+                "cluster_soc.u_sram0.prot_en",
+            ));
+            out.push(guard_check(
+                "sram1-guard-armed",
+                "sram_dp",
+                "cluster_soc.mem_rst_n",
+                "cluster_soc.u_sram1.prot_en",
+            ));
+            out.push(guard_check(
+                "scratch-guard-armed",
+                "sram_sp",
+                "cluster_soc.mem_rst_n",
+                "cluster_soc.u_scratch.prot_en",
+            ));
+            out.push(guard_check(
+                "bus-mask-armed",
+                "wb_fabric",
+                "cluster_soc.sys_rst_n",
+                "cluster_soc.u_bus.prot_mask",
+            ));
+            out.push(priv_check(
+                "cpu0-priv-legal",
+                "rv32i_core",
+                "cluster_soc.sys_rst_n",
+                "cluster_soc.u_cpu0.priv_mode",
+            ));
+            out.push(priv_check(
+                "cpu1-priv-legal",
+                "rv32e_core",
+                "cluster_soc.sys_rst_n",
+                "cluster_soc.u_cpu1.priv_mode",
+            ));
+            out
+        }
+        SocModel::AutoSoc => {
+            let t = "auto_soc";
+            let mut out = crypto_checks(
+                t,
+                "u_crypto.",
+                "crypto_rst_n",
+                &["aes192", "sha256", "md5", "des3", "rsa"],
+            );
+            out.push(guard_check(
+                "mem-sram0-guard-armed",
+                "sram_sp",
+                "auto_soc.mem_rst_n",
+                "auto_soc.u_mem.u_sram0.prot_en",
+            ));
+            out.push(guard_check(
+                "mem-sram1-guard-armed",
+                "sram_dp",
+                "auto_soc.mem_rst_n",
+                "auto_soc.u_mem.u_sram1.prot_en",
+            ));
+            out.push(guard_check(
+                "dma-desc-lock-armed",
+                "dma_engine",
+                "auto_soc.mem_rst_n",
+                "auto_soc.u_mem.u_dma.desc_lock",
+            ));
+            out.push(guard_check(
+                "cpu-fabric-mask-armed",
+                "wb_cpu_fabric",
+                "auto_soc.cpu_rst_n",
+                "auto_soc.u_cpu.u_fabric.prot_mask",
+            ));
+            out.push(guard_check(
+                "mem-fabric-mask-armed",
+                "wb_mem_fabric",
+                "auto_soc.mem_rst_n",
+                "auto_soc.u_mem.u_fabric.prot_mask",
+            ));
+            out.push(priv_check(
+                "core0-priv-legal",
+                "rv32i_core",
+                "auto_soc.cpu_rst_n",
+                "auto_soc.u_cpu.u_core0.priv_mode",
+            ));
+            out.push(priv_check(
+                "core1-priv-legal",
+                "rv32ic_core",
+                "auto_soc.cpu_rst_n",
+                "auto_soc.u_cpu.u_core1.priv_mode",
+            ));
+            out.push(priv_check(
+                "core2-priv-legal",
+                "rv32im_core",
+                "auto_soc.cpu_rst_n",
+                "auto_soc.u_cpu.u_core2.priv_mode",
+            ));
+            out
+        }
+    }
+}
+
+/// The check names whose violation indicates detection of `bug` on
+/// `model` (used by the evaluation harness to score detection).
+#[must_use]
+pub fn expected_detectors(model: SocModel, bug: &BugInstance) -> Vec<String> {
+    match bug.violation {
+        ViolationType::InformationLeakage => {
+            if bug.implicit {
+                // The implicit construct keeps the scrubbing intact; only
+                // the leak observation point can see it.
+                vec![format!("{}-no-leak", bug.ip)]
+            } else {
+                vec![
+                    format!("{}-key-cleared", bug.ip),
+                    format!("{}-pt-cleared", bug.ip),
+                ]
+            }
+        }
+        ViolationType::DataIntegrity => match (model, bug.ip.as_str()) {
+            (SocModel::ClusterSoc, "sram_sp") => vec![
+                "sram0-guard-armed".to_owned(),
+                "scratch-guard-armed".to_owned(),
+            ],
+            (SocModel::ClusterSoc, "sram_dp") => vec!["sram1-guard-armed".to_owned()],
+            (SocModel::ClusterSoc, "wb_fabric") => vec!["bus-mask-armed".to_owned()],
+            (SocModel::AutoSoc, "sram_sp") => vec!["mem-sram0-guard-armed".to_owned()],
+            (SocModel::AutoSoc, "sram_dp") => vec!["mem-sram1-guard-armed".to_owned()],
+            (SocModel::AutoSoc, "dma_engine") => vec!["dma-desc-lock-armed".to_owned()],
+            (SocModel::AutoSoc, "wb_fabric") => vec![
+                "cpu-fabric-mask-armed".to_owned(),
+                "mem-fabric-mask-armed".to_owned(),
+            ],
+            _ => Vec::new(),
+        },
+        ViolationType::PrivilegeMode => match (model, bug.ip.as_str()) {
+            (SocModel::ClusterSoc, "rv32i_core") => vec!["cpu0-priv-legal".to_owned()],
+            (SocModel::ClusterSoc, "rv32e_core") => vec!["cpu1-priv-legal".to_owned()],
+            (SocModel::AutoSoc, "rv32i_core") => vec!["core0-priv-legal".to_owned()],
+            (SocModel::AutoSoc, "rv32ic_core") => vec!["core1-priv-legal".to_owned()],
+            (SocModel::AutoSoc, "rv32im_core") => vec!["core2-priv-legal".to_owned()],
+            _ => Vec::new(),
+        },
+    }
+}
+
+/// The top-level data inputs the concolic engine should treat
+/// symbolically for a benchmark SoC (the test access port).
+#[must_use]
+pub fn symbolic_inputs(model: SocModel) -> Vec<String> {
+    match model {
+        SocModel::ClusterSoc => vec![
+            "cluster_soc.tst_key".to_owned(),
+            "cluster_soc.tst_pt".to_owned(),
+            "cluster_soc.tst_start".to_owned(),
+        ],
+        SocModel::AutoSoc => vec![
+            "auto_soc.tst_key".to_owned(),
+            "auto_soc.tst_pt".to_owned(),
+            "auto_soc.tst_start".to_owned(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::{variant, variants};
+
+    #[test]
+    fn checks_resolve_against_the_designs() {
+        for (model, generate) in [
+            (
+                SocModel::ClusterSoc,
+                crate::cluster::generate as fn(Option<&crate::bugs::VariantSpec>) -> crate::SocDesign,
+            ),
+            (SocModel::AutoSoc, crate::auto::generate),
+        ] {
+            let design = generate(None);
+            let (d, _) = soccar_rtl::compile("soc.v", &design.source, &design.top)
+                .expect("compile");
+            for check in security_checks(model) {
+                let signal = match &check.kind {
+                    CheckKind::SecretCleared { signal, .. }
+                    | CheckKind::GuardArmed { signal }
+                    | CheckKind::LegalValues { signal, .. }
+                    | CheckKind::NeverFlagged { signal } => signal,
+                };
+                assert!(
+                    d.find_net(signal).is_some(),
+                    "{model:?}: check `{}` references missing `{signal}`",
+                    check.name
+                );
+                assert!(
+                    d.find_net(&check.domain).is_some(),
+                    "{model:?}: check `{}` references missing domain `{}`",
+                    check.name,
+                    check.domain
+                );
+            }
+            for name in symbolic_inputs(model) {
+                assert!(d.find_net(&name).is_some(), "missing input {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_bug_has_detectors_in_the_check_set() {
+        for v in variants() {
+            let names: Vec<String> = security_checks(v.soc)
+                .into_iter()
+                .map(|c| c.name)
+                .collect();
+            for bug in &v.bugs {
+                let det = expected_detectors(v.soc, bug);
+                assert!(
+                    !det.is_empty(),
+                    "{}: bug {bug:?} has no detector",
+                    v.name()
+                );
+                for d in &det {
+                    assert!(
+                        names.contains(d),
+                        "{}: detector `{d}` not in the regression",
+                        v.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_bug_detected_only_by_leak_observation() {
+        let v = variant(SocModel::AutoSoc, 2).expect("variant");
+        let sha = v
+            .bugs
+            .iter()
+            .find(|b| b.implicit)
+            .expect("implicit bug");
+        assert_eq!(
+            expected_detectors(v.soc, sha),
+            vec!["sha256-no-leak".to_owned()]
+        );
+    }
+
+    #[test]
+    fn check_counts() {
+        // ClusterSoC: 4 engines × 3 + 3 sram + 1 bus + 2 cores = 18.
+        assert_eq!(security_checks(SocModel::ClusterSoc).len(), 18);
+        // AutoSoC: 5 engines × 3 + 3 mem + 2 fabric + 3 cores = 23.
+        assert_eq!(security_checks(SocModel::AutoSoc).len(), 23);
+    }
+}

@@ -1,0 +1,386 @@
+//! ClusterSoC: the mobile/IoT benchmark SoC (Section V-A, Fig. 2a).
+//!
+//! * two area-efficient RISC-V cores (RV32I + RV32E) mastering a shared
+//!   Wishbone B3 fabric;
+//! * single-port, dual-port and scratch SRAMs as fabric slaves;
+//! * four crypto engines (SHA256, DES3, AES192, MD5 — the superset implied
+//!   by Table IV's bug locations);
+//! * three DSP cores (FIR, DFT, IDFT);
+//! * UART, SPI and Ethernet peripherals;
+//! * four asynchronous reset domains: `sys_rst_n` (cores, bus, DSP),
+//!   `mem_rst_n` (SRAMs), `crypto_rst_n` (engines), `periph_rst_n`
+//!   (peripherals);
+//! * a DFT-style test access port (`tst_*`) feeding the crypto engines,
+//!   standing in for firmware-driven stimulus (DESIGN.md §3).
+
+use crate::bugs::{SocModel, VariantSpec, ViolationType};
+use crate::ip::crypto::{self, CryptoBug};
+use crate::ip::dsp;
+use crate::ip::periph;
+use crate::ip::riscv::{self, CoreBug, CoreVariant};
+use crate::ip::sram::{self, MemoryBug};
+use crate::ip::wishbone::{self, BusBug};
+
+/// A fully generated SoC design: source text plus provenance.
+#[derive(Debug, Clone)]
+pub struct SocDesign {
+    /// Display name (`ClusterSoC Variant #1`, or `ClusterSoC (clean)`).
+    pub name: String,
+    /// Which benchmark.
+    pub soc: SocModel,
+    /// Variant number; `None` for the clean baseline.
+    pub variant: Option<u32>,
+    /// Complete Verilog source.
+    pub source: String,
+    /// Top module name.
+    pub top: String,
+    /// The bugs this variant carries.
+    pub bugs: Vec<crate::bugs::BugInstance>,
+}
+
+pub(crate) fn crypto_bug_for(spec: Option<&VariantSpec>, engine: &str) -> CryptoBug {
+    match spec.and_then(|v| v.bug_at(ViolationType::InformationLeakage, engine)) {
+        Some(b) if b.implicit => CryptoBug::LeakImplicit,
+        Some(_) => CryptoBug::LeakExplicit,
+        None => CryptoBug::None,
+    }
+}
+
+pub(crate) fn memory_bug_for(spec: Option<&VariantSpec>, ip: &str) -> MemoryBug {
+    if spec.is_some_and(|v| v.has_bug(ViolationType::DataIntegrity, ip)) {
+        MemoryBug::RangeCheckLost
+    } else {
+        MemoryBug::None
+    }
+}
+
+pub(crate) fn bus_bug_for(spec: Option<&VariantSpec>) -> BusBug {
+    if spec.is_some_and(|v| v.has_bug(ViolationType::DataIntegrity, "wb_fabric")) {
+        BusBug::ProtMaskCleared
+    } else {
+        BusBug::None
+    }
+}
+
+pub(crate) fn core_bug_for(spec: Option<&VariantSpec>, core: CoreVariant) -> CoreBug {
+    if spec.is_some_and(|v| v.has_bug(ViolationType::PrivilegeMode, core.module_name())) {
+        CoreBug::PrivUndefined
+    } else {
+        CoreBug::None
+    }
+}
+
+/// Generates ClusterSoC. Pass `None` for the clean baseline or a
+/// ClusterSoC [`VariantSpec`] for a bug-seeded variant.
+///
+/// # Panics
+///
+/// Panics if `spec` belongs to a different SoC model.
+#[must_use]
+pub fn generate(spec: Option<&VariantSpec>) -> SocDesign {
+    if let Some(v) = spec {
+        assert_eq!(v.soc, SocModel::ClusterSoc, "wrong SoC model");
+    }
+    let mut src = String::new();
+    // IP definitions (bug flags applied per module).
+    src.push_str(&riscv::core(
+        CoreVariant::Rv32i,
+        core_bug_for(spec, CoreVariant::Rv32i),
+    ));
+    src.push_str(&riscv::core(
+        CoreVariant::Rv32e,
+        core_bug_for(spec, CoreVariant::Rv32e),
+    ));
+    src.push_str(&wishbone::wb_fabric("wb_fabric", 2, 3, bus_bug_for(spec)));
+    src.push_str(&sram::sram_sp(memory_bug_for(spec, "sram_sp")));
+    src.push_str(&sram::sram_dp(memory_bug_for(spec, "sram_dp")));
+    for engine in ["sha256", "des3", "aes192", "md5"] {
+        src.push_str(&crypto::by_name(engine, crypto_bug_for(spec, engine)));
+    }
+    src.push_str(&dsp::fir());
+    src.push_str(&dsp::dft());
+    src.push_str(&dsp::idft());
+    src.push_str(&periph::uart());
+    src.push_str(&periph::spi());
+    src.push_str(&periph::eth());
+    src.push_str(TOP);
+    SocDesign {
+        name: spec.map_or_else(
+            || "ClusterSoC (clean)".to_owned(),
+            VariantSpec::name,
+        ),
+        soc: SocModel::ClusterSoc,
+        variant: spec.map(|v| v.number),
+        source: src,
+        top: "cluster_soc".to_owned(),
+        bugs: spec.map(|v| v.bugs.clone()).unwrap_or_default(),
+    }
+}
+
+const TOP: &str = "
+module cluster_soc(
+  input clk,
+  input sys_rst_n,
+  input mem_rst_n,
+  input crypto_rst_n,
+  input periph_rst_n,
+  input bus_unlock,
+  input mem_unlock,
+  input [63:0] tst_key,
+  input [63:0] tst_pt,
+  input [3:0] tst_start,
+  input [15:0] dsp_in,
+  input dsp_valid,
+  input uart_rx,
+  input spi_miso,
+  input eth_rx_dv,
+  input [31:0] eth_rxd,
+  output uart_tx,
+  output spi_sck_o,
+  output spi_mosi_o,
+  output spi_cs_o,
+  output eth_tx_en,
+  output [31:0] eth_txd,
+  output [1:0] priv0,
+  output [1:0] priv1,
+  output bus_viol_o,
+  output [3:0] crypto_done,
+  output [3:0] leak_flags
+);
+  // Core 0 (RV32I) master port.
+  wire [31:0] m0_addr;
+  wire [31:0] m0_wdata;
+  wire [31:0] m0_rdata;
+  wire m0_we;
+  wire m0_stb;
+  wire m0_ack;
+  // Core 1 (RV32E) master port.
+  wire [31:0] m1_addr;
+  wire [31:0] m1_wdata;
+  wire [31:0] m1_rdata;
+  wire m1_we;
+  wire m1_stb;
+  wire m1_ack;
+  // Fabric slave ports.
+  wire [31:0] s0_addr;
+  wire [31:0] s0_wdata;
+  wire [31:0] s0_rdata;
+  wire s0_we;
+  wire s0_stb;
+  wire s0_ack;
+  wire [31:0] s1_addr;
+  wire [31:0] s1_wdata;
+  wire [31:0] s1_rdata;
+  wire s1_we;
+  wire s1_stb;
+  wire s1_ack;
+  wire [31:0] s2_addr;
+  wire [31:0] s2_wdata;
+  wire [31:0] s2_rdata;
+  wire s2_we;
+  wire s2_stb;
+  wire s2_ack;
+  wire [2:0] prot_mask_w;
+
+  rv32i_core #(.HARTID(0)) u_cpu0 (
+    .clk(clk), .rst_n(sys_rst_n),
+    .bus_addr(m0_addr), .bus_wdata(m0_wdata), .bus_rdata(m0_rdata),
+    .bus_we(m0_we), .bus_stb(m0_stb), .bus_ack(m0_ack),
+    .irq(1'b0), .priv_mode(priv0), .pc(), .halted()
+  );
+  rv32e_core #(.HARTID(1)) u_cpu1 (
+    .clk(clk), .rst_n(sys_rst_n),
+    .bus_addr(m1_addr), .bus_wdata(m1_wdata), .bus_rdata(m1_rdata),
+    .bus_we(m1_we), .bus_stb(m1_stb), .bus_ack(m1_ack),
+    .irq(1'b0), .priv_mode(priv1), .pc(), .halted()
+  );
+
+  wb_fabric u_bus (
+    .clk(clk), .rst_n(sys_rst_n), .bus_unlock(bus_unlock),
+    .m0_addr(m0_addr), .m0_wdata(m0_wdata), .m0_rdata(m0_rdata),
+    .m0_we(m0_we), .m0_stb(m0_stb), .m0_ack(m0_ack),
+    .m1_addr(m1_addr), .m1_wdata(m1_wdata), .m1_rdata(m1_rdata),
+    .m1_we(m1_we), .m1_stb(m1_stb), .m1_ack(m1_ack),
+    .s0_addr(s0_addr), .s0_wdata(s0_wdata), .s0_rdata(s0_rdata),
+    .s0_we(s0_we), .s0_stb(s0_stb), .s0_ack(s0_ack),
+    .s1_addr(s1_addr), .s1_wdata(s1_wdata), .s1_rdata(s1_rdata),
+    .s1_we(s1_we), .s1_stb(s1_stb), .s1_ack(s1_ack),
+    .s2_addr(s2_addr), .s2_wdata(s2_wdata), .s2_rdata(s2_rdata),
+    .s2_we(s2_we), .s2_stb(s2_stb), .s2_ack(s2_ack),
+    .prot_mask(prot_mask_w), .bus_viol(bus_viol_o)
+  );
+
+  sram_sp #(.AW(14)) u_sram0 (
+    .clk(clk), .rst_n(mem_rst_n),
+    .stb(s0_stb), .we(s0_we), .unlock(mem_unlock),
+    .addr(s0_addr[15:2]), .wdata(s0_wdata), .rdata(s0_rdata),
+    .ack(s0_ack), .prot_en(), .viol()
+  );
+  sram_dp #(.AW(14)) u_sram1 (
+    .clk(clk), .rst_n(mem_rst_n),
+    .a_stb(s1_stb), .a_we(s1_we), .unlock(mem_unlock),
+    .a_addr(s1_addr[15:2]), .a_wdata(s1_wdata), .a_rdata(s1_rdata),
+    .a_ack(s1_ack),
+    .b_stb(dsp_valid), .b_addr({4'd0, dsp_in[3:0]}), .b_rdata(), .b_ack(),
+    .prot_en(), .viol()
+  );
+  sram_sp #(.AW(15)) u_scratch (
+    .clk(clk), .rst_n(mem_rst_n),
+    .stb(s2_stb), .we(s2_we), .unlock(mem_unlock),
+    .addr(s2_addr[16:2]), .wdata(s2_wdata), .rdata(s2_rdata),
+    .ack(s2_ack), .prot_en(), .viol()
+  );
+
+  sha256 u_sha256 (
+    .clk(clk), .rst_n(crypto_rst_n), .start(tst_start[0]),
+    .key_in(tst_key), .pt_in(tst_pt),
+    .ct_out(), .busy(), .done(crypto_done[0]), .leak_obs(leak_flags[0])
+  );
+  des3 u_des3 (
+    .clk(clk), .rst_n(crypto_rst_n), .start(tst_start[1]),
+    .key_in(tst_key), .pt_in(tst_pt),
+    .ct_out(), .busy(), .done(crypto_done[1]), .leak_obs(leak_flags[1])
+  );
+  aes192 u_aes192 (
+    .clk(clk), .rst_n(crypto_rst_n), .start(tst_start[2]),
+    .key_in(tst_key), .pt_in(tst_pt),
+    .ct_out(), .busy(), .done(crypto_done[2]), .leak_obs(leak_flags[2])
+  );
+  md5 u_md5 (
+    .clk(clk), .rst_n(crypto_rst_n), .start(tst_start[3]),
+    .key_in(tst_key), .pt_in(tst_pt),
+    .ct_out(), .busy(), .done(crypto_done[3]), .leak_obs(leak_flags[3])
+  );
+
+  fir_filter u_fir (
+    .clk(clk), .rst_n(sys_rst_n),
+    .in_valid(dsp_valid), .in_sample(dsp_in),
+    .out_sample(), .out_valid()
+  );
+  dft_core u_dft (
+    .clk(clk), .rst_n(sys_rst_n),
+    .in_valid(dsp_valid), .in_sample(dsp_in),
+    .out_sample(), .bin_index(), .out_valid()
+  );
+  idft_core u_idft (
+    .clk(clk), .rst_n(sys_rst_n),
+    .in_valid(dsp_valid), .in_sample(dsp_in),
+    .out_sample(), .bin_index(), .out_valid()
+  );
+
+  uart u_uart (
+    .clk(clk), .rst_n(periph_rst_n),
+    .tx_start(tst_start[0]), .tx_data(tst_pt[7:0]),
+    .txd(uart_tx), .tx_busy(),
+    .rxd(uart_rx), .rx_data(), .rx_valid()
+  );
+  spi_ctrl u_spi (
+    .clk(clk), .rst_n(periph_rst_n),
+    .start(tst_start[1]), .mosi_data(tst_pt[15:8]),
+    .sck(spi_sck_o), .mosi(spi_mosi_o), .miso(spi_miso),
+    .cs_n(spi_cs_o), .miso_data(), .busy()
+  );
+  eth_mac u_eth (
+    .clk(clk), .rst_n(periph_rst_n),
+    .tx_start(tst_start[2]), .tx_len(8'd4),
+    .tx_word(eth_rxd), .tx_word_valid(tst_start[3]), .tx_done(),
+    .phy_tx_en(eth_tx_en), .phy_txd(eth_txd),
+    .phy_rx_dv(eth_rx_dv), .phy_rxd(eth_rxd),
+    .rx_word(), .rx_valid(), .csum()
+  );
+endmodule
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::{variant, SocModel};
+
+    #[test]
+    fn clean_cluster_soc_elaborates() {
+        let design = generate(None);
+        let (d, _) = soccar_rtl::compile("cluster.v", &design.source, &design.top)
+            .unwrap_or_else(|e| panic!("{e}"));
+        // All the headline instances exist.
+        for inst in [
+            "cluster_soc.u_cpu0",
+            "cluster_soc.u_cpu1",
+            "cluster_soc.u_bus",
+            "cluster_soc.u_sram0",
+            "cluster_soc.u_sram1",
+            "cluster_soc.u_scratch",
+            "cluster_soc.u_sha256",
+            "cluster_soc.u_des3",
+            "cluster_soc.u_aes192",
+            "cluster_soc.u_md5",
+            "cluster_soc.u_fir",
+            "cluster_soc.u_dft",
+            "cluster_soc.u_idft",
+            "cluster_soc.u_uart",
+            "cluster_soc.u_spi",
+            "cluster_soc.u_eth",
+        ] {
+            assert!(
+                d.instances().iter().any(|i| i.name == inst),
+                "missing {inst}"
+            );
+        }
+        assert!(d.stats().reg_bits > 1000, "{}", d.stats());
+    }
+
+    #[test]
+    fn all_cluster_variants_elaborate() {
+        for n in 1..=3 {
+            let v = variant(SocModel::ClusterSoc, n).expect("variant");
+            let design = generate(Some(&v));
+            soccar_rtl::compile("cluster.v", &design.source, &design.top)
+                .unwrap_or_else(|e| panic!("variant {n}: {e}"));
+            assert_eq!(design.variant, Some(n));
+            assert!(!design.bugs.is_empty());
+        }
+    }
+
+    #[test]
+    fn variant_bugs_change_the_source() {
+        let clean = generate(None).source;
+        for n in 1..=3 {
+            let v = variant(SocModel::ClusterSoc, n).expect("variant");
+            let buggy = generate(Some(&v)).source;
+            assert_ne!(clean, buggy, "variant {n} must differ from clean");
+            assert!(buggy.contains("BUG("), "variant {n} carries bug markers");
+        }
+        assert!(!clean.contains("BUG("), "clean design has no bug markers");
+    }
+
+    #[test]
+    fn cluster_soc_simulates_a_boot() {
+        use soccar_rtl::value::LogicVec;
+        use soccar_sim::{InitPolicy, Simulator};
+        let design = generate(None);
+        let (d, _) = soccar_rtl::compile("cluster.v", &design.source, &design.top)
+            .expect("compile");
+        let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+        let n = |s: &str| d.find_net(&format!("cluster_soc.{s}")).expect("net");
+        // Zero every input, assert all resets, release, run.
+        for net in d.top_inputs().collect::<Vec<_>>() {
+            let w = d.net(net).width;
+            sim.write_input(net, LogicVec::zeros(w)).expect("zero");
+        }
+        sim.settle().expect("settle");
+        for rst in ["sys_rst_n", "mem_rst_n", "crypto_rst_n", "periph_rst_n"] {
+            sim.write_input(n(rst), LogicVec::from_u64(1, 1)).expect("rst");
+        }
+        sim.settle().expect("settle");
+        let clk = n("clk");
+        for _ in 0..30 {
+            sim.tick(clk).expect("tick");
+        }
+        // Cores ran: pcs advanced; privilege legal.
+        let pc0 = d.find_net("cluster_soc.u_cpu0.pc").expect("pc0");
+        assert!(sim.net_logic(pc0).to_u64().expect("pc") > 0);
+        let p0 = sim.net_logic(n("priv0")).to_u64().expect("priv");
+        assert!([0b00, 0b01, 0b11].contains(&(p0 as u32)));
+        // No leak observed on the clean design.
+        assert_eq!(sim.net_logic(n("leak_flags")).to_u64(), Some(0));
+    }
+}

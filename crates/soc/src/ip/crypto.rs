@@ -1,0 +1,375 @@
+//! Cryptographic IP cores: AES192, SHA256, MD5, DES3 and RSA.
+//!
+//! Every engine follows the same reduced-round but *state-faithful*
+//! template: a genuine key register (loaded over three beats for the wide
+//! keys), a plaintext register, a mixing datapath iterated over rounds by
+//! an FSM, and a ciphertext output port. Cryptographic strength is
+//! irrelevant to the security experiments — what matters is that secret
+//! state lives in registers an asynchronous reset is supposed to scrub.
+//!
+//! Each engine also emits a synthesizable observation wire `leak_obs`
+//! (ciphertext port equals non-trivial plaintext), the kind of security
+//! observation point industrial regressions instrument; the corresponding
+//! "Restricts" is `AlwaysOneOf(leak_obs, {0})`.
+//!
+//! Bug hooks (Table III, *Information Leakage*):
+//!
+//! * [`CryptoBug::LeakExplicit`] — the asynchronous reset arm fails to
+//!   clear `key_reg`/`pt_reg`;
+//! * [`CryptoBug::LeakImplicit`] — the AutoSoC Variant #2 SHA256 defect:
+//!   the cipher assignment moves into a procedure block that executes only
+//!   under an asynchronous reset composed with a clock level, invisible to
+//!   the Explicit governor analysis.
+
+/// Information-leakage bug selector for a crypto engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CryptoBug {
+    /// Correct RTL.
+    #[default]
+    None,
+    /// Reset arm omits clearing the secret registers.
+    LeakExplicit,
+    /// Cipher assignment only under reset-composed-with-clock (the
+    /// implicit-governor construct of Section V-C).
+    LeakImplicit,
+}
+
+/// Parameters shared by the engine generators.
+#[derive(Debug, Clone, Copy)]
+struct EngineSpec {
+    name: &'static str,
+    /// Mixing rounds before the result is released.
+    rounds: u32,
+    /// Round function over `state_reg`, `key_reg`, `pt_reg`, `round`.
+    round_fn: &'static str,
+    /// Final ciphertext expression.
+    ct_fn: &'static str,
+}
+
+fn engine(spec: &EngineSpec, bug: CryptoBug) -> String {
+    let clear_secrets = match bug {
+        CryptoBug::LeakExplicit => {
+            "      // BUG(info-leakage): key_reg / pt_reg deliberately not cleared\n"
+        }
+        _ => "      key_reg <= 192'd0;\n      pt_reg <= 64'd0;\n",
+    };
+    let (ct_reset, ct_fin, rogue_block) = match bug {
+        CryptoBug::LeakImplicit => (
+            String::new(),
+            "// BUG(info-leakage, implicit governor): cipher assignment moved below\n"
+                .to_owned(),
+            format!(
+                "\n  // Defective procedure block declaration: the cipher assignment\n  \
+                 // executes only under an asynchronous reset composed with a\n  \
+                 // specific clock level (cf. SoCCAR Section V-C).\n  \
+                 always @(negedge rst_n)\n    if (clk) ct_out <= {};\n",
+                "pt_reg"
+            ),
+        ),
+        _ => (
+            "      ct_out <= 64'd0;\n".to_owned(),
+            format!("ct_out <= {};\n", spec.ct_fn),
+            String::new(),
+        ),
+    };
+    format!(
+        "module {name}(
+  input clk,
+  input rst_n,
+  input start,
+  input [63:0] key_in,
+  input [63:0] pt_in,
+  output reg [63:0] ct_out,
+  output reg busy,
+  output reg done,
+  output leak_obs
+);
+  reg [191:0] key_reg;
+  reg [63:0] pt_reg;
+  reg [63:0] state_reg;
+  reg [5:0] round;
+  reg [1:0] fsm;
+  localparam IDLE = 2'd0;
+  localparam RUN  = 2'd1;
+  localparam FIN  = 2'd2;
+
+  // Security observation point (a verification monitor, not functional
+  // logic): the ciphertext port must never expose the most recently
+  // loaded non-trivial plaintext. The shadow register deliberately has no
+  // reset so the check survives the scrubbing of pt_reg itself.
+  reg [63:0] pt_shadow;
+  always @(posedge clk)
+    if (start & ~busy) pt_shadow <= pt_in;
+  assign leak_obs = (ct_out == pt_shadow) & (|pt_shadow) & ~(&pt_shadow);
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      fsm <= IDLE;
+      busy <= 1'b0;
+      done <= 1'b0;
+      round <= 6'd0;
+      state_reg <= 64'd0;
+{ct_reset}{clear_secrets}    end else begin
+      done <= 1'b0;
+      case (fsm)
+        IDLE: if (start) begin
+          key_reg <= {{key_reg[127:0], key_in}};
+          pt_reg <= pt_in;
+          state_reg <= pt_in;
+          round <= 6'd0;
+          busy <= 1'b1;
+          fsm <= RUN;
+        end
+        RUN: begin
+          state_reg <= {round_fn};
+          round <= round + 6'd1;
+          if (round == 6'd{rounds}) fsm <= FIN;
+        end
+        FIN: begin
+          {ct_fin}          busy <= 1'b0;
+          done <= 1'b1;
+          fsm <= IDLE;
+        end
+        default: fsm <= IDLE;
+      endcase
+    end
+{rogue_block}endmodule
+",
+        name = spec.name,
+        rounds = spec.rounds,
+        round_fn = spec.round_fn,
+        ct_reset = ct_reset,
+        clear_secrets = clear_secrets,
+        ct_fin = ct_fin,
+        rogue_block = rogue_block,
+    )
+}
+
+/// AES-192: 12 reduced rounds of byte-rotate / round-key mixing.
+#[must_use]
+pub fn aes192(bug: CryptoBug) -> String {
+    engine(
+        &EngineSpec {
+            name: "aes192",
+            rounds: 12,
+            round_fn: "({state_reg[55:0], state_reg[63:56]} ^ key_reg[63:0]) \
+                       + ({state_reg[31:0], state_reg[63:32]} ^ key_reg[127:64])",
+            ct_fn: "state_reg ^ key_reg[191:128]",
+        },
+        bug,
+    )
+}
+
+/// SHA-256: 16 reduced rounds of sigma-style rotate-xor compression.
+#[must_use]
+pub fn sha256(bug: CryptoBug) -> String {
+    engine(
+        &EngineSpec {
+            name: "sha256",
+            rounds: 16,
+            round_fn: "state_reg + ({state_reg[5:0], state_reg[63:6]} \
+                       ^ {state_reg[10:0], state_reg[63:11]}) \
+                       + key_reg[63:0] + {58'd0, round}",
+            ct_fn: "state_reg + key_reg[127:64]",
+        },
+        bug,
+    )
+}
+
+/// MD5: 16 reduced rounds of add-rotate mixing with the classic constants.
+#[must_use]
+pub fn md5(bug: CryptoBug) -> String {
+    engine(
+        &EngineSpec {
+            name: "md5",
+            rounds: 16,
+            round_fn: "{state_reg[31:0], state_reg[63:32]} \
+                       + (pt_reg ^ key_reg[63:0]) + 64'h67452301EFCDAB89",
+            ct_fn: "state_reg ^ 64'h98BADCFE10325476",
+        },
+        bug,
+    )
+}
+
+/// Triple-DES: 24 reduced rounds of Feistel-style rotate/xor staging.
+#[must_use]
+pub fn des3(bug: CryptoBug) -> String {
+    engine(
+        &EngineSpec {
+            name: "des3",
+            rounds: 24,
+            round_fn: "((state_reg ^ key_reg[63:0]) \
+                       ^ {state_reg[27:0], state_reg[63:28]}) + key_reg[127:64]",
+            ct_fn: "state_reg ^ key_reg[191:128]",
+        },
+        bug,
+    )
+}
+
+/// RSA: 8 rounds of square-and-conditionally-add modular-style arithmetic.
+#[must_use]
+pub fn rsa(bug: CryptoBug) -> String {
+    engine(
+        &EngineSpec {
+            name: "rsa",
+            rounds: 8,
+            round_fn: "(state_reg * state_reg) \
+                       + (key_reg[63:0] & {64{round[0]}})",
+            ct_fn: "state_reg + key_reg[63:0]",
+        },
+        bug,
+    )
+}
+
+/// All engine generator names, for catalog/table use.
+pub const ENGINE_NAMES: [&str; 5] = ["aes192", "sha256", "md5", "des3", "rsa"];
+
+/// Generates the named engine.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`ENGINE_NAMES`].
+#[must_use]
+pub fn by_name(name: &str, bug: CryptoBug) -> String {
+    match name {
+        "aes192" => aes192(bug),
+        "sha256" => sha256(bug),
+        "md5" => md5(bug),
+        "des3" => des3(bug),
+        "rsa" => rsa(bug),
+        other => panic!("unknown crypto engine `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soccar_rtl::value::LogicVec;
+    use soccar_sim::{InitPolicy, Simulator};
+
+    fn compile(src: &str, top: &str) -> soccar_rtl::Design {
+        soccar_rtl::compile("crypto.v", src, top)
+            .unwrap_or_else(|e| panic!("compile {top}: {e}"))
+            .0
+    }
+
+    #[test]
+    fn all_engines_compile_clean_and_buggy() {
+        for name in ENGINE_NAMES {
+            for bug in [CryptoBug::None, CryptoBug::LeakExplicit, CryptoBug::LeakImplicit] {
+                let src = by_name(name, bug);
+                let d = compile(&src, name);
+                assert!(d.find_net(&format!("{name}.key_reg")).is_some());
+                assert!(d.find_net(&format!("{name}.leak_obs")).is_some());
+            }
+        }
+    }
+
+    fn run_engine(src: &str, name: &str) -> u64 {
+        let d = compile(src, name);
+        let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+        let n = |s: &str| d.find_net(&format!("{name}.{s}")).expect("net");
+        let clk = n("clk");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("key_in"), LogicVec::from_u64(64, 0xDEAD_BEEF_CAFE_F00D)).expect("key");
+        sim.write_input(n("pt_in"), LogicVec::from_u64(64, 0x0123_4567_89AB_CDEF)).expect("pt");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 1)).expect("start");
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        sim.settle().expect("settle");
+        sim.tick(clk).expect("tick");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 0)).expect("start");
+        sim.settle().expect("settle");
+        for _ in 0..40 {
+            sim.tick(clk).expect("tick");
+        }
+        sim.net_logic(n("ct_out")).to_u64().expect("ct defined")
+    }
+
+    #[test]
+    fn engines_produce_ciphertext() {
+        for name in ENGINE_NAMES {
+            let ct = run_engine(&by_name(name, CryptoBug::None), name);
+            assert_ne!(ct, 0x0123_4567_89AB_CDEF, "{name} must mix the plaintext");
+            assert_ne!(ct, 0, "{name} must produce a nonzero ciphertext");
+        }
+    }
+
+    #[test]
+    fn engines_are_deterministic_and_distinct() {
+        let cts: Vec<u64> = ENGINE_NAMES
+            .iter()
+            .map(|n| run_engine(&by_name(n, CryptoBug::None), n))
+            .collect();
+        let again: Vec<u64> = ENGINE_NAMES
+            .iter()
+            .map(|n| run_engine(&by_name(n, CryptoBug::None), n))
+            .collect();
+        assert_eq!(cts, again, "deterministic");
+        let mut dedup = cts.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), cts.len(), "distinct algorithms: {cts:x?}");
+    }
+
+    #[test]
+    fn reset_scrubs_secrets_only_when_clean() {
+        for (bug, expect_scrubbed) in [(CryptoBug::None, true), (CryptoBug::LeakExplicit, false)] {
+            let src = aes192(bug);
+            let d = compile(&src, "aes192");
+            let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+            let n = |s: &str| d.find_net(&format!("aes192.{s}")).expect("net");
+            // Load a key first.
+            let clk = n("clk");
+            sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+            sim.write_input(n("key_in"), LogicVec::from_u64(64, 0x1111_2222_3333_4444)).expect("k");
+            sim.write_input(n("pt_in"), LogicVec::from_u64(64, 0x5555)).expect("p");
+            sim.write_input(n("start"), LogicVec::from_u64(1, 1)).expect("s");
+            sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("c");
+            sim.settle().expect("settle");
+            sim.tick(clk).expect("tick");
+            // Asynchronous reset strikes mid-operation.
+            sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+            sim.settle().expect("settle");
+            let key = sim.net_logic(n("key_reg"));
+            assert_eq!(
+                key.is_all_zero(),
+                expect_scrubbed,
+                "bug={bug:?}, key={key}"
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_bug_leaks_only_on_clock_high_reset() {
+        let src = sha256(CryptoBug::LeakImplicit);
+        let d = compile(&src, "sha256");
+        let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+        let n = |s: &str| d.find_net(&format!("sha256.{s}")).expect("net");
+        let clk = n("clk");
+        let rst = n("rst_n");
+        let pt = LogicVec::from_u64(64, 0x0BAD_5EED_0BAD_5EED);
+        sim.write_input(rst, LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("key_in"), LogicVec::from_u64(64, 7)).expect("k");
+        sim.write_input(n("pt_in"), pt.clone()).expect("p");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 1)).expect("s");
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("c");
+        sim.settle().expect("settle");
+        sim.tick(clk).expect("tick"); // pt_reg loaded
+        // Reset asserted while the clock is LOW: no leak.
+        sim.write_input(rst, LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        assert_ne!(sim.net_logic(n("ct_out")), &pt, "clock-low reset must not leak");
+        // Release, reload, then assert while the clock is HIGH: leak.
+        sim.write_input(rst, LogicVec::from_u64(1, 1)).expect("rst");
+        sim.settle().expect("settle");
+        sim.tick(clk).expect("tick");
+        sim.write_input(clk, LogicVec::from_u64(1, 1)).expect("clk");
+        sim.settle().expect("settle");
+        sim.write_input(rst, LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        assert_eq!(sim.net_logic(n("ct_out")), &pt, "clock-high reset dumps pt");
+        assert_eq!(sim.net_logic(n("leak_obs")).to_u64(), Some(1));
+    }
+}

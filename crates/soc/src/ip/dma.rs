@@ -1,0 +1,199 @@
+//! DMA engine: a bus-master copy engine with source/destination/length
+//! registers and a transfer FSM. Part of the AutoSoC memory subsystem
+//! (Table II classes it as a Memory IP).
+
+use super::sram::MemoryBug;
+
+/// Generates the DMA engine.
+///
+/// The engine copies `len` words from `src` to `dst` over its master port
+/// when `go` pulses. Its descriptor registers sit behind the same
+/// range-check idea as the SRAMs: a `desc_lock` register must be armed by
+/// reset so stale descriptors cannot fire; the data-integrity bug clears
+/// it instead.
+#[must_use]
+pub fn dma(bug: MemoryBug) -> String {
+    let lock_reset = match bug {
+        MemoryBug::None => "desc_lock <= 1'b1;",
+        MemoryBug::RangeCheckLost => {
+            "desc_lock <= 1'b0; // BUG(data-integrity): descriptor lock lost"
+        }
+    };
+    format!(
+        "module dma_engine(
+  input clk,
+  input rst_n,
+  input go,
+  input unlock,
+  input [31:0] src,
+  input [31:0] dst,
+  input [7:0] len,
+  output reg [31:0] bus_addr,
+  output reg [31:0] bus_wdata,
+  input [31:0] bus_rdata,
+  output reg bus_we,
+  output reg bus_stb,
+  input bus_ack,
+  output reg busy,
+  output reg desc_lock
+);
+  localparam IDLE = 2'd0;
+  localparam RD   = 2'd1;
+  localparam WR   = 2'd2;
+  reg [1:0] state;
+  reg [31:0] cur_src;
+  reg [31:0] cur_dst;
+  reg [7:0] remaining;
+  reg [31:0] hold;
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      state <= IDLE;
+      busy <= 1'b0;
+      bus_stb <= 1'b0;
+      bus_we <= 1'b0;
+      bus_addr <= 32'd0;
+      bus_wdata <= 32'd0;
+      cur_src <= 32'd0;
+      cur_dst <= 32'd0;
+      remaining <= 8'd0;
+      hold <= 32'd0;
+      {lock_reset}
+    end else begin
+      case (state)
+        IDLE: begin
+          bus_stb <= 1'b0;
+          bus_we <= 1'b0;
+          if (go & (~desc_lock | unlock) & (len != 8'd0)) begin
+            cur_src <= src;
+            cur_dst <= dst;
+            remaining <= len;
+            busy <= 1'b1;
+            state <= RD;
+          end else busy <= 1'b0;
+        end
+        RD: begin
+          bus_addr <= cur_src;
+          bus_we <= 1'b0;
+          bus_stb <= 1'b1;
+          if (bus_ack) begin
+            hold <= bus_rdata;
+            bus_stb <= 1'b0;
+            state <= WR;
+          end
+        end
+        WR: begin
+          bus_addr <= cur_dst;
+          bus_wdata <= hold;
+          bus_we <= 1'b1;
+          bus_stb <= 1'b1;
+          if (bus_ack) begin
+            bus_stb <= 1'b0;
+            bus_we <= 1'b0;
+            cur_src <= cur_src + 32'd4;
+            cur_dst <= cur_dst + 32'd4;
+            remaining <= remaining - 8'd1;
+            if (remaining == 8'd1) begin
+              busy <= 1'b0;
+              state <= IDLE;
+            end else state <= RD;
+          end
+        end
+        default: state <= IDLE;
+      endcase
+    end
+endmodule
+",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soccar_rtl::value::LogicVec;
+    use soccar_sim::{InitPolicy, Simulator};
+
+    fn sim_dma(bug: MemoryBug, unlock: bool) -> bool {
+        // Returns whether a transfer started after reset without unlock.
+        let d = soccar_rtl::compile("dma.v", &dma(bug), "dma_engine")
+            .unwrap_or_else(|e| panic!("{e}"))
+            .0;
+        let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+        let n = |s: &str| d.find_net(&format!("dma_engine.{s}")).expect("net");
+        let clk = n("clk");
+        for (sig, w) in [
+            ("go", 1u32),
+            ("unlock", 1),
+            ("src", 32),
+            ("dst", 32),
+            ("len", 8),
+            ("bus_rdata", 32),
+            ("bus_ack", 1),
+        ] {
+            sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
+        }
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("len"), LogicVec::from_u64(8, 2)).expect("len");
+        sim.write_input(n("go"), LogicVec::from_u64(1, 1)).expect("go");
+        sim.write_input(n("unlock"), LogicVec::from_u64(1, u64::from(unlock))).expect("ul");
+        sim.settle().expect("settle");
+        sim.tick(clk).expect("tick");
+        sim.net_logic(n("busy")).to_u64() == Some(1)
+    }
+
+    #[test]
+    fn locked_descriptor_blocks_without_unlock() {
+        assert!(!sim_dma(MemoryBug::None, false));
+        assert!(sim_dma(MemoryBug::None, true));
+    }
+
+    #[test]
+    fn buggy_reset_lets_stale_descriptor_fire() {
+        assert!(sim_dma(MemoryBug::RangeCheckLost, false));
+    }
+
+    #[test]
+    fn dma_copies_words() {
+        let d = soccar_rtl::compile("dma.v", &dma(MemoryBug::None), "dma_engine")
+            .expect("compile")
+            .0;
+        let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+        let n = |s: &str| d.find_net(&format!("dma_engine.{s}")).expect("net");
+        let clk = n("clk");
+        for (sig, w) in [
+            ("go", 1u32),
+            ("unlock", 1),
+            ("src", 32),
+            ("dst", 32),
+            ("len", 8),
+            ("bus_rdata", 32),
+            ("bus_ack", 1),
+        ] {
+            sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
+        }
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("src"), LogicVec::from_u64(32, 0x100)).expect("src");
+        sim.write_input(n("dst"), LogicVec::from_u64(32, 0x200)).expect("dst");
+        sim.write_input(n("len"), LogicVec::from_u64(8, 1)).expect("len");
+        sim.write_input(n("go"), LogicVec::from_u64(1, 1)).expect("go");
+        sim.write_input(n("unlock"), LogicVec::from_u64(1, 1)).expect("ul");
+        sim.settle().expect("settle");
+        sim.tick(clk).expect("tick"); // IDLE → RD
+        sim.write_input(n("go"), LogicVec::from_u64(1, 0)).expect("go");
+        sim.write_input(n("bus_rdata"), LogicVec::from_u64(32, 0xFACE)).expect("rd");
+        sim.write_input(n("bus_ack"), LogicVec::from_u64(1, 1)).expect("ack");
+        sim.tick(clk).expect("tick"); // RD latches
+        assert_eq!(sim.net_logic(n("bus_we")).to_u64(), Some(0));
+        sim.tick(clk).expect("tick"); // WR drives
+        assert_eq!(sim.net_logic(n("bus_addr")).to_u64(), Some(0x200));
+        assert_eq!(sim.net_logic(n("bus_wdata")).to_u64(), Some(0xFACE));
+        sim.tick(clk).expect("tick"); // WR acks, done
+        assert_eq!(sim.net_logic(n("busy")).to_u64(), Some(0));
+    }
+}

@@ -1,0 +1,11 @@
+//! IP core generators: every block emits self-contained Verilog consumed
+//! by the `soccar-rtl` frontend.
+
+pub mod axi;
+pub mod crypto;
+pub mod dma;
+pub mod dsp;
+pub mod periph;
+pub mod riscv;
+pub mod sram;
+pub mod wishbone;

@@ -1,0 +1,342 @@
+//! Communication peripherals: UART, SPI controller and a lite Ethernet
+//! MAC. They give both SoCs their off-chip connectivity (Section V-A) and
+//! populate the peripheral reset domain.
+
+/// UART with a baud-rate divider and 8N1 transmit/receive shift engines.
+#[must_use]
+pub fn uart() -> String {
+    "module uart #(parameter DIV = 4)(
+  input clk,
+  input rst_n,
+  input tx_start,
+  input [7:0] tx_data,
+  output reg txd,
+  output reg tx_busy,
+  input rxd,
+  output reg [7:0] rx_data,
+  output reg rx_valid
+);
+  reg [15:0] baud_cnt;
+  reg baud_tick;
+  reg [3:0] tx_state;
+  reg [9:0] tx_shift;
+  reg [3:0] rx_state;
+  reg [7:0] rx_shift;
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      baud_cnt <= 16'd0;
+      baud_tick <= 1'b0;
+    end else begin
+      if (baud_cnt == DIV - 1) begin
+        baud_cnt <= 16'd0;
+        baud_tick <= 1'b1;
+      end else begin
+        baud_cnt <= baud_cnt + 16'd1;
+        baud_tick <= 1'b0;
+      end
+    end
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      tx_state <= 4'd0;
+      tx_shift <= 10'h3FF;
+      txd <= 1'b1;
+      tx_busy <= 1'b0;
+    end else begin
+      if (tx_state == 4'd0) begin
+        if (tx_start) begin
+          tx_shift <= {1'b1, tx_data, 1'b0}; // stop, data, start
+          tx_state <= 4'd10;
+          tx_busy <= 1'b1;
+        end
+      end else if (baud_tick) begin
+        txd <= tx_shift[0];
+        tx_shift <= {1'b1, tx_shift[9:1]};
+        tx_state <= tx_state - 4'd1;
+        if (tx_state == 4'd1) tx_busy <= 1'b0;
+      end
+    end
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      rx_state <= 4'd0;
+      rx_shift <= 8'd0;
+      rx_data <= 8'd0;
+      rx_valid <= 1'b0;
+    end else begin
+      rx_valid <= 1'b0;
+      if (rx_state == 4'd0) begin
+        if (~rxd & baud_tick) rx_state <= 4'd8;
+      end else if (baud_tick) begin
+        rx_shift <= {rxd, rx_shift[7:1]};
+        rx_state <= rx_state - 4'd1;
+        if (rx_state == 4'd1) begin
+          rx_data <= {rxd, rx_shift[7:1]};
+          rx_valid <= 1'b1;
+        end
+      end
+    end
+endmodule
+"
+    .to_owned()
+}
+
+/// SPI master with a programmable clock divider and an 8-bit shift engine.
+#[must_use]
+pub fn spi() -> String {
+    "module spi_ctrl #(parameter DIV = 2)(
+  input clk,
+  input rst_n,
+  input start,
+  input [7:0] mosi_data,
+  output reg sck,
+  output reg mosi,
+  input miso,
+  output reg cs_n,
+  output reg [7:0] miso_data,
+  output reg busy
+);
+  reg [7:0] div_cnt;
+  reg [7:0] sh_out;
+  reg [7:0] sh_in;
+  reg [3:0] bits;
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      sck <= 1'b0;
+      mosi <= 1'b0;
+      cs_n <= 1'b1;
+      miso_data <= 8'd0;
+      busy <= 1'b0;
+      div_cnt <= 8'd0;
+      sh_out <= 8'd0;
+      sh_in <= 8'd0;
+      bits <= 4'd0;
+    end else begin
+      if (~busy) begin
+        if (start) begin
+          sh_out <= mosi_data;
+          bits <= 4'd8;
+          busy <= 1'b1;
+          cs_n <= 1'b0;
+          div_cnt <= 8'd0;
+        end
+      end else if (div_cnt == DIV - 1) begin
+        div_cnt <= 8'd0;
+        sck <= ~sck;
+        if (sck) begin
+          // Falling edge: shift out the next bit.
+          mosi <= sh_out[7];
+          sh_out <= {sh_out[6:0], 1'b0};
+          if (bits == 4'd0) begin
+            busy <= 1'b0;
+            cs_n <= 1'b1;
+            miso_data <= sh_in;
+          end
+        end else begin
+          // Rising edge: sample miso.
+          sh_in <= {sh_in[6:0], miso};
+          bits <= bits - 4'd1;
+        end
+      end else div_cnt <= div_cnt + 8'd1;
+    end
+endmodule
+"
+    .to_owned()
+}
+
+/// Lite Ethernet MAC: frame buffers in memories, a length/CRC-ish
+/// checksum pipeline, tx/rx FSMs.
+#[must_use]
+pub fn eth() -> String {
+    "module eth_mac(
+  input clk,
+  input rst_n,
+  input tx_start,
+  input [7:0] tx_len,
+  input [31:0] tx_word,
+  input tx_word_valid,
+  output reg tx_done,
+  output reg phy_tx_en,
+  output reg [31:0] phy_txd,
+  input phy_rx_dv,
+  input [31:0] phy_rxd,
+  output reg [31:0] rx_word,
+  output reg rx_valid,
+  output reg [31:0] csum
+);
+  reg [31:0] tx_buf [0:63];
+  reg [31:0] rx_buf [0:63];
+  reg [7:0] tx_wr;
+  reg [7:0] tx_rd;
+  reg [7:0] tx_rem;
+  reg [7:0] rx_wr;
+  reg sending;
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      tx_wr <= 8'd0;
+      tx_rd <= 8'd0;
+      tx_rem <= 8'd0;
+      rx_wr <= 8'd0;
+      sending <= 1'b0;
+      tx_done <= 1'b0;
+      phy_tx_en <= 1'b0;
+      phy_txd <= 32'd0;
+      rx_word <= 32'd0;
+      rx_valid <= 1'b0;
+      csum <= 32'd0;
+    end else begin
+      tx_done <= 1'b0;
+      rx_valid <= 1'b0;
+      if (tx_word_valid & ~sending) begin
+        tx_buf[tx_wr[5:0]] <= tx_word;
+        tx_wr <= tx_wr + 8'd1;
+      end
+      if (tx_start & ~sending & (tx_len != 8'd0)) begin
+        sending <= 1'b1;
+        tx_rd <= 8'd0;
+        tx_rem <= tx_len;
+      end
+      if (sending) begin
+        phy_tx_en <= 1'b1;
+        phy_txd <= tx_buf[tx_rd[5:0]];
+        csum <= csum + tx_buf[tx_rd[5:0]];
+        tx_rd <= tx_rd + 8'd1;
+        tx_rem <= tx_rem - 8'd1;
+        if (tx_rem == 8'd1) begin
+          sending <= 1'b0;
+          phy_tx_en <= 1'b0;
+          tx_done <= 1'b1;
+        end
+      end
+      if (phy_rx_dv) begin
+        rx_buf[rx_wr[5:0]] <= phy_rxd;
+        rx_word <= phy_rxd;
+        rx_wr <= rx_wr + 8'd1;
+        rx_valid <= 1'b1;
+      end
+    end
+endmodule
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soccar_rtl::value::LogicVec;
+    use soccar_sim::{InitPolicy, Simulator};
+
+    fn compile(src: &str, top: &str) -> soccar_rtl::Design {
+        soccar_rtl::compile("periph.v", src, top)
+            .unwrap_or_else(|e| panic!("{top}: {e}"))
+            .0
+    }
+
+    #[test]
+    fn all_peripherals_compile() {
+        compile(&uart(), "uart");
+        compile(&spi(), "spi_ctrl");
+        compile(&eth(), "eth_mac");
+    }
+
+    #[test]
+    fn uart_transmits_start_bit() {
+        let d = compile(&uart(), "uart");
+        let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+        let n = |s: &str| d.find_net(&format!("uart.{s}")).expect("net");
+        let clk = n("clk");
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        sim.write_input(n("rxd"), LogicVec::from_u64(1, 1)).expect("rxd");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0)).expect("ts");
+        sim.write_input(n("tx_data"), LogicVec::from_u64(8, 0xA5)).expect("td");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        assert_eq!(sim.net_logic(n("txd")).to_u64(), Some(1), "idle high");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 1)).expect("ts");
+        sim.settle().expect("settle");
+        sim.tick(clk).expect("tick");
+        assert_eq!(sim.net_logic(n("tx_busy")).to_u64(), Some(1));
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0)).expect("ts");
+        // Run past one baud tick (DIV=4): start bit (0) appears on txd.
+        for _ in 0..6 {
+            sim.tick(clk).expect("tick");
+        }
+        assert_eq!(sim.net_logic(n("txd")).to_u64(), Some(0), "start bit");
+    }
+
+    #[test]
+    fn spi_shifts_eight_bits() {
+        let d = compile(&spi(), "spi_ctrl");
+        let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+        let n = |s: &str| d.find_net(&format!("spi_ctrl.{s}")).expect("net");
+        let clk = n("clk");
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        sim.write_input(n("miso"), LogicVec::from_u64(1, 1)).expect("miso");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 0)).expect("st");
+        sim.write_input(n("mosi_data"), LogicVec::from_u64(8, 0xC3)).expect("md");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        assert_eq!(sim.net_logic(n("cs_n")).to_u64(), Some(1));
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 1)).expect("st");
+        sim.settle().expect("settle");
+        sim.tick(clk).expect("tick");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 0)).expect("st");
+        assert_eq!(sim.net_logic(n("cs_n")).to_u64(), Some(0), "selected");
+        for _ in 0..80 {
+            sim.tick(clk).expect("tick");
+        }
+        assert_eq!(sim.net_logic(n("busy")).to_u64(), Some(0), "done");
+        // All-ones miso shifted in.
+        assert_eq!(sim.net_logic(n("miso_data")).to_u64(), Some(0xFF));
+    }
+
+    #[test]
+    fn eth_loops_frame_through_buffer() {
+        let d = compile(&eth(), "eth_mac");
+        let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+        let n = |s: &str| d.find_net(&format!("eth_mac.{s}")).expect("net");
+        let clk = n("clk");
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        for (sig, w) in [
+            ("tx_start", 1u32),
+            ("tx_len", 8),
+            ("tx_word", 32),
+            ("tx_word_valid", 1),
+            ("phy_rx_dv", 1),
+            ("phy_rxd", 32),
+        ] {
+            sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
+        }
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        // Load two words.
+        for w in [0x11u64, 0x22] {
+            sim.write_input(n("tx_word"), LogicVec::from_u64(32, w)).expect("w");
+            sim.write_input(n("tx_word_valid"), LogicVec::from_u64(1, 1)).expect("v");
+            sim.tick(clk).expect("tick");
+        }
+        sim.write_input(n("tx_word_valid"), LogicVec::from_u64(1, 0)).expect("v");
+        sim.write_input(n("tx_len"), LogicVec::from_u64(8, 2)).expect("len");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 1)).expect("st");
+        sim.tick(clk).expect("tick");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0)).expect("st");
+        sim.tick(clk).expect("tick");
+        assert_eq!(sim.net_logic(n("phy_txd")).to_u64(), Some(0x11));
+        sim.tick(clk).expect("tick");
+        assert_eq!(sim.net_logic(n("phy_txd")).to_u64(), Some(0x22));
+        assert_eq!(sim.net_logic(n("tx_done")).to_u64(), Some(1));
+        assert_eq!(sim.net_logic(n("csum")).to_u64(), Some(0x33));
+        // Receive path.
+        sim.write_input(n("phy_rx_dv"), LogicVec::from_u64(1, 1)).expect("dv");
+        sim.write_input(n("phy_rxd"), LogicVec::from_u64(32, 0xBEEF)).expect("rx");
+        sim.tick(clk).expect("tick");
+        assert_eq!(sim.net_logic(n("rx_word")).to_u64(), Some(0xBEEF));
+        assert_eq!(sim.net_logic(n("rx_valid")).to_u64(), Some(1));
+    }
+}

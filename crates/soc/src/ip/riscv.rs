@@ -1,0 +1,341 @@
+//! Simplified multicycle RISC-V cores (RV32I / RV32E / RV32IC / RV32IM /
+//! RV32IMC).
+//!
+//! The cores are area-plausible stand-ins, not ISA-complete CPUs (see
+//! DESIGN.md §3): each executes a deterministic boot/self-test program
+//! from an internal ROM through a FETCH→DECODE→EXECUTE→MEM→WRITEBACK
+//! state machine with a real register file, ALU, bus master port and —
+//! load-bearing for the experiments — a genuine **privilege-mode FSM**
+//! (Machine `11` / Supervisor `01` / User `00`) driven by ecall/mret-style
+//! instruction patterns.
+//!
+//! The *Unavailability of Privilege Modes* bug (Table III) corrupts the
+//! asynchronous reset of the privilege register: it is "assigned with an
+//! undefined value" (`2'b10`), so the mode FSM can never reach a legal
+//! state again.
+
+/// Core ISA variants (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreVariant {
+    /// Baseline 32-bit integer ISA, 32 registers.
+    Rv32i,
+    /// Embedded extension: 16 registers.
+    Rv32e,
+    /// Compressed instructions (adds a decompression stage).
+    Rv32ic,
+    /// Multiply/divide extension (adds a multicycle mul/div unit).
+    Rv32im,
+    /// Compressed + multiply/divide.
+    Rv32imc,
+}
+
+impl CoreVariant {
+    /// Module name emitted for this variant.
+    #[must_use]
+    pub fn module_name(self) -> &'static str {
+        match self {
+            CoreVariant::Rv32i => "rv32i_core",
+            CoreVariant::Rv32e => "rv32e_core",
+            CoreVariant::Rv32ic => "rv32ic_core",
+            CoreVariant::Rv32im => "rv32im_core",
+            CoreVariant::Rv32imc => "rv32imc_core",
+        }
+    }
+
+    /// Architectural register count.
+    #[must_use]
+    pub fn reg_count(self) -> u32 {
+        match self {
+            CoreVariant::Rv32e => 16,
+            _ => 32,
+        }
+    }
+
+    fn has_mul(self) -> bool {
+        matches!(self, CoreVariant::Rv32im | CoreVariant::Rv32imc)
+    }
+
+    fn has_compressed(self) -> bool {
+        matches!(self, CoreVariant::Rv32ic | CoreVariant::Rv32imc)
+    }
+}
+
+/// Privilege-mode bug selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreBug {
+    /// Correct RTL.
+    #[default]
+    None,
+    /// Reset drives the privilege register to the undefined encoding
+    /// `2'b10`, from which no legal transition exists.
+    PrivUndefined,
+}
+
+/// Generates one core variant.
+#[must_use]
+pub fn core(variant: CoreVariant, bug: CoreBug) -> String {
+    let name = variant.module_name();
+    let regs = variant.reg_count();
+    let idx_hi = if regs == 32 { 11 } else { 10 }; // instr[11:7] vs [10:7]
+    let priv_reset = match bug {
+        CoreBug::None => "priv_mode <= 2'b11;",
+        CoreBug::PrivUndefined => {
+            "priv_mode <= 2'b10; // BUG(privilege): undefined mode encoding"
+        }
+    };
+    let mul_decl = if variant.has_mul() {
+        "  reg [31:0] mul_acc;\n  reg [5:0] mul_cnt;\n"
+    } else {
+        ""
+    };
+    let mul_reset = if variant.has_mul() {
+        "      mul_acc <= 32'd0;\n      mul_cnt <= 6'd0;\n"
+    } else {
+        ""
+    };
+    let mul_exec = if variant.has_mul() {
+        "            if (instr[25]) begin
+              // M-extension path: iterative multiply into mul_acc.
+              mul_acc <= op_a * op_b;
+              mul_cnt <= mul_cnt + 6'd1;
+              alu_q <= mul_acc;
+            end else
+"
+    } else {
+        ""
+    };
+    let decompress = if variant.has_compressed() {
+        "          // Compressed-instruction expansion stage: widen a
+          // 16-bit encoding into its 32-bit equivalent.
+          if (instr[1:0] != 2'b11)
+            instr <= {instr[15:13], 4'b0011, instr[12:2], 7'b0010011, instr[15:9]};
+"
+    } else {
+        ""
+    };
+    format!(
+        "module {name}#(parameter HARTID = 0)(
+  input clk,
+  input rst_n,
+  output reg [31:0] bus_addr,
+  output reg [31:0] bus_wdata,
+  input [31:0] bus_rdata,
+  output reg bus_we,
+  output reg bus_stb,
+  input bus_ack,
+  input irq,
+  output reg [1:0] priv_mode,
+  output reg [31:0] pc,
+  output reg halted
+);
+  localparam F = 3'd0;
+  localparam D = 3'd1;
+  localparam X = 3'd2;
+  localparam M = 3'd3;
+  localparam W = 3'd4;
+  reg [2:0] state;
+  reg [31:0] rom [0:31];
+  reg [31:0] rf [0:{rm1}];
+  reg [31:0] instr;
+  reg [31:0] op_a;
+  reg [31:0] op_b;
+  reg [31:0] alu_q;
+{mul_decl}  integer i;
+
+  // Deterministic boot/self-test program: ALU ops, a store, a load,
+  // and periodic ecall/mret privilege round-trips.
+  initial begin
+    for (i = 0; i < 32; i = i + 1)
+      rom[i] = (32'h13579BDF * (i + 1)) ^ (32'h01010101 * HARTID) | 32'h00000013;
+    rom[7]  = 32'h00000073;  // ecall pattern: trap up to Machine
+    rom[15] = 32'h30200073;  // mret pattern: return down one level
+    rom[23] = 32'h00000073;
+    rom[31] = 32'h30200073;
+  end
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      state <= F;
+      pc <= 32'd0;
+      instr <= 32'd0;
+      op_a <= 32'd0;
+      op_b <= 32'd0;
+      alu_q <= 32'd0;
+      bus_addr <= 32'd0;
+      bus_wdata <= 32'd0;
+      bus_we <= 1'b0;
+      bus_stb <= 1'b0;
+      halted <= 1'b0;
+{mul_reset}      {priv_reset}
+    end else begin
+      case (state)
+        F: begin
+          instr <= rom[pc[6:2]];
+          state <= D;
+        end
+        D: begin
+{decompress}          op_a <= rf[instr[{idx_hi}:7]];
+          op_b <= rf[instr[{idx2_hi}:20]];
+          state <= X;
+        end
+        X: begin
+          if (instr == 32'h00000073) begin
+            // ecall: trap to Machine mode.
+            priv_mode <= 2'b11;
+            alu_q <= pc;
+          end else if (instr == 32'h30200073) begin
+            // mret: drop one privilege level (M→S→U).
+            if (priv_mode == 2'b11) priv_mode <= 2'b01;
+            else priv_mode <= 2'b00;
+            alu_q <= pc;
+          end else
+{mul_exec}          case (instr[14:12])
+            3'd0: alu_q <= op_a + op_b;
+            3'd1: alu_q <= op_a - op_b;
+            3'd2: alu_q <= op_a ^ op_b;
+            3'd3: alu_q <= op_a & op_b;
+            3'd4: alu_q <= op_a | op_b;
+            3'd5: alu_q <= op_a << instr[24:20];
+            3'd6: alu_q <= op_a >> instr[24:20];
+            default: alu_q <= {{31'd0, op_a < op_b}};
+          endcase
+          state <= M;
+        end
+        M: begin
+          if (instr[5] & instr[6]) begin
+            // Store cycle onto the bus (user-region scratch address).
+            bus_addr <= {{4'd0, alu_q[27:0]}};
+            bus_wdata <= op_b;
+            bus_we <= 1'b1;
+            bus_stb <= 1'b1;
+          end else begin
+            bus_stb <= 1'b0;
+            bus_we <= 1'b0;
+          end
+          state <= W;
+        end
+        W: begin
+          bus_stb <= 1'b0;
+          bus_we <= 1'b0;
+          if (bus_ack & ~instr[6]) alu_q <= bus_rdata;
+          rf[instr[{idx_hi}:7]] <= alu_q;
+          pc <= pc + 32'd4;
+          if (irq) priv_mode <= 2'b11;
+          state <= F;
+        end
+        default: state <= F;
+      endcase
+    end
+endmodule
+",
+        rm1 = regs - 1,
+        idx2_hi = if regs == 32 { 24 } else { 23 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soccar_rtl::value::LogicVec;
+    use soccar_sim::{InitPolicy, Simulator};
+
+    const ALL: [CoreVariant; 5] = [
+        CoreVariant::Rv32i,
+        CoreVariant::Rv32e,
+        CoreVariant::Rv32ic,
+        CoreVariant::Rv32im,
+        CoreVariant::Rv32imc,
+    ];
+
+    #[test]
+    fn all_variants_compile() {
+        for v in ALL {
+            for bug in [CoreBug::None, CoreBug::PrivUndefined] {
+                let src = core(v, bug);
+                soccar_rtl::compile("core.v", &src, v.module_name())
+                    .unwrap_or_else(|e| panic!("{v:?}: {e}"));
+            }
+        }
+    }
+
+    fn boot(variant: CoreVariant, bug: CoreBug, cycles: u32) -> (Vec<u64>, u64) {
+        let src = core(variant, bug);
+        let name = variant.module_name();
+        let d = soccar_rtl::compile("core.v", &src, name)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .0;
+        let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+        let n = |s: &str| d.find_net(&format!("{name}.{s}")).expect("net");
+        let clk = n("clk");
+        for (sig, w) in [("bus_rdata", 32u32), ("bus_ack", 1), ("irq", 1)] {
+            sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
+        }
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.settle().expect("settle");
+        let mut privs = Vec::new();
+        for _ in 0..cycles {
+            sim.tick(clk).expect("tick");
+            privs.push(sim.net_logic(n("priv_mode")).to_u64().expect("priv"));
+        }
+        let pc = sim.net_logic(n("pc")).to_u64().expect("pc");
+        (privs, pc)
+    }
+
+    #[test]
+    fn core_executes_and_advances_pc() {
+        let (_, pc) = boot(CoreVariant::Rv32i, CoreBug::None, 60);
+        assert!(pc >= 4 * 8, "pc advanced through the boot program: {pc}");
+    }
+
+    #[test]
+    fn privilege_fsm_walks_legal_modes_only() {
+        let (privs, _) = boot(CoreVariant::Rv32i, CoreBug::None, 200);
+        assert!(privs.iter().all(|p| [0b00, 0b01, 0b11].contains(&(*p as u32))));
+        // The ecall/mret round-trips must actually exercise multiple modes.
+        assert!(privs.contains(&0b11));
+        assert!(privs.contains(&0b01));
+    }
+
+    #[test]
+    fn buggy_reset_leaves_undefined_privilege() {
+        let (privs, _) = boot(CoreVariant::Rv32e, CoreBug::PrivUndefined, 6);
+        assert_eq!(privs[0], 0b10, "undefined mode visible right after reset");
+    }
+
+    #[test]
+    fn rv32e_has_fewer_registers() {
+        let d = soccar_rtl::compile("c.v", &core(CoreVariant::Rv32e, CoreBug::None), "rv32e_core")
+            .expect("compile")
+            .0;
+        let rf = d.find_memory("rv32e_core.rf").expect("rf");
+        assert_eq!(d.memory(rf).depth, 16);
+        let d = soccar_rtl::compile("c.v", &core(CoreVariant::Rv32i, CoreBug::None), "rv32i_core")
+            .expect("compile")
+            .0;
+        let rf = d.find_memory("rv32i_core.rf").expect("rf");
+        assert_eq!(d.memory(rf).depth, 32);
+    }
+
+    #[test]
+    fn im_variant_has_multiplier_state() {
+        let d = soccar_rtl::compile(
+            "c.v",
+            &core(CoreVariant::Rv32im, CoreBug::None),
+            "rv32im_core",
+        )
+        .expect("compile")
+        .0;
+        assert!(d.find_net("rv32im_core.mul_acc").is_some());
+        let d = soccar_rtl::compile(
+            "c.v",
+            &core(CoreVariant::Rv32i, CoreBug::None),
+            "rv32i_core",
+        )
+        .expect("compile")
+        .0;
+        assert!(d.find_net("rv32i_core.mul_acc").is_none());
+    }
+}

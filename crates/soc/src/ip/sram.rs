@@ -1,0 +1,253 @@
+//! SRAM memory IPs (single- and dual-port) with an address-range
+//! protection unit.
+//!
+//! Writes into the protected region (`addr >= PROT_BASE`) are blocked
+//! while `prot_en` is armed; the asynchronous reset is responsible for
+//! re-arming the guard. The *Loss of Data Integrity* bug (Table III)
+//! makes the reset clear the guard instead: "failure of correct address
+//! range check for read/write requests after an asynchronous reset".
+
+/// Data-integrity bug selector for a memory IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryBug {
+    /// Correct RTL.
+    #[default]
+    None,
+    /// The reset arm disarms the range check instead of re-arming it.
+    RangeCheckLost,
+}
+
+fn guard_reset(bug: MemoryBug) -> &'static str {
+    match bug {
+        MemoryBug::None => "prot_en <= 1'b1;",
+        MemoryBug::RangeCheckLost => {
+            "prot_en <= 1'b0; // BUG(data-integrity): range check disarmed by reset"
+        }
+    }
+}
+
+/// Single-port SRAM with range protection.
+///
+/// `DEPTH_LOG2` addresses of `WIDTH`-bit words; the upper half of the
+/// address space is the protected region.
+#[must_use]
+pub fn sram_sp(bug: MemoryBug) -> String {
+    format!(
+        "module sram_sp #(parameter AW = 8, DW = 32)(
+  input clk,
+  input rst_n,
+  input stb,
+  input we,
+  input unlock,
+  input [AW-1:0] addr,
+  input [DW-1:0] wdata,
+  output reg [DW-1:0] rdata,
+  output reg ack,
+  output reg prot_en,
+  output reg viol
+);
+  reg [DW-1:0] mem [0:(1<<AW)-1];
+  wire protected_region;
+  wire blocked;
+  assign protected_region = addr[AW-1];
+  assign blocked = protected_region & prot_en & ~unlock;
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      ack <= 1'b0;
+      rdata <= {{DW{{1'b0}}}};
+      viol <= 1'b0;
+      {guard}
+    end else begin
+      ack <= 1'b0;
+      viol <= 1'b0;
+      if (stb) begin
+        ack <= 1'b1;
+        if (we) begin
+          if (blocked) viol <= 1'b1;
+          else mem[addr] <= wdata;
+        end else begin
+          if (blocked) rdata <= {{DW{{1'b0}}}};
+          else rdata <= mem[addr];
+        end
+      end
+    end
+endmodule
+",
+        guard = guard_reset(bug)
+    )
+}
+
+/// Dual-port SRAM: port A read/write with protection, port B read-only.
+#[must_use]
+pub fn sram_dp(bug: MemoryBug) -> String {
+    format!(
+        "module sram_dp #(parameter AW = 8, DW = 32)(
+  input clk,
+  input rst_n,
+  input a_stb,
+  input a_we,
+  input unlock,
+  input [AW-1:0] a_addr,
+  input [DW-1:0] a_wdata,
+  output reg [DW-1:0] a_rdata,
+  output reg a_ack,
+  input b_stb,
+  input [AW-1:0] b_addr,
+  output reg [DW-1:0] b_rdata,
+  output reg b_ack,
+  output reg prot_en,
+  output reg viol
+);
+  reg [DW-1:0] mem [0:(1<<AW)-1];
+  wire a_protected;
+  wire a_blocked;
+  assign a_protected = a_addr[AW-1];
+  assign a_blocked = a_protected & prot_en & ~unlock;
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      a_ack <= 1'b0;
+      a_rdata <= {{DW{{1'b0}}}};
+      viol <= 1'b0;
+      {guard}
+    end else begin
+      a_ack <= 1'b0;
+      viol <= 1'b0;
+      if (a_stb) begin
+        a_ack <= 1'b1;
+        if (a_we) begin
+          if (a_blocked) viol <= 1'b1;
+          else mem[a_addr] <= a_wdata;
+        end else begin
+          if (a_blocked) a_rdata <= {{DW{{1'b0}}}};
+          else a_rdata <= mem[a_addr];
+        end
+      end
+    end
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      b_ack <= 1'b0;
+      b_rdata <= {{DW{{1'b0}}}};
+    end else begin
+      b_ack <= 1'b0;
+      if (b_stb) begin
+        b_ack <= 1'b1;
+        b_rdata <= mem[b_addr];
+      end
+    end
+endmodule
+",
+        guard = guard_reset(bug)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soccar_rtl::value::LogicVec;
+    use soccar_sim::{InitPolicy, Simulator};
+
+    fn compile(src: &str, top: &str) -> soccar_rtl::Design {
+        soccar_rtl::compile("sram.v", src, top)
+            .unwrap_or_else(|e| panic!("compile {top}: {e}"))
+            .0
+    }
+
+    #[test]
+    fn both_srams_compile() {
+        for bug in [MemoryBug::None, MemoryBug::RangeCheckLost] {
+            compile(&sram_sp(bug), "sram_sp");
+            compile(&sram_dp(bug), "sram_dp");
+        }
+    }
+
+    fn write_then_read(bug: MemoryBug, addr: u64, unlock: bool) -> (u64, u64) {
+        // Returns (viol flag after write, read-back value).
+        let d = compile(&sram_sp(bug), "sram_sp");
+        let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+        let n = |s: &str| d.find_net(&format!("sram_sp.{s}")).expect("net");
+        let clk = n("clk");
+        // Reset pulse (arms or disarms the guard depending on the bug).
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        sim.write_input(n("stb"), LogicVec::from_u64(1, 0)).expect("stb");
+        sim.write_input(n("we"), LogicVec::from_u64(1, 0)).expect("we");
+        sim.write_input(n("unlock"), LogicVec::from_u64(1, u64::from(unlock))).expect("ul");
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.settle().expect("settle");
+        // Write 0xAB at addr.
+        sim.write_input(n("addr"), LogicVec::from_u64(8, addr)).expect("addr");
+        sim.write_input(n("wdata"), LogicVec::from_u64(32, 0xAB)).expect("wd");
+        sim.write_input(n("stb"), LogicVec::from_u64(1, 1)).expect("stb");
+        sim.write_input(n("we"), LogicVec::from_u64(1, 1)).expect("we");
+        sim.settle().expect("settle"); // combinational guard before the edge
+        sim.tick(clk).expect("tick");
+        let viol = sim.net_logic(n("viol")).to_u64().expect("viol");
+        // Read back.
+        sim.write_input(n("we"), LogicVec::from_u64(1, 0)).expect("we");
+        sim.write_input(n("unlock"), LogicVec::from_u64(1, 1)).expect("ul");
+        sim.settle().expect("settle");
+        sim.tick(clk).expect("tick");
+        let rd = sim.net_logic(n("rdata")).to_u64().expect("rdata");
+        (viol, rd)
+    }
+
+    #[test]
+    fn unprotected_region_writes_freely() {
+        let (viol, rd) = write_then_read(MemoryBug::None, 0x10, false);
+        assert_eq!(viol, 0);
+        assert_eq!(rd, 0xAB);
+    }
+
+    #[test]
+    fn protected_region_blocks_without_unlock() {
+        let (viol, rd) = write_then_read(MemoryBug::None, 0x90, false);
+        assert_eq!(viol, 1, "violation flagged");
+        assert_eq!(rd, 0, "write was blocked");
+    }
+
+    #[test]
+    fn protected_region_allows_with_unlock() {
+        let (viol, rd) = write_then_read(MemoryBug::None, 0x90, true);
+        assert_eq!(viol, 0);
+        assert_eq!(rd, 0xAB);
+    }
+
+    #[test]
+    fn buggy_reset_disarms_guard() {
+        // With the bug, the same protected write goes straight through.
+        let (viol, rd) = write_then_read(MemoryBug::RangeCheckLost, 0x90, false);
+        assert_eq!(viol, 0, "no violation reported");
+        assert_eq!(rd, 0xAB, "unauthorized write landed");
+    }
+
+    #[test]
+    fn dual_port_b_reads() {
+        let d = compile(&sram_dp(MemoryBug::None), "sram_dp");
+        let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+        let n = |s: &str| d.find_net(&format!("sram_dp.{s}")).expect("net");
+        let clk = n("clk");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
+        for (sig, w) in [("a_stb", 1u32), ("a_we", 1), ("unlock", 1), ("b_stb", 1)] {
+            sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
+        }
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(n("a_addr"), LogicVec::from_u64(8, 5)).expect("aa");
+        sim.write_input(n("a_wdata"), LogicVec::from_u64(32, 0x77)).expect("aw");
+        sim.write_input(n("a_stb"), LogicVec::from_u64(1, 1)).expect("as");
+        sim.write_input(n("a_we"), LogicVec::from_u64(1, 1)).expect("awe");
+        sim.tick(clk).expect("tick");
+        sim.write_input(n("a_stb"), LogicVec::from_u64(1, 0)).expect("as");
+        sim.write_input(n("b_addr"), LogicVec::from_u64(8, 5)).expect("ba");
+        sim.write_input(n("b_stb"), LogicVec::from_u64(1, 1)).expect("bs");
+        sim.tick(clk).expect("tick");
+        assert_eq!(sim.net_logic(n("b_rdata")).to_u64(), Some(0x77));
+        assert_eq!(sim.net_logic(n("b_ack")).to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,257 @@
+//! Wishbone (B3-flavoured) shared-bus fabric generator.
+//!
+//! Generates a priority-arbitrated shared bus with `M` masters and `S`
+//! slaves. The top address nibble selects the slave. A registered
+//! protection mask guards designated slaves: accesses to a protected
+//! slave are blocked (no strobe forwarded, no ack) unless `bus_unlock`
+//! is asserted. The asynchronous reset must re-arm the mask to all-ones;
+//! the ClusterSoC Variant #3 *Loss of Data Integrity* bug clears it
+//! instead, letting any master reach protected slaves after a partial
+//! reset.
+
+/// Bus-level data-integrity bug selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BusBug {
+    /// Correct RTL.
+    #[default]
+    None,
+    /// Reset clears the protection mask instead of arming it.
+    ProtMaskCleared,
+}
+
+/// Generates a fabric module named `name` with `masters` master ports and
+/// `slaves` slave ports (each 32-bit address/data).
+///
+/// # Panics
+///
+/// Panics unless `1 <= masters <= 4` and `1 <= slaves <= 8`.
+#[must_use]
+pub fn wb_fabric(name: &str, masters: u32, slaves: u32, bug: BusBug) -> String {
+    assert!((1..=4).contains(&masters), "1..=4 masters");
+    assert!((1..=8).contains(&slaves), "1..=8 slaves");
+    let mut ports = String::new();
+    for m in 0..masters {
+        ports.push_str(&format!(
+            "  input [31:0] m{m}_addr,\n  input [31:0] m{m}_wdata,\n  \
+             output reg [31:0] m{m}_rdata,\n  input m{m}_we,\n  input m{m}_stb,\n  \
+             output reg m{m}_ack,\n"
+        ));
+    }
+    for s in 0..slaves {
+        ports.push_str(&format!(
+            "  output reg [31:0] s{s}_addr,\n  output reg [31:0] s{s}_wdata,\n  \
+             input [31:0] s{s}_rdata,\n  output reg s{s}_we,\n  output reg s{s}_stb,\n  \
+             input s{s}_ack,\n"
+        ));
+    }
+    // The highest-numbered slave is the secure window; reset must re-arm
+    // exactly its mask bit.
+    let armed = if slaves == 1 {
+        "1'b1".to_owned()
+    } else {
+        format!("{{1'b1, {{{}{{1'b0}}}}}}", slaves - 1)
+    };
+    let mask_reset = match bug {
+        BusBug::None => format!("prot_mask <= {armed};"),
+        BusBug::ProtMaskCleared => format!(
+            "prot_mask <= {{{slaves}{{1'b0}}}}; // BUG(data-integrity): mask cleared"
+        ),
+    };
+
+    // Priority arbiter: lowest-index requesting master wins.
+    let mut grant = String::new();
+    grant.push_str("  always @* begin\n    grant = 3'd7;\n");
+    for m in (0..masters).rev() {
+        grant.push_str(&format!("    if (m{m}_stb) grant = 3'd{m};\n"));
+    }
+    grant.push_str("  end\n");
+
+    // Granted-master muxes.
+    let gm = |field: &str, width: &str| {
+        let mut s = format!("  always @* begin\n    g_{field} = {width};\n");
+        for m in 0..masters {
+            s.push_str(&format!(
+                "    if (grant == 3'd{m}) g_{field} = m{m}_{field};\n"
+            ));
+        }
+        s.push_str("  end\n");
+        s
+    };
+
+    // Slave select from the top address nibble; blocked when protected.
+    let mut slave_logic = String::new();
+    slave_logic.push_str("  always @* begin\n");
+    for s in 0..slaves {
+        slave_logic.push_str(&format!(
+            "    s{s}_addr = g_addr;\n    s{s}_wdata = g_wdata;\n    s{s}_we = g_we;\n    \
+             s{s}_stb = 1'b0;\n"
+        ));
+    }
+    slave_logic.push_str("    blocked = 1'b0;\n");
+    slave_logic.push_str("    sel_rdata = 32'd0;\n    sel_ack = 1'b0;\n");
+    for s in 0..slaves {
+        slave_logic.push_str(&format!(
+            "    if (g_stb & (g_addr[31:28] == 4'd{s})) begin\n      \
+             if (prot_mask[{s}] & ~bus_unlock) blocked = 1'b1;\n      \
+             else begin\n        s{s}_stb = 1'b1;\n        sel_rdata = s{s}_rdata;\n        \
+             sel_ack = s{s}_ack;\n      end\n    end\n"
+        ));
+    }
+    slave_logic.push_str("  end\n");
+
+    // Return path to the granted master.
+    let mut ret = String::new();
+    ret.push_str("  always @* begin\n");
+    for m in 0..masters {
+        ret.push_str(&format!(
+            "    m{m}_rdata = 32'd0;\n    m{m}_ack = 1'b0;\n"
+        ));
+    }
+    for m in 0..masters {
+        ret.push_str(&format!(
+            "    if (grant == 3'd{m}) begin\n      m{m}_rdata = sel_rdata;\n      \
+             m{m}_ack = sel_ack | blocked;\n    end\n"
+        ));
+    }
+    ret.push_str("  end\n");
+
+    format!(
+        "module {name}(
+  input clk,
+  input rst_n,
+  input bus_unlock,
+{ports}  output reg [{sm1}:0] prot_mask,
+  output reg bus_viol
+);
+  reg [2:0] grant;
+  reg [31:0] g_addr;
+  reg [31:0] g_wdata;
+  reg g_we;
+  reg g_stb;
+  reg blocked;
+  reg [31:0] sel_rdata;
+  reg sel_ack;
+
+{grant}{gaddr}{gwdata}{gwe}{gstb}{slave_logic}{ret}
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      bus_viol <= 1'b0;
+      {mask_reset}
+    end else begin
+      bus_viol <= blocked;
+    end
+endmodule
+",
+        sm1 = slaves - 1,
+        gaddr = gm("addr", "32'd0"),
+        gwdata = gm("wdata", "32'd0"),
+        gwe = gm("we", "1'b0"),
+        gstb = gm("stb", "1'b0"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soccar_rtl::value::LogicVec;
+    use soccar_sim::{InitPolicy, Simulator};
+
+    fn fabric(bug: BusBug) -> (soccar_rtl::Design, String) {
+        let src = wb_fabric("wb_fabric", 2, 3, bug);
+        let d = soccar_rtl::compile("wb.v", &src, "wb_fabric")
+            .unwrap_or_else(|e| panic!("compile: {e}"))
+            .0;
+        (d, src)
+    }
+
+    fn setup(bug: BusBug) -> (soccar_rtl::Design, Vec<(String, u32)>) {
+        let (d, _) = fabric(bug);
+        let inputs: Vec<(String, u32)> = d
+            .top_inputs()
+            .map(|n| (d.net(n).local_name.clone(), d.net(n).width))
+            .collect();
+        (d, inputs)
+    }
+
+    #[test]
+    fn fabric_compiles_various_shapes() {
+        for (m, s) in [(1, 1), (2, 3), (4, 8)] {
+            let src = wb_fabric("f", m, s, BusBug::None);
+            soccar_rtl::compile("f.v", &src, "f").unwrap_or_else(|e| panic!("{m}x{s}: {e}"));
+        }
+    }
+
+    fn drive_access(bug: BusBug, unlock: bool) -> (u64, u64, u64) {
+        // Master 0 writes to slave 2 (the secure window re-armed by reset).
+        // Returns (s2_stb, blocked ack, bus_viol after a clock).
+        let (d, inputs) = setup(bug);
+        let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+        let n = |s: &str| d.find_net(&format!("wb_fabric.{s}")).expect("net");
+        for (name, w) in &inputs {
+            sim.write_input(n(name), LogicVec::zeros(*w)).expect("zero");
+        }
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("bus_unlock"), LogicVec::from_u64(1, u64::from(unlock))).expect("ul");
+        sim.write_input(n("m0_addr"), LogicVec::from_u64(32, 0x2000_0004)).expect("a");
+        sim.write_input(n("m0_wdata"), LogicVec::from_u64(32, 0x55)).expect("w");
+        sim.write_input(n("m0_we"), LogicVec::from_u64(1, 1)).expect("we");
+        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 1)).expect("stb");
+        sim.write_input(n("s2_ack"), LogicVec::from_u64(1, 1)).expect("ack");
+        sim.settle().expect("settle");
+        let stb = sim.net_logic(n("s2_stb")).to_u64().expect("stb");
+        let ack = sim.net_logic(n("m0_ack")).to_u64().expect("ack");
+        sim.tick(n("clk")).expect("tick");
+        let viol = sim.net_logic(n("bus_viol")).to_u64().expect("viol");
+        (stb, ack, viol)
+    }
+
+    #[test]
+    fn protected_slave_blocked_after_clean_reset() {
+        let (stb, ack, viol) = drive_access(BusBug::None, false);
+        assert_eq!(stb, 0, "strobe must not reach the protected slave");
+        assert_eq!(ack, 1, "blocked access still acks (bus does not hang)");
+        assert_eq!(viol, 1, "violation latched");
+    }
+
+    #[test]
+    fn unlock_opens_protected_slave() {
+        let (stb, _ack, viol) = drive_access(BusBug::None, true);
+        assert_eq!(stb, 1);
+        assert_eq!(viol, 0);
+    }
+
+    #[test]
+    fn buggy_reset_exposes_protected_slave() {
+        let (stb, _ack, viol) = drive_access(BusBug::ProtMaskCleared, false);
+        assert_eq!(stb, 1, "protection mask cleared: access sails through");
+        assert_eq!(viol, 0);
+    }
+
+    #[test]
+    fn arbiter_prioritizes_master0() {
+        let (d, inputs) = setup(BusBug::None);
+        let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+        let n = |s: &str| d.find_net(&format!("wb_fabric.{s}")).expect("net");
+        for (name, w) in &inputs {
+            sim.write_input(n(name), LogicVec::zeros(*w)).expect("zero");
+        }
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("bus_unlock"), LogicVec::from_u64(1, 1)).expect("ul");
+        // Both masters request different slaves; master 0 wins.
+        sim.write_input(n("m0_addr"), LogicVec::from_u64(32, 0x0000_0000)).expect("a0");
+        sim.write_input(n("m1_addr"), LogicVec::from_u64(32, 0x2000_0000)).expect("a1");
+        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 1)).expect("s0");
+        sim.write_input(n("m1_stb"), LogicVec::from_u64(1, 1)).expect("s1");
+        sim.settle().expect("settle");
+        assert_eq!(sim.net_logic(n("s0_stb")).to_u64(), Some(1));
+        assert_eq!(sim.net_logic(n("s2_stb")).to_u64(), Some(0));
+        // Master 0 drops: master 1 reaches slave 2.
+        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 0)).expect("s0");
+        sim.settle().expect("settle");
+        assert_eq!(sim.net_logic(n("s2_stb")).to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,51 @@
+//! # soccar-soc
+//!
+//! The SoCCAR evaluation testbed: generators for the **ClusterSoC** and
+//! **AutoSoC** benchmark designs of Section V-A, the IP classification of
+//! Table II, the bug catalog of Table III and the seeded variants of
+//! Table IV.
+//!
+//! Everything is emitted as genuine Verilog text and compiled through the
+//! `soccar-rtl` frontend, so the full SoCCAR pipeline — extraction,
+//! composition, concolic testing — runs on real RTL, exactly as the paper
+//! requires ("SoCCAR works directly on the RTL implementation").
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ip;
+
+pub use ip::crypto::CryptoBug;
+pub use ip::riscv::{CoreBug, CoreVariant};
+pub use ip::sram::MemoryBug;
+pub use ip::wishbone::BusBug;
+
+pub mod bugs;
+pub mod cluster;
+
+pub use bugs::{variant, variants, BugInstance, SocModel, VariantSpec, ViolationType};
+pub use cluster::SocDesign;
+
+pub mod auto;
+pub mod catalog;
+pub mod checks;
+pub mod topology;
+
+pub use checks::{expected_detectors, security_checks, symbolic_inputs, CheckKind, CheckSpec};
+
+/// Generates any benchmark SoC by model and optional variant number.
+///
+/// # Panics
+///
+/// Panics if `variant_number` does not exist for `model` (see
+/// [`bugs::variants`]).
+#[must_use]
+pub fn generate(model: SocModel, variant_number: Option<u32>) -> SocDesign {
+    let spec = variant_number.map(|n| {
+        bugs::variant(model, n).unwrap_or_else(|| panic!("{model:?} has no variant #{n}"))
+    });
+    match model {
+        SocModel::ClusterSoc => cluster::generate(spec.as_ref()),
+        SocModel::AutoSoc => auto::generate(spec.as_ref()),
+    }
+}

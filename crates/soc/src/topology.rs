@@ -1,0 +1,126 @@
+//! Structural topology dumps — the data behind the paper's **Figure 2**
+//! block diagrams.
+//!
+//! Rendered from the elaborated design, so the dump always reflects the
+//! RTL that was actually generated (instances, module kinds, reset-domain
+//! membership).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use soccar_rtl::Design;
+
+use crate::catalog::{classify, IpClass};
+
+/// One IP block of the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Hierarchical instance path.
+    pub instance: String,
+    /// Module name.
+    pub module: String,
+    /// IP class, when classified.
+    pub class: Option<IpClass>,
+}
+
+/// A structural summary of one SoC.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// Top module name.
+    pub top: String,
+    /// Blocks grouped by their parent subsystem path (`top` for flat).
+    pub subsystems: BTreeMap<String, Vec<Block>>,
+    /// Reset-domain inputs of the top module.
+    pub reset_inputs: Vec<String>,
+}
+
+impl Topology {
+    /// Extracts the topology from an elaborated design.
+    #[must_use]
+    pub fn of(design: &Design) -> Topology {
+        let mut subsystems: BTreeMap<String, Vec<Block>> = BTreeMap::new();
+        for inst in design.instances().iter().skip(1) {
+            let parent = inst
+                .name
+                .rsplit_once('.')
+                .map_or_else(|| design.top_module.clone(), |(p, _)| p.to_owned());
+            subsystems.entry(parent).or_default().push(Block {
+                instance: inst.name.clone(),
+                module: inst.module.clone(),
+                class: classify(&inst.module),
+            });
+        }
+        let reset_inputs = design
+            .top_inputs()
+            .map(|n| design.net(n).local_name.clone())
+            .filter(|n| n.contains("rst"))
+            .collect();
+        Topology {
+            top: design.top_module.clone(),
+            subsystems,
+            reset_inputs,
+        }
+    }
+
+    /// Total number of IP blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.subsystems.values().map(Vec::len).sum()
+    }
+
+    /// Renders an ASCII block diagram (the Figure 2 stand-in).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "┌─ {} ─ {} blocks", self.top, self.block_count());
+        let _ = writeln!(
+            out,
+            "│ reset domains: {}",
+            self.reset_inputs.join(", ")
+        );
+        for (parent, blocks) in &self.subsystems {
+            let _ = writeln!(out, "├─ {parent}");
+            for b in blocks {
+                let class = b.class.map_or("-", IpClass::name);
+                let leaf = b.instance.rsplit('.').next().unwrap_or(&b.instance);
+                let _ = writeln!(out, "│   {leaf:<14} {:<16} [{class}]", b.module);
+            }
+        }
+        out.push('└');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topology_of(design: &crate::SocDesign) -> Topology {
+        let (d, _) = soccar_rtl::compile("t.v", &design.source, &design.top).expect("compile");
+        Topology::of(&d)
+    }
+
+    #[test]
+    fn cluster_topology_is_flat_with_four_domains() {
+        let t = topology_of(&crate::cluster::generate(None));
+        assert_eq!(t.top, "cluster_soc");
+        assert_eq!(t.subsystems.len(), 1, "flat hierarchy");
+        assert_eq!(t.reset_inputs.len(), 4);
+        assert!(t.block_count() >= 16);
+        let render = t.render();
+        assert!(render.contains("u_aes192"));
+        assert!(render.contains("Cryptographic IP"));
+    }
+
+    #[test]
+    fn auto_topology_is_hierarchical_with_six_domains() {
+        let t = topology_of(&crate::auto::generate(None));
+        assert_eq!(t.reset_inputs.len(), 6);
+        // Subsystem grouping: top plus five subsystem containers.
+        assert!(t.subsystems.len() >= 6, "{:?}", t.subsystems.keys());
+        assert!(t.block_count() > topology_of(&crate::cluster::generate(None)).block_count());
+        let render = t.render();
+        assert!(render.contains("auto_soc.u_crypto"));
+        assert!(render.contains("u_rsa"));
+    }
+}

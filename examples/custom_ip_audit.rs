@@ -1,0 +1,112 @@
+//! Audit your own IP: point SoCCAR at arbitrary Verilog with your own
+//! security properties — the workflow a downstream user would adopt.
+//!
+//! This example audits a DMA-style engine with a descriptor lock, checks
+//! three properties, and shows how the report pinpoints the violating
+//! module and the reproducing reset schedule.
+//!
+//! ```sh
+//! cargo run --example custom_ip_audit
+//! ```
+
+use soccar::{Soccar, SoccarConfig};
+use soccar_concolic::{ConcolicConfig, PropertyKind, SecurityProperty};
+use soccar_rtl::LogicVec;
+
+const RTL: &str = "
+  module dma(input clk, input rst_n, input go, input [31:0] desc,
+             output reg [31:0] cur_desc, output reg lock, output reg [1:0] state);
+    always @(posedge clk or negedge rst_n)
+      if (!rst_n) begin
+        state <= 2'd0;
+        lock <= 1'b0;            // BUG: the descriptor lock must re-arm to 1
+      end else begin
+        case (state)
+          2'd0: if (go & ~lock) begin cur_desc <= desc; state <= 2'd1; end
+          2'd1: state <= 2'd2;
+          2'd2: state <= 2'd0;
+          default: state <= 2'd0;
+        endcase
+      end
+  endmodule
+
+  module scrubber(input clk, input rst_n, input [31:0] secret_in, input load,
+                  output reg [31:0] secret);
+    always @(posedge clk or negedge rst_n)
+      if (!rst_n) secret <= 32'd0;          // correct scrubbing
+      else if (load) secret <= secret_in;
+  endmodule
+
+  module top(input clk, input dma_rst_n, input sec_rst_n,
+             input go, input [31:0] desc, input load, input [31:0] secret_in);
+    dma u_dma (.clk(clk), .rst_n(dma_rst_n), .go(go), .desc(desc),
+               .cur_desc(), .lock(), .state());
+    scrubber u_scrub (.clk(clk), .rst_n(sec_rst_n),
+                      .secret_in(secret_in), .load(load), .secret());
+  endmodule";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let properties = vec![
+        SecurityProperty {
+            name: "dma-lock-armed".into(),
+            module: "dma".into(),
+            kind: PropertyKind::AssertedAfterReset {
+                domain: "top.dma_rst_n".into(),
+                signal: "top.u_dma.lock".into(),
+                window: 0,
+            },
+        },
+        SecurityProperty {
+            name: "dma-state-legal".into(),
+            module: "dma".into(),
+            kind: PropertyKind::AlwaysOneOf {
+                signal: "top.u_dma.state".into(),
+                allowed: vec![
+                    LogicVec::from_u64(2, 0),
+                    LogicVec::from_u64(2, 1),
+                    LogicVec::from_u64(2, 2),
+                ],
+            },
+        },
+        SecurityProperty {
+            name: "secret-cleared".into(),
+            module: "scrubber".into(),
+            kind: PropertyKind::ClearedAfterReset {
+                domain: "top.sec_rst_n".into(),
+                signal: "top.u_scrub.secret".into(),
+                expected: LogicVec::zeros(32),
+                window: 0,
+            },
+        },
+    ];
+
+    let config = SoccarConfig {
+        concolic: ConcolicConfig {
+            cycles: 12,
+            symbolic_inputs: vec!["top.go".into(), "top.desc".into()],
+            ..ConcolicConfig::default()
+        },
+        ..SoccarConfig::default()
+    };
+    let report = Soccar::new(config).analyze("audit.v", RTL, "top", properties)?;
+
+    println!(
+        "audited: {} reset domains, {} reset-governed events, {} targets",
+        report.extraction.reset_domains,
+        report.extraction.ar_events,
+        report.concolic.targets_total,
+    );
+    println!();
+    for v in report.violations() {
+        println!("{v}");
+    }
+    for w in &report.concolic.witnesses {
+        println!("  reproduce [{}] with: {}", w.property, w.schedule.summary());
+    }
+    println!();
+    println!(
+        "expected outcome: `dma-lock-armed` fires (the reset disarms the\n\
+         descriptor lock); the other two properties hold."
+    );
+    Ok(())
+}

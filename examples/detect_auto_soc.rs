@@ -1,0 +1,42 @@
+//! Run SoCCAR on AutoSoC Variant #2 under both governor analyses — the
+//! paper's headline negative result and its proposed fix, live.
+//!
+//! ```sh
+//! cargo run --release --example detect_auto_soc
+//! ```
+
+use soccar::evaluation::{evaluate_variant, render_outcomes};
+use soccar::SoccarConfig;
+use soccar_cfg::GovernorAnalysis;
+use soccar_concolic::ConcolicConfig;
+use soccar_soc::SocModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = soccar_soc::variant(SocModel::AutoSoc, 2).ok_or("variant exists")?;
+    for analysis in [GovernorAnalysis::Explicit, GovernorAnalysis::Refined] {
+        let config = SoccarConfig {
+            analysis,
+            concolic: ConcolicConfig {
+                cycles: 16,
+                max_rounds: 6,
+                ..ConcolicConfig::default()
+            },
+            ..SoccarConfig::default()
+        };
+        let eval = evaluate_variant(&spec, config)?;
+        println!("=== {analysis:?} governor analysis ===");
+        print!("{}", render_outcomes(&eval));
+        println!(
+            "AR events: {}; verification: {:.2}s\n",
+            eval.report.extraction.ar_events,
+            eval.verification_time().as_secs_f64()
+        );
+    }
+    println!(
+        "The Explicit analysis reproduces the paper's Section V-C miss: the\n\
+         SHA256 cipher assignment hides behind an implicit clock-composed\n\
+         governor the published extraction rules cannot see. The Refined\n\
+         extension recovers it by scheduling clock-high reset assertions."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Explore the reset-domain structure of a benchmark SoC: AR_CFG
+//! extraction and composition without running any simulation — the static
+//! half of SoCCAR (Algorithms 1–2) used as an analysis tool.
+//!
+//! ```sh
+//! cargo run --example reset_domain_explorer [cluster|auto]
+//! ```
+
+use soccar_cfg::{compose_soc, GovernorAnalysis, ResetNaming};
+use soccar_rtl::{parser::parse, span::FileId};
+use soccar_soc::SocModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = match std::env::args().nth(1).as_deref() {
+        Some("auto") => SocModel::AutoSoc,
+        _ => SocModel::ClusterSoc,
+    };
+    let design = soccar_soc::generate(model, None);
+    let unit = parse(FileId(0), &design.source)?;
+    let soc = compose_soc(&unit, &design.top, &ResetNaming::new(), GovernorAnalysis::Explicit)
+        .map_err(std::io::Error::other)?;
+
+    println!("{}: AR(S) composition", design.name);
+    println!(
+        "  {} instances, {} reset-governed events, {} reset domains\n",
+        soc.instances.len(),
+        soc.event_count(),
+        soc.reset_domains.len()
+    );
+    for domain in &soc.reset_domains {
+        println!(
+            "reset domain `{}` ({}, active-{})",
+            domain.source,
+            if domain.top_level { "top-level input" } else { "internal" },
+            if domain.active_low { "low" } else { "high" },
+        );
+        println!("  members:");
+        for (inst, local) in &domain.members {
+            println!("    {inst}.{local}");
+        }
+        println!("  governed events: {}", domain.events.len());
+        for ev in domain.events.iter().take(4) {
+            let inst = soc.instance(&ev.instance).expect("instance exists");
+            let e = &inst.cfg.events[ev.event_index];
+            println!(
+                "    {} always#{} ({:?}, assigns {})",
+                ev.instance,
+                e.always_index,
+                e.arm,
+                e.assigned.join("/")
+            );
+        }
+        if domain.events.len() > 4 {
+            println!("    … and {} more", domain.events.len() - 4);
+        }
+        println!();
+    }
+    Ok(())
+}

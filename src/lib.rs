@@ -1,0 +1,14 @@
+//! Umbrella package for the SoCCAR reproduction workspace.
+//!
+//! This package hosts the workspace-level [examples](https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples)
+//! and cross-crate integration tests. The actual functionality lives in the
+//! `soccar-*` crates; start with the [`soccar`] crate's documentation.
+
+pub use soccar;
+pub use soccar_cfg;
+pub use soccar_concolic;
+pub use soccar_rtl;
+pub use soccar_sim;
+pub use soccar_smt;
+pub use soccar_soc;
+pub use soccar_synth;

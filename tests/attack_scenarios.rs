@@ -1,0 +1,178 @@
+//! Exploit demonstrations — the *Impact* column of Table III, executed
+//! end-to-end on the benchmark SoCs: each seeded bug is not just a
+//! property violation but an actually exploitable condition, and the same
+//! attack is blocked on the clean design.
+
+use soccar_rtl::value::LogicVec;
+use soccar_sim::{InitPolicy, Simulator};
+use soccar_soc::SocModel;
+
+fn boot_auto(variant: Option<u32>) -> (soccar_rtl::Design, String) {
+    let design = soccar_soc::generate(SocModel::AutoSoc, variant);
+    let d = soccar_rtl::compile("soc.v", &design.source, &design.top)
+        .expect("compile")
+        .0;
+    (d, design.top)
+}
+
+fn zero_inputs(sim: &mut Simulator<'_, soccar_sim::ConcreteAlgebra>, d: &soccar_rtl::Design) {
+    for net in d.top_inputs().collect::<Vec<_>>() {
+        let w = d.net(net).width;
+        sim.write_input(net, LogicVec::zeros(w)).expect("in");
+    }
+}
+
+fn release_resets(sim: &mut Simulator<'_, soccar_sim::ConcreteAlgebra>, d: &soccar_rtl::Design) {
+    for net in d.top_inputs().collect::<Vec<_>>() {
+        if d.net(net).local_name.contains("rst") {
+            sim.write_input(net, LogicVec::from_u64(1, 1)).expect("rst");
+        }
+    }
+}
+
+/// Drives one AXI host write and waits for bvalid.
+fn host_write(
+    sim: &mut Simulator<'_, soccar_sim::ConcreteAlgebra>,
+    d: &soccar_rtl::Design,
+    top: &str,
+    addr: u64,
+    data: u64,
+) {
+    let n = |s: &str| d.find_net(&format!("{top}.{s}")).expect("net");
+    let clk = n("clk");
+    sim.write_input(n("host_awaddr"), LogicVec::from_u64(32, addr)).expect("a");
+    sim.write_input(n("host_wdata"), LogicVec::from_u64(32, data)).expect("w");
+    sim.write_input(n("host_awvalid"), LogicVec::from_u64(1, 1)).expect("v");
+    sim.settle().expect("settle");
+    for _ in 0..12 {
+        sim.tick(clk).expect("tick");
+        if sim.net_logic(n("host_bvalid")).to_u64() == Some(1) {
+            break;
+        }
+    }
+    sim.write_input(n("host_awvalid"), LogicVec::from_u64(1, 0)).expect("v");
+    sim.settle().expect("settle");
+    sim.tick(clk).expect("tick");
+}
+
+/// Data-integrity exploit (AutoSoC #1, bug at `sram_sp`): after a partial
+/// `mem_rst_n` reset, a host write into the *protected* half of the memory
+/// subsystem's SRAM lands — on the clean design the same write is blocked.
+#[test]
+fn unauthorized_write_lands_only_on_the_buggy_variant() {
+    // Protected region: sram_sp addr MSB set. The SRAM sees
+    // wb_addr[15:2] (AW = 14), so byte address bit 15 selects protection.
+    let protected_byte_addr = 0x0000_8004u64;
+    let mem_word = (protected_byte_addr >> 2) & 0x3FFF;
+    for (variant, expect_landed) in [(Some(1), true), (None, false)] {
+        let (d, top) = boot_auto(variant);
+        let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+        zero_inputs(&mut sim, &d);
+        sim.settle().expect("settle");
+        release_resets(&mut sim, &d);
+        sim.settle().expect("settle");
+        let clk = d.find_net(&format!("{top}.clk")).expect("clk");
+        for _ in 0..4 {
+            sim.tick(clk).expect("tick");
+        }
+        // Partial asynchronous reset of the memory domain only.
+        let mem_rst = d.find_net(&format!("{top}.mem_rst_n")).expect("rst");
+        sim.write_input(mem_rst, LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        sim.write_input(mem_rst, LogicVec::from_u64(1, 1)).expect("rst");
+        sim.settle().expect("settle");
+        // The attack: write into the protected region without unlock.
+        host_write(&mut sim, &d, &top, protected_byte_addr, 0x5EC0_0BAD);
+        let mem = d
+            .find_memory(&format!("{top}.u_mem.u_sram0.mem"))
+            .expect("mem");
+        let landed = sim.mem_logic(mem, mem_word).to_u64() == Some(0x5EC0_0BAD);
+        assert_eq!(
+            landed, expect_landed,
+            "variant {variant:?}: write landed = {landed}"
+        );
+    }
+}
+
+/// Privilege exploit (AutoSoC #2, bug at `rv32im_core`): a partial CPU
+/// reset leaves core 2 in the undefined privilege encoding `2'b10`,
+/// observable at the chip pins — "no available privilege level".
+#[test]
+fn privilege_mode_bricked_only_on_the_buggy_variant() {
+    for (variant, expect_undefined) in [(Some(2), true), (None, false)] {
+        let (d, top) = boot_auto(variant);
+        let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+        zero_inputs(&mut sim, &d);
+        sim.settle().expect("settle");
+        release_resets(&mut sim, &d);
+        sim.settle().expect("settle");
+        let clk = d.find_net(&format!("{top}.clk")).expect("clk");
+        for _ in 0..6 {
+            sim.tick(clk).expect("tick");
+        }
+        // Partial asynchronous reset of the CPU domain.
+        let cpu_rst = d.find_net(&format!("{top}.cpu_rst_n")).expect("rst");
+        sim.write_input(cpu_rst, LogicVec::from_u64(1, 0)).expect("rst");
+        sim.settle().expect("settle");
+        let priv2 = d.find_net(&format!("{top}.priv2")).expect("priv2");
+        let v = sim.net_logic(priv2).to_u64().expect("priv");
+        assert_eq!(v == 0b10, expect_undefined, "variant {variant:?}: priv2 = {v:b}");
+        // The healthy cores (RV32I/RV32IC) are fine either way.
+        let priv0 = d.find_net(&format!("{top}.priv0")).expect("priv0");
+        assert_ne!(sim.net_logic(priv0).to_u64(), Some(0b10));
+    }
+}
+
+/// Information-leakage exploit (AutoSoC #2, implicit bug at `sha256`):
+/// a reset glitch landing while the clock is high makes the ciphertext
+/// port emit the raw plaintext — but only on the buggy variant, and only
+/// in that timing window.
+#[test]
+fn plaintext_dumped_only_in_the_clock_high_window() {
+    let (d, top) = boot_auto(Some(2));
+    let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
+    zero_inputs(&mut sim, &d);
+    sim.settle().expect("settle");
+    release_resets(&mut sim, &d);
+    sim.settle().expect("settle");
+    let n = |s: &str| d.find_net(&format!("{top}.{s}")).expect("net");
+    let clk = n("clk");
+    let pt = 0x0123_4567_89AB_CDEFu64;
+    sim.write_input(n("tst_pt"), LogicVec::from_u64(64, pt)).expect("pt");
+    sim.write_input(n("tst_key"), LogicVec::from_u64(64, 0x11)).expect("key");
+    // Start the SHA engine (tst_start[1]).
+    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0b00010)).expect("start");
+    sim.settle().expect("settle");
+    sim.tick(clk).expect("tick");
+    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0)).expect("start");
+    sim.settle().expect("settle");
+    let ct = d
+        .find_net(&format!("{top}.u_crypto.u_sha256.ct_out"))
+        .expect("ct");
+    // Clock-low glitch: no leak.
+    let crst = n("crypto_rst_n");
+    sim.write_input(crst, LogicVec::from_u64(1, 0)).expect("rst");
+    sim.settle().expect("settle");
+    assert_ne!(sim.net_logic(ct).to_u64(), Some(pt), "low-phase glitch is safe");
+    sim.write_input(crst, LogicVec::from_u64(1, 1)).expect("rst");
+    sim.settle().expect("settle");
+    // Reload, then glitch during the high phase: plaintext dumped.
+    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0b00010)).expect("start");
+    sim.settle().expect("settle");
+    sim.tick(clk).expect("tick");
+    sim.write_input(clk, LogicVec::from_u64(1, 1)).expect("clk");
+    sim.settle().expect("settle");
+    sim.write_input(crst, LogicVec::from_u64(1, 0)).expect("rst");
+    sim.settle().expect("settle");
+    assert_eq!(
+        sim.net_logic(ct).to_u64(),
+        Some(pt),
+        "high-phase glitch dumps the plaintext"
+    );
+    let leak = d.find_net(&format!("{top}.leak_flags")).expect("leak");
+    assert_eq!(
+        sim.net_logic(leak).to_u64().map(|v| (v >> 1) & 1),
+        Some(1),
+        "the observation point flags it"
+    );
+}

@@ -1,0 +1,78 @@
+//! Round-trip the full benchmark SoCs through the pretty-printer:
+//! `parse → print → parse → print` must reach a fixed point, and the
+//! reprinted source must elaborate to a design with identical statistics
+//! and produce identical detection results.
+
+use soccar_rtl::parser::parse;
+use soccar_rtl::printer::print_unit;
+use soccar_rtl::span::FileId;
+use soccar_soc::SocModel;
+
+#[test]
+fn socs_roundtrip_through_the_printer() {
+    for spec in soccar_soc::variants() {
+        let design = soccar_soc::generate(spec.soc, Some(spec.number));
+        let unit1 = parse(FileId(0), &design.source).expect("parse original");
+        let printed = print_unit(&unit1);
+        let unit2 = parse(FileId(0), &printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", spec.name()));
+        assert_eq!(
+            print_unit(&unit2),
+            printed,
+            "{}: printer fixed point",
+            spec.name()
+        );
+        // Elaboration equivalence: identical structural statistics.
+        let d1 = soccar_rtl::elaborate::elaborate(&unit1, &design.top).expect("elab 1");
+        let d2 = soccar_rtl::elaborate::elaborate(&unit2, &design.top).expect("elab 2");
+        assert_eq!(d1.stats(), d2.stats(), "{}", spec.name());
+        assert_eq!(d1.nets().len(), d2.nets().len());
+    }
+}
+
+#[test]
+fn reprinted_variant_detects_identically() {
+    use soccar::evaluation::score;
+    use soccar::{Soccar, SoccarConfig};
+    use soccar_concolic::{ConcolicConfig, SecurityProperty};
+
+    let spec = soccar_soc::variant(SocModel::ClusterSoc, 2).expect("variant");
+    let design = soccar_soc::generate(spec.soc, Some(spec.number));
+    let unit = parse(FileId(0), &design.source).expect("parse");
+    let reprinted = print_unit(&unit);
+
+    let properties: Vec<SecurityProperty> = soccar_soc::security_checks(spec.soc)
+        .iter()
+        .map(soccar::property_of)
+        .collect();
+    let config = SoccarConfig {
+        concolic: ConcolicConfig {
+            cycles: 10,
+            max_rounds: 2,
+            sweep_stride: 4,
+            symbolic_inputs: soccar_soc::symbolic_inputs(spec.soc),
+            ..ConcolicConfig::default()
+        },
+        ..SoccarConfig::default()
+    };
+    let run = |src: &str| {
+        let report = Soccar::new(SoccarConfig {
+            analysis: config.analysis,
+            naming: config.naming.clone(),
+            concolic: config.concolic.clone(),
+        })
+        .analyze("soc.v", src, &design.top, properties.clone())
+        .expect("analyze");
+        let eval = score(&spec, report);
+        let mut fired: Vec<String> = eval
+            .report
+            .concolic
+            .violations
+            .iter()
+            .map(|v| v.property.clone())
+            .collect();
+        fired.sort();
+        fired
+    };
+    assert_eq!(run(&design.source), run(&reprinted));
+}

@@ -1,0 +1,124 @@
+//! Cross-crate validation of the benchmark SoCs themselves: elaboration,
+//! simulation, topology, area and check resolution for every variant.
+
+use soccar_sim::{InitPolicy, Simulator};
+use soccar_soc::topology::Topology;
+use soccar_soc::SocModel;
+use soccar_synth::{estimate, TechModel};
+
+fn compile(model: SocModel, variant: Option<u32>) -> soccar_rtl::Design {
+    let design = soccar_soc::generate(model, variant);
+    soccar_rtl::compile("soc.v", &design.source, &design.top)
+        .unwrap_or_else(|e| panic!("{}: {e}", design.name))
+        .0
+}
+
+#[test]
+fn every_variant_elaborates() {
+    for spec in soccar_soc::variants() {
+        let d = compile(spec.soc, Some(spec.number));
+        assert!(d.stats().processes > 100, "{}: {}", spec.name(), d.stats());
+    }
+}
+
+#[test]
+fn table1_area_shape() {
+    let cluster = estimate(&compile(SocModel::ClusterSoc, None), &TechModel::default());
+    let auto = estimate(&compile(SocModel::AutoSoc, None), &TechModel::default());
+    // Paper shape: ClusterSoC ~16k LUT, AutoSoC ~33k (≈2×); BRAM ~O(100).
+    assert!(
+        (12_000..=22_000).contains(&cluster.lut),
+        "cluster: {cluster}"
+    );
+    assert!((25_000..=42_000).contains(&auto.lut), "auto: {auto}");
+    assert!(
+        auto.lut as f64 >= cluster.lut as f64 * 1.5,
+        "auto {auto} vs cluster {cluster}"
+    );
+    assert!((60..=200).contains(&cluster.bram), "cluster: {cluster}");
+    assert!((60..=200).contains(&auto.bram), "auto: {auto}");
+}
+
+#[test]
+fn figure2_topology_shape() {
+    let cluster = Topology::of(&compile(SocModel::ClusterSoc, None));
+    let auto = Topology::of(&compile(SocModel::AutoSoc, None));
+    // ClusterSoC: flat, 4 reset domains; AutoSoC: hierarchical
+    // subsystems, 6 reset domains.
+    assert_eq!(cluster.reset_inputs.len(), 4);
+    assert_eq!(auto.reset_inputs.len(), 6);
+    assert_eq!(cluster.subsystems.len(), 1);
+    assert!(auto.subsystems.len() >= 6);
+    assert!(auto.block_count() > cluster.block_count());
+}
+
+#[test]
+fn security_checks_resolve_on_every_variant() {
+    for spec in soccar_soc::variants() {
+        let d = compile(spec.soc, Some(spec.number));
+        for check in soccar_soc::security_checks(spec.soc) {
+            let p = soccar::property_of(&check);
+            let domains: Vec<(String, bool)> = d
+                .top_inputs()
+                .filter(|n| d.net(*n).local_name.contains("rst"))
+                .map(|n| (d.net(n).name.clone(), true))
+                .collect();
+            assert!(
+                soccar_concolic::PropertyMonitor::resolve(&d, p, &domains).is_ok(),
+                "{}: check {} does not resolve",
+                spec.name(),
+                check.name
+            );
+        }
+    }
+}
+
+#[test]
+fn both_socs_run_and_stay_stable_under_partial_resets() {
+    for model in [SocModel::ClusterSoc, SocModel::AutoSoc] {
+        let d = compile(model, None);
+        let top = model.top_module();
+        let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
+        for net in d.top_inputs().collect::<Vec<_>>() {
+            let w = d.net(net).width;
+            sim.write_input(net, soccar_rtl::LogicVec::zeros(w)).expect("in");
+        }
+        sim.settle().expect("settle");
+        let resets: Vec<_> = d
+            .top_inputs()
+            .filter(|n| d.net(*n).local_name.contains("rst"))
+            .collect();
+        for r in &resets {
+            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 1)).expect("rst");
+        }
+        sim.settle().expect("settle");
+        let clk = d.find_net(&format!("{top}.clk")).expect("clk");
+        for _ in 0..10 {
+            sim.tick(clk).expect("tick");
+        }
+        // Pulse each domain individually mid-run; the design must stay
+        // simulable (no instability) and other domains keep counting.
+        for r in &resets {
+            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 0)).expect("rst");
+            sim.settle().expect("settle");
+            sim.tick(clk).expect("tick");
+            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 1)).expect("rst");
+            sim.settle().expect("settle");
+            sim.tick(clk).expect("tick");
+        }
+    }
+}
+
+#[test]
+fn bug_mutations_are_localized() {
+    // A variant's source differs from clean only in the bug-marked
+    // modules: line count within a small delta, and every added marker is
+    // a BUG comment.
+    for spec in soccar_soc::variants() {
+        let clean = soccar_soc::generate(spec.soc, None).source;
+        let buggy = soccar_soc::generate(spec.soc, Some(spec.number)).source;
+        let delta = (buggy.lines().count() as i64 - clean.lines().count() as i64).abs();
+        assert!(delta < 40, "{}: delta {delta}", spec.name());
+        assert!(buggy.matches("BUG(").count() >= spec.bugs.len() - 1);
+    }
+}
