@@ -150,11 +150,13 @@ fn bench_simulation(c: &mut Criterion) {
             let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
             for net in &inputs {
                 let w = sim.design().net(*net).width;
-                sim.write_input(*net, soccar_rtl::LogicVec::zeros(w)).expect("in");
+                sim.write_input(*net, soccar_rtl::LogicVec::zeros(w))
+                    .expect("in");
             }
             for rst in ["sys_rst_n", "mem_rst_n", "crypto_rst_n", "periph_rst_n"] {
                 let n = d.find_net(&format!("cluster_soc.{rst}")).expect("rst");
-                sim.write_input(n, soccar_rtl::LogicVec::from_u64(1, 1)).expect("rst");
+                sim.write_input(n, soccar_rtl::LogicVec::from_u64(1, 1))
+                    .expect("rst");
             }
             sim.settle().expect("settle");
             for _ in 0..100 {

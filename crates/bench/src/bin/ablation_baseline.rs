@@ -23,7 +23,13 @@ fn main() {
     for spec in soccar_soc::variants() {
         let eval = evaluate_variant(&spec, paper_config()).expect("evaluates");
         let rounds = eval.report.concolic.rounds as u32;
-        let fuzz = random_baseline(spec.soc, spec.number, rounds, 16, 0xFEED + u64::from(spec.number));
+        let fuzz = random_baseline(
+            spec.soc,
+            spec.number,
+            rounds,
+            16,
+            0xFEED + u64::from(spec.number),
+        );
         let fuzz_hits = spec
             .bugs
             .iter()
@@ -86,13 +92,7 @@ fn main() {
     } else {
         let min = found.iter().min().expect("nonempty");
         let max = found.iter().max().expect("nonempty");
-        format!(
-            "{}–{} (found in {}/{} seeds)",
-            min,
-            max,
-            found.len(),
-            seeds
-        )
+        format!("{}–{} (found in {}/{} seeds)", min, max, found.len(), seeds)
     };
     println!("Timing-sensitive bug (SHA256 implicit governor, AutoSoC #2):");
     println!(

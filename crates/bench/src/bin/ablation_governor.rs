@@ -40,7 +40,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Analysis", "AR events", "Detected", "SHA256 implicit bug", "Seconds"],
+            &[
+                "Analysis",
+                "AR events",
+                "Detected",
+                "SHA256 implicit bug",
+                "Seconds"
+            ],
             &rows
         )
     );

@@ -25,7 +25,10 @@ fn main() {
         .map(soccar::property_of)
         .collect();
     let mut rows = Vec::new();
-    for (label, init) in [("Ones (paper)", InitPolicy::Ones), ("Zeros", InitPolicy::Zeros)] {
+    for (label, init) in [
+        ("Ones (paper)", InitPolicy::Ones),
+        ("Zeros", InitPolicy::Zeros),
+    ] {
         let base = paper_config();
         let config = SoccarConfig {
             concolic: ConcolicConfig {

@@ -12,8 +12,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut details = String::new();
     for spec in soccar_soc::variants() {
-        let eval = evaluate_variant(&spec, paper_config())
-            .expect("benchmark variants always evaluate");
+        let eval =
+            evaluate_variant(&spec, paper_config()).expect("benchmark variants always evaluate");
         details.push_str(&render_outcomes(&eval));
         details.push('\n');
         rows.push(vec![
@@ -28,7 +28,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Variant", "Detected", "False alarms", "Seconds", "Paper expectation"],
+            &[
+                "Variant",
+                "Detected",
+                "False alarms",
+                "Seconds",
+                "Paper expectation"
+            ],
             &rows
         )
     );

@@ -5,8 +5,7 @@ use soccar::evaluation::evaluate_variant;
 use soccar_bench::paper_config;
 
 fn main() {
-    let spec = soccar_soc::variant(soccar_soc::SocModel::ClusterSoc, 1)
-        .expect("variant exists");
+    let spec = soccar_soc::variant(soccar_soc::SocModel::ClusterSoc, 1).expect("variant exists");
     let eval = evaluate_variant(&spec, paper_config()).expect("evaluates");
     println!("Figure 1 — SoCCAR framework workflow ({}):", eval.variant);
     println!();

@@ -12,7 +12,11 @@ fn main() {
         let topo = Topology::of(&d);
         println!(
             "Figure 2{} — {}:",
-            if model == SocModel::ClusterSoc { "a" } else { "b" },
+            if model == SocModel::ClusterSoc {
+                "a"
+            } else {
+                "b"
+            },
             design.name
         );
         println!("{}", topo.render());

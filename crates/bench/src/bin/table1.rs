@@ -12,9 +12,30 @@ use soccar_synth::{estimate, TechModel};
 fn main() {
     // (label, model, variant, paper LUT, paper LUTRAM, paper BRAM)
     let rows_spec = [
-        ("ClusterSoC Variant #1", SocModel::ClusterSoc, 1, 16906, 2698, 124),
-        ("ClusterSoC Variant #2", SocModel::ClusterSoc, 2, 17047, 2618, 126),
-        ("ClusterSoC Variant #3", SocModel::ClusterSoc, 3, 15891, 2298, 126),
+        (
+            "ClusterSoC Variant #1",
+            SocModel::ClusterSoc,
+            1,
+            16906,
+            2698,
+            124,
+        ),
+        (
+            "ClusterSoC Variant #2",
+            SocModel::ClusterSoc,
+            2,
+            17047,
+            2618,
+            126,
+        ),
+        (
+            "ClusterSoC Variant #3",
+            SocModel::ClusterSoc,
+            3,
+            15891,
+            2298,
+            126,
+        ),
         ("AutoSoC Variant #1", SocModel::AutoSoc, 1, 33861, 2971, 128),
         ("AutoSoC Variant #2", SocModel::AutoSoc, 2, 32972, 2874, 128),
     ];

@@ -127,7 +127,8 @@ pub fn random_baseline(
                 .expect("reset");
         }
         for clk in &clocks {
-            sim.write_input(*clk, LogicVec::from_u64(1, 0)).expect("clk");
+            sim.write_input(*clk, LogicVec::from_u64(1, 0))
+                .expect("clk");
         }
         for (net, w) in &data {
             sim.write_input(*net, LogicVec::zeros(*w)).expect("data");
@@ -140,7 +141,8 @@ pub fn random_baseline(
                 if rng.gen_ratio(1, 8) {
                     let assert_now = rng.gen_bool(0.5);
                     let v = u64::from(assert_now != *active_low);
-                    sim.write_input(*net, LogicVec::from_u64(1, v)).expect("reset");
+                    sim.write_input(*net, LogicVec::from_u64(1, v))
+                        .expect("reset");
                 }
             }
             for (net, w) in &data {
@@ -154,7 +156,8 @@ pub fn random_baseline(
             }
             sim.settle().expect("settle");
             for clk in &clocks {
-                sim.write_input(*clk, LogicVec::from_u64(1, 1)).expect("clk");
+                sim.write_input(*clk, LogicVec::from_u64(1, 1))
+                    .expect("clk");
             }
             sim.settle().expect("settle");
             // Sub-cycle glitch: occasionally flip a reset while the clock
@@ -163,12 +166,14 @@ pub fn random_baseline(
                 if rng.gen_ratio(1, 16) {
                     let assert_now = rng.gen_bool(0.5);
                     let v = u64::from(assert_now != *active_low);
-                    sim.write_input(*net, LogicVec::from_u64(1, v)).expect("reset");
+                    sim.write_input(*net, LogicVec::from_u64(1, v))
+                        .expect("reset");
                     sim.settle().expect("settle");
                 }
             }
             for clk in &clocks {
-                sim.write_input(*clk, LogicVec::from_u64(1, 0)).expect("clk");
+                sim.write_input(*clk, LogicVec::from_u64(1, 0))
+                    .expect("clk");
             }
             sim.settle().expect("settle");
             for mon in &mut monitors {
@@ -203,7 +208,14 @@ pub fn fuzzer_rounds_to_detect(
     for round in 1..=cap {
         // Re-run with an increasing budget; the RNG stream is a function
         // of (seed, round) so each round is fresh but reproducible.
-        let v = random_baseline(model, variant, 1, cycles, seed.wrapping_mul(0x9E37_79B9).wrapping_add(u64::from(round)));
+        let v = random_baseline(
+            model,
+            variant,
+            1,
+            cycles,
+            seed.wrapping_mul(0x9E37_79B9)
+                .wrapping_add(u64::from(round)),
+        );
         if v.iter().any(|p| p == property) {
             return Some(round);
         }

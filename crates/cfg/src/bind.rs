@@ -188,8 +188,13 @@ mod tests {
     fn binds_all_events_with_sites_and_nets() {
         let unit = parse(FileId(0), SRC).expect("parse");
         let design = elaborate(&unit, "top").expect("elaborate");
-        let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
-            .expect("compose");
+        let soc = compose_soc(
+            &unit,
+            "top",
+            &ResetNaming::new(),
+            GovernorAnalysis::Explicit,
+        )
+        .expect("compose");
         let bound = bind_events(&design, &soc).expect("bind");
         assert_eq!(bound.len(), 2);
         for b in &bound {
@@ -225,8 +230,13 @@ mod tests {
         assert_eq!(bound[0].site, None);
         assert_eq!(bound[0].event.arm, EventArm::WholeBlock);
         // Explicit analysis binds nothing (the documented miss).
-        let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
-            .expect("compose");
+        let soc = compose_soc(
+            &unit,
+            "top",
+            &ResetNaming::new(),
+            GovernorAnalysis::Explicit,
+        )
+        .expect("compose");
         assert!(bind_events(&design, &soc).expect("bind").is_empty());
     }
 }

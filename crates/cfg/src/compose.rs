@@ -80,11 +80,9 @@ impl SocArCfg {
     /// Finds the domain containing `(instance, local reset)`.
     #[must_use]
     pub fn domain_of(&self, instance: &str, reset: &str) -> Option<&ResetDomain> {
-        self.reset_domains.iter().find(|d| {
-            d.members
-                .iter()
-                .any(|(i, r)| i == instance && r == reset)
-        })
+        self.reset_domains
+            .iter()
+            .find(|d| d.members.iter().any(|(i, r)| i == instance && r == reset))
     }
 }
 
@@ -126,9 +124,7 @@ pub fn compose_soc(
     for r in &top_ar.resets {
         let key = format!("{top}.{}", r.name);
         reset_source.insert((top.to_owned(), r.name.clone()), key.clone());
-        let is_input = unit
-            .module(top)
-            .is_some_and(|m| m.port(&r.name).is_some());
+        let is_input = unit.module(top).is_some_and(|m| m.port(&r.name).is_some());
         source_meta.insert(key, (is_input, r.active_low));
     }
 
@@ -185,16 +181,16 @@ pub fn compose_soc(
     // Group members and events into domains.
     let mut domains: HashMap<String, ResetDomain> = HashMap::new();
     for ((inst, local), source) in &reset_source {
-        let (top_level, active_low) = *source_meta
-            .get(source)
-            .expect("every source has metadata");
-        let d = domains.entry(source.clone()).or_insert_with(|| ResetDomain {
-            source: source.clone(),
-            top_level,
-            active_low,
-            members: Vec::new(),
-            events: Vec::new(),
-        });
+        let (top_level, active_low) = *source_meta.get(source).expect("every source has metadata");
+        let d = domains
+            .entry(source.clone())
+            .or_insert_with(|| ResetDomain {
+                source: source.clone(),
+                top_level,
+                active_low,
+                members: Vec::new(),
+                events: Vec::new(),
+            });
         d.members.push((inst.clone(), local.clone()));
     }
     for inst in &soc.instances {
@@ -245,8 +241,13 @@ mod tests {
 
     fn compose(src: &str) -> SocArCfg {
         let unit = parse(FileId(0), src).expect("parse");
-        compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
-            .expect("compose")
+        compose_soc(
+            &unit,
+            "top",
+            &ResetNaming::new(),
+            GovernorAnalysis::Explicit,
+        )
+        .expect("compose")
     }
 
     #[test]
@@ -255,7 +256,13 @@ mod tests {
         let paths: Vec<&str> = soc.instances.iter().map(|i| i.path.as_str()).collect();
         assert_eq!(
             paths,
-            vec!["top", "top.u_cl", "top.u_cl.u_a", "top.u_cl.u_b", "top.u_io"]
+            vec![
+                "top",
+                "top.u_cl",
+                "top.u_cl.u_a",
+                "top.u_cl.u_b",
+                "top.u_io"
+            ]
         );
         assert_eq!(soc.event_count(), 3); // three ip instances
     }

@@ -354,7 +354,11 @@ fn lvalue_bases(e: &Expr, out: &mut Vec<String>) {
 
 /// `true` if any `if` condition inside `stmt` tests a clock-named signal
 /// at level (the clock-composition marker of the SHA256 construct).
-fn tests_clock_level(stmt: &Stmt, naming: &ResetNaming) -> bool {
+///
+/// Public so the lint rules (`implicit-governor`) can classify the same
+/// construct the Refined extraction recognizes.
+#[must_use]
+pub fn tests_clock_level(stmt: &Stmt, naming: &ResetNaming) -> bool {
     match stmt {
         Stmt::Block { stmts, .. } => stmts.iter().any(|s| tests_clock_level(s, naming)),
         Stmt::If {
@@ -429,7 +433,8 @@ mod tests {
         assert!(ar.is_empty());
     }
 
-    const IMPLICIT: &str = "module sha(input clk, input sec_rst_n, input [7:0] pt, output reg [7:0] ct);
+    const IMPLICIT: &str =
+        "module sha(input clk, input sec_rst_n, input [7:0] pt, output reg [7:0] ct);
         always @(negedge sec_rst_n)
           if (clk) ct <= pt;
       endmodule";
@@ -495,11 +500,7 @@ mod tests {
 
     #[test]
     fn extract_all_covers_every_module() {
-        let unit = parse(
-            FileId(0),
-            &format!("{CLASSIC} {IMPLICIT}"),
-        )
-        .expect("parse");
+        let unit = parse(FileId(0), &format!("{CLASSIC} {IMPLICIT}")).expect("parse");
         let all = extract_all(&unit, &ResetNaming::new(), GovernorAnalysis::Explicit);
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].1.events.len(), 1);

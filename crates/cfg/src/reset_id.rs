@@ -43,16 +43,27 @@ impl ResetNaming {
     /// `true` if `name` looks like a reset by naming convention.
     #[must_use]
     pub fn is_reset_name(&self, name: &str) -> bool {
-        let lower = name.to_ascii_lowercase();
-        self.patterns.iter().any(|p| lower.contains(p.as_str()))
+        looks_like_reset_name(name, &self.patterns)
     }
 
     /// `true` if `name` looks like a clock by naming convention.
     #[must_use]
     pub fn is_clock_name(&self, name: &str) -> bool {
         let lower = name.to_ascii_lowercase();
-        self.clock_patterns.iter().any(|p| lower.contains(p.as_str()))
+        self.clock_patterns
+            .iter()
+            .any(|p| lower.contains(p.as_str()))
     }
+}
+
+/// Case-insensitive substring match of `name` against `patterns` — the
+/// naming heuristic shared by reset identification and the lint rules
+/// (e.g. `reset-name-shadowing` reuses it to find reset-looking signals
+/// that are not structurally resets).
+#[must_use]
+pub fn looks_like_reset_name(name: &str, patterns: &[String]) -> bool {
+    let lower = name.to_ascii_lowercase();
+    patterns.iter().any(|p| lower.contains(p.as_str()))
 }
 
 /// How a reset signal was identified.

@@ -46,8 +46,13 @@ fn active_high_domain_composes_end_to_end() {
          endmodule",
     )
     .expect("parse");
-    let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
-        .expect("compose");
+    let soc = compose_soc(
+        &unit,
+        "top",
+        &ResetNaming::new(),
+        GovernorAnalysis::Explicit,
+    )
+    .expect("compose");
     assert_eq!(soc.reset_domains.len(), 1);
     let d = &soc.reset_domains[0];
     assert_eq!(d.source, "top.por_reset");
@@ -71,9 +76,13 @@ fn custom_naming_convention_flows_through_composition() {
     .expect("parse");
     // Default convention: `nuke` matches nothing — but the structural
     // analysis still identifies it (edge + leading test alongside clk).
-    let default_soc =
-        compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
-            .expect("compose");
+    let default_soc = compose_soc(
+        &unit,
+        "top",
+        &ResetNaming::new(),
+        GovernorAnalysis::Explicit,
+    )
+    .expect("compose");
     assert_eq!(default_soc.event_count(), 1, "structural identification");
     // Custom convention finds it by name too, and traces the domain.
     let naming = ResetNaming::new().with_patterns(vec!["nuke".into()]);
@@ -142,8 +151,13 @@ fn deep_hierarchy_traces_through_three_levels() {
          endmodule",
     )
     .expect("parse");
-    let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
-        .expect("compose");
+    let soc = compose_soc(
+        &unit,
+        "top",
+        &ResetNaming::new(),
+        GovernorAnalysis::Explicit,
+    )
+    .expect("compose");
     assert_eq!(soc.event_count(), 4, "four leaf instances");
     assert_eq!(soc.reset_domains.len(), 1, "all trace to sys_rst_n");
     let d = &soc.reset_domains[0];

@@ -145,12 +145,7 @@ impl CoAlgebra {
 
     /// A term only matters if at least one operand was genuinely symbolic;
     /// building const-only terms would bloat the graph for nothing.
-    fn binary_term(
-        &mut self,
-        op: BinaryOp,
-        a: &CoValue,
-        b: &CoValue,
-    ) -> Option<TermId> {
+    fn binary_term(&mut self, op: BinaryOp, a: &CoValue, b: &CoValue) -> Option<TermId> {
         if !a.is_symbolic() && !b.is_symbolic() {
             return None;
         }
@@ -203,10 +198,7 @@ impl CoAlgebra {
 #[must_use]
 pub fn to_bv(v: &LogicVec) -> BvVal {
     assert!(!v.has_unknown(), "cannot convert unknowns to BvVal");
-    let bits: Vec<bool> = v
-        .iter_bits()
-        .map(|b| b == soccar_rtl::Bit::One)
-        .collect();
+    let bits: Vec<bool> = v.iter_bits().map(|b| b == soccar_rtl::Bit::One).collect();
     BvVal::from_bits(&bits)
 }
 

@@ -86,10 +86,7 @@ impl Default for ConcolicConfig {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum TargetGoal {
     /// A branch site must be observed taking direction `dir`.
-    Site {
-        site: BranchSiteId,
-        dir: bool,
-    },
+    Site { site: BranchSiteId, dir: bool },
     /// A process (whole-block implicit event) must execute.
     Process(ProcessId),
 }
@@ -305,10 +302,7 @@ impl<'d> ConcolicEngine<'d> {
             }
         }
         let n = targets.len();
-        let domain_polarity = domains
-            .iter()
-            .map(|(s, _, al)| (s.clone(), *al))
-            .collect();
+        let domain_polarity = domains.iter().map(|(s, _, al)| (s.clone(), *al)).collect();
         let mut clock_composed = vec![false; domains.len()];
         for ev in events {
             let composed = ev
@@ -372,7 +366,13 @@ impl<'d> ConcolicEngine<'d> {
             rounds += 1;
             let (mut sim, round_violations) = self.execute_round(&schedule)?;
             self.absorb_coverage(&sim);
-            self.merge_violations(rounds, &schedule, round_violations, &mut violations, &mut witnesses);
+            self.merge_violations(
+                rounds,
+                &schedule,
+                round_violations,
+                &mut violations,
+                &mut witnesses,
+            );
             if first_violation_round.is_none() && !violations.is_empty() {
                 first_violation_round = Some(rounds);
             }
@@ -398,7 +398,13 @@ impl<'d> ConcolicEngine<'d> {
                     rounds += 1;
                     let (sim, round_violations) = self.execute_round(&s)?;
                     self.absorb_coverage(&sim);
-                    self.merge_violations(rounds, &s, round_violations, &mut violations, &mut witnesses);
+                    self.merge_violations(
+                        rounds,
+                        &s,
+                        round_violations,
+                        &mut violations,
+                        &mut witnesses,
+                    );
                     if first_violation_round.is_none() && !violations.is_empty() {
                         first_violation_round = Some(rounds);
                     }
@@ -423,7 +429,13 @@ impl<'d> ConcolicEngine<'d> {
                     rounds += 1;
                     let (sim, round_violations) = self.execute_round(&s)?;
                     self.absorb_coverage(&sim);
-                    self.merge_violations(rounds, &s, round_violations, &mut violations, &mut witnesses);
+                    self.merge_violations(
+                        rounds,
+                        &s,
+                        round_violations,
+                        &mut violations,
+                        &mut witnesses,
+                    );
                     if first_violation_round.is_none() && !violations.is_empty() {
                         first_violation_round = Some(rounds);
                     }
@@ -487,9 +499,10 @@ impl<'d> ConcolicEngine<'d> {
 
         for cycle in 0..schedule.cycles {
             for (i, track) in schedule.inputs.iter().enumerate() {
-                let v = sim
-                    .algebra_mut()
-                    .symbolic_input(&format!("in_{i}_{cycle}"), track.values[cycle as usize].clone());
+                let v = sim.algebra_mut().symbolic_input(
+                    &format!("in_{i}_{cycle}"),
+                    track.values[cycle as usize].clone(),
+                );
                 sim.write_input_value(track.net, v)?;
             }
             // Asynchronous reset lines change before the clock edge —
@@ -619,9 +632,7 @@ impl<'d> ConcolicEngine<'d> {
                         // Solver-driven flip.
                         for &k in occurrences.iter().take(self.config.max_flip_attempts) {
                             *solver_calls += 1;
-                            if let Some(next) =
-                                self.try_flip(sim, schedule, &obs, k, *dir)
-                            {
+                            if let Some(next) = self.try_flip(sim, schedule, &obs, k, *dir) {
                                 *solver_sat += 1;
                                 return Some(next);
                             }
@@ -687,7 +698,11 @@ impl<'d> ConcolicEngine<'d> {
             let c = if o.taken { o.cond } else { graph.not(o.cond) };
             solver.assert(c);
         }
-        let goal = if dir { obs[k].cond } else { graph.not(obs[k].cond) };
+        let goal = if dir {
+            obs[k].cond
+        } else {
+            graph.not(obs[k].cond)
+        };
         solver.assert(goal);
         match solver.check(graph) {
             CheckResult::Unsat => None,
@@ -898,11 +913,13 @@ mod tests {
         );
         // Full coverage requires taking the magic branch both ways.
         assert_eq!(
-            report.targets_covered,
-            report.targets_total,
+            report.targets_covered, report.targets_total,
             "solver must reach the magic-guarded branch: {report:?}"
         );
-        assert!(report.solver_sat > 0, "at least one flip solved: {report:?}");
+        assert!(
+            report.solver_sat > 0,
+            "at least one flip solved: {report:?}"
+        );
     }
 
     #[test]

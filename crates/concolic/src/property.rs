@@ -111,10 +111,7 @@ enum MonitorState {
     /// Waiting for the domain reset to assert.
     Idle,
     /// Reset asserted at `since`; checking once the grace window elapses.
-    InReset {
-        since: u64,
-        satisfied: bool,
-    },
+    InReset { since: u64, satisfied: bool },
 }
 
 /// Runtime monitor for one property.
@@ -211,7 +208,10 @@ impl PropertyMonitor {
         }
         match &self.property.kind {
             PropertyKind::ClearedAfterReset {
-                expected, window, signal, ..
+                expected,
+                window,
+                signal,
+                ..
             } => {
                 let expected = expected.clone();
                 let window = *window;
@@ -223,9 +223,7 @@ impl PropertyMonitor {
             PropertyKind::AssertedAfterReset { window, signal, .. } => {
                 let window = *window;
                 let signal = signal.clone();
-                self.check_post_reset(sim, cycle, window, &signal, |v| {
-                    v.truthy() == Some(true)
-                })
+                self.check_post_reset(sim, cycle, window, &signal, |v| v.truthy() == Some(true))
             }
             PropertyKind::AlwaysOneOf { signal, allowed } => {
                 let net = self.signal_net.expect("resolved");
@@ -315,9 +313,7 @@ impl PropertyMonitor {
                     property: self.property.name.clone(),
                     module: self.property.module.clone(),
                     cycle,
-                    details: format!(
-                        "`{signal}` = {v} while reset asserted (grace {window})"
-                    ),
+                    details: format!("`{signal}` = {v} while reset asserted (grace {window})"),
                 })
             }
         }
@@ -329,13 +325,15 @@ mod tests {
     use super::*;
     use soccar_sim::{InitPolicy, Simulator};
 
-    const LEAKY: &str = "module m(input clk, input rst_n, output reg [7:0] key, output reg [7:0] ctr);
+    const LEAKY: &str =
+        "module m(input clk, input rst_n, output reg [7:0] key, output reg [7:0] ctr);
         always @(posedge clk or negedge rst_n)
           if (!rst_n) ctr <= 8'd0;              // BUG: key not cleared
           else begin ctr <= ctr + 8'd1; key <= 8'hA5; end
       endmodule";
 
-    const CLEAN: &str = "module m(input clk, input rst_n, output reg [7:0] key, output reg [7:0] ctr);
+    const CLEAN: &str =
+        "module m(input clk, input rst_n, output reg [7:0] key, output reg [7:0] ctr);
         always @(posedge clk or negedge rst_n)
           if (!rst_n) begin ctr <= 8'd0; key <= 8'd0; end
           else begin ctr <= ctr + 8'd1; key <= 8'hA5; end
@@ -359,8 +357,13 @@ mod tests {
         let clk = design.find_net("m.clk").expect("clk");
         let rst = design.find_net("m.rst_n").expect("rst");
         let mut violations = Vec::new();
-        let drive = |sim: &mut Simulator<_>, rst_v: u64, cycle: u64, mon: &mut PropertyMonitor, out: &mut Vec<Violation>| {
-            sim.write_input(rst, LogicVec::from_u64(1, rst_v)).expect("rst");
+        let drive = |sim: &mut Simulator<_>,
+                     rst_v: u64,
+                     cycle: u64,
+                     mon: &mut PropertyMonitor,
+                     out: &mut Vec<Violation>| {
+            sim.write_input(rst, LogicVec::from_u64(1, rst_v))
+                .expect("rst");
             sim.settle().expect("settle");
             sim.tick(clk).expect("tick");
             out.extend(mon.check_cycle(sim, cycle));
@@ -439,7 +442,8 @@ mod tests {
         let mut sim = Simulator::concrete(&design, InitPolicy::Zeros);
         let sec = design.find_net("m.secret").expect("secret");
         let en = design.find_net("m.en").expect("en");
-        sim.write_input(sec, LogicVec::from_u64(8, 0x5A)).expect("sec");
+        sim.write_input(sec, LogicVec::from_u64(8, 0x5A))
+            .expect("sec");
         sim.write_input(en, LogicVec::from_u64(1, 0)).expect("en");
         sim.settle().expect("settle");
         assert!(mon.check_cycle(&sim, 0).is_none(), "disabled: no check");
@@ -473,7 +477,8 @@ mod tests {
         let rst = design.find_net("m.rst_n").expect("rst");
         let mut violations = Vec::new();
         for (cycle, rv) in [(0u64, 1u64), (1, 0), (2, 1), (3, 1), (4, 1), (5, 1)] {
-            sim.write_input(rst, LogicVec::from_u64(1, rv)).expect("rst");
+            sim.write_input(rst, LogicVec::from_u64(1, rv))
+                .expect("rst");
             sim.settle().expect("settle");
             sim.tick(clk).expect("tick");
             violations.extend(mon.check_cycle(&sim, cycle));
@@ -483,12 +488,8 @@ mod tests {
 
     #[test]
     fn resolve_rejects_unknown_signals() {
-        let (design, _) = soccar_rtl::compile(
-            "m.v",
-            "module m(input a); endmodule",
-            "m",
-        )
-        .expect("compile");
+        let (design, _) =
+            soccar_rtl::compile("m.v", "module m(input a); endmodule", "m").expect("compile");
         let prop = SecurityProperty {
             name: "p".into(),
             module: "m".into(),

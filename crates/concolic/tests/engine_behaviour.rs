@@ -59,8 +59,18 @@ fn identical_seeds_give_identical_reports() {
         seed: 1234,
         ..ConcolicConfig::default()
     };
-    let a = run(TWO_DOMAIN, vec![secret_prop()], GovernorAnalysis::Explicit, config.clone());
-    let b = run(TWO_DOMAIN, vec![secret_prop()], GovernorAnalysis::Explicit, config);
+    let a = run(
+        TWO_DOMAIN,
+        vec![secret_prop()],
+        GovernorAnalysis::Explicit,
+        config.clone(),
+    );
+    let b = run(
+        TWO_DOMAIN,
+        vec![secret_prop()],
+        GovernorAnalysis::Explicit,
+        config,
+    );
     assert_eq!(a.rounds, b.rounds);
     assert_eq!(a.violations, b.violations);
     assert_eq!(a.targets_covered, b.targets_covered);
@@ -81,7 +91,12 @@ fn different_seeds_still_converge_on_detection() {
             seed,
             ..ConcolicConfig::default()
         };
-        let r = run(TWO_DOMAIN, vec![secret_prop()], GovernorAnalysis::Explicit, config);
+        let r = run(
+            TWO_DOMAIN,
+            vec![secret_prop()],
+            GovernorAnalysis::Explicit,
+            config,
+        );
         assert!(r.violated("secret-cleared"), "seed {seed}: {r:?}");
     }
 }
@@ -95,11 +110,20 @@ fn both_domains_are_discovered_and_pulsed() {
     };
     let unit = parse(FileId(0), TWO_DOMAIN).expect("parse");
     let design = soccar_rtl::elaborate::elaborate(&unit, "top").expect("elaborate");
-    let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
-        .expect("compose");
+    let soc = compose_soc(
+        &unit,
+        "top",
+        &ResetNaming::new(),
+        GovernorAnalysis::Explicit,
+    )
+    .expect("compose");
     let bound = bind_events(&design, &soc).expect("bind");
     let engine = ConcolicEngine::new(&design, &bound, vec![], config).expect("engine");
-    let sources: Vec<&str> = engine.domains().iter().map(|(s, _, _)| s.as_str()).collect();
+    let sources: Vec<&str> = engine
+        .domains()
+        .iter()
+        .map(|(s, _, _)| s.as_str())
+        .collect();
     assert_eq!(sources, vec!["top.a_rst_n", "top.b_rst_n"]);
     assert!(engine.target_count() >= 4);
 }
@@ -145,7 +169,12 @@ fn witness_pulses_match_the_monitored_domain() {
         max_rounds: 6,
         ..ConcolicConfig::default()
     };
-    let r = run(TWO_DOMAIN, vec![secret_prop()], GovernorAnalysis::Explicit, config);
+    let r = run(
+        TWO_DOMAIN,
+        vec![secret_prop()],
+        GovernorAnalysis::Explicit,
+        config,
+    );
     let w = r
         .witnesses
         .iter()
@@ -223,7 +252,12 @@ fn async_event_lines_are_swept_like_domains() {
         seed: 5,
         ..ConcolicConfig::default()
     };
-    let r = run(src, vec![prop.clone()], GovernorAnalysis::Explicit, base.clone());
+    let r = run(
+        src,
+        vec![prop.clone()],
+        GovernorAnalysis::Explicit,
+        base.clone(),
+    );
     assert!(!r.violated("priv-legal"), "{r:?}");
     // With ext_irq registered as an asynchronous event, the sweep pulses
     // it across cycle positions and hits the step==5 race.
@@ -247,8 +281,13 @@ fn replay_concrete_reproduces_the_violation_state() {
     };
     let unit = parse(FileId(0), TWO_DOMAIN).expect("parse");
     let design = soccar_rtl::elaborate::elaborate(&unit, "top").expect("elaborate");
-    let soc = compose_soc(&unit, "top", &ResetNaming::new(), GovernorAnalysis::Explicit)
-        .expect("compose");
+    let soc = compose_soc(
+        &unit,
+        "top",
+        &ResetNaming::new(),
+        GovernorAnalysis::Explicit,
+    )
+    .expect("compose");
     let bound = soccar_cfg::bind_events(&design, &soc).expect("bind");
     let report = ConcolicEngine::new(&design, &bound, vec![secret_prop()], config)
         .expect("engine")
@@ -260,10 +299,7 @@ fn replay_concrete_reproduces_the_violation_state() {
         .find(|w| w.property == "secret-cleared")
         .expect("witness");
     let clk = design.find_net("top.clk").expect("clk");
-    let sim = w
-        .schedule
-        .replay_concrete(&design, &[clk])
-        .expect("replay");
+    let sim = w.schedule.replay_concrete(&design, &[clk]).expect("replay");
     // During the final state of the replay the trace must contain a cycle
     // where b_rst_n was asserted; and the secret was never cleared by it.
     let secret = design.find_net("top.u_b.secret").expect("secret");

@@ -11,6 +11,15 @@
 //! With no `--property`, the tool still extracts and reports the AR_CFG
 //! and reset domains (`--list-domains` prints them and exits).
 //!
+//! The `lint` subcommand runs only the static pre-pass:
+//!
+//! ```sh
+//! soccar lint design.v                 # human-readable diagnostics
+//! soccar lint design.v --json          # machine-readable report
+//! soccar lint design.v --deny implicit-governor
+//! soccar lint --list-rules
+//! ```
+//!
 //! Property specs (colon-separated):
 //!
 //! * `cleared:<name>:<module>:<domain>:<signal>:<width>` — signal must be
@@ -28,6 +37,7 @@ use soccar::cli::parse_property;
 use soccar::{Soccar, SoccarConfig};
 use soccar_cfg::{compose_soc, GovernorAnalysis, ResetNaming};
 use soccar_concolic::{ConcolicConfig, SecurityProperty};
+use soccar_lint::{LintConfig, Linter, Severity};
 
 struct Args {
     file: String,
@@ -108,8 +118,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run(args: &Args) -> Result<bool, String> {
-    let source = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("{}: {e}", args.file))?;
+    let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
     let analysis = if args.refined {
         GovernorAnalysis::Refined
     } else {
@@ -178,7 +187,12 @@ fn run(args: &Args) -> Result<bool, String> {
         }
         if args.verbose {
             for w in &report.concolic.witnesses {
-                println!("  witness [{}] round {}: {}", w.property, w.round, w.schedule.summary());
+                println!(
+                    "  witness [{}] round {}: {}",
+                    w.property,
+                    w.round,
+                    w.schedule.summary()
+                );
             }
         }
         if let Some(path) = &args.vcd {
@@ -206,7 +220,106 @@ fn run(args: &Args) -> Result<bool, String> {
     }
 }
 
+const LINT_USAGE: &str = "usage: soccar lint <file.v> [options]
+options:
+  --json              emit the report as JSON instead of text
+  --allow <rule>      disable a rule (repeatable)
+  --deny <rule>       escalate a rule's findings to errors (repeatable)
+  --list-rules        print the registered rules and exit
+exit status: 0 = no error-level findings, 1 = errors found, 2 = bad input";
+
+struct LintArgs {
+    file: String,
+    json: bool,
+    config: LintConfig,
+    list_rules: bool,
+}
+
+fn parse_lint_args(args: impl Iterator<Item = String>) -> Result<LintArgs, String> {
+    let mut args = args.peekable();
+    let mut out = LintArgs {
+        file: String::new(),
+        json: false,
+        config: LintConfig::default(),
+        list_rules: false,
+    };
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => out.json = true,
+            "--allow" => out.config.allow.push(next(&mut args, "--allow")?),
+            "--deny" => out.config.deny.push(next(&mut args, "--deny")?),
+            "--list-rules" => out.list_rules = true,
+            "--help" | "-h" => {
+                println!("{LINT_USAGE}");
+                std::process::exit(0);
+            }
+            other if out.file.is_empty() && !other.starts_with('-') => {
+                out.file = other.to_owned();
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if out.file.is_empty() && !out.list_rules {
+        return Err(LINT_USAGE.to_owned());
+    }
+    Ok(out)
+}
+
+fn run_lint(args: &LintArgs) -> Result<bool, String> {
+    let linter = Linter::new().with_config(args.config.clone());
+    if args.list_rules {
+        for rule in linter.rules() {
+            println!(
+                "{:<28} {:<8} {}",
+                rule.id(),
+                rule.default_severity().label(),
+                rule.description()
+            );
+        }
+        return Ok(true);
+    }
+    for id in args.config.allow.iter().chain(&args.config.deny) {
+        if !linter.is_known_rule(id) {
+            return Err(format!("unknown rule `{id}` (see --list-rules)"));
+        }
+    }
+    let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
+    let report = linter.lint_source(&args.file, &source)?;
+    if args.json {
+        println!(
+            "{}",
+            soccar::json::to_json_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        for diag in &report.diagnostics {
+            println!("{diag}");
+        }
+        println!("{}", report.summary());
+    }
+    Ok(report.worst() != Some(Severity::Error))
+}
+
 fn main() -> ExitCode {
+    // `lint` runs only the static pre-pass and has its own flag set.
+    if std::env::args().nth(1).as_deref() == Some("lint") {
+        return match parse_lint_args(std::env::args().skip(2)) {
+            Ok(args) => match run_lint(&args) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -36,7 +36,10 @@ pub fn parse_property(spec: &str) -> Result<SecurityProperty, String> {
         if parts.len() == n {
             Ok(())
         } else {
-            Err(format!("`{spec}`: expected {n} fields, got {}", parts.len()))
+            Err(format!(
+                "`{spec}`: expected {n} fields, got {}",
+                parts.len()
+            ))
         }
     };
     let kind = match parts.first().copied() {

@@ -17,8 +17,8 @@ use serde::Serialize;
 use soccar_concolic::{PropertyKind, SecurityProperty};
 use soccar_rtl::LogicVec;
 use soccar_soc::{
-    expected_detectors, security_checks, symbolic_inputs, CheckKind, CheckSpec,
-    SocModel, VariantSpec,
+    expected_detectors, security_checks, symbolic_inputs, CheckKind, CheckSpec, SocModel,
+    VariantSpec,
 };
 
 use crate::error::SoccarError;
@@ -291,8 +291,11 @@ mod tests {
 
     #[test]
     fn clean_cluster_produces_no_violations() {
-        let report = evaluate_clean(SocModel::ClusterSoc, fast_config(GovernorAnalysis::Explicit))
-            .expect("clean");
+        let report = evaluate_clean(
+            SocModel::ClusterSoc,
+            fast_config(GovernorAnalysis::Explicit),
+        )
+        .expect("clean");
         assert!(
             report.violations().is_empty(),
             "violations: {:?}",

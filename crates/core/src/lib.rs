@@ -12,12 +12,14 @@
 //! while checking security properties.
 //!
 //! This crate is the facade: [`Soccar`] runs the Figure 1 pipeline on any
-//! Verilog source, and [`evaluation`] reruns the paper's red-team/blue-team
-//! experiment on the bundled ClusterSoC/AutoSoC benchmarks.
+//! Verilog source (with a `soccar-lint` static pre-pass ahead of the
+//! concolic stage), and [`evaluation`] reruns the paper's
+//! red-team/blue-team experiment on the bundled ClusterSoC/AutoSoC
+//! benchmarks.
 //!
 //! ```text
 //! Verilog ─▶ soccar-rtl ─▶ soccar-cfg (Alg. 1–2) ─▶ soccar-concolic (Alg. 3)
-//!                 │                                      │
+//!                 │    └──▶ soccar-lint (pre-pass)       │
 //!                 └────────── soccar-sim ◀───────────────┘
 //!                                 │
 //!                            soccar-smt
@@ -66,6 +68,7 @@
 pub mod cli;
 pub mod error;
 pub mod evaluation;
+pub mod json;
 pub mod pipeline;
 
 pub use error::SoccarError;

@@ -1,0 +1,93 @@
+//! Shared analysis context handed to every lint rule.
+//!
+//! The context is computed once per lint run: reset identification and the
+//! Explicit-mode CFG for every module (so rules can reason about the same
+//! events the published extraction sees), plus the Algorithm 2 connection
+//! profiles (so rules can follow resets across the hierarchy).
+
+use soccar_cfg::{
+    connection_profiles, extract_module_cfg, identify_resets, ConnectionProfile, GovernorAnalysis,
+    ModuleCfg, ResetNaming, ResetSignal,
+};
+use soccar_rtl::ast::{AlwaysBlock, Module, SensItem, SourceUnit};
+use soccar_rtl::span::SourceMap;
+
+/// Per-module pre-computed analysis shared by the rules.
+#[derive(Debug)]
+pub struct ModuleView<'a> {
+    /// The module AST.
+    pub module: &'a Module,
+    /// Identified reset signals (name heuristic + structural).
+    pub resets: Vec<ResetSignal>,
+    /// The full Explicit-mode CFG (what the published tool extracts).
+    pub cfg: ModuleCfg,
+}
+
+impl ModuleView<'_> {
+    /// `true` if `name` is an identified reset of this module.
+    #[must_use]
+    pub fn is_reset(&self, name: &str) -> bool {
+        self.resets.iter().any(|r| r.name == name)
+    }
+
+    /// Edge-qualified sensitivity items of `block` that are identified
+    /// resets of this module.
+    #[must_use]
+    pub fn async_resets_of<'b>(&self, block: &'b AlwaysBlock) -> Vec<&'b SensItem> {
+        block
+            .edge_items()
+            .filter(|i| self.is_reset(&i.signal))
+            .collect()
+    }
+
+    /// The clock of `block`: the first edge-qualified item that is not an
+    /// identified reset.
+    #[must_use]
+    pub fn clock_of<'b>(&self, block: &'b AlwaysBlock) -> Option<&'b SensItem> {
+        block.edge_items().find(|i| !self.is_reset(&i.signal))
+    }
+}
+
+/// Everything a [`crate::LintRule`] may consult.
+#[derive(Debug)]
+pub struct LintContext<'a> {
+    /// The parsed design.
+    pub unit: &'a SourceUnit,
+    /// Span resolution for diagnostics.
+    pub map: &'a SourceMap,
+    /// Naming convention in force.
+    pub naming: &'a ResetNaming,
+    /// Pre-computed per-module views, in source order.
+    pub modules: Vec<ModuleView<'a>>,
+    /// Algorithm 2 connection profiles, one per module.
+    pub profiles: Vec<ConnectionProfile>,
+}
+
+impl<'a> LintContext<'a> {
+    /// Builds the context for one source unit.
+    #[must_use]
+    pub fn build(unit: &'a SourceUnit, map: &'a SourceMap, naming: &'a ResetNaming) -> Self {
+        let modules = unit
+            .modules
+            .iter()
+            .map(|m| ModuleView {
+                module: m,
+                resets: identify_resets(m, naming),
+                cfg: extract_module_cfg(m, naming, GovernorAnalysis::Explicit),
+            })
+            .collect();
+        LintContext {
+            unit,
+            map,
+            naming,
+            modules,
+            profiles: connection_profiles(unit, naming),
+        }
+    }
+
+    /// The connection profile of `module`, if it exists.
+    #[must_use]
+    pub fn profile(&self, module: &str) -> Option<&ConnectionProfile> {
+        self.profiles.iter().find(|p| p.module == module)
+    }
+}

@@ -1,0 +1,130 @@
+//! Span-carrying, severity-ranked lint diagnostics.
+
+use std::fmt;
+
+use serde::{ser::SerializeStruct as _, Serialize, Serializer};
+use soccar_rtl::span::Span;
+
+/// How serious a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Style / hygiene observation; no functional risk established.
+    Info,
+    /// Likely defect or construct known to defeat downstream analyses.
+    Warning,
+    /// Structural reset-domain violation.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Serialize for Severity {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.label())
+    }
+}
+
+/// One lint finding, anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (e.g. `async-reset-unsynchronized`).
+    pub rule: &'static str,
+    /// Severity after any registry overrides.
+    pub severity: Severity,
+    /// Module the finding is in.
+    pub module: String,
+    /// Source anchor.
+    pub span: Span,
+    /// Resolved `file:line:col`, filled in by the lint runner.
+    pub location: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with an unresolved location (the runner
+    /// resolves spans against its [`soccar_rtl::span::SourceMap`]).
+    #[must_use]
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        module: impl Into<String>,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            module: module.into(),
+            span,
+            location: String::new(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} (module `{}`): {}",
+            self.severity, self.rule, self.location, self.module, self.message
+        )
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Diagnostic", 5)?;
+        s.serialize_field("rule", &self.rule)?;
+        s.serialize_field("severity", &self.severity)?;
+        s.serialize_field("module", &self.module)?;
+        s.serialize_field("location", &self.location)?;
+        s.serialize_field("message", &self.message)?;
+        s.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_labels() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.label(), "error");
+    }
+
+    #[test]
+    fn display_carries_all_context() {
+        let mut d = Diagnostic::new(
+            "some-rule",
+            Severity::Warning,
+            "aes",
+            Span::dummy(),
+            "something looks off",
+        );
+        d.location = "t.v:3:1".into();
+        assert_eq!(
+            d.to_string(),
+            "warning[some-rule] t.v:3:1 (module `aes`): something looks off"
+        );
+    }
+}

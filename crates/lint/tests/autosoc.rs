@@ -1,0 +1,39 @@
+//! End-to-end acceptance check: the `implicit-governor` rule statically
+//! flags the implicit-reset construct seeded into the SHA256 engine of
+//! AutoSoC Variant #2 — the Section V-C blind spot that Explicit AR_CFG
+//! extraction (and hence the Explicit concolic pipeline) misses.
+
+use soccar_lint::Linter;
+use soccar_soc::{generate, SocModel};
+
+#[test]
+fn implicit_governor_flags_autosoc_variant_2_sha256() {
+    let design = generate(SocModel::AutoSoc, Some(2));
+    let report = Linter::new()
+        .lint_source("autosoc_v2.v", &design.source)
+        .expect("generated SoC parses");
+    let hit = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "implicit-governor" && d.module.contains("sha256"));
+    assert!(
+        hit.is_some(),
+        "implicit-governor should flag the sha256 engine; diagnostics: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn implicit_governor_silent_on_clean_autosoc() {
+    let design = generate(SocModel::AutoSoc, None);
+    let report = Linter::new()
+        .lint_source("autosoc_clean.v", &design.source)
+        .expect("generated SoC parses");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != "implicit-governor"),
+        "clean AutoSoC must not trip implicit-governor"
+    );
+}

@@ -1,0 +1,14 @@
+// Negative: the canonical 2-FF reset release synchronizer. Assertion is
+// still asynchronous; release is re-timed into the clk domain through the
+// constant-shift chain rst_meta -> rst_sync_n.
+module reset_sync(input clk, input rst_n, output reg rst_sync_n);
+  reg rst_meta;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      rst_meta   <= 1'b0;
+      rst_sync_n <= 1'b0;
+    end else begin
+      rst_meta   <= 1'b1;
+      rst_sync_n <= rst_meta;
+    end
+endmodule

@@ -1,0 +1,11 @@
+// Negative: the derived reset is registered (driven from a clocked block),
+// so no combinational path feeds a reset sink.
+module reg_gen(input clk, input por_n, input [3:0] d, output reg [3:0] q);
+  reg soft_rst_n;
+  always @(posedge clk or negedge por_n)
+    if (!por_n) soft_rst_n <= 1'b0;
+    else soft_rst_n <= 1'b1;
+  always @(posedge clk or negedge soft_rst_n)
+    if (!soft_rst_n) q <= 4'd0;
+    else q <= d;
+endmodule

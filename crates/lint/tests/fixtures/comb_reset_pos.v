@@ -1,0 +1,9 @@
+// Positive: gate_rst_n is woven out of combinational logic (a continuous
+// assign) and consumed as an asynchronous reset — glitch-prone.
+module comb_gen(input clk, input [3:0] ctl, input [3:0] d, output reg [3:0] q);
+  wire gate_rst_n;
+  assign gate_rst_n = ctl == 4'hF;
+  always @(posedge clk or negedge gate_rst_n)
+    if (!gate_rst_n) q <= 4'd0;
+    else q <= d;
+endmodule

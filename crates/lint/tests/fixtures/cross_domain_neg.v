@@ -1,0 +1,10 @@
+// Negative: soft_rst_n is generated and consumed in the same clk domain.
+module same_domain(input clk, input por_n, input [3:0] d, output reg [3:0] q);
+  reg soft_rst_n;
+  always @(posedge clk or negedge por_n)
+    if (!por_n) soft_rst_n <= 1'b0;
+    else soft_rst_n <= 1'b1;
+  always @(posedge clk or negedge soft_rst_n)
+    if (!soft_rst_n) q <= 4'd0;
+    else q <= d;
+endmodule

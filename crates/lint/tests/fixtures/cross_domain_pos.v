@@ -1,0 +1,11 @@
+// Positive: soft_rst_n is generated in the clk_a domain but consumed as an
+// asynchronous reset by a flop clocked on clk_b (reset-domain crossing).
+module rdc(input clk_a, input clk_b, input por_n, input [3:0] d, output reg [3:0] q);
+  reg soft_rst_n;
+  always @(posedge clk_a or negedge por_n)
+    if (!por_n) soft_rst_n <= 1'b0;
+    else soft_rst_n <= 1'b1;
+  always @(posedge clk_b or negedge soft_rst_n)
+    if (!soft_rst_n) q <= 4'd0;
+    else q <= d;
+endmodule

@@ -1,0 +1,7 @@
+// Negative: the classic explicit-governor template — reset edge in the
+// sensitivity list AND a leading reset test.
+module sha(input clk, input rst_n, input [7:0] pt, output reg [7:0] ct);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) ct <= 8'd0;
+    else ct <= pt;
+endmodule

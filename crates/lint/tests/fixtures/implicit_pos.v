@@ -1,0 +1,7 @@
+// Positive: the Section V-C construct — reset edge alone in the sensitivity
+// list, clock tested at level, no leading reset test. Explicit AR_CFG
+// extraction finds no governor here; the linter must still flag it.
+module sha(input clk, input rst_n, input [7:0] pt, output reg [7:0] ct);
+  always @(negedge rst_n)
+    if (clk) ct <= pt;
+endmodule

@@ -1,0 +1,13 @@
+// Negative: every register the operational arm touches is also cleared by
+// the reset arm — the reset domain is complete.
+module eng(input clk, input rst_n, input [7:0] k, input start,
+           output reg [7:0] key_reg, output reg busy);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      busy <= 1'b0;
+      key_reg <= 8'd0;
+    end else begin
+      busy <= 1'b1;
+      key_reg <= k;
+    end
+endmodule

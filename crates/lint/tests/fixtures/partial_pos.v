@@ -1,0 +1,12 @@
+// Positive: the operational arm writes key_reg but the reset arm never
+// clears it — the paper's information-leakage seed shape (Table III).
+module eng(input clk, input rst_n, input [7:0] k, input start,
+           output reg [7:0] key_reg, output reg busy);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      busy <= 1'b0;
+    end else begin
+      busy <= 1'b1;
+      key_reg <= k;
+    end
+endmodule

@@ -1,0 +1,11 @@
+// Negative: both reset-named signals really are resets — hub forwards
+// rst_n to a child reset port, leaf edge-qualifies and tests it.
+module hub(input clk, input rst_n);
+  leaf u (.clk(clk), .rst_n(rst_n));
+endmodule
+
+module leaf(input clk, input rst_n, output reg q);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) q <= 1'b0;
+    else q <= 1'b1;
+endmodule

@@ -1,0 +1,7 @@
+// Positive: rst_count matches the reset naming convention but is plain
+// data — never edge-qualified, never leading-tested, never forwarded to a
+// child reset port. It shadows name-based reset identification.
+module ctr(input clk, input [3:0] d, output reg [3:0] rst_count);
+  always @(posedge clk)
+    rst_count <= rst_count + 4'd1;
+endmodule

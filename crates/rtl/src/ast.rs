@@ -201,6 +201,19 @@ pub struct AlwaysBlock {
     pub span: Span,
 }
 
+impl AlwaysBlock {
+    /// Edge-qualified entries of the sensitivity list.
+    pub fn edge_items(&self) -> impl Iterator<Item = &SensItem> {
+        self.sensitivity.items().iter().filter(|i| i.edge.is_some())
+    }
+
+    /// `true` if the block is combinational (`@*` or a level-only list).
+    #[must_use]
+    pub fn is_combinational(&self) -> bool {
+        !self.sensitivity.has_edges()
+    }
+}
+
 /// A named connection in an instantiation: `.port(expr)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PortConn {
@@ -306,6 +319,23 @@ impl Module {
     #[must_use]
     pub fn port(&self, name: &str) -> Option<&Port> {
         self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Iterates over the continuous assignments of the module as
+    /// `(lhs, rhs, span)` triples.
+    pub fn assigns(&self) -> impl Iterator<Item = (&Expr, &Expr, Span)> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Assign { lhs, rhs, span } => Some((lhs, rhs, *span)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the net/variable declarations of the module.
+    pub fn net_decls(&self) -> impl Iterator<Item = &NetDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Net(d) => Some(d),
+            _ => None,
+        })
     }
 }
 
@@ -750,7 +780,9 @@ mod tests {
             }],
             items: vec![Item::Always(AlwaysBlock {
                 sensitivity: Sensitivity::Star,
-                body: Stmt::Null { span: Span::dummy() },
+                body: Stmt::Null {
+                    span: Span::dummy(),
+                },
                 span: Span::dummy(),
             })],
             span: Span::dummy(),

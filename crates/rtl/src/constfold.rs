@@ -87,11 +87,7 @@ pub fn eval_const(expr: &Expr, env: &ConstEnv) -> RtlResult<LogicVec> {
                         RtlError::new(RtlErrorKind::Semantic, "non-constant power base", *span)
                     })?;
                     let exp = b.to_u64().ok_or_else(|| {
-                        RtlError::new(
-                            RtlErrorKind::Semantic,
-                            "non-constant power exponent",
-                            *span,
-                        )
+                        RtlError::new(RtlErrorKind::Semantic, "non-constant power exponent", *span)
                     })?;
                     let mut acc: u64 = 1;
                     for _ in 0..exp {
@@ -194,8 +190,11 @@ mod tests {
 
     fn expr_of(src: &str) -> Expr {
         // Wrap in a module with a localparam so we can reuse the parser.
-        let unit = parse(FileId(0), &format!("module m; localparam P = {src}; endmodule"))
-            .expect("parse");
+        let unit = parse(
+            FileId(0),
+            &format!("module m; localparam P = {src}; endmodule"),
+        )
+        .expect("parse");
         match &unit.modules[0].items[0] {
             crate::ast::Item::Param(p) => p.value.clone(),
             other => panic!("{other:?}"),
@@ -206,7 +205,10 @@ mod tests {
     fn arithmetic_folding() {
         let env = ConstEnv::new();
         assert_eq!(eval_const_u64(&expr_of("2 + 3 * 4"), &env).expect("ok"), 14);
-        assert_eq!(eval_const_u64(&expr_of("(1 << 4) - 1"), &env).expect("ok"), 15);
+        assert_eq!(
+            eval_const_u64(&expr_of("(1 << 4) - 1"), &env).expect("ok"),
+            15
+        );
         assert_eq!(eval_const_u64(&expr_of("2 ** 10"), &env).expect("ok"), 1024);
     }
 

@@ -22,8 +22,8 @@ use crate::ast::{
 };
 use crate::constfold::{eval_const, eval_const_u64, ConstEnv};
 use crate::design::{
-    Design, InstanceId, InstanceInfo, LValue, MemId, Memory, Net, NetId, Process,
-    ProcessId, ProcessOrigin, RCaseArm, RExpr, RStmt, SiteInfo, SiteKind, Trigger,
+    Design, InstanceId, InstanceInfo, LValue, MemId, Memory, Net, NetId, Process, ProcessId,
+    ProcessOrigin, RCaseArm, RExpr, RStmt, SiteInfo, SiteKind, Trigger,
 };
 use crate::error::{RtlError, RtlErrorKind, RtlResult};
 use crate::span::Span;
@@ -136,10 +136,7 @@ impl<'a> Elaborator<'a> {
             if !module.params.iter().any(|p| &p.name == name) {
                 return Err(RtlError::new(
                     RtlErrorKind::Elaborate,
-                    format!(
-                        "module `{}` has no parameter `{name}`",
-                        module.name
-                    ),
+                    format!("module `{}` has no parameter `{name}`", module.name),
                     module.span,
                 ));
             }
@@ -469,10 +466,7 @@ impl<'a> Elaborator<'a> {
             if child_def.port(&conn.port).is_none() {
                 return Err(RtlError::new(
                     RtlErrorKind::Elaborate,
-                    format!(
-                        "module `{}` has no port `{}`",
-                        inst.module, conn.port
-                    ),
+                    format!("module `{}` has no port `{}`", inst.module, conn.port),
                     conn.span,
                 ));
             }
@@ -625,9 +619,10 @@ impl<'a> Elaborator<'a> {
                 body,
                 span,
             } => {
-                let var_net = *scope.nets.get(var).ok_or_else(|| {
-                    scope.err(format!("undeclared loop variable `{var}`"), *span)
-                })?;
+                let var_net = *scope
+                    .nets
+                    .get(var)
+                    .ok_or_else(|| scope.err(format!("undeclared loop variable `{var}`"), *span))?;
                 let width = self.design.net(var_net).width;
                 let init = widen(self.lower_expr(scope, init)?, width);
                 let cond = self.lower_expr(scope, cond)?;
@@ -667,9 +662,10 @@ impl<'a> Elaborator<'a> {
                 } else if let Some(net) = scope.nets.get(base).copied() {
                     let idx = self.lower_expr(scope, index)?;
                     if let RExpr::Const(c) = &idx {
-                        let lo = c.to_u64().ok_or_else(|| {
-                            scope.err("constant index has unknown bits", *span)
-                        })? as u32;
+                        let lo = c
+                            .to_u64()
+                            .ok_or_else(|| scope.err("constant index has unknown bits", *span))?
+                            as u32;
                         Ok(LValue::Slice { net, lo, width: 1 })
                     } else {
                         Ok(LValue::IndexBit { net, index: idx })
@@ -678,7 +674,12 @@ impl<'a> Elaborator<'a> {
                     Err(scope.err(format!("undeclared identifier `{base}`"), *span))
                 }
             }
-            Expr::PartSelect { base, msb, lsb, span } => {
+            Expr::PartSelect {
+                base,
+                msb,
+                lsb,
+                span,
+            } => {
                 let net = *scope
                     .nets
                     .get(base)
@@ -709,9 +710,10 @@ impl<'a> Elaborator<'a> {
                 let start = self.lower_expr(scope, start)?;
                 let start = normalize_ips_start(start, w, *ascending);
                 if let RExpr::Const(c) = &start {
-                    let lo = c.to_u64().ok_or_else(|| {
-                        scope.err("constant start has unknown bits", *span)
-                    })? as u32;
+                    let lo = c
+                        .to_u64()
+                        .ok_or_else(|| scope.err("constant start has unknown bits", *span))?
+                        as u32;
                     Ok(LValue::Slice { net, lo, width: w })
                 } else {
                     Ok(LValue::DynSlice {
@@ -743,10 +745,7 @@ impl<'a> Elaborator<'a> {
                         width: self.design.net(*net).width,
                     })
                 } else if scope.mems.contains_key(name) {
-                    Err(scope.err(
-                        format!("memory `{name}` must be read element-wise"),
-                        *span,
-                    ))
+                    Err(scope.err(format!("memory `{name}` must be read element-wise"), *span))
                 } else {
                     Err(scope.err(format!("undeclared identifier `{name}`"), *span))
                 }
@@ -883,9 +882,10 @@ impl<'a> Elaborator<'a> {
                 } else if let Some(net) = scope.nets.get(base).copied() {
                     let idx = self.lower_expr(scope, index)?;
                     if let RExpr::Const(c) = &idx {
-                        let lo = c.to_u64().ok_or_else(|| {
-                            scope.err("constant index has unknown bits", *span)
-                        })? as u32;
+                        let lo = c
+                            .to_u64()
+                            .ok_or_else(|| scope.err("constant index has unknown bits", *span))?
+                            as u32;
                         Ok(RExpr::Slice { net, lo, width: 1 })
                     } else {
                         Ok(RExpr::IndexBit {
@@ -901,7 +901,12 @@ impl<'a> Elaborator<'a> {
                     Err(scope.err(format!("undeclared identifier `{base}`"), *span))
                 }
             }
-            Expr::PartSelect { base, msb, lsb, span } => {
+            Expr::PartSelect {
+                base,
+                msb,
+                lsb,
+                span,
+            } => {
                 let net = *scope
                     .nets
                     .get(base)
@@ -1104,9 +1109,7 @@ pub fn collect_stmt_reads(stmt: &RStmt, out: &mut Vec<NetId>) {
                 collect_stmt_reads(e, out);
             }
         }
-        RStmt::Case {
-            selector, arms, ..
-        } => {
+        RStmt::Case { selector, arms, .. } => {
             selector.collect_net_reads(out);
             for arm in arms {
                 collect_stmt_reads(&arm.body, out);
@@ -1272,7 +1275,11 @@ mod tests {
             RStmt::Assign { rhs, .. } => {
                 assert_eq!(rhs.width(), 9);
                 match rhs {
-                    RExpr::Binary { op: BinaryOp::Add, lhs, .. } => {
+                    RExpr::Binary {
+                        op: BinaryOp::Add,
+                        lhs,
+                        ..
+                    } => {
                         assert_eq!(lhs.width(), 9, "operand must be pre-widened");
                     }
                     other => panic!("{other:?}"),
@@ -1324,8 +1331,10 @@ mod tests {
 
     #[test]
     fn reg_initializer_stored() {
-        let d = elab("module top(output reg [3:0] q); initial q = q; endmodule
-                      ");
+        let d = elab(
+            "module top(output reg [3:0] q); initial q = q; endmodule
+                      ",
+        );
         let _ = d;
         let d2 = elab("module top(input clk); reg [3:0] q = 4'd5; endmodule");
         let q = d2.find_net("top.q").expect("q");
@@ -1370,9 +1379,7 @@ mod tests {
 
     #[test]
     fn recursive_instantiation_caught() {
-        let e = elab_err(
-            "module top(input a); top u(.a(a)); endmodule",
-        );
+        let e = elab_err("module top(input a); top u(.a(a)); endmodule");
         assert!(e.message.contains("hierarchy"));
     }
 

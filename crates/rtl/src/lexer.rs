@@ -110,9 +110,7 @@ impl<'a> Lexer<'a> {
                                 break;
                             }
                             (Some(_), _) => self.pos += 1,
-                            (None, _) => {
-                                return Err(self.err("unterminated block comment", start))
-                            }
+                            (None, _) => return Err(self.err("unterminated block comment", start)),
                         }
                     }
                 }
@@ -139,8 +137,8 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let word = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("lexer input is ascii here");
+        let word =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("lexer input is ascii here");
         let kind = match Keyword::lookup(word) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(word.to_owned()),
@@ -246,7 +244,7 @@ impl<'a> Lexer<'a> {
 
     fn lex_based_literal(&mut self, start: usize, size: Option<u32>) -> RtlResult<()> {
         self.pos += 1; // apostrophe
-        // Optional signedness marker, ignored (subset is unsigned).
+                       // Optional signedness marker, ignored (subset is unsigned).
         if matches!(self.peek(), Some(b's' | b'S')) {
             self.pos += 1;
         }
@@ -297,9 +295,8 @@ impl<'a> Lexer<'a> {
                             })?;
                     } else {
                         let per = base.trailing_zeros();
-                        let mut new: Vec<Bit> = (0..per)
-                            .map(|i| Bit::from((d >> i) & 1 == 1))
-                            .collect();
+                        let mut new: Vec<Bit> =
+                            (0..per).map(|i| Bit::from((d >> i) & 1 == 1)).collect();
                         new.extend_from_slice(&bits);
                         bits = new;
                     }
@@ -462,12 +459,7 @@ impl<'a> Lexer<'a> {
                     Pipe
                 }
             }
-            _ => {
-                return Err(self.err(
-                    format!("unexpected character `{}`", c as char),
-                    start,
-                ))
-            }
+            _ => return Err(self.err(format!("unexpected character `{}`", c as char), start)),
         };
         self.push(TokenKind::Punct(p), start);
         Ok(())

@@ -159,16 +159,15 @@ impl Parser {
             self.expect_punct(Punct::RParen)?;
         }
         let mut ports = Vec::new();
-        if self.eat_punct(Punct::LParen)
-            && !self.eat_punct(Punct::RParen) {
-                loop {
-                    ports.push(self.ansi_port(&ports)?);
-                    if !self.eat_punct(Punct::Comma) {
-                        break;
-                    }
+        if self.eat_punct(Punct::LParen) && !self.eat_punct(Punct::RParen) {
+            loop {
+                ports.push(self.ansi_port(&ports)?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
                 }
-                self.expect_punct(Punct::RParen)?;
             }
+            self.expect_punct(Punct::RParen)?;
+        }
         self.expect_punct(Punct::Semi)?;
         let mut items = Vec::new();
         while !self.eat_keyword(Keyword::Endmodule) {
@@ -538,9 +537,7 @@ impl Parser {
                 self.expect_punct(Punct::Semi)?;
                 let (var2, _) = self.expect_ident()?;
                 if var2 != var {
-                    return Err(self.unsupported(
-                        "for-loop step must assign the loop variable",
-                    ));
+                    return Err(self.unsupported("for-loop step must assign the loop variable"));
                 }
                 self.expect_punct(Punct::Assign)?;
                 let step = self.expr()?;
@@ -918,10 +915,14 @@ mod tests {
 
     #[test]
     fn assign_and_expressions() {
-        let u = p("module m(input [7:0] a, b, output [7:0] y); assign y = (a + b) * 8'd2 ^ ~a; endmodule");
+        let u = p(
+            "module m(input [7:0] a, b, output [7:0] y); assign y = (a + b) * 8'd2 ^ ~a; endmodule",
+        );
         match &u.modules[0].items[0] {
             Item::Assign { rhs, .. } => match rhs {
-                Expr::Binary { op: BinaryOp::Xor, .. } => {}
+                Expr::Binary {
+                    op: BinaryOp::Xor, ..
+                } => {}
                 other => panic!("precedence wrong: {other:?}"),
             },
             other => panic!("{other:?}"),
@@ -932,8 +933,22 @@ mod tests {
     fn precedence_mul_over_add() {
         let u = p("module m(output [7:0] y); assign y = 1 + 2 * 3; endmodule");
         match &u.modules[0].items[0] {
-            Item::Assign { rhs: Expr::Binary { op: BinaryOp::Add, rhs, .. }, .. } => {
-                assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+            Item::Assign {
+                rhs:
+                    Expr::Binary {
+                        op: BinaryOp::Add,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
+                assert!(matches!(
+                    **rhs,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -1038,7 +1053,10 @@ mod tests {
     fn concat_repeat_selects() {
         let u = p("module m(input [7:0] a, output [15:0] y, output b); assign y = {a, {2{a[3:0]}}}; assign b = a[a[0]]; endmodule");
         match &u.modules[0].items[0] {
-            Item::Assign { rhs: Expr::Concat { parts, .. }, .. } => {
+            Item::Assign {
+                rhs: Expr::Concat { parts, .. },
+                ..
+            } => {
                 assert_eq!(parts.len(), 2);
                 assert!(matches!(parts[1], Expr::Repeat { .. }));
             }
@@ -1050,7 +1068,10 @@ mod tests {
     fn indexed_part_select() {
         let u = p("module m(input [31:0] a, input [1:0] s, output [7:0] y); assign y = a[s*8 +: 8]; endmodule");
         match &u.modules[0].items[0] {
-            Item::Assign { rhs: Expr::IndexedPartSelect { ascending, .. }, .. } => {
+            Item::Assign {
+                rhs: Expr::IndexedPartSelect { ascending, .. },
+                ..
+            } => {
                 assert!(ascending);
             }
             other => panic!("{other:?}"),
@@ -1062,7 +1083,10 @@ mod tests {
         let u = p("module m(input [3:0] a, b, output reg c, output reg [3:0] s); always @* {c, s} = a + b; endmodule");
         let blk = u.modules[0].always_blocks().next().expect("a");
         match &blk.body {
-            Stmt::Blocking { lhs: Expr::Concat { parts, .. }, .. } => {
+            Stmt::Blocking {
+                lhs: Expr::Concat { parts, .. },
+                ..
+            } => {
                 assert_eq!(parts.len(), 2);
             }
             other => panic!("{other:?}"),
@@ -1075,8 +1099,16 @@ mod tests {
         let u = p("module m(input clk, input [3:0] a, output reg y); always @(posedge clk) if (a <= 4'd3) y <= 1'b1; endmodule");
         let blk = u.modules[0].always_blocks().next().expect("a");
         match &blk.body {
-            Stmt::If { cond, then_stmt, .. } => {
-                assert!(matches!(cond, Expr::Binary { op: BinaryOp::Le, .. }));
+            Stmt::If {
+                cond, then_stmt, ..
+            } => {
+                assert!(matches!(
+                    cond,
+                    Expr::Binary {
+                        op: BinaryOp::Le,
+                        ..
+                    }
+                ));
                 assert!(matches!(**then_stmt, Stmt::NonBlocking { .. }));
             }
             other => panic!("{other:?}"),
@@ -1085,9 +1117,13 @@ mod tests {
 
     #[test]
     fn ternary_right_associative() {
-        let u = p("module m(input a, b, output y); assign y = a ? 1'b0 : b ? 1'b1 : 1'b0; endmodule");
+        let u =
+            p("module m(input a, b, output y); assign y = a ? 1'b0 : b ? 1'b1 : 1'b0; endmodule");
         match &u.modules[0].items[0] {
-            Item::Assign { rhs: Expr::Ternary { else_expr, .. }, .. } => {
+            Item::Assign {
+                rhs: Expr::Ternary { else_expr, .. },
+                ..
+            } => {
                 assert!(matches!(**else_expr, Expr::Ternary { .. }));
             }
             other => panic!("{other:?}"),
@@ -1096,7 +1132,8 @@ mod tests {
 
     #[test]
     fn system_task_ignored() {
-        let u = p("module m(input clk); always @(posedge clk) $display(\"tick %d\", clk); endmodule");
+        let u =
+            p("module m(input clk); always @(posedge clk) $display(\"tick %d\", clk); endmodule");
         let blk = u.modules[0].always_blocks().next().expect("a");
         match &blk.body {
             Stmt::Null { .. } => {}
@@ -1112,7 +1149,10 @@ mod tests {
 
     #[test]
     fn unsupported_constructs_diagnosed() {
-        assert_eq!(perr("module m(inout w); endmodule").kind, RtlErrorKind::Unsupported);
+        assert_eq!(
+            perr("module m(inout w); endmodule").kind,
+            RtlErrorKind::Unsupported
+        );
         assert_eq!(
             perr("module m(input clk); always @(posedge clk) #5 q <= 1; endmodule").kind,
             RtlErrorKind::Unsupported

@@ -82,8 +82,7 @@ fn print_item(item: &Item, level: usize) -> String {
                 .map(|n| {
                     let mut t = n.name.clone();
                     if let Some(a) = &n.array {
-                        let _ =
-                            write!(t, " [{}:{}]", print_expr(&a.msb), print_expr(&a.lsb));
+                        let _ = write!(t, " [{}:{}]", print_expr(&a.msb), print_expr(&a.lsb));
                     }
                     if let Some(init) = &n.init {
                         let _ = write!(t, " = {}", print_expr(init));
@@ -114,10 +113,7 @@ fn print_item(item: &Item, level: usize) -> String {
                     format!("({})", parts.join(" or "))
                 }
             };
-            format!(
-                "{ind}always @{sens}\n{}",
-                print_stmt(&a.body, level + 1)
-            )
+            format!("{ind}always @{sens}\n{}", print_stmt(&a.body, level + 1))
         }
         Item::Initial { body, .. } => {
             format!("{ind}initial\n{}", print_stmt(body, level + 1))

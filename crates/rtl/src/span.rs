@@ -43,7 +43,11 @@ impl Span {
     #[must_use]
     pub fn to(self, other: Span) -> Span {
         assert_eq!(self.file, other.file, "cannot join spans across files");
-        Span::new(self.file, self.start.min(other.start), self.end.max(other.end))
+        Span::new(
+            self.file,
+            self.start.min(other.start),
+            self.end.max(other.end),
+        )
     }
 }
 
@@ -187,10 +191,22 @@ mod tests {
     fn line_col_lookup() {
         let mut map = SourceMap::new();
         let f = map.add_file("a.v", "abc\ndef\nghi");
-        assert_eq!(map.line_col(Span::new(f, 0, 1)), LineCol { line: 1, col: 1 });
-        assert_eq!(map.line_col(Span::new(f, 4, 5)), LineCol { line: 2, col: 1 });
-        assert_eq!(map.line_col(Span::new(f, 6, 7)), LineCol { line: 2, col: 3 });
-        assert_eq!(map.line_col(Span::new(f, 8, 9)), LineCol { line: 3, col: 1 });
+        assert_eq!(
+            map.line_col(Span::new(f, 0, 1)),
+            LineCol { line: 1, col: 1 }
+        );
+        assert_eq!(
+            map.line_col(Span::new(f, 4, 5)),
+            LineCol { line: 2, col: 1 }
+        );
+        assert_eq!(
+            map.line_col(Span::new(f, 6, 7)),
+            LineCol { line: 2, col: 3 }
+        );
+        assert_eq!(
+            map.line_col(Span::new(f, 8, 9)),
+            LineCol { line: 3, col: 1 }
+        );
         assert_eq!(map.describe(Span::new(f, 6, 7)), "a.v:2:3");
     }
 

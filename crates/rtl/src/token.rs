@@ -126,34 +126,34 @@ pub enum Punct {
     Hash,
     At,
     Question,
-    Assign,      // =
-    LtEq,        // <=  (also non-blocking assign)
-    GtEq,        // >=
-    Lt,          // <
-    Gt,          // >
-    EqEq,        // ==
-    NotEq,       // !=
-    CaseEq,      // ===
-    CaseNotEq,   // !==
+    Assign,    // =
+    LtEq,      // <=  (also non-blocking assign)
+    GtEq,      // >=
+    Lt,        // <
+    Gt,        // >
+    EqEq,      // ==
+    NotEq,     // !=
+    CaseEq,    // ===
+    CaseNotEq, // !==
     Plus,
     Minus,
     Star,
     Slash,
     Percent,
-    Amp,         // &
-    AmpAmp,      // &&
-    Pipe,        // |
-    PipePipe,    // ||
-    Caret,       // ^
-    Tilde,       // ~
-    TildeCaret,  // ~^ (xnor)
-    Bang,        // !
-    Shl,         // <<
-    Shr,         // >>
-    AShr,        // >>>
-    Star2,       // ** (power; const contexts only)
-    PlusColon,   // +: (indexed part-select)
-    MinusColon,  // -: (indexed part-select)
+    Amp,        // &
+    AmpAmp,     // &&
+    Pipe,       // |
+    PipePipe,   // ||
+    Caret,      // ^
+    Tilde,      // ~
+    TildeCaret, // ~^ (xnor)
+    Bang,       // !
+    Shl,        // <<
+    Shr,        // >>
+    AShr,       // >>>
+    Star2,      // ** (power; const contexts only)
+    PlusColon,  // +: (indexed part-select)
+    MinusColon, // -: (indexed part-select)
 }
 
 impl fmt::Display for Punct {

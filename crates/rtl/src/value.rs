@@ -568,9 +568,7 @@ impl LogicVec {
         for i in 0..n {
             let mut carry = 0u128;
             for j in 0..n - i {
-                let cur = u128::from(acc[i + j])
-                    + u128::from(a[i]) * u128::from(b[j])
-                    + carry;
+                let cur = u128::from(acc[i + j]) + u128::from(a[i]) * u128::from(b[j]) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -805,9 +803,7 @@ impl LogicVec {
     #[must_use]
     pub fn select_bit(&self, index: &LogicVec) -> LogicVec {
         match index.to_u64() {
-            Some(i) if i < u64::from(self.width) => {
-                LogicVec::from_bits(&[self.bit(i as u32)])
-            }
+            Some(i) if i < u64::from(self.width) => LogicVec::from_bits(&[self.bit(i as u32)]),
             _ => LogicVec::xes(1),
         }
     }

@@ -39,7 +39,11 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::LoopLimit { process } => {
-                write!(f, "for-loop iteration limit exceeded in process {}", process.0)
+                write!(
+                    f,
+                    "for-loop iteration limit exceeded in process {}",
+                    process.0
+                )
             }
             SimError::Unstable { executed } => write!(
                 f,

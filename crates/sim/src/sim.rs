@@ -313,7 +313,8 @@ impl<'d, A: Algebra> Simulator<'d, A> {
     /// Panics if `mem` is not part of the design or `addr` is out of range.
     #[must_use]
     pub fn mem_logic(&self, mem: MemId, addr: u64) -> &LogicVec {
-        self.algebra.concrete(&self.mems[mem.0 as usize][addr as usize])
+        self.algebra
+            .concrete(&self.mems[mem.0 as usize][addr as usize])
     }
 
     /// Drives a top-level input with a concrete value. Does not settle;
@@ -885,8 +886,10 @@ mod tests {
             "t",
         );
         let mut s = Simulator::concrete(&d, InitPolicy::X);
-        s.write_input(net(&d, "t.a"), LogicVec::from_u64(4, 0b1100)).expect("a");
-        s.write_input(net(&d, "t.b"), LogicVec::from_u64(4, 0b1010)).expect("b");
+        s.write_input(net(&d, "t.a"), LogicVec::from_u64(4, 0b1100))
+            .expect("a");
+        s.write_input(net(&d, "t.b"), LogicVec::from_u64(4, 0b1010))
+            .expect("b");
         s.settle().expect("settle");
         assert_eq!(s.net_logic(net(&d, "t.y")).to_u64(), Some(0b1000));
     }
@@ -960,7 +963,8 @@ mod tests {
         let mut s = Simulator::concrete(&d, InitPolicy::Zeros);
         let clk = net(&d, "t.clk");
         s.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        s.write_input(net(&d, "t.d"), LogicVec::from_u64(4, 3)).expect("d");
+        s.write_input(net(&d, "t.d"), LogicVec::from_u64(4, 3))
+            .expect("d");
         s.settle().expect("settle");
         s.tick(clk).expect("tick");
         assert_eq!(s.net_logic(net(&d, "t.y")).to_u64(), Some(5));
@@ -981,7 +985,8 @@ mod tests {
         let mut s = Simulator::concrete(&d, InitPolicy::Zeros);
         let clk = net(&d, "t.clk");
         for (n, v, w) in [("t.we", 1u64, 1u32), ("t.addr", 5, 4), ("t.wd", 0xAB, 8)] {
-            s.write_input(net(&d, n), LogicVec::from_u64(w, v)).expect("in");
+            s.write_input(net(&d, n), LogicVec::from_u64(w, v))
+                .expect("in");
         }
         s.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
         s.settle().expect("settle");
@@ -990,7 +995,8 @@ mod tests {
         assert_eq!(s.net_logic(net(&d, "t.rd")).to_u64(), Some(0));
         let mem = d.find_memory("t.mem").expect("mem");
         assert_eq!(s.mem_logic(mem, 5).to_u64(), Some(0xAB));
-        s.write_input(net(&d, "t.we"), LogicVec::from_u64(1, 0)).expect("we");
+        s.write_input(net(&d, "t.we"), LogicVec::from_u64(1, 0))
+            .expect("we");
         s.settle().expect("settle");
         s.tick(clk).expect("tick");
         assert_eq!(s.net_logic(net(&d, "t.rd")).to_u64(), Some(0xAB));
@@ -1008,7 +1014,8 @@ mod tests {
             "t",
         );
         let mut s = Simulator::concrete(&d, InitPolicy::X);
-        s.write_input(net(&d, "t.x"), LogicVec::from_u64(2, 0b11)).expect("x");
+        s.write_input(net(&d, "t.x"), LogicVec::from_u64(2, 0b11))
+            .expect("x");
         s.settle().expect("settle");
         assert_eq!(s.net_logic(net(&d, "t.out")).to_u64(), Some(0b10));
     }
@@ -1066,7 +1073,8 @@ mod tests {
             "t",
         );
         let mut s = Simulator::concrete(&d, InitPolicy::X);
-        s.write_input(net(&d, "t.clk"), LogicVec::from_u64(1, 0)).expect("clk");
+        s.write_input(net(&d, "t.clk"), LogicVec::from_u64(1, 0))
+            .expect("clk");
         s.settle().expect("settle");
         assert!(s.net_logic(net(&d, "t.y")).is_all_x());
     }
@@ -1085,7 +1093,8 @@ mod tests {
         );
         let mut s = Simulator::concrete(&d, InitPolicy::Ones);
         let rst = net(&d, "t.rst_n");
-        s.write_input(net(&d, "t.clk"), LogicVec::from_u64(1, 0)).expect("clk");
+        s.write_input(net(&d, "t.clk"), LogicVec::from_u64(1, 0))
+            .expect("clk");
         s.write_input(rst, LogicVec::from_u64(1, 1)).expect("rst");
         s.settle().expect("settle");
         s.write_input(rst, LogicVec::from_u64(1, 0)).expect("rst");
@@ -1103,7 +1112,8 @@ mod tests {
             "t",
         );
         let mut s = Simulator::concrete(&d, InitPolicy::X);
-        s.write_input(net(&d, "t.d"), LogicVec::from_u64(8, 0x0A)).expect("d");
+        s.write_input(net(&d, "t.d"), LogicVec::from_u64(8, 0x0A))
+            .expect("d");
         s.settle().expect("settle");
         assert_eq!(s.net_logic(net(&d, "t.q")).to_u64(), Some(0xA0));
     }
@@ -1117,8 +1127,10 @@ mod tests {
             "t",
         );
         let mut s = Simulator::concrete(&d, InitPolicy::X);
-        s.write_input(net(&d, "t.a"), LogicVec::from_u64(4, 9)).expect("a");
-        s.write_input(net(&d, "t.b"), LogicVec::from_u64(4, 8)).expect("b");
+        s.write_input(net(&d, "t.a"), LogicVec::from_u64(4, 9))
+            .expect("a");
+        s.write_input(net(&d, "t.b"), LogicVec::from_u64(4, 8))
+            .expect("b");
         s.settle().expect("settle");
         assert_eq!(s.net_logic(net(&d, "t.c")).to_u64(), Some(1));
         assert_eq!(s.net_logic(net(&d, "t.s")).to_u64(), Some(1));
@@ -1134,8 +1146,10 @@ mod tests {
             "t",
         );
         let mut s = Simulator::concrete(&d, InitPolicy::X);
-        s.write_input(net(&d, "t.d"), LogicVec::from_u64(8, 0b0100_0000)).expect("d");
-        s.write_input(net(&d, "t.idx"), LogicVec::from_u64(3, 6)).expect("idx");
+        s.write_input(net(&d, "t.d"), LogicVec::from_u64(8, 0b0100_0000))
+            .expect("d");
+        s.write_input(net(&d, "t.idx"), LogicVec::from_u64(3, 6))
+            .expect("idx");
         s.settle().expect("settle");
         assert_eq!(s.net_logic(net(&d, "t.y")).to_u64(), Some(1));
         assert_eq!(s.net_logic(net(&d, "t.q")).to_u64(), Some(0b0100_0000));
@@ -1143,10 +1157,7 @@ mod tests {
 
     #[test]
     fn not_an_input_rejected() {
-        let d = compile(
-            "module t(input a, output y); assign y = a; endmodule",
-            "t",
-        );
+        let d = compile("module t(input a, output y); assign y = a; endmodule", "t");
         let mut s = Simulator::concrete(&d, InitPolicy::X);
         let y = net(&d, "t.y");
         assert_eq!(
@@ -1173,10 +1184,12 @@ mod tests {
             "t",
         );
         let mut s = Simulator::concrete(&d, InitPolicy::X);
-        s.write_input(net(&d, "t.s"), LogicVec::from_u64(1, 0)).expect("s");
+        s.write_input(net(&d, "t.s"), LogicVec::from_u64(1, 0))
+            .expect("s");
         s.settle().expect("settle with loop open");
         assert_eq!(s.net_logic(net(&d, "t.y")).to_u64(), Some(0));
-        s.write_input(net(&d, "t.s"), LogicVec::from_u64(1, 1)).expect("s");
+        s.write_input(net(&d, "t.s"), LogicVec::from_u64(1, 1))
+            .expect("s");
         let r = s.settle();
         assert!(matches!(r, Err(SimError::Unstable { .. })), "got {r:?}");
     }
@@ -1197,13 +1210,11 @@ mod tests {
 
     #[test]
     fn tracing_records_changes() {
-        let d = compile(
-            "module t(input a, output y); assign y = ~a; endmodule",
-            "t",
-        );
+        let d = compile("module t(input a, output y); assign y = ~a; endmodule", "t");
         let mut s = Simulator::concrete(&d, InitPolicy::X);
         s.enable_tracing();
-        s.write_input(net(&d, "t.a"), LogicVec::from_u64(1, 0)).expect("a");
+        s.write_input(net(&d, "t.a"), LogicVec::from_u64(1, 0))
+            .expect("a");
         s.settle().expect("settle");
         assert!(s.trace().iter().any(|e| e.net == net(&d, "t.y")));
     }
@@ -1222,7 +1233,8 @@ mod tests {
         let mut s = Simulator::concrete(&d, InitPolicy::Zeros);
         let clk = net(&d, "t.clk");
         s.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        s.write_input(net(&d, "t.addr"), LogicVec::from_u64(2, 2)).expect("addr");
+        s.write_input(net(&d, "t.addr"), LogicVec::from_u64(2, 2))
+            .expect("addr");
         s.settle().expect("settle");
         s.tick(clk).expect("tick");
         assert_eq!(s.net_logic(net(&d, "t.q")).to_u64(), Some(12));

@@ -201,9 +201,11 @@ impl StimulusProgram {
             sim.settle()?;
             sim.advance_time(1);
             // Held pulses release after their hold elapses.
-            for p in self.pulses.iter().filter(|p| {
-                p.hold_cycles > 0 && p.at_cycle + p.hold_cycles == cycle + 1
-            }) {
+            for p in self
+                .pulses
+                .iter()
+                .filter(|p| p.hold_cycles > 0 && p.at_cycle + p.hold_cycles == cycle + 1)
+            {
                 sim.write_input(p.line.net, p.line.deassert_value())?;
             }
             sim.settle()?;

@@ -111,7 +111,8 @@ mod tests {
         let mut sim = Simulator::concrete(&design, InitPolicy::X);
         sim.enable_tracing();
         let a = design.find_net("t.a").expect("a");
-        sim.write_input(a, LogicVec::from_u64(4, 0b1010)).expect("a");
+        sim.write_input(a, LogicVec::from_u64(4, 0b1010))
+            .expect("a");
         sim.settle().expect("settle");
         let vcd = write_vcd(&design, sim.trace(), &[]);
         assert!(vcd.contains("$var wire 4"));

@@ -99,12 +99,16 @@ fn out_of_range_memory_read_is_x() {
     );
     let mut s = Simulator::concrete(&d, InitPolicy::Zeros);
     let addr = d.find_net("t.addr").expect("addr");
-    s.write_input(addr, LogicVec::from_u64(5, 20)).expect("addr");
+    s.write_input(addr, LogicVec::from_u64(5, 20))
+        .expect("addr");
     s.settle().expect("settle");
     assert!(s.net_logic(d.find_net("t.rd").expect("rd")).is_all_x());
     s.write_input(addr, LogicVec::from_u64(5, 3)).expect("addr");
     s.settle().expect("settle");
-    assert_eq!(s.net_logic(d.find_net("t.rd").expect("rd")).to_u64(), Some(0));
+    assert_eq!(
+        s.net_logic(d.find_net("t.rd").expect("rd")).to_u64(),
+        Some(0)
+    );
 }
 
 #[test]
@@ -132,7 +136,10 @@ fn two_processes_one_target_last_nba_wins() {
 
 #[test]
 fn time_advances_two_per_tick() {
-    let d = compile("module t(input clk, output y); assign y = clk; endmodule", "t");
+    let d = compile(
+        "module t(input clk, output y); assign y = clk; endmodule",
+        "t",
+    );
     let mut s = Simulator::concrete(&d, InitPolicy::X);
     let clk = d.find_net("t.clk").expect("clk");
     s.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
@@ -165,13 +172,20 @@ fn poke_wakes_dependents() {
 
 #[test]
 fn width_mismatch_and_non_input_errors_are_reported() {
-    let d = compile("module t(input [3:0] a, output [3:0] y); assign y = a; endmodule", "t");
+    let d = compile(
+        "module t(input [3:0] a, output [3:0] y); assign y = a; endmodule",
+        "t",
+    );
     let mut s = Simulator::concrete(&d, InitPolicy::X);
     let a = d.find_net("t.a").expect("a");
     let y = d.find_net("t.y").expect("y");
     assert!(matches!(
         s.write_input(a, LogicVec::from_u64(8, 1)),
-        Err(SimError::WidthMismatch { expected: 4, got: 8, .. })
+        Err(SimError::WidthMismatch {
+            expected: 4,
+            got: 8,
+            ..
+        })
     ));
     assert!(matches!(
         s.write_input(y, LogicVec::from_u64(4, 1)),

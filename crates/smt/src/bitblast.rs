@@ -76,15 +76,24 @@ impl BitBlaster {
             }
             Term::And(a, b) => {
                 let (a, b) = (self.blast(g, *a), self.blast(g, *b));
-                a.iter().zip(&b).map(|(x, y)| self.and_gate(*x, *y)).collect()
+                a.iter()
+                    .zip(&b)
+                    .map(|(x, y)| self.and_gate(*x, *y))
+                    .collect()
             }
             Term::Or(a, b) => {
                 let (a, b) = (self.blast(g, *a), self.blast(g, *b));
-                a.iter().zip(&b).map(|(x, y)| self.or_gate(*x, *y)).collect()
+                a.iter()
+                    .zip(&b)
+                    .map(|(x, y)| self.or_gate(*x, *y))
+                    .collect()
             }
             Term::Xor(a, b) => {
                 let (a, b) = (self.blast(g, *a), self.blast(g, *b));
-                a.iter().zip(&b).map(|(x, y)| self.xor_gate(*x, *y)).collect()
+                a.iter()
+                    .zip(&b)
+                    .map(|(x, y)| self.xor_gate(*x, *y))
+                    .collect()
             }
             Term::Add(a, b) => {
                 let (a, b) = (self.blast(g, *a), self.blast(g, *b));
@@ -134,7 +143,10 @@ impl BitBlaster {
             Term::Ite(c, t, e) => {
                 let c = self.blast(g, *c)[0];
                 let (t, e) = (self.blast(g, *t), self.blast(g, *e));
-                t.iter().zip(&e).map(|(x, y)| self.mux_gate(c, *x, *y)).collect()
+                t.iter()
+                    .zip(&e)
+                    .map(|(x, y)| self.mux_gate(c, *x, *y))
+                    .collect()
             }
             Term::Concat(hi, lo) => {
                 let (hi, lo) = (self.blast(g, *hi), self.blast(g, *lo));
@@ -240,7 +252,8 @@ impl BitBlaster {
         }
         let c = self.fresh();
         self.solver.add_clause(&[c.negate(), a, b]);
-        self.solver.add_clause(&[c.negate(), a.negate(), b.negate()]);
+        self.solver
+            .add_clause(&[c.negate(), a.negate(), b.negate()]);
         self.solver.add_clause(&[c, a, b.negate()]);
         self.solver.add_clause(&[c, a.negate(), b]);
         c
@@ -334,7 +347,10 @@ impl BitBlaster {
             .zip(a)
             .map(|(r, av)| self.mux_gate(b_zero, *av, *r))
             .collect();
-        let quo = quo.iter().map(|q| self.mux_gate(b_zero, self.true_lit, *q)).collect();
+        let quo = quo
+            .iter()
+            .map(|q| self.mux_gate(b_zero, self.true_lit, *q))
+            .collect();
         (quo, rem)
     }
 
@@ -489,8 +505,12 @@ mod tests {
         bb.assert_true(&g, x_gt_1);
         bb.assert_true(&g, y_gt_1);
         assert_eq!(bb.solver.solve(), SatOutcome::Sat);
-        let xv = BvVal::from_bits(&bb.model_bits(x).expect("x")).to_u64().expect("x");
-        let yv = BvVal::from_bits(&bb.model_bits(y).expect("y")).to_u64().expect("y");
+        let xv = BvVal::from_bits(&bb.model_bits(x).expect("x"))
+            .to_u64()
+            .expect("x");
+        let yv = BvVal::from_bits(&bb.model_bits(y).expect("y"))
+            .to_u64()
+            .expect("y");
         assert_eq!((xv * yv) & 0xFF, 77);
         assert!(xv > 1 && yv > 1);
     }
@@ -507,7 +527,9 @@ mod tests {
         let mut bb = BitBlaster::new();
         bb.assert_true(&g, both);
         assert_eq!(bb.solver.solve(), SatOutcome::Sat);
-        let xv = BvVal::from_bits(&bb.model_bits(x).expect("x")).to_u64().expect("x");
+        let xv = BvVal::from_bits(&bb.model_bits(x).expect("x"))
+            .to_u64()
+            .expect("x");
         assert_eq!(xv, 11);
     }
 
@@ -523,7 +545,9 @@ mod tests {
         let eq = g.eq(shifted, c32);
         bb.assert_true(&g, eq);
         assert_eq!(bb.solver.solve(), SatOutcome::Sat);
-        let a = BvVal::from_bits(&bb.model_bits(amt).expect("amt")).to_u64().expect("amt");
+        let a = BvVal::from_bits(&bb.model_bits(amt).expect("amt"))
+            .to_u64()
+            .expect("amt");
         assert_eq!(a, 5);
     }
 
@@ -539,7 +563,9 @@ mod tests {
         bb.assert_true(&g, is_zero);
         // amt must be >= 4 (or 3, since 3<<3 = 24 & 0xF = 8 ≠ 0; 3<<2=12≠0).
         assert_eq!(bb.solver.solve(), SatOutcome::Sat);
-        let a = BvVal::from_bits(&bb.model_bits(amt).expect("amt")).to_u64().expect("amt");
+        let a = BvVal::from_bits(&bb.model_bits(amt).expect("amt"))
+            .to_u64()
+            .expect("amt");
         assert!(a >= 4, "amt = {a}");
     }
 
@@ -573,7 +599,9 @@ mod tests {
         bb.assert_true(&g, eq_q);
         bb.assert_true(&g, eq_r);
         assert_eq!(bb.solver.solve(), SatOutcome::Sat);
-        let xv = BvVal::from_bits(&bb.model_bits(x).expect("x")).to_u64().expect("x");
+        let xv = BvVal::from_bits(&bb.model_bits(x).expect("x"))
+            .to_u64()
+            .expect("x");
         assert_eq!(xv, 9 * 7 + 4);
     }
 

@@ -423,7 +423,9 @@ mod tests {
         assert!(!b.ult(&a));
         assert!(!a.ult(&a));
         assert_eq!(
-            BvVal::from_u64(4, 0xA).concat(&BvVal::from_u64(4, 0x5)).to_u64(),
+            BvVal::from_u64(4, 0xA)
+                .concat(&BvVal::from_u64(4, 0x5))
+                .to_u64(),
             Some(0xA5)
         );
     }

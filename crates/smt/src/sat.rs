@@ -236,7 +236,11 @@ impl SatSolver {
             Some(false) => false,
             None => {
                 let v = l.var().0 as usize;
-                self.assigns[v] = if l.is_pos() { Assign::True } else { Assign::False };
+                self.assigns[v] = if l.is_pos() {
+                    Assign::True
+                } else {
+                    Assign::False
+                };
                 self.levels[v] = self.decision_level();
                 self.reasons[v] = reason;
                 self.phase[v] = l.is_pos();

@@ -240,7 +240,11 @@ impl TermGraph {
             return self.constant(v);
         }
         if let Some(c) = self.as_const(a).or_else(|| self.as_const(b)) {
-            let (c, other) = if self.as_const(a).is_some() { (c.clone(), b) } else { (c.clone(), a) };
+            let (c, other) = if self.as_const(a).is_some() {
+                (c.clone(), b)
+            } else {
+                (c.clone(), a)
+            };
             if c.is_zero() {
                 return self.constant(BvVal::zeros(w));
             }
@@ -267,7 +271,11 @@ impl TermGraph {
             return self.constant(v);
         }
         if let Some(c) = self.as_const(a).or_else(|| self.as_const(b)) {
-            let (c, other) = if self.as_const(a).is_some() { (c.clone(), b) } else { (c.clone(), a) };
+            let (c, other) = if self.as_const(a).is_some() {
+                (c.clone(), b)
+            } else {
+                (c.clone(), a)
+            };
             if c.is_zero() {
                 return other;
             }
@@ -294,7 +302,11 @@ impl TermGraph {
             return self.constant(v);
         }
         if let Some(c) = self.as_const(a).or_else(|| self.as_const(b)) {
-            let (c, other) = if self.as_const(a).is_some() { (c.clone(), b) } else { (c.clone(), a) };
+            let (c, other) = if self.as_const(a).is_some() {
+                (c.clone(), b)
+            } else {
+                (c.clone(), a)
+            };
             if c.is_zero() {
                 return other;
             }
@@ -360,7 +372,11 @@ impl TermGraph {
             return self.constant(v);
         }
         if let Some(c) = self.as_const(a).or_else(|| self.as_const(b)) {
-            let (c, other) = if self.as_const(a).is_some() { (c.clone(), b) } else { (c.clone(), a) };
+            let (c, other) = if self.as_const(a).is_some() {
+                (c.clone(), b)
+            } else {
+                (c.clone(), a)
+            };
             if c.is_zero() {
                 return self.constant(BvVal::zeros(w));
             }
@@ -399,7 +415,13 @@ impl TermGraph {
         self.intern(Term::Urem(a, b), w)
     }
 
-    fn shift(&mut self, mk: fn(TermId, TermId) -> Term, f: fn(&BvVal, u32) -> BvVal, a: TermId, b: TermId) -> TermId {
+    fn shift(
+        &mut self,
+        mk: fn(TermId, TermId) -> Term,
+        f: fn(&BvVal, u32) -> BvVal,
+        a: TermId,
+        b: TermId,
+    ) -> TermId {
         let w = self.width(a);
         if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
             let amt = y.to_u64().unwrap_or(u64::from(w)).min(u64::from(w)) as u32;
@@ -529,7 +551,10 @@ impl TermGraph {
     /// Panics if the range is invalid for the operand width.
     pub fn extract(&mut self, hi: u32, lo: u32, arg: TermId) -> TermId {
         let w = self.width(arg);
-        assert!(hi >= lo && hi < w, "bad extract [{hi}:{lo}] of {w}-bit term");
+        assert!(
+            hi >= lo && hi < w,
+            "bad extract [{hi}:{lo}] of {w}-bit term"
+        );
         if lo == 0 && hi == w - 1 {
             return arg;
         }
@@ -634,7 +659,8 @@ impl TermGraph {
     /// Panics if a variable is missing from `env` or widths disagree.
     #[must_use]
     pub fn eval(&self, id: TermId, env: &HashMap<TermId, BvVal>) -> BvVal {
-        let shift_amt = |v: &BvVal, w: u32| v.to_u64().unwrap_or(u64::from(w)).min(u64::from(w)) as u32;
+        let shift_amt =
+            |v: &BvVal, w: u32| v.to_u64().unwrap_or(u64::from(w)).min(u64::from(w)) as u32;
         match self.term(id) {
             Term::Var(name) => {
                 let v = env
@@ -671,7 +697,9 @@ impl TermGraph {
                 let w = x.width();
                 x.ashr(shift_amt(&y, w))
             }
-            Term::Eq(a, b) => BvVal::from_u64(1, u64::from(self.eval(*a, env) == self.eval(*b, env))),
+            Term::Eq(a, b) => {
+                BvVal::from_u64(1, u64::from(self.eval(*a, env) == self.eval(*b, env)))
+            }
             Term::Ult(a, b) => {
                 BvVal::from_u64(1, u64::from(self.eval(*a, env).ult(&self.eval(*b, env))))
             }
@@ -747,7 +775,10 @@ mod tests {
         let s = g.add(a, b);
         assert_eq!(g.as_const(s).and_then(BvVal::to_u64), Some(42));
         let p = g.mul(a, b);
-        assert_eq!(g.as_const(p).and_then(BvVal::to_u64), Some((12 * 30) & 0xFF));
+        assert_eq!(
+            g.as_const(p).and_then(BvVal::to_u64),
+            Some((12 * 30) & 0xFF)
+        );
         let lt = g.ult(a, b);
         assert_eq!(g.as_const(lt).and_then(BvVal::to_u64), Some(1));
     }

@@ -18,9 +18,7 @@
 //!   for the crossbar.
 
 use crate::bugs::{SocModel, VariantSpec};
-use crate::cluster::{
-    bus_bug_for, core_bug_for, crypto_bug_for, memory_bug_for, SocDesign,
-};
+use crate::cluster::{bus_bug_for, core_bug_for, crypto_bug_for, memory_bug_for, SocDesign};
 use crate::ip::axi;
 use crate::ip::crypto;
 use crate::ip::dma;
@@ -45,8 +43,18 @@ pub fn generate(spec: Option<&VariantSpec>) -> SocDesign {
     for v in [CoreVariant::Rv32i, CoreVariant::Rv32ic, CoreVariant::Rv32im] {
         src.push_str(&riscv::core(v, core_bug_for(spec, v)));
     }
-    src.push_str(&wishbone::wb_fabric("wb_cpu_fabric", 3, 2, bus_bug_for(spec)));
-    src.push_str(&wishbone::wb_fabric("wb_mem_fabric", 2, 2, bus_bug_for(spec)));
+    src.push_str(&wishbone::wb_fabric(
+        "wb_cpu_fabric",
+        3,
+        2,
+        bus_bug_for(spec),
+    ));
+    src.push_str(&wishbone::wb_fabric(
+        "wb_mem_fabric",
+        2,
+        2,
+        bus_bug_for(spec),
+    ));
     src.push_str(&sram::sram_sp(memory_bug_for(spec, "sram_sp")));
     src.push_str(&sram::sram_dp(memory_bug_for(spec, "sram_dp")));
     src.push_str(&dma::dma(memory_bug_for(spec, "dma_engine")));
@@ -675,8 +683,7 @@ mod tests {
         }
         // AutoSoC is substantially bigger than ClusterSoC.
         let cluster = crate::cluster::generate(None);
-        let (cd, _) = soccar_rtl::compile("c.v", &cluster.source, &cluster.top)
-            .expect("cluster");
+        let (cd, _) = soccar_rtl::compile("c.v", &cluster.source, &cluster.top).expect("cluster");
         assert!(
             d.stats().reg_bits > cd.stats().reg_bits,
             "auto {} vs cluster {}",
@@ -710,8 +717,7 @@ mod tests {
         use soccar_rtl::value::LogicVec;
         use soccar_sim::{InitPolicy, Simulator};
         let design = generate(None);
-        let (d, _) = soccar_rtl::compile("auto.v", &design.source, &design.top)
-            .expect("compile");
+        let (d, _) = soccar_rtl::compile("auto.v", &design.source, &design.top).expect("compile");
         let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
         let n = |s: &str| d.find_net(&format!("auto_soc.{s}")).expect("net");
         for net in d.top_inputs().collect::<Vec<_>>() {
@@ -727,13 +733,17 @@ mod tests {
             "dsp_rst_n",
             "periph_rst_n",
         ] {
-            sim.write_input(n(rst), LogicVec::from_u64(1, 1)).expect("rst");
+            sim.write_input(n(rst), LogicVec::from_u64(1, 1))
+                .expect("rst");
         }
         // Host writes into the memory subsystem's unprotected region via
         // AXI → bridge → Wishbone → SRAM (full fabric traversal).
-        sim.write_input(n("host_awvalid"), LogicVec::from_u64(1, 1)).expect("aw");
-        sim.write_input(n("host_awaddr"), LogicVec::from_u64(32, 0x0000_0040)).expect("a");
-        sim.write_input(n("host_wdata"), LogicVec::from_u64(32, 0xD00D)).expect("w");
+        sim.write_input(n("host_awvalid"), LogicVec::from_u64(1, 1))
+            .expect("aw");
+        sim.write_input(n("host_awaddr"), LogicVec::from_u64(32, 0x0000_0040))
+            .expect("a");
+        sim.write_input(n("host_wdata"), LogicVec::from_u64(32, 0xD00D))
+            .expect("w");
         sim.settle().expect("settle");
         let clk = n("clk");
         let mut acked = false;

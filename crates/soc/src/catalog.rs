@@ -95,15 +95,9 @@ mod tests {
     fn table_ii_rows_match_paper() {
         let rows = table_ii();
         assert_eq!(rows.len(), 3);
-        assert_eq!(
-            rows[0].violation(),
-            Some(ViolationType::DataIntegrity)
-        );
+        assert_eq!(rows[0].violation(), Some(ViolationType::DataIntegrity));
         assert_eq!(rows[1].violation(), Some(ViolationType::PrivilegeMode));
-        assert_eq!(
-            rows[2].violation(),
-            Some(ViolationType::InformationLeakage)
-        );
+        assert_eq!(rows[2].violation(), Some(ViolationType::InformationLeakage));
     }
 
     #[test]
@@ -126,8 +120,19 @@ mod tests {
     #[test]
     fn all_generators_classified() {
         for m in [
-            "sram_sp", "sram_dp", "dma_engine", "rv32i_core", "rv32imc_core", "aes192",
-            "rsa", "fir_filter", "uart", "eth_mac", "wb_fabric", "axi_xbar", "wb2axi_shim",
+            "sram_sp",
+            "sram_dp",
+            "dma_engine",
+            "rv32i_core",
+            "rv32imc_core",
+            "aes192",
+            "rsa",
+            "fir_filter",
+            "uart",
+            "eth_mac",
+            "wb_fabric",
+            "axi_xbar",
+            "wb2axi_shim",
         ] {
             assert!(classify(m).is_some(), "{m}");
         }

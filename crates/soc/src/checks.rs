@@ -116,7 +116,8 @@ pub fn security_checks(model: SocModel) -> Vec<CheckSpec> {
     match model {
         SocModel::ClusterSoc => {
             let t = "cluster_soc";
-            let mut out = crypto_checks(t, "", "crypto_rst_n", &["sha256", "des3", "aes192", "md5"]);
+            let mut out =
+                crypto_checks(t, "", "crypto_rst_n", &["sha256", "des3", "aes192", "md5"]);
             out.push(guard_check(
                 "sram0-guard-armed",
                 "sram_sp",
@@ -288,13 +289,14 @@ mod tests {
         for (model, generate) in [
             (
                 SocModel::ClusterSoc,
-                crate::cluster::generate as fn(Option<&crate::bugs::VariantSpec>) -> crate::SocDesign,
+                crate::cluster::generate
+                    as fn(Option<&crate::bugs::VariantSpec>) -> crate::SocDesign,
             ),
             (SocModel::AutoSoc, crate::auto::generate),
         ] {
             let design = generate(None);
-            let (d, _) = soccar_rtl::compile("soc.v", &design.source, &design.top)
-                .expect("compile");
+            let (d, _) =
+                soccar_rtl::compile("soc.v", &design.source, &design.top).expect("compile");
             for check in security_checks(model) {
                 let signal = match &check.kind {
                     CheckKind::SecretCleared { signal, .. }
@@ -323,17 +325,10 @@ mod tests {
     #[test]
     fn every_bug_has_detectors_in_the_check_set() {
         for v in variants() {
-            let names: Vec<String> = security_checks(v.soc)
-                .into_iter()
-                .map(|c| c.name)
-                .collect();
+            let names: Vec<String> = security_checks(v.soc).into_iter().map(|c| c.name).collect();
             for bug in &v.bugs {
                 let det = expected_detectors(v.soc, bug);
-                assert!(
-                    !det.is_empty(),
-                    "{}: bug {bug:?} has no detector",
-                    v.name()
-                );
+                assert!(!det.is_empty(), "{}: bug {bug:?} has no detector", v.name());
                 for d in &det {
                     assert!(
                         names.contains(d),
@@ -348,11 +343,7 @@ mod tests {
     #[test]
     fn implicit_bug_detected_only_by_leak_observation() {
         let v = variant(SocModel::AutoSoc, 2).expect("variant");
-        let sha = v
-            .bugs
-            .iter()
-            .find(|b| b.implicit)
-            .expect("implicit bug");
+        let sha = v.bugs.iter().find(|b| b.implicit).expect("implicit bug");
         assert_eq!(
             expected_detectors(v.soc, sha),
             vec!["sha256-no-leak".to_owned()]

@@ -105,10 +105,7 @@ pub fn generate(spec: Option<&VariantSpec>) -> SocDesign {
     src.push_str(&periph::eth());
     src.push_str(TOP);
     SocDesign {
-        name: spec.map_or_else(
-            || "ClusterSoC (clean)".to_owned(),
-            VariantSpec::name,
-        ),
+        name: spec.map_or_else(|| "ClusterSoC (clean)".to_owned(), VariantSpec::name),
         soc: SocModel::ClusterSoc,
         variant: spec.map(|v| v.number),
         source: src,
@@ -357,8 +354,8 @@ mod tests {
         use soccar_rtl::value::LogicVec;
         use soccar_sim::{InitPolicy, Simulator};
         let design = generate(None);
-        let (d, _) = soccar_rtl::compile("cluster.v", &design.source, &design.top)
-            .expect("compile");
+        let (d, _) =
+            soccar_rtl::compile("cluster.v", &design.source, &design.top).expect("compile");
         let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
         let n = |s: &str| d.find_net(&format!("cluster_soc.{s}")).expect("net");
         // Zero every input, assert all resets, release, run.
@@ -368,7 +365,8 @@ mod tests {
         }
         sim.settle().expect("settle");
         for rst in ["sys_rst_n", "mem_rst_n", "crypto_rst_n", "periph_rst_n"] {
-            sim.write_input(n(rst), LogicVec::from_u64(1, 1)).expect("rst");
+            sim.write_input(n(rst), LogicVec::from_u64(1, 1))
+                .expect("rst");
         }
         sim.settle().expect("settle");
         let clk = n("clk");

@@ -276,26 +276,32 @@ mod tests {
     fn interconnect_compiles_various_shapes() {
         for (m, s) in [(1, 1), (3, 5), (4, 8)] {
             let src = axi_interconnect("axi", m, s);
-            soccar_rtl::compile("axi.v", &src, "axi")
-                .unwrap_or_else(|e| panic!("{m}x{s}: {e}"));
+            soccar_rtl::compile("axi.v", &src, "axi").unwrap_or_else(|e| panic!("{m}x{s}: {e}"));
         }
     }
 
     #[test]
     fn interconnect_routes_by_address_nibble() {
         let src = axi_interconnect("axi", 2, 3);
-        let d = soccar_rtl::compile("axi.v", &src, "axi").expect("compile").0;
+        let d = soccar_rtl::compile("axi.v", &src, "axi")
+            .expect("compile")
+            .0;
         let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
         let n = |s: &str| d.find_net(&format!("axi.{s}")).expect("net");
         for net in d.top_inputs().collect::<Vec<_>>() {
             let w = d.net(net).width;
             sim.write_input(net, LogicVec::zeros(w)).expect("zero");
         }
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("m1_awvalid"), LogicVec::from_u64(1, 1)).expect("aw");
-        sim.write_input(n("m1_awaddr"), LogicVec::from_u64(32, 0x2000_0010)).expect("addr");
-        sim.write_input(n("m1_wdata"), LogicVec::from_u64(32, 0x99)).expect("wd");
-        sim.write_input(n("s2_bvalid"), LogicVec::from_u64(1, 1)).expect("bv");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("m1_awvalid"), LogicVec::from_u64(1, 1))
+            .expect("aw");
+        sim.write_input(n("m1_awaddr"), LogicVec::from_u64(32, 0x2000_0010))
+            .expect("addr");
+        sim.write_input(n("m1_wdata"), LogicVec::from_u64(32, 0x99))
+            .expect("wd");
+        sim.write_input(n("s2_bvalid"), LogicVec::from_u64(1, 1))
+            .expect("bv");
         sim.settle().expect("settle");
         assert_eq!(sim.net_logic(n("s2_awvalid")).to_u64(), Some(1));
         assert_eq!(sim.net_logic(n("s2_wdata")).to_u64(), Some(0x99));
@@ -315,30 +321,43 @@ mod tests {
             let w = d.net(net).width;
             sim.write_input(net, LogicVec::zeros(w)).expect("zero");
         }
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
         // Write transaction.
-        sim.write_input(n("awvalid"), LogicVec::from_u64(1, 1)).expect("aw");
-        sim.write_input(n("awaddr"), LogicVec::from_u64(32, 0x44)).expect("a");
-        sim.write_input(n("wdata"), LogicVec::from_u64(32, 0x1234)).expect("w");
+        sim.write_input(n("awvalid"), LogicVec::from_u64(1, 1))
+            .expect("aw");
+        sim.write_input(n("awaddr"), LogicVec::from_u64(32, 0x44))
+            .expect("a");
+        sim.write_input(n("wdata"), LogicVec::from_u64(32, 0x1234))
+            .expect("w");
         sim.tick(clk).expect("tick");
         assert_eq!(sim.net_logic(n("wb_stb")).to_u64(), Some(1));
         assert_eq!(sim.net_logic(n("wb_we")).to_u64(), Some(1));
         assert_eq!(sim.net_logic(n("wb_addr")).to_u64(), Some(0x44));
-        sim.write_input(n("awvalid"), LogicVec::from_u64(1, 0)).expect("aw");
-        sim.write_input(n("wb_ack"), LogicVec::from_u64(1, 1)).expect("ack");
+        sim.write_input(n("awvalid"), LogicVec::from_u64(1, 0))
+            .expect("aw");
+        sim.write_input(n("wb_ack"), LogicVec::from_u64(1, 1))
+            .expect("ack");
         sim.tick(clk).expect("tick");
         assert_eq!(sim.net_logic(n("bvalid")).to_u64(), Some(1));
         assert_eq!(sim.net_logic(n("wb_stb")).to_u64(), Some(0));
         // Read transaction.
-        sim.write_input(n("wb_ack"), LogicVec::from_u64(1, 0)).expect("ack");
-        sim.write_input(n("arvalid"), LogicVec::from_u64(1, 1)).expect("ar");
-        sim.write_input(n("araddr"), LogicVec::from_u64(32, 0x48)).expect("a");
+        sim.write_input(n("wb_ack"), LogicVec::from_u64(1, 0))
+            .expect("ack");
+        sim.write_input(n("arvalid"), LogicVec::from_u64(1, 1))
+            .expect("ar");
+        sim.write_input(n("araddr"), LogicVec::from_u64(32, 0x48))
+            .expect("a");
         sim.tick(clk).expect("tick");
-        sim.write_input(n("arvalid"), LogicVec::from_u64(1, 0)).expect("ar");
-        sim.write_input(n("wb_rdata"), LogicVec::from_u64(32, 0xCAFE)).expect("rd");
-        sim.write_input(n("wb_ack"), LogicVec::from_u64(1, 1)).expect("ack");
+        sim.write_input(n("arvalid"), LogicVec::from_u64(1, 0))
+            .expect("ar");
+        sim.write_input(n("wb_rdata"), LogicVec::from_u64(32, 0xCAFE))
+            .expect("rd");
+        sim.write_input(n("wb_ack"), LogicVec::from_u64(1, 1))
+            .expect("ack");
         sim.tick(clk).expect("tick");
         assert_eq!(sim.net_logic(n("rvalid")).to_u64(), Some(1));
         assert_eq!(sim.net_logic(n("rdata")).to_u64(), Some(0xCAFE));

@@ -56,8 +56,7 @@ fn engine(spec: &EngineSpec, bug: CryptoBug) -> String {
     let (ct_reset, ct_fin, rogue_block) = match bug {
         CryptoBug::LeakImplicit => (
             String::new(),
-            "// BUG(info-leakage, implicit governor): cipher assignment moved below\n"
-                .to_owned(),
+            "// BUG(info-leakage, implicit governor): cipher assignment moved below\n".to_owned(),
             format!(
                 "\n  // Defective procedure block declaration: the cipher assignment\n  \
                  // executes only under an asynchronous reset composed with a\n  \
@@ -256,7 +255,11 @@ mod tests {
     #[test]
     fn all_engines_compile_clean_and_buggy() {
         for name in ENGINE_NAMES {
-            for bug in [CryptoBug::None, CryptoBug::LeakExplicit, CryptoBug::LeakImplicit] {
+            for bug in [
+                CryptoBug::None,
+                CryptoBug::LeakExplicit,
+                CryptoBug::LeakImplicit,
+            ] {
                 let src = by_name(name, bug);
                 let d = compile(&src, name);
                 assert!(d.find_net(&format!("{name}.key_reg")).is_some());
@@ -270,16 +273,22 @@ mod tests {
         let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
         let n = |s: &str| d.find_net(&format!("{name}.{s}")).expect("net");
         let clk = n("clk");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("key_in"), LogicVec::from_u64(64, 0xDEAD_BEEF_CAFE_F00D)).expect("key");
-        sim.write_input(n("pt_in"), LogicVec::from_u64(64, 0x0123_4567_89AB_CDEF)).expect("pt");
-        sim.write_input(n("start"), LogicVec::from_u64(1, 1)).expect("start");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("key_in"), LogicVec::from_u64(64, 0xDEAD_BEEF_CAFE_F00D))
+            .expect("key");
+        sim.write_input(n("pt_in"), LogicVec::from_u64(64, 0x0123_4567_89AB_CDEF))
+            .expect("pt");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 1))
+            .expect("start");
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick");
-        sim.write_input(n("start"), LogicVec::from_u64(1, 0)).expect("start");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 0))
+            .expect("start");
         sim.settle().expect("settle");
         for _ in 0..40 {
             sim.tick(clk).expect("tick");
@@ -322,22 +331,23 @@ mod tests {
             let n = |s: &str| d.find_net(&format!("aes192.{s}")).expect("net");
             // Load a key first.
             let clk = n("clk");
-            sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-            sim.write_input(n("key_in"), LogicVec::from_u64(64, 0x1111_2222_3333_4444)).expect("k");
-            sim.write_input(n("pt_in"), LogicVec::from_u64(64, 0x5555)).expect("p");
-            sim.write_input(n("start"), LogicVec::from_u64(1, 1)).expect("s");
+            sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+                .expect("rst");
+            sim.write_input(n("key_in"), LogicVec::from_u64(64, 0x1111_2222_3333_4444))
+                .expect("k");
+            sim.write_input(n("pt_in"), LogicVec::from_u64(64, 0x5555))
+                .expect("p");
+            sim.write_input(n("start"), LogicVec::from_u64(1, 1))
+                .expect("s");
             sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("c");
             sim.settle().expect("settle");
             sim.tick(clk).expect("tick");
             // Asynchronous reset strikes mid-operation.
-            sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+            sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+                .expect("rst");
             sim.settle().expect("settle");
             let key = sim.net_logic(n("key_reg"));
-            assert_eq!(
-                key.is_all_zero(),
-                expect_scrubbed,
-                "bug={bug:?}, key={key}"
-            );
+            assert_eq!(key.is_all_zero(), expect_scrubbed, "bug={bug:?}, key={key}");
         }
     }
 
@@ -351,16 +361,22 @@ mod tests {
         let rst = n("rst_n");
         let pt = LogicVec::from_u64(64, 0x0BAD_5EED_0BAD_5EED);
         sim.write_input(rst, LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("key_in"), LogicVec::from_u64(64, 7)).expect("k");
+        sim.write_input(n("key_in"), LogicVec::from_u64(64, 7))
+            .expect("k");
         sim.write_input(n("pt_in"), pt.clone()).expect("p");
-        sim.write_input(n("start"), LogicVec::from_u64(1, 1)).expect("s");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 1))
+            .expect("s");
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("c");
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick"); // pt_reg loaded
-        // Reset asserted while the clock is LOW: no leak.
+                                      // Reset asserted while the clock is LOW: no leak.
         sim.write_input(rst, LogicVec::from_u64(1, 0)).expect("rst");
         sim.settle().expect("settle");
-        assert_ne!(sim.net_logic(n("ct_out")), &pt, "clock-low reset must not leak");
+        assert_ne!(
+            sim.net_logic(n("ct_out")),
+            &pt,
+            "clock-low reset must not leak"
+        );
         // Release, reload, then assert while the clock is HIGH: leak.
         sim.write_input(rst, LogicVec::from_u64(1, 1)).expect("rst");
         sim.settle().expect("settle");

@@ -133,12 +133,17 @@ mod tests {
             sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
         }
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("len"), LogicVec::from_u64(8, 2)).expect("len");
-        sim.write_input(n("go"), LogicVec::from_u64(1, 1)).expect("go");
-        sim.write_input(n("unlock"), LogicVec::from_u64(1, u64::from(unlock))).expect("ul");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("len"), LogicVec::from_u64(8, 2))
+            .expect("len");
+        sim.write_input(n("go"), LogicVec::from_u64(1, 1))
+            .expect("go");
+        sim.write_input(n("unlock"), LogicVec::from_u64(1, u64::from(unlock)))
+            .expect("ul");
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick");
         sim.net_logic(n("busy")).to_u64() == Some(1)
@@ -175,19 +180,29 @@ mod tests {
             sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
         }
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("src"), LogicVec::from_u64(32, 0x100)).expect("src");
-        sim.write_input(n("dst"), LogicVec::from_u64(32, 0x200)).expect("dst");
-        sim.write_input(n("len"), LogicVec::from_u64(8, 1)).expect("len");
-        sim.write_input(n("go"), LogicVec::from_u64(1, 1)).expect("go");
-        sim.write_input(n("unlock"), LogicVec::from_u64(1, 1)).expect("ul");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("src"), LogicVec::from_u64(32, 0x100))
+            .expect("src");
+        sim.write_input(n("dst"), LogicVec::from_u64(32, 0x200))
+            .expect("dst");
+        sim.write_input(n("len"), LogicVec::from_u64(8, 1))
+            .expect("len");
+        sim.write_input(n("go"), LogicVec::from_u64(1, 1))
+            .expect("go");
+        sim.write_input(n("unlock"), LogicVec::from_u64(1, 1))
+            .expect("ul");
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick"); // IDLE → RD
-        sim.write_input(n("go"), LogicVec::from_u64(1, 0)).expect("go");
-        sim.write_input(n("bus_rdata"), LogicVec::from_u64(32, 0xFACE)).expect("rd");
-        sim.write_input(n("bus_ack"), LogicVec::from_u64(1, 1)).expect("ack");
+        sim.write_input(n("go"), LogicVec::from_u64(1, 0))
+            .expect("go");
+        sim.write_input(n("bus_rdata"), LogicVec::from_u64(32, 0xFACE))
+            .expect("rd");
+        sim.write_input(n("bus_ack"), LogicVec::from_u64(1, 1))
+            .expect("ack");
         sim.tick(clk).expect("tick"); // RD latches
         assert_eq!(sim.net_logic(n("bus_we")).to_u64(), Some(0));
         sim.tick(clk).expect("tick"); // WR drives

@@ -151,15 +151,21 @@ mod tests {
         let n = |s: &str| d.find_net(&format!("{top}.{s}")).expect("net");
         let clk = n("clk");
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        sim.write_input(n("in_valid"), LogicVec::from_u64(1, 0)).expect("v");
-        sim.write_input(n("in_sample"), LogicVec::zeros(16)).expect("s");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("in_valid"), LogicVec::from_u64(1, 0))
+            .expect("v");
+        sim.write_input(n("in_sample"), LogicVec::zeros(16))
+            .expect("s");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("in_valid"), LogicVec::from_u64(1, 1)).expect("v");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("in_valid"), LogicVec::from_u64(1, 1))
+            .expect("v");
         let mut out = Vec::new();
         for s in samples {
-            sim.write_input(n("in_sample"), LogicVec::from_u64(16, *s)).expect("s");
+            sim.write_input(n("in_sample"), LogicVec::from_u64(16, *s))
+                .expect("s");
             sim.settle().expect("settle");
             sim.tick(clk).expect("tick");
             out.push(sim.net_logic(n("out_sample")).to_u64().expect("out"));

@@ -249,18 +249,25 @@ mod tests {
         let n = |s: &str| d.find_net(&format!("uart.{s}")).expect("net");
         let clk = n("clk");
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        sim.write_input(n("rxd"), LogicVec::from_u64(1, 1)).expect("rxd");
-        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0)).expect("ts");
-        sim.write_input(n("tx_data"), LogicVec::from_u64(8, 0xA5)).expect("td");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rxd"), LogicVec::from_u64(1, 1))
+            .expect("rxd");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0))
+            .expect("ts");
+        sim.write_input(n("tx_data"), LogicVec::from_u64(8, 0xA5))
+            .expect("td");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
         assert_eq!(sim.net_logic(n("txd")).to_u64(), Some(1), "idle high");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 1)).expect("ts");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 1))
+            .expect("ts");
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick");
         assert_eq!(sim.net_logic(n("tx_busy")).to_u64(), Some(1));
-        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0)).expect("ts");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0))
+            .expect("ts");
         // Run past one baud tick (DIV=4): start bit (0) appears on txd.
         for _ in 0..6 {
             sim.tick(clk).expect("tick");
@@ -275,17 +282,24 @@ mod tests {
         let n = |s: &str| d.find_net(&format!("spi_ctrl.{s}")).expect("net");
         let clk = n("clk");
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        sim.write_input(n("miso"), LogicVec::from_u64(1, 1)).expect("miso");
-        sim.write_input(n("start"), LogicVec::from_u64(1, 0)).expect("st");
-        sim.write_input(n("mosi_data"), LogicVec::from_u64(8, 0xC3)).expect("md");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("miso"), LogicVec::from_u64(1, 1))
+            .expect("miso");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 0))
+            .expect("st");
+        sim.write_input(n("mosi_data"), LogicVec::from_u64(8, 0xC3))
+            .expect("md");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
         assert_eq!(sim.net_logic(n("cs_n")).to_u64(), Some(1));
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("start"), LogicVec::from_u64(1, 1)).expect("st");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 1))
+            .expect("st");
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick");
-        sim.write_input(n("start"), LogicVec::from_u64(1, 0)).expect("st");
+        sim.write_input(n("start"), LogicVec::from_u64(1, 0))
+            .expect("st");
         assert_eq!(sim.net_logic(n("cs_n")).to_u64(), Some(0), "selected");
         for _ in 0..80 {
             sim.tick(clk).expect("tick");
@@ -312,20 +326,28 @@ mod tests {
         ] {
             sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
         }
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
         // Load two words.
         for w in [0x11u64, 0x22] {
-            sim.write_input(n("tx_word"), LogicVec::from_u64(32, w)).expect("w");
-            sim.write_input(n("tx_word_valid"), LogicVec::from_u64(1, 1)).expect("v");
+            sim.write_input(n("tx_word"), LogicVec::from_u64(32, w))
+                .expect("w");
+            sim.write_input(n("tx_word_valid"), LogicVec::from_u64(1, 1))
+                .expect("v");
             sim.tick(clk).expect("tick");
         }
-        sim.write_input(n("tx_word_valid"), LogicVec::from_u64(1, 0)).expect("v");
-        sim.write_input(n("tx_len"), LogicVec::from_u64(8, 2)).expect("len");
-        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 1)).expect("st");
+        sim.write_input(n("tx_word_valid"), LogicVec::from_u64(1, 0))
+            .expect("v");
+        sim.write_input(n("tx_len"), LogicVec::from_u64(8, 2))
+            .expect("len");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 1))
+            .expect("st");
         sim.tick(clk).expect("tick");
-        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0)).expect("st");
+        sim.write_input(n("tx_start"), LogicVec::from_u64(1, 0))
+            .expect("st");
         sim.tick(clk).expect("tick");
         assert_eq!(sim.net_logic(n("phy_txd")).to_u64(), Some(0x11));
         sim.tick(clk).expect("tick");
@@ -333,8 +355,10 @@ mod tests {
         assert_eq!(sim.net_logic(n("tx_done")).to_u64(), Some(1));
         assert_eq!(sim.net_logic(n("csum")).to_u64(), Some(0x33));
         // Receive path.
-        sim.write_input(n("phy_rx_dv"), LogicVec::from_u64(1, 1)).expect("dv");
-        sim.write_input(n("phy_rxd"), LogicVec::from_u64(32, 0xBEEF)).expect("rx");
+        sim.write_input(n("phy_rx_dv"), LogicVec::from_u64(1, 1))
+            .expect("dv");
+        sim.write_input(n("phy_rxd"), LogicVec::from_u64(32, 0xBEEF))
+            .expect("rx");
         sim.tick(clk).expect("tick");
         assert_eq!(sim.net_logic(n("rx_word")).to_u64(), Some(0xBEEF));
         assert_eq!(sim.net_logic(n("rx_valid")).to_u64(), Some(1));

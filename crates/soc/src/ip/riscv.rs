@@ -79,9 +79,7 @@ pub fn core(variant: CoreVariant, bug: CoreBug) -> String {
     let idx_hi = if regs == 32 { 11 } else { 10 }; // instr[11:7] vs [10:7]
     let priv_reset = match bug {
         CoreBug::None => "priv_mode <= 2'b11;",
-        CoreBug::PrivUndefined => {
-            "priv_mode <= 2'b10; // BUG(privilege): undefined mode encoding"
-        }
+        CoreBug::PrivUndefined => "priv_mode <= 2'b10; // BUG(privilege): undefined mode encoding",
     };
     let mul_decl = if variant.has_mul() {
         "  reg [31:0] mul_acc;\n  reg [5:0] mul_cnt;\n"
@@ -271,9 +269,11 @@ mod tests {
             sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
         }
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
         sim.settle().expect("settle");
         let mut privs = Vec::new();
         for _ in 0..cycles {
@@ -293,7 +293,9 @@ mod tests {
     #[test]
     fn privilege_fsm_walks_legal_modes_only() {
         let (privs, _) = boot(CoreVariant::Rv32i, CoreBug::None, 200);
-        assert!(privs.iter().all(|p| [0b00, 0b01, 0b11].contains(&(*p as u32))));
+        assert!(privs
+            .iter()
+            .all(|p| [0b00, 0b01, 0b11].contains(&(*p as u32))));
         // The ecall/mret round-trips must actually exercise multiple modes.
         assert!(privs.contains(&0b11));
         assert!(privs.contains(&0b01));
@@ -307,14 +309,22 @@ mod tests {
 
     #[test]
     fn rv32e_has_fewer_registers() {
-        let d = soccar_rtl::compile("c.v", &core(CoreVariant::Rv32e, CoreBug::None), "rv32e_core")
-            .expect("compile")
-            .0;
+        let d = soccar_rtl::compile(
+            "c.v",
+            &core(CoreVariant::Rv32e, CoreBug::None),
+            "rv32e_core",
+        )
+        .expect("compile")
+        .0;
         let rf = d.find_memory("rv32e_core.rf").expect("rf");
         assert_eq!(d.memory(rf).depth, 16);
-        let d = soccar_rtl::compile("c.v", &core(CoreVariant::Rv32i, CoreBug::None), "rv32i_core")
-            .expect("compile")
-            .0;
+        let d = soccar_rtl::compile(
+            "c.v",
+            &core(CoreVariant::Rv32i, CoreBug::None),
+            "rv32i_core",
+        )
+        .expect("compile")
+        .0;
         let rf = d.find_memory("rv32i_core.rf").expect("rf");
         assert_eq!(d.memory(rf).depth, 32);
     }

@@ -170,25 +170,36 @@ mod tests {
         let n = |s: &str| d.find_net(&format!("sram_sp.{s}")).expect("net");
         let clk = n("clk");
         // Reset pulse (arms or disarms the guard depending on the bug).
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
-        sim.write_input(n("stb"), LogicVec::from_u64(1, 0)).expect("stb");
-        sim.write_input(n("we"), LogicVec::from_u64(1, 0)).expect("we");
-        sim.write_input(n("unlock"), LogicVec::from_u64(1, u64::from(unlock))).expect("ul");
+        sim.write_input(n("stb"), LogicVec::from_u64(1, 0))
+            .expect("stb");
+        sim.write_input(n("we"), LogicVec::from_u64(1, 0))
+            .expect("we");
+        sim.write_input(n("unlock"), LogicVec::from_u64(1, u64::from(unlock)))
+            .expect("ul");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
         sim.settle().expect("settle");
         // Write 0xAB at addr.
-        sim.write_input(n("addr"), LogicVec::from_u64(8, addr)).expect("addr");
-        sim.write_input(n("wdata"), LogicVec::from_u64(32, 0xAB)).expect("wd");
-        sim.write_input(n("stb"), LogicVec::from_u64(1, 1)).expect("stb");
-        sim.write_input(n("we"), LogicVec::from_u64(1, 1)).expect("we");
+        sim.write_input(n("addr"), LogicVec::from_u64(8, addr))
+            .expect("addr");
+        sim.write_input(n("wdata"), LogicVec::from_u64(32, 0xAB))
+            .expect("wd");
+        sim.write_input(n("stb"), LogicVec::from_u64(1, 1))
+            .expect("stb");
+        sim.write_input(n("we"), LogicVec::from_u64(1, 1))
+            .expect("we");
         sim.settle().expect("settle"); // combinational guard before the edge
         sim.tick(clk).expect("tick");
         let viol = sim.net_logic(n("viol")).to_u64().expect("viol");
         // Read back.
-        sim.write_input(n("we"), LogicVec::from_u64(1, 0)).expect("we");
-        sim.write_input(n("unlock"), LogicVec::from_u64(1, 1)).expect("ul");
+        sim.write_input(n("we"), LogicVec::from_u64(1, 0))
+            .expect("we");
+        sim.write_input(n("unlock"), LogicVec::from_u64(1, 1))
+            .expect("ul");
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick");
         let rd = sim.net_logic(n("rdata")).to_u64().expect("rdata");
@@ -230,22 +241,31 @@ mod tests {
         let mut sim = Simulator::concrete(&d, InitPolicy::Zeros);
         let n = |s: &str| d.find_net(&format!("sram_dp.{s}")).expect("net");
         let clk = n("clk");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.write_input(clk, LogicVec::from_u64(1, 0)).expect("clk");
         for (sig, w) in [("a_stb", 1u32), ("a_we", 1), ("unlock", 1), ("b_stb", 1)] {
             sim.write_input(n(sig), LogicVec::zeros(w)).expect("in");
         }
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("a_addr"), LogicVec::from_u64(8, 5)).expect("aa");
-        sim.write_input(n("a_wdata"), LogicVec::from_u64(32, 0x77)).expect("aw");
-        sim.write_input(n("a_stb"), LogicVec::from_u64(1, 1)).expect("as");
-        sim.write_input(n("a_we"), LogicVec::from_u64(1, 1)).expect("awe");
+        sim.write_input(n("a_addr"), LogicVec::from_u64(8, 5))
+            .expect("aa");
+        sim.write_input(n("a_wdata"), LogicVec::from_u64(32, 0x77))
+            .expect("aw");
+        sim.write_input(n("a_stb"), LogicVec::from_u64(1, 1))
+            .expect("as");
+        sim.write_input(n("a_we"), LogicVec::from_u64(1, 1))
+            .expect("awe");
         sim.tick(clk).expect("tick");
-        sim.write_input(n("a_stb"), LogicVec::from_u64(1, 0)).expect("as");
-        sim.write_input(n("b_addr"), LogicVec::from_u64(8, 5)).expect("ba");
-        sim.write_input(n("b_stb"), LogicVec::from_u64(1, 1)).expect("bs");
+        sim.write_input(n("a_stb"), LogicVec::from_u64(1, 0))
+            .expect("as");
+        sim.write_input(n("b_addr"), LogicVec::from_u64(8, 5))
+            .expect("ba");
+        sim.write_input(n("b_stb"), LogicVec::from_u64(1, 1))
+            .expect("bs");
         sim.tick(clk).expect("tick");
         assert_eq!(sim.net_logic(n("b_rdata")).to_u64(), Some(0x77));
         assert_eq!(sim.net_logic(n("b_ack")).to_u64(), Some(1));

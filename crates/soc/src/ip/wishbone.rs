@@ -53,9 +53,9 @@ pub fn wb_fabric(name: &str, masters: u32, slaves: u32, bug: BusBug) -> String {
     };
     let mask_reset = match bug {
         BusBug::None => format!("prot_mask <= {armed};"),
-        BusBug::ProtMaskCleared => format!(
-            "prot_mask <= {{{slaves}{{1'b0}}}}; // BUG(data-integrity): mask cleared"
-        ),
+        BusBug::ProtMaskCleared => {
+            format!("prot_mask <= {{{slaves}{{1'b0}}}}; // BUG(data-integrity): mask cleared")
+        }
     };
 
     // Priority arbiter: lowest-index requesting master wins.
@@ -103,9 +103,7 @@ pub fn wb_fabric(name: &str, masters: u32, slaves: u32, bug: BusBug) -> String {
     let mut ret = String::new();
     ret.push_str("  always @* begin\n");
     for m in 0..masters {
-        ret.push_str(&format!(
-            "    m{m}_rdata = 32'd0;\n    m{m}_ack = 1'b0;\n"
-        ));
+        ret.push_str(&format!("    m{m}_rdata = 32'd0;\n    m{m}_ack = 1'b0;\n"));
     }
     for m in 0..masters {
         ret.push_str(&format!(
@@ -190,15 +188,23 @@ mod tests {
         for (name, w) in &inputs {
             sim.write_input(n(name), LogicVec::zeros(*w)).expect("zero");
         }
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("bus_unlock"), LogicVec::from_u64(1, u64::from(unlock))).expect("ul");
-        sim.write_input(n("m0_addr"), LogicVec::from_u64(32, 0x2000_0004)).expect("a");
-        sim.write_input(n("m0_wdata"), LogicVec::from_u64(32, 0x55)).expect("w");
-        sim.write_input(n("m0_we"), LogicVec::from_u64(1, 1)).expect("we");
-        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 1)).expect("stb");
-        sim.write_input(n("s2_ack"), LogicVec::from_u64(1, 1)).expect("ack");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("bus_unlock"), LogicVec::from_u64(1, u64::from(unlock)))
+            .expect("ul");
+        sim.write_input(n("m0_addr"), LogicVec::from_u64(32, 0x2000_0004))
+            .expect("a");
+        sim.write_input(n("m0_wdata"), LogicVec::from_u64(32, 0x55))
+            .expect("w");
+        sim.write_input(n("m0_we"), LogicVec::from_u64(1, 1))
+            .expect("we");
+        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 1))
+            .expect("stb");
+        sim.write_input(n("s2_ack"), LogicVec::from_u64(1, 1))
+            .expect("ack");
         sim.settle().expect("settle");
         let stb = sim.net_logic(n("s2_stb")).to_u64().expect("stb");
         let ack = sim.net_logic(n("m0_ack")).to_u64().expect("ack");
@@ -237,20 +243,28 @@ mod tests {
         for (name, w) in &inputs {
             sim.write_input(n(name), LogicVec::zeros(*w)).expect("zero");
         }
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1)).expect("rst");
-        sim.write_input(n("bus_unlock"), LogicVec::from_u64(1, 1)).expect("ul");
+        sim.write_input(n("rst_n"), LogicVec::from_u64(1, 1))
+            .expect("rst");
+        sim.write_input(n("bus_unlock"), LogicVec::from_u64(1, 1))
+            .expect("ul");
         // Both masters request different slaves; master 0 wins.
-        sim.write_input(n("m0_addr"), LogicVec::from_u64(32, 0x0000_0000)).expect("a0");
-        sim.write_input(n("m1_addr"), LogicVec::from_u64(32, 0x2000_0000)).expect("a1");
-        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 1)).expect("s0");
-        sim.write_input(n("m1_stb"), LogicVec::from_u64(1, 1)).expect("s1");
+        sim.write_input(n("m0_addr"), LogicVec::from_u64(32, 0x0000_0000))
+            .expect("a0");
+        sim.write_input(n("m1_addr"), LogicVec::from_u64(32, 0x2000_0000))
+            .expect("a1");
+        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 1))
+            .expect("s0");
+        sim.write_input(n("m1_stb"), LogicVec::from_u64(1, 1))
+            .expect("s1");
         sim.settle().expect("settle");
         assert_eq!(sim.net_logic(n("s0_stb")).to_u64(), Some(1));
         assert_eq!(sim.net_logic(n("s2_stb")).to_u64(), Some(0));
         // Master 0 drops: master 1 reaches slave 2.
-        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 0)).expect("s0");
+        sim.write_input(n("m0_stb"), LogicVec::from_u64(1, 0))
+            .expect("s0");
         sim.settle().expect("settle");
         assert_eq!(sim.net_logic(n("s2_stb")).to_u64(), Some(1));
     }

@@ -73,11 +73,7 @@ impl Topology {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "┌─ {} ─ {} blocks", self.top, self.block_count());
-        let _ = writeln!(
-            out,
-            "│ reset domains: {}",
-            self.reset_inputs.join(", ")
-        );
+        let _ = writeln!(out, "│ reset domains: {}", self.reset_inputs.join(", "));
         for (parent, blocks) in &self.subsystems {
             let _ = writeln!(out, "├─ {parent}");
             for b in blocks {

@@ -146,8 +146,7 @@ fn stmt_cost(design: &Design, stmt: &RStmt) -> f64 {
             // Loops are unrolled by synthesis; approximate the trip count
             // from the condition bound when it is a constant comparison.
             let trips = const_trip_bound(cond).unwrap_or(4) as f64;
-            expr_cost(init)
-                + trips * (expr_cost(cond) + expr_cost(step) + stmt_cost(design, body))
+            expr_cost(init) + trips * (expr_cost(cond) + expr_cost(step) + stmt_cost(design, body))
         }
         RStmt::Null => 0.0,
     }
@@ -414,8 +413,7 @@ mod tests {
 
     fn soccar_soc_area(model: soccar_soc::SocModel) -> AreaReport {
         let design = soccar_soc::generate(model, None);
-        let (d, _) =
-            soccar_rtl::compile("soc.v", &design.source, &design.top).expect("compile");
+        let (d, _) = soccar_rtl::compile("soc.v", &design.source, &design.top).expect("compile");
         estimate(&d, &TechModel::default())
     }
 }

@@ -92,16 +92,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "audited: {} reset domains, {} reset-governed events, {} targets",
-        report.extraction.reset_domains,
-        report.extraction.ar_events,
-        report.concolic.targets_total,
+        report.extraction.reset_domains, report.extraction.ar_events, report.concolic.targets_total,
     );
     println!();
     for v in report.violations() {
         println!("{v}");
     }
     for w in &report.concolic.witnesses {
-        println!("  reproduce [{}] with: {}", w.property, w.schedule.summary());
+        println!(
+            "  reproduce [{}] with: {}",
+            w.property,
+            w.schedule.summary()
+        );
     }
     println!();
     println!(

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(1);
     let spec = soccar_soc::variant(SocModel::ClusterSoc, variant)
         .ok_or("ClusterSoC has variants 1..=3")?;
-    println!("evaluating {} (red-team bugs hidden from the tool)…", spec.name());
+    println!(
+        "evaluating {} (red-team bugs hidden from the tool)…",
+        spec.name()
+    );
 
     let config = SoccarConfig {
         concolic: ConcolicConfig {

@@ -40,12 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     };
 
-    let report = Soccar::new(SoccarConfig::default())
-        .analyze("quickstart.v", rtl, "top", vec![property])?;
+    let report =
+        Soccar::new(SoccarConfig::default()).analyze("quickstart.v", rtl, "top", vec![property])?;
 
     println!("pipeline stages:");
     for stage in &report.stages {
-        println!("  {:<9} {:>8.3}s  {}", stage.stage, stage.elapsed.as_secs_f64(), stage.detail);
+        println!(
+            "  {:<9} {:>8.3}s  {}",
+            stage.stage,
+            stage.elapsed.as_secs_f64(),
+            stage.detail
+        );
     }
     println!();
     println!(

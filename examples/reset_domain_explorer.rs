@@ -17,8 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let design = soccar_soc::generate(model, None);
     let unit = parse(FileId(0), &design.source)?;
-    let soc = compose_soc(&unit, &design.top, &ResetNaming::new(), GovernorAnalysis::Explicit)
-        .map_err(std::io::Error::other)?;
+    let soc = compose_soc(
+        &unit,
+        &design.top,
+        &ResetNaming::new(),
+        GovernorAnalysis::Explicit,
+    )
+    .map_err(std::io::Error::other)?;
 
     println!("{}: AR(S) composition", design.name);
     println!(
@@ -31,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "reset domain `{}` ({}, active-{})",
             domain.source,
-            if domain.top_level { "top-level input" } else { "internal" },
+            if domain.top_level {
+                "top-level input"
+            } else {
+                "internal"
+            },
             if domain.active_low { "low" } else { "high" },
         );
         println!("  members:");

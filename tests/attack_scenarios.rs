@@ -40,9 +40,12 @@ fn host_write(
 ) {
     let n = |s: &str| d.find_net(&format!("{top}.{s}")).expect("net");
     let clk = n("clk");
-    sim.write_input(n("host_awaddr"), LogicVec::from_u64(32, addr)).expect("a");
-    sim.write_input(n("host_wdata"), LogicVec::from_u64(32, data)).expect("w");
-    sim.write_input(n("host_awvalid"), LogicVec::from_u64(1, 1)).expect("v");
+    sim.write_input(n("host_awaddr"), LogicVec::from_u64(32, addr))
+        .expect("a");
+    sim.write_input(n("host_wdata"), LogicVec::from_u64(32, data))
+        .expect("w");
+    sim.write_input(n("host_awvalid"), LogicVec::from_u64(1, 1))
+        .expect("v");
     sim.settle().expect("settle");
     for _ in 0..12 {
         sim.tick(clk).expect("tick");
@@ -50,7 +53,8 @@ fn host_write(
             break;
         }
     }
-    sim.write_input(n("host_awvalid"), LogicVec::from_u64(1, 0)).expect("v");
+    sim.write_input(n("host_awvalid"), LogicVec::from_u64(1, 0))
+        .expect("v");
     sim.settle().expect("settle");
     sim.tick(clk).expect("tick");
 }
@@ -77,9 +81,11 @@ fn unauthorized_write_lands_only_on_the_buggy_variant() {
         }
         // Partial asynchronous reset of the memory domain only.
         let mem_rst = d.find_net(&format!("{top}.mem_rst_n")).expect("rst");
-        sim.write_input(mem_rst, LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(mem_rst, LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
-        sim.write_input(mem_rst, LogicVec::from_u64(1, 1)).expect("rst");
+        sim.write_input(mem_rst, LogicVec::from_u64(1, 1))
+            .expect("rst");
         sim.settle().expect("settle");
         // The attack: write into the protected region without unlock.
         host_write(&mut sim, &d, &top, protected_byte_addr, 0x5EC0_0BAD);
@@ -112,11 +118,16 @@ fn privilege_mode_bricked_only_on_the_buggy_variant() {
         }
         // Partial asynchronous reset of the CPU domain.
         let cpu_rst = d.find_net(&format!("{top}.cpu_rst_n")).expect("rst");
-        sim.write_input(cpu_rst, LogicVec::from_u64(1, 0)).expect("rst");
+        sim.write_input(cpu_rst, LogicVec::from_u64(1, 0))
+            .expect("rst");
         sim.settle().expect("settle");
         let priv2 = d.find_net(&format!("{top}.priv2")).expect("priv2");
         let v = sim.net_logic(priv2).to_u64().expect("priv");
-        assert_eq!(v == 0b10, expect_undefined, "variant {variant:?}: priv2 = {v:b}");
+        assert_eq!(
+            v == 0b10,
+            expect_undefined,
+            "variant {variant:?}: priv2 = {v:b}"
+        );
         // The healthy cores (RV32I/RV32IC) are fine either way.
         let priv0 = d.find_net(&format!("{top}.priv0")).expect("priv0");
         assert_ne!(sim.net_logic(priv0).to_u64(), Some(0b10));
@@ -138,31 +149,43 @@ fn plaintext_dumped_only_in_the_clock_high_window() {
     let n = |s: &str| d.find_net(&format!("{top}.{s}")).expect("net");
     let clk = n("clk");
     let pt = 0x0123_4567_89AB_CDEFu64;
-    sim.write_input(n("tst_pt"), LogicVec::from_u64(64, pt)).expect("pt");
-    sim.write_input(n("tst_key"), LogicVec::from_u64(64, 0x11)).expect("key");
+    sim.write_input(n("tst_pt"), LogicVec::from_u64(64, pt))
+        .expect("pt");
+    sim.write_input(n("tst_key"), LogicVec::from_u64(64, 0x11))
+        .expect("key");
     // Start the SHA engine (tst_start[1]).
-    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0b00010)).expect("start");
+    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0b00010))
+        .expect("start");
     sim.settle().expect("settle");
     sim.tick(clk).expect("tick");
-    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0)).expect("start");
+    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0))
+        .expect("start");
     sim.settle().expect("settle");
     let ct = d
         .find_net(&format!("{top}.u_crypto.u_sha256.ct_out"))
         .expect("ct");
     // Clock-low glitch: no leak.
     let crst = n("crypto_rst_n");
-    sim.write_input(crst, LogicVec::from_u64(1, 0)).expect("rst");
+    sim.write_input(crst, LogicVec::from_u64(1, 0))
+        .expect("rst");
     sim.settle().expect("settle");
-    assert_ne!(sim.net_logic(ct).to_u64(), Some(pt), "low-phase glitch is safe");
-    sim.write_input(crst, LogicVec::from_u64(1, 1)).expect("rst");
+    assert_ne!(
+        sim.net_logic(ct).to_u64(),
+        Some(pt),
+        "low-phase glitch is safe"
+    );
+    sim.write_input(crst, LogicVec::from_u64(1, 1))
+        .expect("rst");
     sim.settle().expect("settle");
     // Reload, then glitch during the high phase: plaintext dumped.
-    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0b00010)).expect("start");
+    sim.write_input(n("tst_start"), LogicVec::from_u64(5, 0b00010))
+        .expect("start");
     sim.settle().expect("settle");
     sim.tick(clk).expect("tick");
     sim.write_input(clk, LogicVec::from_u64(1, 1)).expect("clk");
     sim.settle().expect("settle");
-    sim.write_input(crst, LogicVec::from_u64(1, 0)).expect("rst");
+    sim.write_input(crst, LogicVec::from_u64(1, 0))
+        .expect("rst");
     sim.settle().expect("settle");
     assert_eq!(
         sim.net_logic(ct).to_u64(),

@@ -114,7 +114,8 @@ fn witness_schedules_replay_concretely() {
                 .expect("input");
         }
         for track in &witness.schedule.resets {
-            sim.write_input(track.net, track.value_at(cycle)).expect("reset");
+            sim.write_input(track.net, track.value_at(cycle))
+                .expect("reset");
         }
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick");
@@ -123,7 +124,11 @@ fn witness_schedules_replay_concretely() {
             break;
         }
     }
-    assert!(violated, "witness must reproduce: {}", witness.schedule.summary());
+    assert!(
+        violated,
+        "witness must reproduce: {}",
+        witness.schedule.summary()
+    );
 }
 
 /// Clean version of the same design: no violations, full coverage of the

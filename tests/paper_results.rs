@@ -32,8 +32,8 @@ fn test_config(analysis: GovernorAnalysis) -> SoccarConfig {
 fn cluster_soc_variants_fully_detected() {
     for n in 1..=3 {
         let spec = soccar_soc::variant(SocModel::ClusterSoc, n).expect("variant");
-        let eval = evaluate_variant(&spec, test_config(GovernorAnalysis::Explicit))
-            .expect("evaluate");
+        let eval =
+            evaluate_variant(&spec, test_config(GovernorAnalysis::Explicit)).expect("evaluate");
         assert_eq!(
             eval.detected(),
             eval.outcomes.len(),
@@ -47,8 +47,7 @@ fn cluster_soc_variants_fully_detected() {
 #[test]
 fn auto_soc_variant1_fully_detected() {
     let spec = soccar_soc::variant(SocModel::AutoSoc, 1).expect("variant");
-    let eval =
-        evaluate_variant(&spec, test_config(GovernorAnalysis::Explicit)).expect("evaluate");
+    let eval = evaluate_variant(&spec, test_config(GovernorAnalysis::Explicit)).expect("evaluate");
     assert_eq!(
         eval.detected(),
         eval.outcomes.len(),
@@ -61,8 +60,7 @@ fn auto_soc_variant1_fully_detected() {
 #[test]
 fn auto_soc_variant2_misses_exactly_the_implicit_sha_bug() {
     let spec = soccar_soc::variant(SocModel::AutoSoc, 2).expect("variant");
-    let eval =
-        evaluate_variant(&spec, test_config(GovernorAnalysis::Explicit)).expect("evaluate");
+    let eval = evaluate_variant(&spec, test_config(GovernorAnalysis::Explicit)).expect("evaluate");
     assert_eq!(eval.missed(), 1, "{}", render_outcomes(&eval));
     let missed: Vec<_> = eval.outcomes.iter().filter(|o| !o.detected).collect();
     assert_eq!(missed.len(), 1);
@@ -74,8 +72,7 @@ fn auto_soc_variant2_misses_exactly_the_implicit_sha_bug() {
 #[test]
 fn refined_analysis_recovers_the_miss() {
     let spec = soccar_soc::variant(SocModel::AutoSoc, 2).expect("variant");
-    let eval =
-        evaluate_variant(&spec, test_config(GovernorAnalysis::Refined)).expect("evaluate");
+    let eval = evaluate_variant(&spec, test_config(GovernorAnalysis::Refined)).expect("evaluate");
     assert_eq!(
         eval.detected(),
         eval.outcomes.len(),
@@ -93,8 +90,7 @@ fn refined_analysis_recovers_the_miss() {
 #[test]
 fn verification_time_is_seconds_not_hours() {
     let spec = soccar_soc::variant(SocModel::ClusterSoc, 1).expect("variant");
-    let eval =
-        evaluate_variant(&spec, test_config(GovernorAnalysis::Explicit)).expect("evaluate");
+    let eval = evaluate_variant(&spec, test_config(GovernorAnalysis::Explicit)).expect("evaluate");
     // Generous bound for debug builds; release is well under a second.
     assert!(
         eval.verification_time().as_secs() < 120,

@@ -60,6 +60,7 @@ fn reprinted_variant_detects_identically() {
             analysis: config.analysis,
             naming: config.naming.clone(),
             concolic: config.concolic.clone(),
+            lint: config.lint.clone(),
         })
         .analyze("soc.v", src, &design.top, properties.clone())
         .expect("analyze");

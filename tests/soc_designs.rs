@@ -81,7 +81,8 @@ fn both_socs_run_and_stay_stable_under_partial_resets() {
         let mut sim = Simulator::concrete(&d, InitPolicy::Ones);
         for net in d.top_inputs().collect::<Vec<_>>() {
             let w = d.net(net).width;
-            sim.write_input(net, soccar_rtl::LogicVec::zeros(w)).expect("in");
+            sim.write_input(net, soccar_rtl::LogicVec::zeros(w))
+                .expect("in");
         }
         sim.settle().expect("settle");
         let resets: Vec<_> = d
@@ -89,7 +90,8 @@ fn both_socs_run_and_stay_stable_under_partial_resets() {
             .filter(|n| d.net(*n).local_name.contains("rst"))
             .collect();
         for r in &resets {
-            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 1)).expect("rst");
+            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 1))
+                .expect("rst");
         }
         sim.settle().expect("settle");
         let clk = d.find_net(&format!("{top}.clk")).expect("clk");
@@ -99,10 +101,12 @@ fn both_socs_run_and_stay_stable_under_partial_resets() {
         // Pulse each domain individually mid-run; the design must stay
         // simulable (no instability) and other domains keep counting.
         for r in &resets {
-            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 0)).expect("rst");
+            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 0))
+                .expect("rst");
             sim.settle().expect("settle");
             sim.tick(clk).expect("tick");
-            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 1)).expect("rst");
+            sim.write_input(*r, soccar_rtl::LogicVec::from_u64(1, 1))
+                .expect("rst");
             sim.settle().expect("settle");
             sim.tick(clk).expect("tick");
         }

@@ -1,0 +1,168 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`benchmark_group` / `sample_size` / `bench_function`
+//! / `finish`), [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a small fixed
+//! number of timed iterations and prints the mean wall-clock time. There is
+//! no statistical analysis, warm-up calibration, or HTML report — the goal
+//! is that `cargo bench` compiles and produces order-of-magnitude numbers
+//! offline, not publication-grade statistics.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (vendored subset).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX)
+        };
+        println!(
+            "  {}/{id}: {mean:?} mean over {} iters",
+            self.name, bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op offline).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Batch sizing for [`Bencher::iter_batched`] (vendored subset: every
+/// variant behaves like `PerIteration`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup output for every routine call.
+    PerIteration,
+    /// Accepted for API compatibility; treated as `PerIteration`.
+    SmallInput,
+    /// Accepted for API compatibility; treated as `PerIteration`.
+    LargeInput,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runner function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` invoking each [`criterion_group!`] runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("iter", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3);
+        let mut batched = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| batched += x, BatchSize::PerIteration);
+        });
+        assert_eq!(batched, 6);
+        g.finish();
+    }
+}

@@ -1,0 +1,320 @@
+//! Offline vendored subset of the `serde` serialization API.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the slice of serde it uses: the [`Serialize`] /
+//! [`Serializer`] traits (with the same method signatures as upstream, so
+//! code written against real serde compiles unchanged), a
+//! `#[derive(Serialize)]` macro for named-field structs (including
+//! `#[serde(with = "module")]` fields), and impls for the std types the
+//! reports contain. Deserialization is intentionally absent — nothing in
+//! the workspace reads serialized data back.
+
+pub use serde_derive::Serialize;
+
+/// Serialization sub-traits (compound builders), as in upstream serde.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait alias for serializer errors.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Builder for sequence serialization.
+    pub trait SerializeSeq {
+        /// Output type of the parent serializer.
+        type Ok;
+        /// Error type of the parent serializer.
+        type Error;
+
+        /// Serializes one element.
+        ///
+        /// # Errors
+        ///
+        /// Propagates serializer failures.
+        fn serialize_element<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Finishes the sequence.
+        ///
+        /// # Errors
+        ///
+        /// Propagates serializer failures.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for struct serialization.
+    pub trait SerializeStruct {
+        /// Output type of the parent serializer.
+        type Ok;
+        /// Error type of the parent serializer.
+        type Error;
+
+        /// Serializes one named field.
+        ///
+        /// # Errors
+        ///
+        /// Propagates serializer failures.
+        fn serialize_field<T: ?Sized + super::Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Finishes the struct.
+        ///
+        /// # Errors
+        ///
+        /// Propagates serializer failures.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for map serialization.
+    pub trait SerializeMap {
+        /// Output type of the parent serializer.
+        type Ok;
+        /// Error type of the parent serializer.
+        type Error;
+
+        /// Serializes one key/value entry.
+        ///
+        /// # Errors
+        ///
+        /// Propagates serializer failures.
+        fn serialize_entry<K: ?Sized + super::Serialize, V: ?Sized + super::Serialize>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error>;
+
+        /// Finishes the map.
+        ///
+        /// # Errors
+        ///
+        /// Propagates serializer failures.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// A data format that can serialize the serde data model (subset).
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Sequence builder.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct builder.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Map builder.
+    type SerializeMap: ser::SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a signed integer.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a float.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a unit (null).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes `None`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_unit()
+    }
+
+    /// Serializes `Some(value)`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        value.serialize(self)
+    }
+
+    /// Serializes a unit enum variant (as its name).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error> {
+        let _ = (name, variant_index);
+        self.serialize_str(variant)
+    }
+
+    /// Begins a sequence of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+
+    /// Begins a struct with `len` fields.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    /// Begins a map of `len` entries.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific failures.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+}
+
+/// A value serializable into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty => $m:ident as $c:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$m(*self as $c)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(
+    u8 => serialize_u64 as u64,
+    u16 => serialize_u64 as u64,
+    u32 => serialize_u64 as u64,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+    i8 => serialize_i64 as i64,
+    i16 => serialize_i64 as i64,
+    i32 => serialize_i64 as i64,
+    i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64
+);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq as _;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap as _;
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}

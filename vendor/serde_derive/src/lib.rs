@@ -1,0 +1,185 @@
+//! Offline vendored `#[derive(Serialize)]` for the vendored serde subset.
+//!
+//! Supports plain (non-generic) structs with named fields, plus the
+//! `#[serde(with = "module")]` and `#[serde(skip)]` field attributes —
+//! exactly the shapes this workspace derives. Anything else produces a
+//! compile error asking for a hand-written impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+    skip: bool,
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+///
+/// # Panics
+///
+/// Panics (compile error) on enums, tuple structs or generic structs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip container attributes and visibility up to the `struct` keyword.
+    let mut name = None;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" {
+                i += 1;
+                if let Some(TokenTree::Ident(n)) = tokens.get(i) {
+                    name = Some(n.to_string());
+                }
+                i += 1;
+                break;
+            }
+            assert!(
+                s != "enum" && s != "union",
+                "vendored serde_derive only supports structs; \
+                 hand-implement Serialize for {s}s"
+            );
+        }
+        i += 1;
+    }
+    let name = name.expect("struct name after `struct` keyword");
+
+    // No generics support: next token must be the brace group.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde_derive does not support generic structs ({name})")
+            }
+            Some(_) => i += 1,
+            None => panic!("struct {name} has no named-field body"),
+        }
+    };
+
+    let fields = parse_fields(body);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         use ::serde::ser::SerializeStruct as _;\n"
+    ));
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    out.push_str(&format!(
+        "let mut __s = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+        live.len()
+    ));
+    for f in &live {
+        if let Some(with) = &f.with {
+            out.push_str(&format!(
+                "{{\n\
+                 struct __With<'a>(&'a {name});\n\
+                 impl<'a> ::serde::Serialize for __With<'a> {{\n\
+                 fn serialize<__S2: ::serde::Serializer>(&self, __serializer: __S2) \
+                 -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                 {with}::serialize(&self.0.{field}, __serializer)\n\
+                 }}\n}}\n\
+                 __s.serialize_field(\"{field}\", &__With(self))?;\n\
+                 }}\n",
+                field = f.name,
+            ));
+        } else {
+            out.push_str(&format!(
+                "__s.serialize_field(\"{0}\", &self.{0})?;\n",
+                f.name
+            ));
+        }
+    }
+    out.push_str("__s.end()\n}\n}\n");
+    out.parse().expect("generated impl parses")
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut with = None;
+        let mut skip = false;
+        // Field attributes.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        read_serde_attr(g.stream(), &mut with, &mut skip);
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        // Name.
+        let Some(TokenTree::Ident(fname)) = tokens.get(i) else {
+            break; // trailing comma / end
+        };
+        let name = fname.to_string();
+        i += 1;
+        // `:` then the type, until a comma at angle-bracket depth 0.
+        debug_assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field {name}"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with, skip });
+    }
+    fields
+}
+
+/// Reads one `[...]` attribute body; fills `with`/`skip` for `serde` attrs.
+fn read_serde_attr(body: TokenStream, with: &mut Option<String>, skip: &mut bool) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment or foreign attribute
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if let TokenTree::Ident(key) = &args[j] {
+            match key.to_string().as_str() {
+                "skip" => *skip = true,
+                "with" => {
+                    // with = "path"
+                    if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                        let s = lit.to_string();
+                        *with = Some(s.trim_matches('"').to_owned());
+                    }
+                    j += 2;
+                }
+                _ => {} // tolerate unknown options
+            }
+        }
+        j += 1;
+    }
+}
