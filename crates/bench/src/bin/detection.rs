@@ -4,17 +4,28 @@
 //! Paper outcome being reproduced: every bug detected in every ClusterSoC
 //! variant; in AutoSoC all bugs except the SHA256 information-leakage bug
 //! of Variant #2; verification time "a few seconds".
+//!
+//! The five runs are independent and fan out across the worker pool
+//! (`--jobs <n>`, default `$SOCCAR_JOBS` or all cores); the table is
+//! identical for every job count. `--compare-jobs` additionally runs the
+//! sweep serially first and reports the parallel speedup.
 
-use soccar::evaluation::{evaluate_variant, render_outcomes};
-use soccar_bench::{paper_config, render_table};
+use std::time::{Duration, Instant};
+
+use soccar::evaluation::{render_outcomes, VariantEvaluation};
+use soccar_bench::{bench_args, evaluate_all_variants, render_table};
 
 fn main() {
+    let args = bench_args();
+    let jobs = soccar_exec::resolve_jobs(Some(args.jobs));
+
+    let serial = args.compare_jobs.then(|| timed(1));
+    let (evals, stats, elapsed) = timed(jobs);
+
     let mut rows = Vec::new();
     let mut details = String::new();
-    for spec in soccar_soc::variants() {
-        let eval =
-            evaluate_variant(&spec, paper_config()).expect("benchmark variants always evaluate");
-        details.push_str(&render_outcomes(&eval));
+    for eval in &evals {
+        details.push_str(&render_outcomes(eval));
         details.push('\n');
         rows.push(vec![
             eval.variant.clone(),
@@ -39,6 +50,33 @@ fn main() {
         )
     );
     println!("{details}");
+    println!(
+        "sweep: {} variants in {:.2}s with {} jobs ({:.0}% pool utilization)",
+        stats.tasks,
+        elapsed.as_secs_f64(),
+        stats.jobs,
+        stats.utilization() * 100.0
+    );
+    if let Some((serial_evals, _, serial_elapsed)) = serial {
+        assert_eq!(
+            serial_evals.len(),
+            evals.len(),
+            "serial and parallel sweeps cover the same variants"
+        );
+        println!(
+            "compare: serial {:.2}s vs {} jobs {:.2}s — {:.2}x speedup",
+            serial_elapsed.as_secs_f64(),
+            jobs,
+            elapsed.as_secs_f64(),
+            serial_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+        );
+    }
+}
+
+fn timed(jobs: usize) -> (Vec<VariantEvaluation>, soccar_exec::PoolStats, Duration) {
+    let t = Instant::now();
+    let (evals, stats) = evaluate_all_variants(jobs);
+    (evals, stats, t.elapsed())
 }
 
 fn expected(variant: &str) -> String {

@@ -3,34 +3,18 @@
 //!
 //! For each variant the linter runs *differentially*: the clean baseline
 //! of the same SoC is linted too, and only diagnostics absent from the
-//! baseline count as flagging the seeded bugs (some rules intentionally
-//! fire on idioms the clean benchmarks contain, e.g. the never-reset
-//! `pt_shadow` monitors). The table then shows, per inserted bug, which
-//! lint rules flagged it statically and whether concolic testing detected
-//! it — the structural bugs (partial reset domains, the implicit-governor
-//! construct) fall to the millisecond pre-pass, while the wrong-value bugs
-//! (`prot_en` disarmed, `priv_mode` escalated) genuinely need simulation.
+//! baseline count as flagging the seeded bugs (see
+//! [`soccar_bench::differential_lint`]). The table then shows, per
+//! inserted bug, which lint rules flagged it statically and whether
+//! concolic testing detected it — the structural bugs (partial reset
+//! domains, the implicit-governor construct) fall to the millisecond
+//! pre-pass, while the wrong-value bugs (`prot_en` disarmed, `priv_mode`
+//! escalated) genuinely need simulation.
 
 use std::collections::BTreeSet;
 
-use soccar::evaluation::evaluate_variant;
-use soccar_bench::{paper_config, render_table};
-use soccar_lint::{Diagnostic, Linter};
-
-/// Lints a generated SoC source, panicking on parse failure (the bundled
-/// benchmarks always parse).
-fn lint(name: &str, source: &str) -> Vec<Diagnostic> {
-    Linter::new()
-        .lint_source(name, source)
-        .expect("benchmark SoCs always parse")
-        .diagnostics
-}
-
-/// A diagnostic's identity for the clean/variant diff, ignoring location
-/// (line numbers shift when bugs are seeded).
-fn key(d: &Diagnostic) -> (String, String, String) {
-    (d.rule.to_owned(), d.module.clone(), d.message.clone())
-}
+use soccar_bench::{bench_args, differential_lint, evaluate_all_variants, render_table};
+use soccar_lint::Diagnostic;
 
 fn main() {
     let mut rows = Vec::new();
@@ -38,17 +22,10 @@ fn main() {
     let mut concolic_hits = 0usize;
     let mut total = 0usize;
 
-    for spec in soccar_soc::variants() {
-        let clean = soccar_soc::generate(spec.soc, None);
+    let (evals, _) = evaluate_all_variants(bench_args().jobs);
+    for (spec, eval) in soccar_soc::variants().iter().zip(&evals) {
         let seeded = soccar_soc::generate(spec.soc, Some(spec.number));
-        let baseline: BTreeSet<_> = lint("clean.v", &clean.source).iter().map(key).collect();
-        let fresh: Vec<Diagnostic> = lint("seeded.v", &seeded.source)
-            .into_iter()
-            .filter(|d| !baseline.contains(&key(d)))
-            .collect();
-
-        let eval =
-            evaluate_variant(&spec, paper_config()).expect("benchmark variants always evaluate");
+        let fresh: Vec<Diagnostic> = differential_lint(spec.soc, spec.number);
 
         for outcome in &eval.outcomes {
             let rules: BTreeSet<&str> = fresh

@@ -5,7 +5,7 @@
 //! are printed alongside for the shape comparison recorded in
 //! EXPERIMENTS.md.
 
-use soccar_bench::render_table;
+use soccar_bench::{bench_args, compile_soc, render_table};
 use soccar_soc::SocModel;
 use soccar_synth::{estimate, TechModel};
 
@@ -39,14 +39,14 @@ fn main() {
         ("AutoSoC Variant #1", SocModel::AutoSoc, 1, 33861, 2971, 128),
         ("AutoSoC Variant #2", SocModel::AutoSoc, 2, 32972, 2874, 128),
     ];
+    let jobs = bench_args().jobs;
     let tech = TechModel::default();
-    let mut rows = Vec::new();
-    for (label, model, variant, p_lut, p_lutram, p_bram) in rows_spec {
-        let design = soccar_soc::generate(model, Some(variant));
-        let (d, _) = soccar_rtl::compile("soc.v", &design.source, &design.top)
-            .expect("benchmark SoCs always compile");
+    // Generate + compile + estimate fans out; the rows stay in spec order.
+    let rows = soccar_exec::parallel_map(jobs, &rows_spec, |spec| {
+        let (label, model, variant, p_lut, p_lutram, p_bram) = *spec;
+        let (_, d) = compile_soc(model, Some(variant));
         let a = estimate(&d, &tech);
-        rows.push(vec![
+        vec![
             label.to_owned(),
             a.lut.to_string(),
             a.lutram.to_string(),
@@ -54,8 +54,8 @@ fn main() {
             format!("{p_lut}"),
             format!("{p_lutram}"),
             format!("{p_bram}"),
-        ]);
-    }
+        ]
+    });
     println!("Table I — Area statistics (measured vs paper/Vivado)");
     println!(
         "{}",

@@ -10,13 +10,17 @@
 
 #![warn(missing_docs)]
 
+use std::collections::BTreeSet;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use soccar::evaluation::VariantEvaluation;
 use soccar::SoccarConfig;
 use soccar_concolic::{ConcolicConfig, PropertyMonitor, SecurityProperty, Violation};
+use soccar_lint::{Diagnostic, Linter};
 use soccar_rtl::value::LogicVec;
 use soccar_sim::{InitPolicy, Simulator};
-use soccar_soc::SocModel;
+use soccar_soc::{SocDesign, SocModel};
 
 /// The evaluation configuration used by all detection benches: paper
 /// policy (all-ones registers), a 16-cycle horizon, a full sweep.
@@ -32,6 +36,116 @@ pub fn paper_config() -> SoccarConfig {
         },
         ..SoccarConfig::default()
     }
+}
+
+/// Generates a benchmark SoC (the clean baseline when `variant` is
+/// `None`) and compiles it to an elaborated design — the boilerplate
+/// shared by every bench binary.
+///
+/// # Panics
+///
+/// Panics if the design fails to compile (the bundled benchmarks always
+/// compile; bench binaries are driver code, not a library API).
+#[must_use]
+pub fn compile_soc(model: SocModel, variant: Option<u32>) -> (SocDesign, soccar_rtl::Design) {
+    let soc = soccar_soc::generate(model, variant);
+    let (design, _) =
+        soccar_rtl::compile("soc.v", &soc.source, &soc.top).expect("benchmark SoCs always compile");
+    (soc, design)
+}
+
+/// Lints generated SoC source.
+///
+/// # Panics
+///
+/// Panics on parse failure (the bundled benchmarks always parse).
+#[must_use]
+pub fn lint_soc(name: &str, source: &str) -> Vec<Diagnostic> {
+    Linter::new()
+        .lint_source(name, source)
+        .expect("benchmark SoCs always parse")
+        .diagnostics
+}
+
+/// A diagnostic's identity for clean/seeded diffing, ignoring location
+/// (line numbers shift when bugs are seeded).
+#[must_use]
+pub fn diagnostic_key(d: &Diagnostic) -> (String, String, String) {
+    (d.rule.to_owned(), d.module.clone(), d.message.clone())
+}
+
+/// Lints a bug-seeded variant *differentially*: the clean baseline of
+/// the same SoC is linted too, and only diagnostics absent from the
+/// baseline are returned. Some rules intentionally fire on idioms the
+/// clean benchmarks contain (e.g. the never-reset `pt_shadow` monitors);
+/// the diff isolates what the seeded bugs themselves introduce.
+#[must_use]
+pub fn differential_lint(model: SocModel, variant: u32) -> Vec<Diagnostic> {
+    let clean = soccar_soc::generate(model, None);
+    let seeded = soccar_soc::generate(model, Some(variant));
+    let baseline: BTreeSet<_> = lint_soc("clean.v", &clean.source)
+        .iter()
+        .map(diagnostic_key)
+        .collect();
+    lint_soc("seeded.v", &seeded.source)
+        .into_iter()
+        .filter(|d| !baseline.contains(&diagnostic_key(d)))
+        .collect()
+}
+
+/// Evaluates every bug-seeded benchmark variant under [`paper_config`],
+/// fanning the independent runs across `jobs` workers (`0` = auto, see
+/// [`soccar_exec::resolve_jobs`]). Each run keeps its inner pipeline
+/// serial — the parallelism budget is spent at the variant level, where
+/// the work units are largest. Results come back in
+/// [`soccar_soc::variants`] order for every job count.
+///
+/// # Panics
+///
+/// Panics if a benchmark variant fails to evaluate.
+#[must_use]
+pub fn evaluate_all_variants(jobs: usize) -> (Vec<VariantEvaluation>, soccar_exec::PoolStats) {
+    let specs = soccar_soc::variants();
+    soccar_exec::parallel_map_stats(jobs, &specs, |spec| {
+        let mut config = paper_config();
+        config.jobs = 1;
+        soccar::evaluate_variant(spec, config).expect("benchmark variants always evaluate")
+    })
+}
+
+/// Common bench-binary flags.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// `--jobs <n>`: worker threads (`0` = auto).
+    pub jobs: usize,
+    /// `--compare-jobs`: run the sweep serial then parallel and report
+    /// the speedup.
+    pub compare_jobs: bool,
+}
+
+/// Parses the common bench flags from `std::env::args`.
+///
+/// # Panics
+///
+/// Panics on a malformed or unknown argument.
+#[must_use]
+pub fn bench_args() -> BenchArgs {
+    let mut out = BenchArgs {
+        jobs: 0,
+        compare_jobs: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                out.jobs = v.parse().expect("--jobs takes a number");
+            }
+            "--compare-jobs" => out.compare_jobs = true,
+            other => panic!("unexpected argument `{other}` (options: --jobs <n>, --compare-jobs)"),
+        }
+    }
+    out
 }
 
 /// Renders a text table with aligned columns.
@@ -91,8 +205,7 @@ pub fn random_baseline(
     cycles: u64,
     seed: u64,
 ) -> Vec<String> {
-    let design = soccar_soc::generate(model, Some(variant));
-    let (d, _) = soccar_rtl::compile("soc.v", &design.source, &design.top).expect("compile");
+    let (_, d) = compile_soc(model, Some(variant));
     let checks = soccar_soc::security_checks(model);
     let properties: Vec<SecurityProperty> = checks.iter().map(soccar::property_of).collect();
     // Discover reset inputs and clock by name, like a fuzzing harness would.
@@ -238,6 +351,28 @@ mod tests {
         );
         assert!(t.contains("| A      | Column |"));
         assert!(t.contains("| longer | 22     |"));
+    }
+
+    #[test]
+    fn compile_soc_builds_the_clean_baseline() {
+        let (soc, design) = compile_soc(SocModel::ClusterSoc, None);
+        assert!(soc.variant.is_none());
+        assert!(design.top_inputs().count() > 0);
+    }
+
+    #[test]
+    fn differential_lint_drops_every_baseline_diagnostic() {
+        let baseline: BTreeSet<_> = lint_soc(
+            "clean.v",
+            &soccar_soc::generate(SocModel::ClusterSoc, None).source,
+        )
+        .iter()
+        .map(diagnostic_key)
+        .collect();
+        assert!(!baseline.is_empty(), "clean SoC lints to some diagnostics");
+        for d in differential_lint(SocModel::ClusterSoc, 1) {
+            assert!(!baseline.contains(&diagnostic_key(&d)));
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use soccar_rtl::ast::SourceUnit;
 
 use crate::connect::{connection_profiles, ConnectionProfile};
-use crate::extract::{extract_module_cfg, project_ar_cfg, ArCfg, GovernorAnalysis};
+use crate::extract::{extract_all_jobs, ArCfg, GovernorAnalysis};
 use crate::reset_id::ResetNaming;
 
 /// A reference to one reset-governed event in the composed CFG.
@@ -98,6 +98,26 @@ pub fn compose_soc(
     naming: &ResetNaming,
     analysis: GovernorAnalysis,
 ) -> Result<SocArCfg, String> {
+    compose_soc_jobs(unit, top, naming, analysis, 1).map(|(soc, _)| soc)
+}
+
+/// Like [`compose_soc`], running the per-module extraction (the hot half
+/// of the stage) on up to `jobs` workers via [`extract_all_jobs`]. The
+/// compose walk itself stays serial — it is a cheap hierarchy traversal —
+/// and sees extraction results in source order, so the output is
+/// identical for every `jobs` value. Also returns the extraction pool's
+/// utilization counters.
+///
+/// # Errors
+///
+/// As [`compose_soc`].
+pub fn compose_soc_jobs(
+    unit: &SourceUnit,
+    top: &str,
+    naming: &ResetNaming,
+    analysis: GovernorAnalysis,
+    jobs: usize,
+) -> Result<(SocArCfg, soccar_exec::PoolStats), String> {
     if unit.module(top).is_none() {
         return Err(format!("top module `{top}` not found"));
     }
@@ -105,13 +125,10 @@ pub fn compose_soc(
         .into_iter()
         .map(|p| (p.module.clone(), p))
         .collect();
-    let ar_cfgs: HashMap<String, ArCfg> = unit
-        .modules
-        .iter()
-        .map(|m| {
-            let cfg = extract_module_cfg(m, naming, analysis);
-            (m.name.clone(), project_ar_cfg(&cfg))
-        })
+    let (extracted, stats) = extract_all_jobs(unit, naming, analysis, jobs);
+    let ar_cfgs: HashMap<String, ArCfg> = extracted
+        .into_iter()
+        .map(|(_, ar)| (ar.module.clone(), ar))
         .collect();
 
     let mut soc = SocArCfg::default();
@@ -216,7 +233,7 @@ pub fn compose_soc(
     domains.sort_by(|a, b| a.source.cmp(&b.source));
     soc.reset_domains = domains;
     soc.instances.sort_by(|a, b| a.path.cmp(&b.path));
-    Ok(soc)
+    Ok((soc, stats))
 }
 
 #[cfg(test)]

@@ -163,14 +163,28 @@ pub fn extract_all(
     naming: &ResetNaming,
     analysis: GovernorAnalysis,
 ) -> Vec<(ModuleCfg, ArCfg)> {
-    unit.modules
-        .iter()
-        .map(|m| {
-            let cfg = extract_module_cfg(m, naming, analysis);
-            let ar = project_ar_cfg(&cfg);
-            (cfg, ar)
-        })
-        .collect()
+    extract_all_jobs(unit, naming, analysis, 1).0
+}
+
+/// Like [`extract_all`], fanning the per-module extraction (Algorithm 1 is
+/// embarrassingly parallel across modules) over up to `jobs` workers.
+///
+/// Results come back in source order regardless of `jobs` — the pool
+/// merges by module index, never by completion order — so the downstream
+/// serial compose step sees an identical input either way. Also returns
+/// the pool's utilization counters for stage reporting.
+#[must_use]
+pub fn extract_all_jobs(
+    unit: &SourceUnit,
+    naming: &ResetNaming,
+    analysis: GovernorAnalysis,
+    jobs: usize,
+) -> (Vec<(ModuleCfg, ArCfg)>, soccar_exec::PoolStats) {
+    soccar_exec::parallel_map_stats(jobs, &unit.modules, |m| {
+        let cfg = extract_module_cfg(m, naming, analysis);
+        let ar = project_ar_cfg(&cfg);
+        (cfg, ar)
+    })
 }
 
 fn extract_block_events(

@@ -63,6 +63,12 @@ pub struct ConcolicConfig {
     /// future-work extension to "other asynchronous events" (IRQs,
     /// AMS comparator outputs, sensor strobes). Pulsed active-high.
     pub async_events: Vec<String>,
+    /// Worker threads for the per-round fan-out of uncovered-event flip
+    /// solves (`0` = auto via [`soccar_exec::resolve_jobs`]). Every job
+    /// count produces bit-identical reports: candidates are solved
+    /// against independent clones of the round's term graph and consumed
+    /// in stable target order, never completion order.
+    pub jobs: usize,
 }
 
 impl Default for ConcolicConfig {
@@ -78,6 +84,7 @@ impl Default for ConcolicConfig {
             max_prefix: 256,
             skip_sweep: false,
             async_events: Vec::new(),
+            jobs: 1,
         }
     }
 }
@@ -131,12 +138,15 @@ pub struct ConcolicReport {
     pub first_violation_round: Option<usize>,
     /// One witness schedule per violated property.
     pub witnesses: Vec<Witness>,
-    /// Solver invocations.
+    /// Solver invocations (consumed flip attempts; job-count invariant).
     pub solver_calls: usize,
     /// Of which SAT.
     pub solver_sat: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Utilization counters of the flip-solve worker pool (wall-clock
+    /// measurements; excluded from canonical report serializations).
+    pub flip_exec: soccar_exec::PoolStats,
 }
 
 impl ConcolicReport {
@@ -178,6 +188,7 @@ pub struct ConcolicEngine<'d> {
     covered: Vec<bool>,
     unreachable: Vec<bool>,
     pulse_attempts: HashMap<usize, u64>,
+    flip_stats: soccar_exec::PoolStats,
     domain_polarity: Vec<(String, bool)>,
     /// Domains owning at least one clock-composed implicit governor
     /// (Refined analysis only); these also get a high-phase sweep.
@@ -328,6 +339,7 @@ impl<'d> ConcolicEngine<'d> {
             covered: vec![false; n],
             unreachable: vec![false; n],
             pulse_attempts: HashMap::new(),
+            flip_stats: soccar_exec::PoolStats::default(),
             domain_polarity,
             clock_composed,
         })
@@ -457,6 +469,7 @@ impl<'d> ConcolicEngine<'d> {
             solver_calls,
             solver_sat,
             elapsed: start.elapsed(),
+            flip_exec: self.flip_stats,
         })
     }
 
@@ -604,6 +617,16 @@ impl<'d> ConcolicEngine<'d> {
 
     /// Picks an uncovered target and produces the next schedule, either by
     /// solver-driven branch flipping or by direct reset scheduling.
+    ///
+    /// The flip solves — the expensive part of a round — fan out over the
+    /// worker pool: every uncovered target's candidate occurrences are
+    /// collected up front in stable `(target index, occurrence index)`
+    /// order, solved speculatively against independent clones of the
+    /// round's term graph, and then *consumed* by a serial decision walk
+    /// identical to the original single-threaded loop. Because each solve
+    /// depends only on its own candidate (never on a sibling's outcome or
+    /// scheduling), the chosen schedule, the solver counters, and thus the
+    /// whole report are bit-identical for every job count.
     fn plan_next(
         &mut self,
         sim: &mut Simulator<'d, CoAlgebra>,
@@ -619,25 +642,57 @@ impl<'d> ConcolicEngine<'d> {
             .filter(|(i, _)| !self.covered[*i] && !self.unreachable[*i])
             .map(|(i, t)| (i, t.clone()))
             .collect();
-        for (ti, target) in targets {
-            match &target.goal {
-                TargetGoal::Site { site, dir } => {
-                    let occurrences: Vec<usize> = obs
-                        .iter()
+
+        // Phase A: collect flip candidates in deterministic order.
+        let mut candidates: Vec<FlipCandidate> = Vec::new();
+        for (ti, target) in &targets {
+            if let TargetGoal::Site { site, dir } = &target.goal {
+                candidates.extend(
+                    obs.iter()
                         .enumerate()
                         .filter(|(_, o)| o.site == *site && o.taken != *dir)
-                        .map(|(k, _)| k)
-                        .collect();
-                    if !occurrences.is_empty() {
-                        // Solver-driven flip.
-                        for &k in occurrences.iter().take(self.config.max_flip_attempts) {
+                        .take(self.config.max_flip_attempts)
+                        .map(|(k, _)| FlipCandidate {
+                            target: *ti,
+                            obs_index: k,
+                            dir: *dir,
+                        }),
+                );
+            }
+        }
+
+        // Phase B: solve all candidates on the pool. Some solves are
+        // speculative (a candidate after the consumed SAT one, or after a
+        // target that pulses instead) — wasted CPU at worst, never a
+        // behavior change, because only consumed results are counted.
+        let graph = &sim.algebra().graph;
+        let max_prefix = self.config.max_prefix;
+        let (solved, stats) = soccar_exec::parallel_map_stats(self.config.jobs, &candidates, |c| {
+            let mut g = graph.clone();
+            solve_flip(&mut g, &obs, schedule, c.obs_index, c.dir, max_prefix)
+        });
+        self.flip_stats.absorb(&stats);
+
+        // Phase C: the serial decision walk, consuming solver results in
+        // candidate order instead of invoking the solver inline.
+        let mut ci = 0usize;
+        for (ti, target) in targets {
+            match &target.goal {
+                TargetGoal::Site { .. } => {
+                    let mine = candidates[ci..]
+                        .iter()
+                        .take_while(|c| c.target == ti)
+                        .count();
+                    if mine > 0 {
+                        for result in &solved[ci..ci + mine] {
                             *solver_calls += 1;
-                            if let Some(next) = self.try_flip(sim, schedule, &obs, k, *dir) {
+                            if let Some(next) = result {
                                 *solver_sat += 1;
-                                return Some(next);
+                                return Some(next.clone());
                             }
                         }
                         // All attempted flips UNSAT: keep for the sweep.
+                        ci += mine;
                         continue;
                     }
                     // Site never ran with a symbolic condition: schedule a
@@ -680,61 +735,73 @@ impl<'d> ConcolicEngine<'d> {
         next.add_pulse(di, at, 1);
         Some(next)
     }
+}
 
-    /// Attempts to flip observation `k` towards `dir`, conjoining the path
-    /// prefix, and rebuilds the schedule from the model.
-    fn try_flip(
-        &self,
-        sim: &mut Simulator<'d, CoAlgebra>,
-        schedule: &TestSchedule,
-        obs: &[BranchObservation],
-        k: usize,
-        dir: bool,
-    ) -> Option<TestSchedule> {
-        let graph = &mut sim.algebra_mut().graph;
-        let mut solver = Solver::new();
-        let prefix_start = k.saturating_sub(self.config.max_prefix);
-        for o in &obs[prefix_start..k] {
-            let c = if o.taken { o.cond } else { graph.not(o.cond) };
-            solver.assert(c);
-        }
-        let goal = if dir {
-            obs[k].cond
-        } else {
-            graph.not(obs[k].cond)
-        };
-        solver.assert(goal);
-        match solver.check(graph) {
-            CheckResult::Unsat => None,
-            CheckResult::Sat(model) => {
-                // Only variables in the constraint support are updated;
-                // everything else keeps its previous schedule value.
-                let mut support = HashSet::new();
-                for t in solver.assertions() {
-                    collect_vars(graph, *t, &mut support);
-                }
-                let mut next = schedule.clone();
-                for var in support {
-                    let Term::Var(name) = graph.term(var) else {
-                        continue;
-                    };
-                    let Some(value) = model.value(var) else {
-                        continue;
-                    };
-                    if let Some((d, c)) = parse_slot(name, "rst_") {
-                        if d < next.resets.len() && c < next.cycles {
-                            let track = &mut next.resets[d];
-                            let line_high = value.to_u64() == Some(1);
-                            track.asserted[c as usize] = line_high != track.active_low;
-                        }
-                    } else if let Some((i, c)) = parse_slot(name, "in_") {
-                        if i < next.inputs.len() && c < next.cycles {
-                            next.inputs[i].values[c as usize] = from_bv(value);
-                        }
+/// One speculative flip attempt: flip observation `obs_index` towards
+/// `dir` on behalf of uncovered target `target`.
+#[derive(Debug, Clone, Copy)]
+struct FlipCandidate {
+    target: usize,
+    obs_index: usize,
+    dir: bool,
+}
+
+/// Attempts to flip observation `k` towards `dir`, conjoining the path
+/// prefix, and rebuilds the schedule from the model.
+///
+/// Runs on worker threads against a private clone of the round's term
+/// graph, so the result is a pure function of `(graph, obs, schedule, k,
+/// dir, max_prefix)` — the determinism anchor of the parallel round.
+fn solve_flip(
+    graph: &mut TermGraph,
+    obs: &[BranchObservation],
+    schedule: &TestSchedule,
+    k: usize,
+    dir: bool,
+    max_prefix: usize,
+) -> Option<TestSchedule> {
+    let mut solver = Solver::new();
+    let prefix_start = k.saturating_sub(max_prefix);
+    for o in &obs[prefix_start..k] {
+        let c = if o.taken { o.cond } else { graph.not(o.cond) };
+        solver.assert(c);
+    }
+    let goal = if dir {
+        obs[k].cond
+    } else {
+        graph.not(obs[k].cond)
+    };
+    solver.assert(goal);
+    match solver.check(graph) {
+        CheckResult::Unsat => None,
+        CheckResult::Sat(model) => {
+            // Only variables in the constraint support are updated;
+            // everything else keeps its previous schedule value.
+            let mut support = HashSet::new();
+            for t in solver.assertions() {
+                collect_vars(graph, *t, &mut support);
+            }
+            let mut next = schedule.clone();
+            for var in support {
+                let Term::Var(name) = graph.term(var) else {
+                    continue;
+                };
+                let Some(value) = model.value(var) else {
+                    continue;
+                };
+                if let Some((d, c)) = parse_slot(name, "rst_") {
+                    if d < next.resets.len() && c < next.cycles {
+                        let track = &mut next.resets[d];
+                        let line_high = value.to_u64() == Some(1);
+                        track.asserted[c as usize] = line_high != track.active_low;
+                    }
+                } else if let Some((i, c)) = parse_slot(name, "in_") {
+                    if i < next.inputs.len() && c < next.cycles {
+                        next.inputs[i].values[c as usize] = from_bv(value);
                     }
                 }
-                Some(next)
             }
+            Some(next)
         }
     }
 }
@@ -973,6 +1040,54 @@ mod tests {
         );
         assert!(refined.targets_total > 0);
         assert!(refined.violated("sha-ct-cleared"), "{refined:?}");
+    }
+
+    #[test]
+    fn flip_fanout_is_job_count_invariant() {
+        // The solver-heavy magic-branch design: the round outcome hinges
+        // on which flip result is consumed, so any completion-order
+        // dependence would show up immediately.
+        let src = "
+            module ip(input clk, input rst_n, input [7:0] magic,
+                      output reg flag, output reg [7:0] ctr);
+              always @(posedge clk or negedge rst_n)
+                if (!rst_n) begin
+                  if (magic == 8'h5A) flag <= 1'b1;
+                  ctr <= 8'd0;
+                end else ctr <= ctr + 8'd1;
+            endmodule
+            module top(input clk, input dom_rst_n, input [7:0] magic,
+                       output flag, output [7:0] ctr);
+              ip u (.clk(clk), .rst_n(dom_rst_n), .magic(magic),
+                    .flag(flag), .ctr(ctr));
+            endmodule";
+        let run = |jobs: usize| {
+            setup(
+                src,
+                vec![],
+                GovernorAnalysis::Explicit,
+                ConcolicConfig {
+                    cycles: 10,
+                    max_rounds: 16,
+                    seed: 7,
+                    symbolic_inputs: vec!["top.magic".into()],
+                    jobs,
+                    ..ConcolicConfig::default()
+                },
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.rounds, parallel.rounds);
+        assert_eq!(serial.targets_covered, parallel.targets_covered);
+        assert_eq!(serial.targets_unreachable, parallel.targets_unreachable);
+        assert_eq!(serial.solver_calls, parallel.solver_calls);
+        assert_eq!(serial.solver_sat, parallel.solver_sat);
+        assert_eq!(serial.violations, parallel.violations);
+        assert_eq!(serial.witnesses, parallel.witnesses);
+        assert_eq!(serial.first_violation_round, parallel.first_violation_round);
+        assert_eq!(parallel.flip_exec.tasks, serial.flip_exec.tasks);
+        assert!(parallel.flip_exec.jobs >= 1);
     }
 
     #[test]

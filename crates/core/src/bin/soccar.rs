@@ -50,6 +50,7 @@ struct Args {
     list_domains: bool,
     verbose: bool,
     vcd: Option<String>,
+    jobs: usize,
 }
 
 const USAGE: &str = "usage: soccar <file.v> --top <module> [options]
@@ -61,7 +62,10 @@ options:
   --rounds <n>        max concolic rounds before the sweep (default 12)
   --list-domains      print reset domains / AR_CFG summary and exit
   --verbose           print witness schedules
-  --vcd <path>        replay the first witness and write a VCD waveform";
+  --vcd <path>        replay the first witness and write a VCD waveform
+  --jobs <n>          worker threads for the parallel stages
+                      (default: $SOCCAR_JOBS, else all cores; results are
+                      identical for every value)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
@@ -76,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         list_domains: false,
         verbose: false,
         vcd: None,
+        jobs: 0,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -97,6 +102,11 @@ fn parse_args() -> Result<Args, String> {
                 out.rounds = next(&mut args, "--rounds")?
                     .parse()
                     .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--jobs" => {
+                out.jobs = next(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
             }
             "--list-domains" => out.list_domains = true,
             "--vcd" => out.vcd = Some(next(&mut args, "--vcd")?),
@@ -156,6 +166,7 @@ fn run(args: &Args) -> Result<bool, String> {
             symbolic_inputs: args.symbolic.clone(),
             ..ConcolicConfig::default()
         },
+        jobs: args.jobs,
         ..SoccarConfig::default()
     };
     let report = Soccar::new(config)
@@ -169,6 +180,16 @@ fn run(args: &Args) -> Result<bool, String> {
             stage.elapsed.as_secs_f64(),
             stage.detail
         );
+        if args.verbose {
+            if let Some(exec) = &stage.exec {
+                println!(
+                    "  pool: {} jobs, {} tasks, {:.0}% utilization",
+                    exec.jobs,
+                    exec.tasks,
+                    exec.utilization * 100.0
+                );
+            }
+        }
     }
     println!(
         "coverage: {}/{} AR_CFG targets ({} unreachable); solver {} calls / {} sat",

@@ -76,4 +76,7 @@ pub use evaluation::{
     evaluate_clean, evaluate_variant, property_of, BugOutcome, Campaign, CampaignRow,
     VariantEvaluation,
 };
-pub use pipeline::{AnalysisReport, ExtractionSummary, Soccar, SoccarConfig, StageReport};
+pub use pipeline::{
+    AnalysisReport, CanonicalReport, ExecSummary, ExtractionSummary, Soccar, SoccarConfig,
+    StageReport,
+};

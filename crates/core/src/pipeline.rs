@@ -17,7 +17,7 @@
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
-use soccar_cfg::{bind_events, compose_soc, GovernorAnalysis, ResetNaming};
+use soccar_cfg::{bind_events, compose_soc_jobs, GovernorAnalysis, ResetNaming};
 use soccar_concolic::{ConcolicConfig, ConcolicEngine, ConcolicReport, SecurityProperty};
 use soccar_lint::{LintConfig, LintReport, Linter};
 use soccar_rtl::{elaborate::elaborate, parser::parse, span::SourceMap, Design};
@@ -35,6 +35,16 @@ pub struct SoccarConfig {
     pub concolic: ConcolicConfig,
     /// Per-rule allow/deny configuration for the lint pre-pass.
     pub lint: LintConfig,
+    /// Worker threads for the parallel stages (AR_CFG extraction fan-out
+    /// and per-round concolic flip solving). `0` resolves via
+    /// [`soccar_exec::resolve_jobs`]: the `SOCCAR_JOBS` environment
+    /// variable, then the machine's available parallelism. The resolved
+    /// value also overwrites [`ConcolicConfig::jobs`] for the run.
+    ///
+    /// Reports are bit-identical across job counts — parallel stages
+    /// merge by stable keys, never completion order — so this knob trades
+    /// only wall-clock time, never results.
+    pub jobs: usize,
 }
 
 impl Default for SoccarConfig {
@@ -44,6 +54,32 @@ impl Default for SoccarConfig {
             naming: ResetNaming::new(),
             concolic: ConcolicConfig::default(),
             lint: LintConfig::default(),
+            jobs: 0,
+        }
+    }
+}
+
+/// Worker-pool utilization of one parallel stage, for the stage report.
+/// Wall-clock measurements: excluded from [`AnalysisReport::canonical_json`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecSummary {
+    /// Workers the stage ran with.
+    pub jobs: usize,
+    /// Tasks fanned out.
+    pub tasks: usize,
+    /// Summed task execution time across workers, in seconds.
+    pub busy_secs: f64,
+    /// Mean worker utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl From<&soccar_exec::PoolStats> for ExecSummary {
+    fn from(stats: &soccar_exec::PoolStats) -> ExecSummary {
+        ExecSummary {
+            jobs: stats.jobs,
+            tasks: stats.tasks,
+            busy_secs: stats.busy.as_secs_f64(),
+            utilization: stats.utilization(),
         }
     }
 }
@@ -58,6 +94,8 @@ pub struct StageReport {
     pub elapsed: Duration,
     /// One-line summary.
     pub detail: String,
+    /// Worker-pool counters, for stages that fanned out.
+    pub exec: Option<ExecSummary>,
 }
 
 mod duration_secs {
@@ -105,6 +143,136 @@ impl AnalysisReport {
     pub fn violations(&self) -> &[soccar_concolic::Violation] {
         &self.concolic.violations
     }
+
+    /// The deterministic view of this report: every analysis result, but
+    /// no wall-clock timing and no worker-pool counters. Two runs of the
+    /// same design with the same configuration produce identical
+    /// canonical views regardless of `jobs`.
+    #[must_use]
+    pub fn canonical(&self) -> CanonicalReport<'_> {
+        CanonicalReport {
+            stages: self
+                .stages
+                .iter()
+                .map(|s| CanonicalStage {
+                    stage: &s.stage,
+                    detail: &s.detail,
+                })
+                .collect(),
+            lint: &self.lint,
+            extraction: &self.extraction,
+            concolic: CanonicalConcolic {
+                rounds: self.concolic.rounds,
+                targets_total: self.concolic.targets_total,
+                targets_covered: self.concolic.targets_covered,
+                targets_unreachable: self.concolic.targets_unreachable,
+                solver_calls: self.concolic.solver_calls,
+                solver_sat: self.concolic.solver_sat,
+                first_violation_round: self.concolic.first_violation_round,
+                violations: self
+                    .concolic
+                    .violations
+                    .iter()
+                    .map(|v| CanonicalViolation {
+                        property: &v.property,
+                        module: &v.module,
+                        cycle: v.cycle,
+                        details: &v.details,
+                    })
+                    .collect(),
+                witnesses: self
+                    .concolic
+                    .witnesses
+                    .iter()
+                    .map(|w| CanonicalWitness {
+                        property: &w.property,
+                        round: w.round,
+                        schedule: w.schedule.summary(),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Canonical pretty-printed JSON (via [`crate::json`]) — byte-identical
+    /// across runs and job counts for the same design and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn canonical_json(&self) -> Result<String, crate::json::JsonError> {
+        crate::json::to_json_pretty(&self.canonical())
+    }
+}
+
+/// Timing-free view of an [`AnalysisReport`] (see
+/// [`AnalysisReport::canonical`]).
+#[derive(Debug, Serialize)]
+pub struct CanonicalReport<'a> {
+    /// Stage names and one-line summaries, in pipeline order.
+    pub stages: Vec<CanonicalStage<'a>>,
+    /// Static lint findings.
+    pub lint: &'a LintReport,
+    /// Extraction summary.
+    pub extraction: &'a ExtractionSummary,
+    /// Concolic outcome, minus timing.
+    pub concolic: CanonicalConcolic<'a>,
+}
+
+/// One stage of a [`CanonicalReport`]: name and summary, no timing.
+#[derive(Debug, Serialize)]
+pub struct CanonicalStage<'a> {
+    /// Stage name.
+    pub stage: &'a str,
+    /// One-line summary.
+    pub detail: &'a str,
+}
+
+/// Timing-free view of a [`ConcolicReport`].
+#[derive(Debug, Serialize)]
+pub struct CanonicalConcolic<'a> {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total coverage targets.
+    pub targets_total: usize,
+    /// Targets covered.
+    pub targets_covered: usize,
+    /// Targets proven unreachable.
+    pub targets_unreachable: usize,
+    /// Solver invocations (job-count invariant).
+    pub solver_calls: usize,
+    /// Of which SAT.
+    pub solver_sat: usize,
+    /// Round of the first violation, if any.
+    pub first_violation_round: Option<usize>,
+    /// All distinct invalidation messages.
+    pub violations: Vec<CanonicalViolation<'a>>,
+    /// One witness per violated property.
+    pub witnesses: Vec<CanonicalWitness<'a>>,
+}
+
+/// One violation of a [`CanonicalReport`].
+#[derive(Debug, Serialize)]
+pub struct CanonicalViolation<'a> {
+    /// Violated property name.
+    pub property: &'a str,
+    /// Module blamed.
+    pub module: &'a str,
+    /// Cycle at which the violation was observed.
+    pub cycle: u64,
+    /// Human-readable details.
+    pub details: &'a str,
+}
+
+/// One witness of a [`CanonicalReport`].
+#[derive(Debug, Serialize)]
+pub struct CanonicalWitness<'a> {
+    /// Violated property name.
+    pub property: &'a str,
+    /// Round (1-based) of first observation.
+    pub round: usize,
+    /// Rendered reproducing schedule.
+    pub schedule: String,
 }
 
 /// The SoCCAR framework facade.
@@ -175,6 +343,7 @@ impl Soccar {
         properties: Vec<SecurityProperty>,
     ) -> Result<AnalysisReport, SoccarError> {
         let t0 = Instant::now();
+        let jobs = soccar_exec::resolve_jobs(Some(self.config.jobs));
         let mut stages = Vec::new();
 
         // Frontend.
@@ -187,6 +356,7 @@ impl Soccar {
             stage: "frontend".into(),
             elapsed: t.elapsed(),
             detail: format!("{} modules; {}", unit.modules.len(), design.stats()),
+            exec: None,
         });
 
         // Stage 0: static lint pre-pass (structural reset-domain checks).
@@ -199,12 +369,16 @@ impl Soccar {
             stage: "lint".into(),
             elapsed: t.elapsed(),
             detail: lint.summary(),
+            exec: None,
         });
 
         // Stage 1+2: AR_CFG generation and composition (Algorithms 1–2).
+        // Per-module extraction fans out across the worker pool; the
+        // compose step stays serial and consumes modules in source order.
         let t = Instant::now();
-        let soc = compose_soc(&unit, top, &self.config.naming, self.config.analysis)
-            .map_err(SoccarError::Cfg)?;
+        let (soc, extract_stats) =
+            compose_soc_jobs(&unit, top, &self.config.naming, self.config.analysis, jobs)
+                .map_err(SoccarError::Cfg)?;
         let bound = bind_events(&design, &soc).map_err(|e| SoccarError::Cfg(e.to_string()))?;
         stages.push(StageReport {
             stage: "ar_cfg".into(),
@@ -215,6 +389,7 @@ impl Soccar {
                 soc.instances.len(),
                 soc.reset_domains.len()
             ),
+            exec: Some(ExecSummary::from(&extract_stats)),
         });
         let extraction = ExtractionSummary {
             modules: unit.modules.len(),
@@ -226,9 +401,10 @@ impl Soccar {
 
         // Stage 3: concolic testing (Algorithm 3).
         let t = Instant::now();
-        let mut engine =
-            ConcolicEngine::new(&design, &bound, properties, self.config.concolic.clone())
-                .map_err(SoccarError::Config)?;
+        let mut concolic_config = self.config.concolic.clone();
+        concolic_config.jobs = jobs;
+        let mut engine = ConcolicEngine::new(&design, &bound, properties, concolic_config)
+            .map_err(SoccarError::Config)?;
         let concolic = engine.run()?;
         stages.push(StageReport {
             stage: "concolic".into(),
@@ -240,6 +416,7 @@ impl Soccar {
                 concolic.targets_total,
                 concolic.violations.len()
             ),
+            exec: Some(ExecSummary::from(&concolic.flip_exec)),
         });
 
         Ok(AnalysisReport {
@@ -331,6 +508,45 @@ mod tests {
             .analyze("t.v", LEAKY, "top", vec![key_property()])
             .expect("analyze");
         assert!(report.lint.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn parallel_stages_report_exec_counters() {
+        let config = SoccarConfig {
+            jobs: 2,
+            ..SoccarConfig::default()
+        };
+        let report = Soccar::new(config)
+            .analyze("t.v", LEAKY, "top", vec![key_property()])
+            .expect("analyze");
+        assert!(report.stages[0].exec.is_none());
+        assert!(report.stages[1].exec.is_none());
+        let extract = report.stages[2].exec.as_ref().expect("ar_cfg exec");
+        assert_eq!(extract.jobs, 2);
+        assert_eq!(extract.tasks, 2); // ip + top modules
+        let flips = report.stages[3].exec.as_ref().expect("concolic exec");
+        assert_eq!(flips.tasks, report.concolic.flip_exec.tasks);
+    }
+
+    #[test]
+    fn canonical_json_is_job_count_invariant() {
+        let run = |jobs: usize| {
+            let config = SoccarConfig {
+                jobs,
+                ..SoccarConfig::default()
+            };
+            Soccar::new(config)
+                .analyze("t.v", LEAKY, "top", vec![key_property()])
+                .expect("analyze")
+                .canonical_json()
+                .expect("canonical json")
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        // The canonical view carries results but no wall-clock fields.
+        assert!(serial.contains("\"violations\""));
+        assert!(!serial.contains("elapsed"));
+        assert!(!serial.contains("busy_secs"));
     }
 
     #[test]

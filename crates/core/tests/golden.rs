@@ -1,0 +1,143 @@
+//! Golden-snapshot tests for the `soccar` CLI: `soccar lint --json` and
+//! the default analyze mode, run on one generated fixture per bundled
+//! SoC. Snapshots live in `tests/golden/`; wall-clock tokens (`0.123s`)
+//! are normalized to `#.###s` before comparison so only real output
+//! changes trip the tests.
+//!
+//! To update the snapshots after an intentional output change:
+//!
+//! ```sh
+//! SOCCAR_BLESS=1 cargo test -p soccar --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use soccar_soc::SocModel;
+
+/// Writes the generated fixture into a per-test scratch directory and
+/// returns (scratch dir, relative fixture file name). Running the CLI
+/// with `current_dir` set to the scratch dir keeps the file paths in its
+/// output relative, so snapshots are machine-independent.
+fn fixture(test: &str, model: SocModel, variant: u32) -> (PathBuf, String) {
+    let soc = soccar_soc::generate(model, Some(variant));
+    let dir = std::env::temp_dir().join(format!("soccar-golden-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let file = "soc.v".to_owned();
+    std::fs::write(dir.join(&file), &soc.source).expect("write fixture");
+    (dir, file)
+}
+
+fn run_soccar(dir: &Path, args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_soccar"))
+        .args(args)
+        .current_dir(dir)
+        .env_remove("SOCCAR_JOBS")
+        .output()
+        .expect("run soccar");
+    assert!(
+        out.stderr.is_empty(),
+        "soccar wrote to stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// Replaces every `<digits>.<digits>s` wall-clock token with `#.###s`.
+fn normalize_timing(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let mut k = j;
+            if k < bytes.len() && bytes[k] == b'.' {
+                k += 1;
+                let frac = k;
+                while k < bytes.len() && bytes[k].is_ascii_digit() {
+                    k += 1;
+                }
+                if k > frac && k < bytes.len() && bytes[k] == b's' {
+                    out.push_str("#.###s");
+                    i = k + 1;
+                    continue;
+                }
+            }
+            out.push_str(&s[i..j]);
+            i = j;
+        } else {
+            let c = s[i..].chars().next().expect("char boundary");
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+/// Compares `actual` against the stored snapshot, or rewrites the
+/// snapshot when `SOCCAR_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("SOCCAR_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {}; run with SOCCAR_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "`{name}` drifted from its snapshot; if the change is intentional, \
+         rerun with SOCCAR_BLESS=1 to update"
+    );
+}
+
+#[test]
+fn lint_json_cluster_soc_matches_snapshot() {
+    let (dir, file) = fixture("lint-cluster", SocModel::ClusterSoc, 1);
+    let out = run_soccar(&dir, &["lint", &file, "--json"]);
+    check_golden("cluster_lint.json", &out);
+}
+
+#[test]
+fn lint_json_auto_soc_matches_snapshot() {
+    let (dir, file) = fixture("lint-auto", SocModel::AutoSoc, 2);
+    let out = run_soccar(&dir, &["lint", &file, "--json"]);
+    check_golden("auto_lint.json", &out);
+}
+
+#[test]
+fn analyze_cluster_soc_matches_snapshot() {
+    let (dir, file) = fixture("analyze-cluster", SocModel::ClusterSoc, 1);
+    let top = soccar_soc::generate(SocModel::ClusterSoc, Some(1)).top;
+    let out = run_soccar(
+        &dir,
+        &[
+            &file, "--top", &top, "--cycles", "8", "--rounds", "2", "--jobs", "2",
+        ],
+    );
+    check_golden("cluster_analyze.txt", &normalize_timing(&out));
+}
+
+#[test]
+fn analyze_auto_soc_matches_snapshot() {
+    let (dir, file) = fixture("analyze-auto", SocModel::AutoSoc, 2);
+    let top = soccar_soc::generate(SocModel::AutoSoc, Some(2)).top;
+    let out = run_soccar(
+        &dir,
+        &[
+            &file, "--top", &top, "--cycles", "8", "--rounds", "2", "--jobs", "2",
+        ],
+    );
+    check_golden("auto_analyze.txt", &normalize_timing(&out));
+}

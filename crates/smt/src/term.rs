@@ -95,7 +95,7 @@ pub enum Term {
 /// // x + 0 rewrites to x at construction.
 /// assert_eq!(g.add(x, zero), x);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TermGraph {
     terms: Vec<Term>,
     widths: Vec<u32>,

@@ -1,0 +1,51 @@
+//! Determinism regression: the parallel stages (AR_CFG extraction
+//! fan-out, speculative flip solving, variant sweeps) must merge by
+//! stable keys, never completion order, so the full pipeline produces a
+//! byte-identical canonical report for every job count. These tests run
+//! the complete pipeline — frontend, lint, extraction, composition,
+//! binding, concolic testing — on both bundled SoCs at `--jobs 1` and
+//! `--jobs 4` and compare the serialized `AnalysisReport` JSON.
+
+use soccar::evaluation::evaluate_variant;
+use soccar::SoccarConfig;
+use soccar_soc::SocModel;
+
+/// Full-pipeline canonical JSON for one bug-seeded variant at `jobs`.
+fn canonical_json(model: SocModel, number: u32, jobs: usize) -> String {
+    let spec = soccar_soc::variant(model, number).expect("bundled variant exists");
+    let mut config = SoccarConfig::default();
+    config.concolic.cycles = 12;
+    config.concolic.max_rounds = 4;
+    config.jobs = jobs;
+    let eval = evaluate_variant(&spec, config).expect("benchmark variants always evaluate");
+    eval.report
+        .canonical_json()
+        .expect("canonical report serializes")
+}
+
+#[test]
+fn cluster_soc_report_is_byte_identical_across_job_counts() {
+    let serial = canonical_json(SocModel::ClusterSoc, 1, 1);
+    let parallel = canonical_json(SocModel::ClusterSoc, 1, 4);
+    assert_eq!(serial, parallel);
+    // The run exercised the parallel stages on real work, not a trivial
+    // empty report.
+    assert!(serial.contains("\"ar_events\""));
+    assert!(serial.contains("\"solver_calls\""));
+}
+
+#[test]
+fn auto_soc_report_is_byte_identical_across_job_counts() {
+    let serial = canonical_json(SocModel::AutoSoc, 2, 1);
+    let parallel = canonical_json(SocModel::AutoSoc, 2, 4);
+    assert_eq!(serial, parallel);
+    assert!(serial.contains("\"violations\""));
+}
+
+#[test]
+fn canonical_report_carries_no_wall_clock_fields() {
+    let json = canonical_json(SocModel::ClusterSoc, 2, 2);
+    for timing in ["elapsed", "busy_secs", "utilization", "\"jobs\""] {
+        assert!(!json.contains(timing), "canonical JSON leaks `{timing}`");
+    }
+}

@@ -1,9 +1,10 @@
 //! Offline vendored `#[derive(Serialize)]` for the vendored serde subset.
 //!
-//! Supports plain (non-generic) structs with named fields, plus the
-//! `#[serde(with = "module")]` and `#[serde(skip)]` field attributes —
-//! exactly the shapes this workspace derives. Anything else produces a
-//! compile error asking for a hand-written impl.
+//! Supports named-field structs — plain or with lifetime-only generics
+//! (`struct View<'a> { ... }`) — plus the `#[serde(with = "module")]`
+//! and `#[serde(skip)]` field attributes — exactly the shapes this
+//! workspace derives. Anything else produces a compile error asking for
+//! a hand-written impl.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -13,11 +14,13 @@ struct Field {
     skip: bool,
 }
 
-/// Derives `serde::Serialize` for a named-field struct.
+/// Derives `serde::Serialize` for a named-field struct, optionally with
+/// lifetime parameters.
 ///
 /// # Panics
 ///
-/// Panics (compile error) on enums, tuple structs or generic structs.
+/// Panics (compile error) on enums, tuple structs, or structs with type
+/// or const generics.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
@@ -46,7 +49,37 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
     let name = name.expect("struct name after `struct` keyword");
 
-    // No generics support: next token must be the brace group.
+    // Optional generics: lifetimes only (`<'a>`, `<'a, 'b>`).
+    let mut generics = String::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut tick = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    i += 1;
+                    break;
+                }
+                Some(TokenTree::Punct(p)) => {
+                    tick = p.as_char() == '\'';
+                    generics.push(p.as_char());
+                }
+                Some(TokenTree::Ident(id)) => {
+                    assert!(
+                        tick,
+                        "vendored serde_derive only supports lifetime generics ({name}<{id}>)"
+                    );
+                    tick = false;
+                    generics.push_str(&id.to_string());
+                }
+                Some(t) => panic!("unsupported generics token `{t}` on struct {name}"),
+                None => panic!("unterminated generics on struct {name}"),
+            }
+            i += 1;
+        }
+    }
+
+    // Next meaningful token must be the brace group.
     let body = loop {
         match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
@@ -58,10 +91,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
     };
 
+    let self_ty = if generics.is_empty() {
+        name.clone()
+    } else {
+        format!("{name}<{generics}>")
+    };
     let fields = parse_fields(body);
     let mut out = String::new();
     out.push_str(&format!(
-        "impl ::serde::Serialize for {name} {{\n\
+        "impl<{generics}> ::serde::Serialize for {self_ty} {{\n\
          fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
          -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
          use ::serde::ser::SerializeStruct as _;\n"
@@ -73,6 +111,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     ));
     for f in &live {
         if let Some(with) = &f.with {
+            assert!(
+                generics.is_empty(),
+                "vendored serde_derive: `with` attribute unsupported on generic struct {name}"
+            );
             out.push_str(&format!(
                 "{{\n\
                  struct __With<'a>(&'a {name});\n\
