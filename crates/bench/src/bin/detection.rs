@@ -9,18 +9,28 @@
 //! (`--jobs <n>`, default `$SOCCAR_JOBS` or all cores); the table is
 //! identical for every job count. `--compare-jobs` additionally runs the
 //! sweep serially first and reports the parallel speedup.
+//!
+//! Every run also writes one `BENCH_<soc>.json` per SoC model (see
+//! docs/OBSERVABILITY.md for the schema): `--bench-out <dir>` picks the
+//! directory (default: the current one), `--smoke` switches to the CI
+//! reduced-rounds configuration, and `--check-baseline <dir>` gates the
+//! counters against checked-in baselines, exiting non-zero on drift.
 
-use std::time::{Duration, Instant};
+use std::process::ExitCode;
+use std::time::Duration;
 
 use soccar::evaluation::{render_outcomes, VariantEvaluation};
-use soccar_bench::{bench_args, evaluate_all_variants, render_table};
+use soccar_bench::{
+    bench_args, bench_reports, check_bench_baselines, evaluate_all_variants_config, render_table,
+    write_bench_reports, BenchArgs,
+};
 
-fn main() {
+fn main() -> ExitCode {
     let args = bench_args();
     let jobs = soccar_exec::resolve_jobs(Some(args.jobs));
 
-    let serial = args.compare_jobs.then(|| timed(1));
-    let (evals, stats, elapsed) = timed(jobs);
+    let serial = args.compare_jobs.then(|| timed(1, &args));
+    let (evals, stats, elapsed) = timed(jobs, &args);
 
     let mut rows = Vec::new();
     let mut details = String::new();
@@ -35,7 +45,10 @@ fn main() {
             expected(&eval.variant),
         ]);
     }
-    println!("Detection results (Section V-C, Explicit governor analysis)");
+    println!(
+        "Detection results (Section V-C, Explicit governor analysis, {} mode)",
+        args.mode()
+    );
     println!(
         "{}",
         render_table(
@@ -71,12 +84,52 @@ fn main() {
             serial_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
         );
     }
+
+    // Machine-readable perf records (and, in CI, the regression gate).
+    let reports = bench_reports(&evals, args.mode());
+    let out_dir = std::path::Path::new(args.bench_out.as_deref().unwrap_or("."));
+    match write_bench_reports(out_dir, &reports) {
+        Ok(paths) => {
+            for p in paths {
+                println!("bench record written to {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(dir) = &args.check_baseline {
+        let problems = check_bench_baselines(std::path::Path::new(dir), &reports);
+        if !problems.is_empty() {
+            for p in &problems {
+                eprintln!("baseline mismatch: {p}");
+            }
+            eprintln!(
+                "{} mismatch(es) against {dir}; regenerate with \
+                 `cargo run --release -p soccar-bench --bin detection -- --smoke --bench-out {dir}` \
+                 if the change is intended",
+                problems.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("bench counters match the baselines in {dir}");
+    }
+    ExitCode::SUCCESS
 }
 
-fn timed(jobs: usize) -> (Vec<VariantEvaluation>, soccar_exec::PoolStats, Duration) {
-    let t = Instant::now();
-    let (evals, stats) = evaluate_all_variants(jobs);
-    (evals, stats, t.elapsed())
+fn timed(
+    jobs: usize,
+    args: &BenchArgs,
+) -> (Vec<VariantEvaluation>, soccar_exec::PoolStats, Duration) {
+    // The span API is the one timing code path (its guard times even on a
+    // disabled recorder), so bench timing and pipeline timing can never
+    // drift apart.
+    let recorder = soccar_obs::Recorder::disabled();
+    let ((evals, stats), elapsed) = recorder.time("bench.detection.sweep", || {
+        evaluate_all_variants_config(jobs, &args.config())
+    });
+    (evals, stats, elapsed)
 }
 
 fn expected(variant: &str) -> String {

@@ -38,6 +38,26 @@ pub fn paper_config() -> SoccarConfig {
     }
 }
 
+/// The reduced-rounds configuration of the CI `bench-smoke` job: a
+/// shorter horizon and a strided sweep, tuned so the full variant matrix
+/// finishes in seconds while still detecting every bug the full
+/// configuration detects. Deterministic like every other configuration,
+/// so smoke-mode `BENCH_*.json` counters can be gated exactly against
+/// the baselines in `crates/bench/baselines/`.
+#[must_use]
+pub fn smoke_config() -> SoccarConfig {
+    SoccarConfig {
+        concolic: ConcolicConfig {
+            cycles: 10,
+            max_rounds: 3,
+            sweep_stride: 3,
+            init: InitPolicy::Ones,
+            ..ConcolicConfig::default()
+        },
+        ..SoccarConfig::default()
+    }
+}
+
 /// Generates a benchmark SoC (the clean baseline when `variant` is
 /// `None`) and compiles it to an elaborated design — the boilerplate
 /// shared by every bench binary.
@@ -105,22 +125,165 @@ pub fn differential_lint(model: SocModel, variant: u32) -> Vec<Diagnostic> {
 /// Panics if a benchmark variant fails to evaluate.
 #[must_use]
 pub fn evaluate_all_variants(jobs: usize) -> (Vec<VariantEvaluation>, soccar_exec::PoolStats) {
+    evaluate_all_variants_config(jobs, &paper_config())
+}
+
+/// [`evaluate_all_variants`] under an explicit configuration (the smoke
+/// mode of the CI bench job passes [`smoke_config`]).
+///
+/// # Panics
+///
+/// Panics if a benchmark variant fails to evaluate.
+#[must_use]
+pub fn evaluate_all_variants_config(
+    jobs: usize,
+    config: &SoccarConfig,
+) -> (Vec<VariantEvaluation>, soccar_exec::PoolStats) {
     let specs = soccar_soc::variants();
     soccar_exec::parallel_map_stats(jobs, &specs, |spec| {
-        let mut config = paper_config();
+        let mut config = config.clone();
         config.jobs = 1;
         soccar::evaluate_variant(spec, config).expect("benchmark variants always evaluate")
     })
 }
 
+/// Folds a variant sweep into one [`soccar_obs::BenchReport`] per SoC
+/// model, in model order, with the per-variant detection counters the CI
+/// gate compares exactly: `detected`, `bugs`, `false_alarms`, `rounds`,
+/// `solver_calls`, `solver_sat`, `targets_covered`, `targets_total`.
+/// The quantized verification time rides along as `seconds_q` (reported,
+/// never gated).
+///
+/// `evals` must be in [`soccar_soc::variants`] order (what
+/// [`evaluate_all_variants`] returns).
+#[must_use]
+pub fn bench_reports(evals: &[VariantEvaluation], mode: &str) -> Vec<soccar_obs::BenchReport> {
+    let specs = soccar_soc::variants();
+    assert_eq!(specs.len(), evals.len(), "one evaluation per variant spec");
+    let mut reports: Vec<soccar_obs::BenchReport> = Vec::new();
+    for (spec, eval) in specs.iter().zip(evals) {
+        let soc = format!("{:?}", spec.soc).to_lowercase();
+        if reports.last().map(|r| r.soc.as_str()) != Some(soc.as_str()) {
+            reports.push(soccar_obs::BenchReport {
+                soc,
+                mode: mode.to_owned(),
+                variants: Vec::new(),
+            });
+        }
+        let mut counters = std::collections::BTreeMap::new();
+        let c = &eval.report.concolic;
+        for (name, value) in [
+            ("detected", eval.detected() as u64),
+            ("bugs", eval.outcomes.len() as u64),
+            ("false_alarms", eval.false_alarms.len() as u64),
+            ("rounds", c.rounds as u64),
+            ("solver_calls", c.solver_calls as u64),
+            ("solver_sat", c.solver_sat as u64),
+            ("targets_covered", c.targets_covered as u64),
+            ("targets_total", c.targets_total as u64),
+        ] {
+            counters.insert(name.to_owned(), value);
+        }
+        reports
+            .last_mut()
+            .expect("pushed above")
+            .variants
+            .push(soccar_obs::BenchVariant {
+                variant: eval.variant.clone(),
+                counters,
+                seconds_q: soccar_obs::quantize_seconds(eval.verification_time().as_secs_f64()),
+            });
+    }
+    reports
+}
+
+/// Writes every report into `dir` (created if absent) and returns the
+/// written paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, prefixed with the offending path.
+pub fn write_bench_reports(
+    dir: &std::path::Path,
+    reports: &[soccar_obs::BenchReport],
+) -> Result<Vec<std::path::PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths = Vec::new();
+    for report in reports {
+        let path = dir.join(report.file_name());
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Gates freshly generated reports against the checked-in baselines in
+/// `dir`: every counter must match exactly (timings are ignored, see
+/// [`soccar_obs::strip_timing`]). Returns all mismatch descriptions —
+/// empty means the gate passes. A missing baseline file is itself a
+/// mismatch, so adding a SoC model forces a baseline refresh.
+#[must_use]
+pub fn check_bench_baselines(
+    dir: &std::path::Path,
+    reports: &[soccar_obs::BenchReport],
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for report in reports {
+        let path = dir.join(report.file_name());
+        match std::fs::read_to_string(&path) {
+            Err(e) => problems.push(format!("{}: {e}", path.display())),
+            Ok(baseline) => problems.extend(
+                soccar_obs::diff_against_baseline(&report.to_json(), &baseline)
+                    .into_iter()
+                    .map(|d| format!("{}: {d}", path.display())),
+            ),
+        }
+    }
+    problems
+}
+
 /// Common bench-binary flags.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// `--jobs <n>`: worker threads (`0` = auto).
     pub jobs: usize,
     /// `--compare-jobs`: run the sweep serial then parallel and report
     /// the speedup.
     pub compare_jobs: bool,
+    /// `--smoke`: run the reduced-rounds CI configuration
+    /// ([`smoke_config`]) instead of [`paper_config`]. Binaries without a
+    /// config knob (e.g. `table1`) accept and ignore it, so the CI job
+    /// can pass one flag set to every bench.
+    pub smoke: bool,
+    /// `--bench-out <dir>`: where `BENCH_<soc>.json` files are written
+    /// (default: the current directory).
+    pub bench_out: Option<String>,
+    /// `--check-baseline <dir>`: diff the generated `BENCH_*.json`
+    /// counters against the baselines in `<dir>` and exit non-zero on any
+    /// mismatch.
+    pub check_baseline: Option<String>,
+}
+
+impl BenchArgs {
+    /// The evaluation configuration this invocation asked for.
+    #[must_use]
+    pub fn config(&self) -> SoccarConfig {
+        if self.smoke {
+            smoke_config()
+        } else {
+            paper_config()
+        }
+    }
+
+    /// The mode slug recorded in emitted `BENCH_*.json` files.
+    #[must_use]
+    pub fn mode(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
 }
 
 /// Parses the common bench flags from `std::env::args`.
@@ -130,10 +293,7 @@ pub struct BenchArgs {
 /// Panics on a malformed or unknown argument.
 #[must_use]
 pub fn bench_args() -> BenchArgs {
-    let mut out = BenchArgs {
-        jobs: 0,
-        compare_jobs: false,
-    };
+    let mut out = BenchArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -142,7 +302,15 @@ pub fn bench_args() -> BenchArgs {
                 out.jobs = v.parse().expect("--jobs takes a number");
             }
             "--compare-jobs" => out.compare_jobs = true,
-            other => panic!("unexpected argument `{other}` (options: --jobs <n>, --compare-jobs)"),
+            "--smoke" => out.smoke = true,
+            "--bench-out" => out.bench_out = Some(args.next().expect("--bench-out needs a value")),
+            "--check-baseline" => {
+                out.check_baseline = Some(args.next().expect("--check-baseline needs a value"));
+            }
+            other => panic!(
+                "unexpected argument `{other}` (options: --jobs <n>, --compare-jobs, \
+                 --smoke, --bench-out <dir>, --check-baseline <dir>)"
+            ),
         }
     }
     out

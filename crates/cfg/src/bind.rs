@@ -85,6 +85,22 @@ impl std::error::Error for BindError {}
 /// disagree (which would indicate the extractor and elaborator saw
 /// different sources).
 pub fn bind_events(design: &Design, soc: &SocArCfg) -> Result<Vec<BoundEvent>, BindError> {
+    bind_events_traced(design, soc, &soccar_obs::Recorder::disabled())
+}
+
+/// Like [`bind_events`] under an observability recorder: the resolution
+/// walk gets a `cfg.bind` span and the number of successfully bound
+/// events lands in the `cfg.bound_events` counter.
+///
+/// # Errors
+///
+/// As [`bind_events`].
+pub fn bind_events_traced(
+    design: &Design,
+    soc: &SocArCfg,
+    recorder: &soccar_obs::Recorder,
+) -> Result<Vec<BoundEvent>, BindError> {
+    let mut span = soccar_obs::span!(recorder, "cfg.bind", instances = soc.instances.len());
     let mut out = Vec::new();
     for inst in &soc.instances {
         for ev in &inst.cfg.events {
@@ -145,6 +161,9 @@ pub fn bind_events(design: &Design, soc: &SocArCfg) -> Result<Vec<BoundEvent>, B
             });
         }
     }
+    recorder.counter_add("cfg.bound_events", out.len() as u64);
+    span.record("bound_events", out.len());
+    drop(span);
     Ok(out)
 }
 

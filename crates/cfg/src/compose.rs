@@ -118,6 +118,34 @@ pub fn compose_soc_jobs(
     analysis: GovernorAnalysis,
     jobs: usize,
 ) -> Result<(SocArCfg, soccar_exec::PoolStats), String> {
+    compose_soc_traced(
+        unit,
+        top,
+        naming,
+        analysis,
+        jobs,
+        &soccar_obs::Recorder::disabled(),
+    )
+}
+
+/// Like [`compose_soc_jobs`] under an observability recorder: the
+/// extraction fan-out and the serial compose walk each get a span
+/// (`cfg.extract`, `cfg.compose`), and the extracted graph's size lands
+/// in counters — `cfg.nodes` (all hardware events of the full per-module
+/// CFGs), `cfg.edges` (governor→event edges, i.e. reset-governed events),
+/// `cfg.ar_events`, `cfg.reset_domains`, `cfg.instances`.
+///
+/// # Errors
+///
+/// As [`compose_soc`].
+pub fn compose_soc_traced(
+    unit: &SourceUnit,
+    top: &str,
+    naming: &ResetNaming,
+    analysis: GovernorAnalysis,
+    jobs: usize,
+    recorder: &soccar_obs::Recorder,
+) -> Result<(SocArCfg, soccar_exec::PoolStats), String> {
     if unit.module(top).is_none() {
         return Err(format!("top module `{top}` not found"));
     }
@@ -125,11 +153,28 @@ pub fn compose_soc_jobs(
         .into_iter()
         .map(|p| (p.module.clone(), p))
         .collect();
+    let mut extract_span = soccar_obs::span!(
+        recorder,
+        "cfg.extract",
+        modules = unit.modules.len(),
+        jobs = jobs
+    );
     let (extracted, stats) = extract_all_jobs(unit, naming, analysis, jobs);
+    let nodes: usize = extracted.iter().map(|(cfg, _)| cfg.events.len()).sum();
+    let edges: usize = extracted
+        .iter()
+        .map(|(cfg, _)| cfg.events.iter().filter(|e| e.governor.is_some()).count())
+        .sum();
+    recorder.counter_add("cfg.nodes", nodes as u64);
+    recorder.counter_add("cfg.edges", edges as u64);
+    extract_span.record("nodes", nodes);
+    extract_span.record("edges", edges);
+    drop(extract_span);
     let ar_cfgs: HashMap<String, ArCfg> = extracted
         .into_iter()
         .map(|(_, ar)| (ar.module.clone(), ar))
         .collect();
+    let mut compose_span = soccar_obs::span!(recorder, "cfg.compose", top = top);
 
     let mut soc = SocArCfg::default();
     // (instance path, local reset name) → domain source key.
@@ -233,6 +278,13 @@ pub fn compose_soc_jobs(
     domains.sort_by(|a, b| a.source.cmp(&b.source));
     soc.reset_domains = domains;
     soc.instances.sort_by(|a, b| a.path.cmp(&b.path));
+    recorder.counter_add("cfg.instances", soc.instances.len() as u64);
+    recorder.counter_add("cfg.reset_domains", soc.reset_domains.len() as u64);
+    recorder.counter_add("cfg.ar_events", soc.event_count() as u64);
+    compose_span.record("instances", soc.instances.len());
+    compose_span.record("reset_domains", soc.reset_domains.len());
+    compose_span.record("ar_events", soc.event_count());
+    drop(compose_span);
     Ok((soc, stats))
 }
 

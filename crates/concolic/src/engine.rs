@@ -189,6 +189,7 @@ pub struct ConcolicEngine<'d> {
     unreachable: Vec<bool>,
     pulse_attempts: HashMap<usize, u64>,
     flip_stats: soccar_exec::PoolStats,
+    recorder: soccar_obs::Recorder,
     domain_polarity: Vec<(String, bool)>,
     /// Domains owning at least one clock-composed implicit governor
     /// (Refined analysis only); these also get a high-phase sweep.
@@ -340,9 +341,26 @@ impl<'d> ConcolicEngine<'d> {
             unreachable: vec![false; n],
             pulse_attempts: HashMap::new(),
             flip_stats: soccar_exec::PoolStats::default(),
+            recorder: soccar_obs::Recorder::disabled(),
             domain_polarity,
             clock_composed,
         })
+    }
+
+    /// Attaches an observability recorder: each concolic round gets a
+    /// `concolic.round` span (sweep phases get per-domain `concolic.sweep`
+    /// / `concolic.sweep_high` spans), flip planning feeds the
+    /// `concolic.flip_candidates` / `concolic.flip_consumed` /
+    /// `concolic.flip_sat` counters, and every flip solve — including the
+    /// speculative ones — reports through [`Solver::check_traced`].
+    ///
+    /// Because `plan_next` always solves *all* collected candidates, the
+    /// solver metrics are identical for every job count even though the
+    /// solves run on worker threads.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: soccar_obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Controllable reset domains `(source, net, active_low)`.
@@ -376,6 +394,7 @@ impl<'d> ConcolicEngine<'d> {
         // Phase 1: concolic coverage loop.
         while rounds < self.config.max_rounds {
             rounds += 1;
+            let mut round_span = soccar_obs::span!(self.recorder, "concolic.round", round = rounds);
             let (mut sim, round_violations) = self.execute_round(&schedule)?;
             self.absorb_coverage(&sim);
             self.merge_violations(
@@ -388,6 +407,8 @@ impl<'d> ConcolicEngine<'d> {
             if first_violation_round.is_none() && !violations.is_empty() {
                 first_violation_round = Some(rounds);
             }
+            round_span.record("covered", self.covered.iter().filter(|c| **c).count());
+            round_span.record("violations", violations.len());
             if self.all_covered() {
                 break;
             }
@@ -401,6 +422,12 @@ impl<'d> ConcolicEngine<'d> {
         // cycle position; catches state-dependent payloads).
         if !self.config.skip_sweep {
             for di in 0..self.domains.len() {
+                let sweep_rounds_before = rounds;
+                let mut sweep_span = soccar_obs::span!(
+                    self.recorder,
+                    "concolic.sweep",
+                    domain = self.domains[di].0.as_str()
+                );
                 let mut at = 1;
                 while at < self.config.cycles {
                     let mut s = self.base_schedule();
@@ -422,6 +449,8 @@ impl<'d> ConcolicEngine<'d> {
                     }
                     at += self.config.sweep_stride;
                 }
+                sweep_span.record("rounds", rounds - sweep_rounds_before);
+                drop(sweep_span);
             }
             // Phase 3: clock-high-phase sweep for domains that the
             // Refined analysis flagged as having clock-composed implicit
@@ -432,6 +461,12 @@ impl<'d> ConcolicEngine<'d> {
                 if !self.clock_composed[di] {
                     continue;
                 }
+                let sweep_rounds_before = rounds;
+                let mut sweep_span = soccar_obs::span!(
+                    self.recorder,
+                    "concolic.sweep_high",
+                    domain = self.domains[di].0.as_str()
+                );
                 let mut at = 1;
                 while at < self.config.cycles {
                     let mut s = self.base_schedule();
@@ -453,11 +488,14 @@ impl<'d> ConcolicEngine<'d> {
                     }
                     at += self.config.sweep_stride;
                 }
+                sweep_span.record("rounds", rounds - sweep_rounds_before);
+                drop(sweep_span);
             }
         }
 
         let covered = self.covered.iter().filter(|c| **c).count();
         let unreachable = self.unreachable.iter().filter(|u| **u).count();
+        self.recorder.counter_add("concolic.rounds", rounds as u64);
         Ok(ConcolicReport {
             rounds,
             targets_total: self.targets.len(),
@@ -665,11 +703,24 @@ impl<'d> ConcolicEngine<'d> {
         // speculative (a candidate after the consumed SAT one, or after a
         // target that pulses instead) — wasted CPU at worst, never a
         // behavior change, because only consumed results are counted.
+        // Solver metrics recorded inside the workers stay deterministic
+        // for the same reason: the candidate set never depends on jobs.
+        self.recorder
+            .counter_add("concolic.flip_candidates", candidates.len() as u64);
         let graph = &sim.algebra().graph;
         let max_prefix = self.config.max_prefix;
+        let recorder = &self.recorder;
         let (solved, stats) = soccar_exec::parallel_map_stats(self.config.jobs, &candidates, |c| {
             let mut g = graph.clone();
-            solve_flip(&mut g, &obs, schedule, c.obs_index, c.dir, max_prefix)
+            solve_flip(
+                &mut g,
+                &obs,
+                schedule,
+                c.obs_index,
+                c.dir,
+                max_prefix,
+                recorder,
+            )
         });
         self.flip_stats.absorb(&stats);
 
@@ -686,8 +737,10 @@ impl<'d> ConcolicEngine<'d> {
                     if mine > 0 {
                         for result in &solved[ci..ci + mine] {
                             *solver_calls += 1;
+                            self.recorder.counter_add("concolic.flip_consumed", 1);
                             if let Some(next) = result {
                                 *solver_sat += 1;
+                                self.recorder.counter_add("concolic.flip_sat", 1);
                                 return Some(next.clone());
                             }
                         }
@@ -759,6 +812,7 @@ fn solve_flip(
     k: usize,
     dir: bool,
     max_prefix: usize,
+    recorder: &soccar_obs::Recorder,
 ) -> Option<TestSchedule> {
     let mut solver = Solver::new();
     let prefix_start = k.saturating_sub(max_prefix);
@@ -772,7 +826,7 @@ fn solve_flip(
         graph.not(obs[k].cond)
     };
     solver.assert(goal);
-    match solver.check(graph) {
+    match solver.check_traced(graph, recorder) {
         CheckResult::Unsat => None,
         CheckResult::Sat(model) => {
             // Only variables in the constraint support are updated;

@@ -150,7 +150,7 @@ impl PropertyMonitor {
                 let active_low = domains
                     .iter()
                     .find(|(n, _)| n == domain)
-                    .is_none_or(|(_, al)| *al);
+                    .map_or(true, |(_, al)| *al);
                 (Some(find(signal)?), None, Some(d), active_low)
             }
             PropertyKind::AlwaysOneOf { signal, .. } => (Some(find(signal)?), None, None, true),

@@ -11,6 +11,18 @@
 //! With no `--property`, the tool still extracts and reports the AR_CFG
 //! and reset domains (`--list-domains` prints them and exits).
 //!
+//! The default mode can also be spelled `soccar analyze …`, and instead
+//! of a file the bundled evaluation SoCs can be named directly — with
+//! their catalog security properties and symbolic inputs pre-loaded:
+//!
+//! ```sh
+//! soccar analyze --soc clustersoc --trace-out trace.jsonl
+//! soccar analyze --soc autosoc --variant 2 --refined --verbose
+//! ```
+//!
+//! `--trace-out <path>` writes the run's span/metric stream as NDJSON
+//! (schema in docs/OBSERVABILITY.md); `--verbose` prints the span tree.
+//!
 //! The `lint` subcommand runs only the static pre-pass:
 //!
 //! ```sh
@@ -41,6 +53,8 @@ use soccar_lint::{LintConfig, Linter, Severity};
 
 struct Args {
     file: String,
+    soc: Option<soccar_soc::SocModel>,
+    variant: Option<u32>,
     top: String,
     properties: Vec<SecurityProperty>,
     symbolic: Vec<String>,
@@ -50,27 +64,35 @@ struct Args {
     list_domains: bool,
     verbose: bool,
     vcd: Option<String>,
+    trace_out: Option<String>,
     jobs: usize,
 }
 
-const USAGE: &str = "usage: soccar <file.v> --top <module> [options]
+const USAGE: &str = "usage: soccar [analyze] <file.v> --top <module> [options]
+       soccar [analyze] --soc <clustersoc|autosoc> [--variant <n>] [options]
 options:
   --property <spec>   add a security property (repeatable); see --help-properties
   --symbolic <net>    treat a top-level input as symbolic (repeatable)
+  --soc <model>       analyze a bundled evaluation SoC (catalog properties
+                      and symbolic inputs pre-loaded)
+  --variant <n>       bug-seeded variant of the bundled SoC (default: clean)
   --refined           use the refined (implicit-governor) analysis
   --cycles <n>        simulation horizon per round (default 24)
   --rounds <n>        max concolic rounds before the sweep (default 12)
   --list-domains      print reset domains / AR_CFG summary and exit
-  --verbose           print witness schedules
+  --verbose           print witness schedules and the trace span tree
   --vcd <path>        replay the first witness and write a VCD waveform
+  --trace-out <path>  write the span/metric stream as NDJSON
   --jobs <n>          worker threads for the parallel stages
                       (default: $SOCCAR_JOBS, else all cores; results are
                       identical for every value)";
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = args;
     let mut out = Args {
         file: String::new(),
+        soc: None,
+        variant: None,
         top: String::new(),
         properties: Vec::new(),
         symbolic: Vec::new(),
@@ -80,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         list_domains: false,
         verbose: false,
         vcd: None,
+        trace_out: None,
         jobs: 0,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -110,6 +133,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--list-domains" => out.list_domains = true,
             "--vcd" => out.vcd = Some(next(&mut args, "--vcd")?),
+            "--trace-out" => out.trace_out = Some(next(&mut args, "--trace-out")?),
+            "--soc" => {
+                out.soc = Some(match next(&mut args, "--soc")?.as_str() {
+                    "clustersoc" => soccar_soc::SocModel::ClusterSoc,
+                    "autosoc" => soccar_soc::SocModel::AutoSoc,
+                    other => return Err(format!("--soc: unknown model `{other}`")),
+                });
+            }
+            "--variant" => {
+                out.variant = Some(
+                    next(&mut args, "--variant")?
+                        .parse()
+                        .map_err(|e| format!("--variant: {e}"))?,
+                );
+            }
             "--verbose" => out.verbose = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -121,14 +159,49 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    if out.file.is_empty() || out.top.is_empty() {
+    if out.soc.is_some() {
+        if !out.file.is_empty() {
+            return Err("--soc and a file argument are mutually exclusive".to_owned());
+        }
+    } else if out.file.is_empty() || out.top.is_empty() {
         return Err(USAGE.to_owned());
     }
     Ok(out)
 }
 
 fn run(args: &Args) -> Result<bool, String> {
-    let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
+    // Resolve the design: a file on disk, or a bundled evaluation SoC
+    // (which brings its catalog properties and symbolic inputs along).
+    let (file_name, source, top, mut properties, mut symbolic) = match args.soc {
+        Some(model) => {
+            let soc = soccar_soc::generate(model, args.variant);
+            let props: Vec<SecurityProperty> = soccar_soc::security_checks(model)
+                .iter()
+                .map(soccar::property_of)
+                .collect();
+            let sym = soccar_soc::symbolic_inputs(model);
+            let name = format!("{model:?}.v").to_lowercase();
+            let top = if args.top.is_empty() {
+                soc.top.clone()
+            } else {
+                args.top.clone()
+            };
+            (name, soc.source, top, props, sym)
+        }
+        None => {
+            let source =
+                std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
+            (
+                args.file.clone(),
+                source,
+                args.top.clone(),
+                Vec::new(),
+                Vec::new(),
+            )
+        }
+    };
+    properties.extend(args.properties.iter().cloned());
+    symbolic.extend(args.symbolic.iter().cloned());
     let analysis = if args.refined {
         GovernorAnalysis::Refined
     } else {
@@ -138,10 +211,10 @@ fn run(args: &Args) -> Result<bool, String> {
     if args.list_domains {
         let unit = soccar_rtl::parser::parse(soccar_rtl::span::FileId(0), &source)
             .map_err(|e| e.to_string())?;
-        let soc = compose_soc(&unit, &args.top, &ResetNaming::new(), analysis)?;
+        let soc = compose_soc(&unit, &top, &ResetNaming::new(), analysis)?;
         println!(
             "{}: {} instances, {} reset-governed events",
-            args.top,
+            top,
             soc.instances.len(),
             soc.event_count()
         );
@@ -163,15 +236,31 @@ fn run(args: &Args) -> Result<bool, String> {
         concolic: ConcolicConfig {
             cycles: args.cycles,
             max_rounds: args.rounds,
-            symbolic_inputs: args.symbolic.clone(),
+            symbolic_inputs: symbolic,
             ..ConcolicConfig::default()
         },
         jobs: args.jobs,
         ..SoccarConfig::default()
     };
+    // Recording costs a little, so the recorder stays disabled unless a
+    // sink will consume it.
+    let recorder = if args.trace_out.is_some() || args.verbose {
+        soccar_obs::Recorder::enabled()
+    } else {
+        soccar_obs::Recorder::disabled()
+    };
     let report = Soccar::new(config)
-        .analyze(&args.file, &source, &args.top, args.properties.clone())
+        .with_recorder(recorder.clone())
+        .analyze(&file_name, &source, &top, properties)
         .map_err(|e| e.to_string())?;
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, soccar_obs::to_ndjson(&recorder.snapshot()))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    if args.verbose {
+        print!("{}", soccar_obs::render_tree(&recorder.snapshot()));
+    }
 
     for stage in &report.stages {
         println!(
@@ -220,8 +309,8 @@ fn run(args: &Args) -> Result<bool, String> {
             if let Some(w) = report.concolic.witnesses.first() {
                 // Recompile to replay (the pipeline consumed nothing mutable,
                 // but the design lives inside the analysis scope).
-                let (design, _) = soccar_rtl::compile(&args.file, &source, &args.top)
-                    .map_err(|e| e.to_string())?;
+                let (design, _) =
+                    soccar_rtl::compile(&file_name, &source, &top).map_err(|e| e.to_string())?;
                 let naming = ResetNaming::new();
                 let clocks: Vec<_> = design
                     .top_inputs()
@@ -341,7 +430,13 @@ fn main() -> ExitCode {
             }
         };
     }
-    let args = match parse_args() {
+    // `analyze` is an optional alias for the default mode.
+    let skip = if std::env::args().nth(1).as_deref() == Some("analyze") {
+        2
+    } else {
+        1
+    };
+    let args = match parse_args(std::env::args().skip(skip)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");

@@ -14,13 +14,13 @@
 //! 3. **Concolic testing** (Algorithm 3) — systematic exploration of the
 //!    extracted design space with security-property checking.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use serde::Serialize;
-use soccar_cfg::{bind_events, compose_soc_jobs, GovernorAnalysis, ResetNaming};
+use soccar_cfg::{bind_events_traced, compose_soc_traced, GovernorAnalysis, ResetNaming};
 use soccar_concolic::{ConcolicConfig, ConcolicEngine, ConcolicReport, SecurityProperty};
 use soccar_lint::{LintConfig, LintReport, Linter};
-use soccar_rtl::{elaborate::elaborate, parser::parse, span::SourceMap, Design};
+use soccar_rtl::{elaborate::elaborate_traced, parser::parse_traced, span::SourceMap, Design};
 
 use crate::error::SoccarError;
 
@@ -314,13 +314,36 @@ pub struct CanonicalWitness<'a> {
 #[derive(Debug, Default)]
 pub struct Soccar {
     config: SoccarConfig,
+    recorder: soccar_obs::Recorder,
 }
 
 impl Soccar {
     /// Creates the framework with the given configuration.
     #[must_use]
     pub fn new(config: SoccarConfig) -> Soccar {
-        Soccar { config }
+        Soccar {
+            config,
+            recorder: soccar_obs::Recorder::disabled(),
+        }
+    }
+
+    /// Attaches an observability recorder: every stage of
+    /// [`Soccar::analyze`] opens a span under `pipeline.analyze`, the
+    /// traced variants of the stage entry points feed their counters and
+    /// histograms, and worker-pool utilization lands in gauges. Snapshot
+    /// the recorder after the run for the `--verbose` tree or the
+    /// `--trace-out` NDJSON stream (see `docs/OBSERVABILITY.md`).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: soccar_obs::Recorder) -> Soccar {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder ([`soccar_obs::Recorder::disabled`] unless
+    /// [`Soccar::with_recorder`] was called).
+    #[must_use]
+    pub fn recorder(&self) -> &soccar_obs::Recorder {
+        &self.recorder
     }
 
     /// The active configuration.
@@ -342,32 +365,44 @@ impl Soccar {
         top: &str,
         properties: Vec<SecurityProperty>,
     ) -> Result<AnalysisReport, SoccarError> {
-        let t0 = Instant::now();
         let jobs = soccar_exec::resolve_jobs(Some(self.config.jobs));
+        // Stage timing and the trace share one code path: every stage is
+        // a span, and `SpanGuard::close` returns the wall-clock duration
+        // even when the recorder is disabled, so `StageReport::elapsed`
+        // is the span's duration by construction.
+        let analyze_span = soccar_obs::span!(
+            self.recorder,
+            "pipeline.analyze",
+            file = file_name,
+            top = top,
+            jobs = jobs
+        );
         let mut stages = Vec::new();
 
         // Frontend.
-        let t = Instant::now();
+        let frontend_span = soccar_obs::span!(self.recorder, "pipeline.frontend");
         let mut map = SourceMap::new();
         let file = map.add_file(file_name, source);
-        let unit = parse(file, source)?;
-        let design: Design = elaborate(&unit, top)?;
+        let unit = parse_traced(file, source, &self.recorder)?;
+        let design: Design = elaborate_traced(&unit, top, &self.recorder)?;
         stages.push(StageReport {
             stage: "frontend".into(),
-            elapsed: t.elapsed(),
+            elapsed: frontend_span.close(),
             detail: format!("{} modules; {}", unit.modules.len(), design.stats()),
             exec: None,
         });
 
         // Stage 0: static lint pre-pass (structural reset-domain checks).
-        let t = Instant::now();
+        let lint_span = soccar_obs::span!(self.recorder, "pipeline.lint");
         let lint = Linter::new()
             .with_naming(self.config.naming.clone())
             .with_config(self.config.lint.clone())
             .lint_unit(&unit, &map);
+        self.recorder
+            .counter_add("lint.diagnostics", lint.diagnostics.len() as u64);
         stages.push(StageReport {
             stage: "lint".into(),
-            elapsed: t.elapsed(),
+            elapsed: lint_span.close(),
             detail: lint.summary(),
             exec: None,
         });
@@ -375,14 +410,22 @@ impl Soccar {
         // Stage 1+2: AR_CFG generation and composition (Algorithms 1–2).
         // Per-module extraction fans out across the worker pool; the
         // compose step stays serial and consumes modules in source order.
-        let t = Instant::now();
-        let (soc, extract_stats) =
-            compose_soc_jobs(&unit, top, &self.config.naming, self.config.analysis, jobs)
-                .map_err(SoccarError::Cfg)?;
-        let bound = bind_events(&design, &soc).map_err(|e| SoccarError::Cfg(e.to_string()))?;
+        let ar_cfg_span = soccar_obs::span!(self.recorder, "pipeline.ar_cfg");
+        let (soc, extract_stats) = compose_soc_traced(
+            &unit,
+            top,
+            &self.config.naming,
+            self.config.analysis,
+            jobs,
+            &self.recorder,
+        )
+        .map_err(SoccarError::Cfg)?;
+        let bound = bind_events_traced(&design, &soc, &self.recorder)
+            .map_err(|e| SoccarError::Cfg(e.to_string()))?;
+        self.record_pool_stats("exec.extract", &extract_stats);
         stages.push(StageReport {
             stage: "ar_cfg".into(),
-            elapsed: t.elapsed(),
+            elapsed: ar_cfg_span.close(),
             detail: format!(
                 "{} reset-governed events across {} instances; {} reset domains",
                 soc.event_count(),
@@ -400,15 +443,17 @@ impl Soccar {
         };
 
         // Stage 3: concolic testing (Algorithm 3).
-        let t = Instant::now();
+        let concolic_span = soccar_obs::span!(self.recorder, "pipeline.concolic");
         let mut concolic_config = self.config.concolic.clone();
         concolic_config.jobs = jobs;
         let mut engine = ConcolicEngine::new(&design, &bound, properties, concolic_config)
-            .map_err(SoccarError::Config)?;
+            .map_err(SoccarError::Config)?
+            .with_recorder(self.recorder.clone());
         let concolic = engine.run()?;
+        self.record_pool_stats("exec.flips", &concolic.flip_exec);
         stages.push(StageReport {
             stage: "concolic".into(),
-            elapsed: t.elapsed(),
+            elapsed: concolic_span.close(),
             detail: format!(
                 "{} rounds, {}/{} targets covered, {} violations",
                 concolic.rounds,
@@ -424,8 +469,23 @@ impl Soccar {
             lint,
             extraction,
             concolic,
-            total: t0.elapsed(),
+            total: analyze_span.close(),
         })
+    }
+
+    /// Records one parallel stage's pool counters. Task counts are
+    /// deterministic (the fan-out never depends on worker count) and go
+    /// into a counter; the worker count and wall-clock-derived values are
+    /// gauges, which every canonical serialization drops.
+    fn record_pool_stats(&self, prefix: &str, stats: &soccar_exec::PoolStats) {
+        self.recorder
+            .counter_add(&format!("{prefix}.tasks"), stats.tasks as u64);
+        self.recorder
+            .gauge_set(&format!("{prefix}.jobs"), stats.jobs as f64);
+        self.recorder
+            .gauge_set(&format!("{prefix}.busy_secs"), stats.busy.as_secs_f64());
+        self.recorder
+            .gauge_set(&format!("{prefix}.utilization"), stats.utilization());
     }
 }
 

@@ -1,0 +1,236 @@
+//! The `BENCH_<soc>.json` emitter: canonical, schema-versioned perf
+//! records so the repository carries a benchmark trajectory CI can gate.
+//!
+//! Design rules (docs/OBSERVABILITY.md):
+//!
+//! * **counters are exact** — detection results, rounds, solver calls,
+//!   coverage are deterministic for a given configuration, so the CI
+//!   `bench-smoke` job compares them byte-for-byte against the checked-in
+//!   baseline and fails on any drift;
+//! * **timings are quantized, reported, never gated** — wall-clock fields
+//!   end in `_q` and are bucketed to the nearest power-of-two
+//!   milliseconds ([`quantize_seconds`]), which keeps the files stable
+//!   enough to diff by eye while still charting a trajectory;
+//! * the file is pretty-printed one field per line so [`strip_timing`]
+//!   can neutralize timing fields textually — no JSON parser needed on
+//!   the comparison side.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::sink::push_json_str;
+
+/// Version of the bench-JSON schema. Bump on renamed/removed fields or
+/// changed quantization; adding counters is additive and does not bump.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark unit (a bug-seeded SoC variant) inside a report.
+#[derive(Debug, Clone, Default)]
+pub struct BenchVariant {
+    /// Display name (`ClusterSoC Variant #1`).
+    pub variant: String,
+    /// Exact, deterministic counters (`detected`, `rounds`,
+    /// `solver_calls`, …), serialized sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Quantized verification wall-clock, in seconds. Reported, not gated.
+    pub seconds_q: f64,
+}
+
+/// A `BENCH_<soc>.json` document.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// SoC slug (`clustersoc`, `autosoc`) — lowercased into the file name.
+    pub soc: String,
+    /// `full` or `smoke` (the CI reduced-rounds mode). Baselines only
+    /// compare against reports of the same mode.
+    pub mode: String,
+    /// Per-variant records, in `soccar_soc::variants()` order.
+    pub variants: Vec<BenchVariant>,
+}
+
+impl BenchReport {
+    /// The canonical file name for this report.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.soc.to_lowercase())
+    }
+
+    /// Pretty-printed JSON, one field per line, trailing newline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {BENCH_SCHEMA_VERSION},");
+        out.push_str("  \"soc\": ");
+        push_json_str(&mut out, &self.soc);
+        out.push_str(",\n  \"mode\": ");
+        push_json_str(&mut out, &self.mode);
+        out.push_str(",\n  \"variants\": [");
+        for (i, v) in self.variants.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    {\n" } else { "\n    {\n" });
+            out.push_str("      \"variant\": ");
+            push_json_str(&mut out, &v.variant);
+            out.push_str(",\n");
+            for (name, value) in &v.counters {
+                out.push_str("      ");
+                push_json_str(&mut out, name);
+                let _ = writeln!(out, ": {value},");
+            }
+            let _ = writeln!(out, "      \"seconds_q\": {}", v.seconds_q);
+            out.push_str("    }");
+        }
+        out.push_str(if self.variants.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+}
+
+/// Quantizes a duration in seconds to the nearest power-of-two
+/// milliseconds bucket (minimum 1 ms), returned in seconds. Stable under
+/// the ordinary run-to-run noise of a benchmark machine, coarse enough
+/// that a real regression moves it a whole bucket.
+#[must_use]
+pub fn quantize_seconds(secs: f64) -> f64 {
+    let ms = (secs * 1e3).max(1.0);
+    let exp = ms.log2().round();
+    2f64.powf(exp) / 1e3
+}
+
+/// Replaces the value of every `"*_q":` timing field with `0`, so two
+/// reports can be compared exactly on everything that is gated.
+#[must_use]
+pub fn strip_timing(json: &str) -> String {
+    let mut out = String::new();
+    for line in json.lines() {
+        let stripped = line.trim_start();
+        if let Some(colon) = stripped.find("\": ") {
+            if stripped[..colon].ends_with("_q\"") || stripped[..colon].ends_with("_q") {
+                let indent = line.len() - stripped.len();
+                let trailing_comma = stripped.ends_with(',');
+                out.push_str(&line[..indent + colon + 3]);
+                out.push('0');
+                if trailing_comma {
+                    out.push(',');
+                }
+                out.push('\n');
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares a freshly generated report against a checked-in baseline,
+/// ignoring timing fields. Returns a list of human-readable mismatch
+/// descriptions — empty means the gate passes.
+#[must_use]
+pub fn diff_against_baseline(current: &str, baseline: &str) -> Vec<String> {
+    let cur = strip_timing(current);
+    let base = strip_timing(baseline);
+    if cur == base {
+        return Vec::new();
+    }
+    let mut diffs = Vec::new();
+    let cur_lines: Vec<&str> = cur.lines().collect();
+    let base_lines: Vec<&str> = base.lines().collect();
+    let n = cur_lines.len().max(base_lines.len());
+    for i in 0..n {
+        let c = cur_lines.get(i).copied().unwrap_or("<missing>");
+        let b = base_lines.get(i).copied().unwrap_or("<missing>");
+        if c != b {
+            diffs.push(format!(
+                "line {}: baseline `{}` vs current `{}`",
+                i + 1,
+                b.trim(),
+                c.trim()
+            ));
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("detected".to_owned(), 2);
+        counters.insert("rounds".to_owned(), 17);
+        BenchReport {
+            soc: "ClusterSoC".to_owned(),
+            mode: "smoke".to_owned(),
+            variants: vec![
+                BenchVariant {
+                    variant: "ClusterSoC Variant #1".to_owned(),
+                    counters: counters.clone(),
+                    seconds_q: 0.256,
+                },
+                BenchVariant {
+                    variant: "ClusterSoC Variant #2".to_owned(),
+                    counters,
+                    seconds_q: 0.512,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_shape_and_file_name() {
+        let r = sample();
+        assert_eq!(r.file_name(), "BENCH_clustersoc.json");
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"schema\": 1,\n  \"soc\": \"ClusterSoC\","));
+        assert!(json.contains("\"mode\": \"smoke\""));
+        assert!(json.contains("\"variant\": \"ClusterSoC Variant #1\""));
+        assert!(json.contains("\"detected\": 2,"));
+        assert!(json.contains("\"seconds_q\": 0.256"));
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let r = BenchReport {
+            soc: "x".into(),
+            mode: "full".into(),
+            variants: Vec::new(),
+        };
+        assert!(r.to_json().ends_with("\"variants\": []\n}\n"));
+    }
+
+    #[test]
+    fn quantization_buckets_to_powers_of_two_ms() {
+        assert_eq!(quantize_seconds(0.0), 0.001); // floor at 1 ms
+        assert_eq!(quantize_seconds(0.0009), 0.001);
+        assert_eq!(quantize_seconds(0.1), 0.128); // 100 ms → 128 ms bucket
+        assert_eq!(quantize_seconds(0.2), 0.256);
+        assert_eq!(quantize_seconds(1.3), 1.024);
+        assert_eq!(quantize_seconds(1.6), 2.048);
+    }
+
+    #[test]
+    fn timing_fields_are_stripped_counters_are_not() {
+        let json = sample().to_json();
+        let stripped = strip_timing(&json);
+        assert!(stripped.contains("\"seconds_q\": 0\n"));
+        assert!(stripped.contains("\"detected\": 2,"));
+        assert!(!stripped.contains("0.256"));
+    }
+
+    #[test]
+    fn diff_ignores_timing_but_gates_counters() {
+        let a = sample();
+        let mut b = sample();
+        b.variants[0].seconds_q = 99.0;
+        assert!(diff_against_baseline(&a.to_json(), &b.to_json()).is_empty());
+        b.variants[0].counters.insert("detected".to_owned(), 1);
+        let diffs = diff_against_baseline(&a.to_json(), &b.to_json());
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("\"detected\": 1"));
+    }
+}

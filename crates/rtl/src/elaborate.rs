@@ -55,6 +55,34 @@ const MAX_HIERARCHY_DEPTH: u32 = 64;
 /// # }
 /// ```
 pub fn elaborate(unit: &SourceUnit, top: &str) -> RtlResult<Design> {
+    elaborate_traced(unit, top, &soccar_obs::Recorder::disabled())
+}
+
+/// [`elaborate`] under an observability recorder: one `rtl.elaborate`
+/// span carrying the elaborated design's size, plus `rtl.nets` /
+/// `rtl.processes` / `rtl.branch_sites` counters.
+///
+/// # Errors
+///
+/// As [`elaborate`].
+pub fn elaborate_traced(
+    unit: &SourceUnit,
+    top: &str,
+    recorder: &soccar_obs::Recorder,
+) -> RtlResult<Design> {
+    let mut span = soccar_obs::span!(recorder, "rtl.elaborate", top = top);
+    let design = elaborate_inner(unit, top)?;
+    let stats = design.stats();
+    recorder.counter_add("rtl.nets", stats.nets as u64);
+    recorder.counter_add("rtl.processes", stats.processes as u64);
+    recorder.counter_add("rtl.branch_sites", stats.branch_sites as u64);
+    span.record("nets", stats.nets);
+    span.record("instances", stats.instances);
+    span.record("processes", stats.processes);
+    Ok(design)
+}
+
+fn elaborate_inner(unit: &SourceUnit, top: &str) -> RtlResult<Design> {
     let mut e = Elaborator {
         unit,
         design: Design::new(top),

@@ -43,8 +43,28 @@ use crate::token::{Keyword, Punct, Token, TokenKind};
 /// # }
 /// ```
 pub fn parse(file: FileId, text: &str) -> RtlResult<SourceUnit> {
+    parse_traced(file, text, &soccar_obs::Recorder::disabled())
+}
+
+/// [`parse`] under an observability recorder: one `rtl.parse` span with
+/// source size and module count, plus `rtl.tokens` / `rtl.modules`
+/// counters.
+///
+/// # Errors
+///
+/// As [`parse`].
+pub fn parse_traced(
+    file: FileId,
+    text: &str,
+    recorder: &soccar_obs::Recorder,
+) -> RtlResult<SourceUnit> {
+    let mut span = soccar_obs::span!(recorder, "rtl.parse", bytes = text.len());
     let tokens = lex(file, text)?;
-    Parser { tokens, pos: 0 }.source_unit()
+    recorder.counter_add("rtl.tokens", tokens.len() as u64);
+    let unit = Parser { tokens, pos: 0 }.source_unit()?;
+    recorder.counter_add("rtl.modules", unit.modules.len() as u64);
+    span.record("modules", unit.modules.len());
+    Ok(unit)
 }
 
 struct Parser {

@@ -138,6 +138,44 @@ impl Solver {
     ///
     /// Panics if any assertion is not a 1-bit term of `graph`.
     pub fn check(&mut self, graph: &TermGraph) -> CheckResult {
+        self.check_traced(graph, &soccar_obs::Recorder::disabled())
+    }
+
+    /// Like [`Solver::check`] under an observability recorder: bumps the
+    /// `smt.queries` counter and one of `smt.sat` / `smt.unsat`, and feeds
+    /// the query's [`SolveStats`] into the `smt.sat_vars`,
+    /// `smt.sat_clauses`, and `smt.conflicts` histograms.
+    ///
+    /// Metrics only — no span is opened, so this is safe to call from
+    /// worker threads: counter increments and histogram merges commute,
+    /// and the concolic engine solves the same query set regardless of
+    /// job count, keeping traces deterministic.
+    ///
+    /// # Panics
+    ///
+    /// As [`Solver::check`].
+    pub fn check_traced(
+        &mut self,
+        graph: &TermGraph,
+        recorder: &soccar_obs::Recorder,
+    ) -> CheckResult {
+        let result = self.check_inner(graph);
+        recorder.counter_add("smt.queries", 1);
+        recorder.counter_add(
+            if result.is_sat() {
+                "smt.sat"
+            } else {
+                "smt.unsat"
+            },
+            1,
+        );
+        recorder.histogram_record("smt.sat_vars", self.last_stats.sat_vars as u64);
+        recorder.histogram_record("smt.sat_clauses", self.last_stats.sat_clauses as u64);
+        recorder.histogram_record("smt.conflicts", self.last_stats.conflicts);
+        result
+    }
+
+    fn check_inner(&mut self, graph: &TermGraph) -> CheckResult {
         // Fast path: constant assertions.
         if self
             .assertions
