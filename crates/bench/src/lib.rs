@@ -150,9 +150,12 @@ pub fn evaluate_all_variants_config(
 /// Folds a variant sweep into one [`soccar_obs::BenchReport`] per SoC
 /// model, in model order, with the per-variant detection counters the CI
 /// gate compares exactly: `detected`, `bugs`, `false_alarms`, `rounds`,
-/// `solver_calls`, `solver_sat`, `targets_covered`, `targets_total`.
-/// The quantized verification time rides along as `seconds_q` (reported,
-/// never gated).
+/// `solver_calls`, `solver_sat`, `targets_covered`, `targets_total`, and
+/// the resilience counters `resilience.solver_unknown`,
+/// `resilience.flips_failed`, `resilience.degraded_rounds` (all zero on
+/// a healthy run — the gate catches a build that silently starts
+/// degrading). The quantized verification time rides along as
+/// `seconds_q` (reported, never gated).
 ///
 /// `evals` must be in [`soccar_soc::variants`] order (what
 /// [`evaluate_all_variants`] returns).
@@ -181,6 +184,9 @@ pub fn bench_reports(evals: &[VariantEvaluation], mode: &str) -> Vec<soccar_obs:
             ("solver_sat", c.solver_sat as u64),
             ("targets_covered", c.targets_covered as u64),
             ("targets_total", c.targets_total as u64),
+            ("resilience.solver_unknown", c.solver_unknown as u64),
+            ("resilience.flips_failed", c.flips_failed as u64),
+            ("resilience.degraded_rounds", c.degraded_rounds as u64),
         ] {
             counters.insert(name.to_owned(), value);
         }
@@ -458,7 +464,7 @@ pub fn random_baseline(
             }
             sim.settle().expect("settle");
             for mon in &mut monitors {
-                fresh.extend(mon.check_cycle(&sim, cycle));
+                fresh.extend(mon.check_cycle(&sim, cycle).expect("resolved monitor"));
             }
         }
         for v in fresh {

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use soccar_rtl::ast::SourceUnit;
 
 use crate::connect::{connection_profiles, ConnectionProfile};
-use crate::extract::{extract_all_jobs, ArCfg, GovernorAnalysis};
+use crate::extract::{ArCfg, GovernorAnalysis};
 use crate::reset_id::ResetNaming;
 
 /// A reference to one reset-governed event in the composed CFG.
@@ -102,7 +102,8 @@ pub fn compose_soc(
 }
 
 /// Like [`compose_soc`], running the per-module extraction (the hot half
-/// of the stage) on up to `jobs` workers via [`extract_all_jobs`]. The
+/// of the stage) on up to `jobs` workers via
+/// [`extract_all_jobs`](crate::extract::extract_all_jobs). The
 /// compose walk itself stays serial — it is a cheap hierarchy traversal —
 /// and sees extraction results in source order, so the output is
 /// identical for every `jobs` value. Also returns the extraction pool's
@@ -146,6 +147,44 @@ pub fn compose_soc_traced(
     jobs: usize,
     recorder: &soccar_obs::Recorder,
 ) -> Result<(SocArCfg, soccar_exec::PoolStats), String> {
+    compose_soc_resilient(
+        unit,
+        top,
+        naming,
+        analysis,
+        jobs,
+        soccar_exec::FailurePolicy::FailFast,
+        &soccar_exec::FaultPlan::default(),
+        recorder,
+    )
+    .map(|(soc, stats, _)| (soc, stats))
+}
+
+/// Like [`compose_soc_traced`] under an explicit failure policy and fault
+/// plan (see [`extract_all_resilient`]).
+///
+/// Under [`FailurePolicy::KeepGoing`] a module whose extraction panics is
+/// treated as contributing no reset-governed events: composition still
+/// succeeds, the returned reasons name every dropped module, and the
+/// `resilience.extract_failed` counter records how many there were.
+///
+/// # Errors
+///
+/// As [`compose_soc`].
+///
+/// [`extract_all_resilient`]: crate::extract::extract_all_resilient
+/// [`FailurePolicy::KeepGoing`]: soccar_exec::FailurePolicy::KeepGoing
+#[allow(clippy::too_many_arguments)]
+pub fn compose_soc_resilient(
+    unit: &SourceUnit,
+    top: &str,
+    naming: &ResetNaming,
+    analysis: GovernorAnalysis,
+    jobs: usize,
+    policy: soccar_exec::FailurePolicy,
+    plan: &soccar_exec::FaultPlan,
+    recorder: &soccar_obs::Recorder,
+) -> Result<(SocArCfg, soccar_exec::PoolStats, Vec<String>), String> {
     if unit.module(top).is_none() {
         return Err(format!("top module `{top}` not found"));
     }
@@ -159,7 +198,11 @@ pub fn compose_soc_traced(
         modules = unit.modules.len(),
         jobs = jobs
     );
-    let (extracted, stats) = extract_all_jobs(unit, naming, analysis, jobs);
+    let (extracted, stats, degraded) =
+        crate::extract::extract_all_resilient(unit, naming, analysis, jobs, policy, plan);
+    if !degraded.is_empty() {
+        recorder.counter_add("resilience.extract_failed", degraded.len() as u64);
+    }
     let nodes: usize = extracted.iter().map(|(cfg, _)| cfg.events.len()).sum();
     let edges: usize = extracted
         .iter()
@@ -285,7 +328,7 @@ pub fn compose_soc_traced(
     compose_span.record("reset_domains", soc.reset_domains.len());
     compose_span.record("ar_events", soc.event_count());
     drop(compose_span);
-    Ok((soc, stats))
+    Ok((soc, stats, degraded))
 }
 
 #[cfg(test)]
@@ -391,6 +434,46 @@ mod tests {
         let d = soc.domain_of("top.u", "rst_n").expect("domain");
         assert_eq!(d.source, "top.gen_rst_n");
         assert!(!d.top_level);
+    }
+
+    #[test]
+    fn keep_going_drops_failed_module_and_reports_it() {
+        let unit = parse(FileId(0), TWO_DOMAIN_SOC).expect("parse");
+        // Module index 1 is `ip` (the only reset-governed module): inject
+        // a panic into its extraction and keep going.
+        let plan = soccar_exec::FaultPlan::parse("task_panic@extract:1").expect("plan");
+        let (soc, _, degraded) = compose_soc_resilient(
+            &unit,
+            "top",
+            &ResetNaming::new(),
+            GovernorAnalysis::Explicit,
+            2,
+            soccar_exec::FailurePolicy::KeepGoing,
+            &plan,
+            &soccar_obs::Recorder::disabled(),
+        )
+        .expect("compose");
+        assert_eq!(degraded.len(), 1, "degraded: {degraded:?}");
+        assert!(degraded[0].contains("module `ip`"), "{degraded:?}");
+        assert!(degraded[0].contains("task_panic@extract:1"), "{degraded:?}");
+        // The hierarchy survives; the failed module just governs nothing.
+        assert_eq!(soc.instances.len(), 5);
+        assert_eq!(soc.event_count(), 0);
+        // Determinism: the same plan at jobs=1 produces the same result.
+        let (soc1, _, degraded1) = compose_soc_resilient(
+            &unit,
+            "top",
+            &ResetNaming::new(),
+            GovernorAnalysis::Explicit,
+            1,
+            soccar_exec::FailurePolicy::KeepGoing,
+            &plan,
+            &soccar_obs::Recorder::disabled(),
+        )
+        .expect("compose");
+        assert_eq!(degraded, degraded1);
+        assert_eq!(soc.instances.len(), soc1.instances.len());
+        assert_eq!(soc.event_count(), soc1.event_count());
     }
 
     #[test]

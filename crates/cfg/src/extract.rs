@@ -180,11 +180,78 @@ pub fn extract_all_jobs(
     analysis: GovernorAnalysis,
     jobs: usize,
 ) -> (Vec<(ModuleCfg, ArCfg)>, soccar_exec::PoolStats) {
-    soccar_exec::parallel_map_stats(jobs, &unit.modules, |m| {
+    let (cfgs, stats, reasons) = extract_all_resilient(
+        unit,
+        naming,
+        analysis,
+        jobs,
+        soccar_exec::FailurePolicy::FailFast,
+        &soccar_exec::FaultPlan::default(),
+    );
+    debug_assert!(reasons.is_empty(), "FailFast never degrades");
+    (cfgs, stats)
+}
+
+/// Like [`extract_all_jobs`] under an explicit [`FailurePolicy`] and
+/// [`FaultPlan`].
+///
+/// Under [`FailurePolicy::KeepGoing`] a module whose extraction panics
+/// contributes an *empty* CFG (its name resolves, it governs nothing)
+/// plus a degradation reason, instead of aborting the stage. The fault
+/// plan's `task_panic@extract:N` point fires on the 1-based *source
+/// index* of the module — a deterministic key, independent of worker
+/// scheduling.
+///
+/// [`FailurePolicy`]: soccar_exec::FailurePolicy
+/// [`FaultPlan`]: soccar_exec::FaultPlan
+/// [`FailurePolicy::KeepGoing`]: soccar_exec::FailurePolicy::KeepGoing
+#[must_use]
+pub fn extract_all_resilient(
+    unit: &SourceUnit,
+    naming: &ResetNaming,
+    analysis: GovernorAnalysis,
+    jobs: usize,
+    policy: soccar_exec::FailurePolicy,
+    plan: &soccar_exec::FaultPlan,
+) -> (Vec<(ModuleCfg, ArCfg)>, soccar_exec::PoolStats, Vec<String>) {
+    let items: Vec<(u64, &Module)> = unit
+        .modules
+        .iter()
+        .enumerate()
+        .map(|(i, m)| ((i + 1) as u64, m))
+        .collect();
+    let (outcomes, stats) = soccar_exec::parallel_map_policy(jobs, &items, policy, |(idx, m)| {
+        if plan.should_inject("task_panic:extract", *idx) {
+            panic!("injected fault: task_panic@extract:{idx}");
+        }
         let cfg = extract_module_cfg(m, naming, analysis);
         let ar = project_ar_cfg(&cfg);
         (cfg, ar)
-    })
+    });
+    let mut reasons = Vec::new();
+    let cfgs = outcomes
+        .into_iter()
+        .zip(&items)
+        .map(|(outcome, (_, m))| match outcome {
+            soccar_exec::TaskOutcome::Ok(pair) => pair,
+            soccar_exec::TaskOutcome::Failed { panic } => {
+                reasons.push(format!("module `{}`: extraction failed: {panic}", m.name));
+                (
+                    ModuleCfg {
+                        module: m.name.clone(),
+                        events: Vec::new(),
+                        resets: Vec::new(),
+                    },
+                    ArCfg {
+                        module: m.name.clone(),
+                        events: Vec::new(),
+                        resets: Vec::new(),
+                    },
+                )
+            }
+        })
+        .collect();
+    (cfgs, stats, reasons)
 }
 
 fn extract_block_events(

@@ -46,11 +46,14 @@ pub mod extract;
 pub mod reset_id;
 
 pub use bind::{bind_events, bind_events_traced, BindError, BoundEvent};
-pub use compose::{compose_soc, compose_soc_jobs, compose_soc_traced, ResetDomain, SocArCfg};
+pub use compose::{
+    compose_soc, compose_soc_jobs, compose_soc_resilient, compose_soc_traced, ResetDomain, SocArCfg,
+};
 pub use connect::{connection_profiles, ChildConn, ConnectionProfile, SignalConn};
 pub use extract::{
-    assigned_signals, extract_all, extract_all_jobs, extract_module_cfg, project_ar_cfg,
-    tests_clock_level, ArCfg, EventArm, Governor, GovernorAnalysis, HardwareEvent, ModuleCfg,
+    assigned_signals, extract_all, extract_all_jobs, extract_all_resilient, extract_module_cfg,
+    project_ar_cfg, tests_clock_level, ArCfg, EventArm, Governor, GovernorAnalysis, HardwareEvent,
+    ModuleCfg,
 };
 pub use reset_id::{
     identify_resets, leading_condition_tests, leading_if, looks_like_reset_name,

@@ -373,7 +373,7 @@ mod tests {
                 let xvar = alg.graph.var("x", 8);
                 assert_eq!(m.value(xvar).and_then(BvVal::to_u64), Some(32));
             }
-            CheckResult::Unsat => panic!("must be sat"),
+            other => panic!("must be sat, got {other:?}"),
         }
     }
 

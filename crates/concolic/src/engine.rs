@@ -23,15 +23,16 @@
 //!    "prohibitive" for plain dynamic validation — here it is tractable
 //!    because the AR_CFG restricts attention to reset-governed logic.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use soccar_cfg::bind::BoundEvent;
 use soccar_cfg::extract::EventArm;
+use soccar_exec::{FailurePolicy, FaultPlan, TaskOutcome};
 use soccar_rtl::design::{BranchSiteId, Design, NetId, ProcessId};
 use soccar_rtl::value::LogicVec;
 use soccar_sim::{InitPolicy, SimResult, Simulator};
-use soccar_smt::{CheckResult, Solver, Term, TermGraph, TermId};
+use soccar_smt::{CheckResult, SolveBudget, Solver, Term, TermGraph, TermId};
 
 use crate::coalg::{from_bv, BranchObservation, CoAlgebra};
 use crate::property::{PropertyMonitor, SecurityProperty, Violation};
@@ -69,6 +70,32 @@ pub struct ConcolicConfig {
     /// against independent clones of the round's term graph and consumed
     /// in stable target order, never completion order.
     pub jobs: usize,
+    /// Resource budget for each flip solve. An exhausted budget yields
+    /// [`CheckResult::Unknown`], which the engine records as a *skipped*
+    /// flip (degrading the round) instead of aborting. Defaults to
+    /// unlimited — the classic run-to-completion behavior.
+    pub solver_budget: SolveBudget,
+    /// Per-round cap on flip attempts across all uncovered targets
+    /// (`0` = unlimited). Candidates beyond the cap are dropped in stable
+    /// order and the round is counted degraded.
+    pub max_round_flips: usize,
+    /// Monotonic wall-clock deadline per concolic round. When a round
+    /// exceeds it, flip planning is skipped and the engine falls through
+    /// to the systematic sweep. `None` (default) disables the deadline.
+    /// A wall-clock deadline is inherently nondeterministic; runs that
+    /// need byte-identical reports should leave it off (the
+    /// `round_timeout` fault point exercises the same path
+    /// deterministically).
+    pub round_deadline: Option<Duration>,
+    /// What a panicking flip-solve task does to the run.
+    /// [`FailurePolicy::FailFast`] (default) rethrows the panic;
+    /// [`FailurePolicy::KeepGoing`] records the flip as failed, degrades
+    /// the round, and continues — the CLI's `--keep-going`.
+    pub failure_policy: FailurePolicy,
+    /// Deterministic fault-injection plan (chaos testing). The engine
+    /// consults the points `solver_unknown`, `task_panic:flips`, and
+    /// `round_timeout`; see `soccar_exec::FaultPlan`.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ConcolicConfig {
@@ -85,6 +112,11 @@ impl Default for ConcolicConfig {
             skip_sweep: false,
             async_events: Vec::new(),
             jobs: 1,
+            solver_budget: SolveBudget::UNLIMITED,
+            max_round_flips: 0,
+            round_deadline: None,
+            failure_policy: FailurePolicy::FailFast,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -142,6 +174,19 @@ pub struct ConcolicReport {
     pub solver_calls: usize,
     /// Of which SAT.
     pub solver_sat: usize,
+    /// Consumed flip attempts the solver gave up on (budget exhaustion or
+    /// an injected `solver_unknown` fault). Each is a skipped flip, not a
+    /// failure; job-count invariant.
+    pub solver_unknown: usize,
+    /// Flip-solve worker tasks that panicked (kept going under
+    /// `FailurePolicy::KeepGoing`); job-count invariant.
+    pub flips_failed: usize,
+    /// Rounds whose flip planning was degraded (skipped flips, failed
+    /// workers, a hit deadline, or a capped candidate list).
+    pub degraded_rounds: usize,
+    /// Sorted, deduplicated human-readable degradation reasons. Empty on
+    /// a healthy run.
+    pub degraded_reasons: Vec<String>,
     /// Wall-clock time.
     pub elapsed: Duration,
     /// Utilization counters of the flip-solve worker pool (wall-clock
@@ -160,6 +205,15 @@ impl ConcolicReport {
     #[must_use]
     pub fn violated(&self, property: &str) -> bool {
         self.violations.iter().any(|v| v.property == property)
+    }
+
+    /// `true` if any part of the run was degraded (budget-skipped flips,
+    /// failed workers, capped rounds, dropped monitors). A degraded run's
+    /// results are honest but partial: absence of violations is *not*
+    /// evidence of cleanliness.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded_reasons.is_empty()
     }
 
     /// Coverage ratio over reachable targets.
@@ -189,6 +243,14 @@ pub struct ConcolicEngine<'d> {
     unreachable: Vec<bool>,
     pulse_attempts: HashMap<usize, u64>,
     flip_stats: soccar_exec::PoolStats,
+    /// Global flip-candidate sequence number — assigned serially in
+    /// Phase A order, so it is the deterministic index the fault plan
+    /// keys on.
+    flip_seq: u64,
+    solver_unknown: usize,
+    flips_failed: usize,
+    degraded_rounds: usize,
+    degraded_reasons: BTreeSet<String>,
     recorder: soccar_obs::Recorder,
     domain_polarity: Vec<(String, bool)>,
     /// Domains owning at least one clock-composed implicit governor
@@ -341,6 +403,11 @@ impl<'d> ConcolicEngine<'d> {
             unreachable: vec![false; n],
             pulse_attempts: HashMap::new(),
             flip_stats: soccar_exec::PoolStats::default(),
+            flip_seq: 0,
+            solver_unknown: 0,
+            flips_failed: 0,
+            degraded_rounds: 0,
+            degraded_reasons: BTreeSet::new(),
             recorder: soccar_obs::Recorder::disabled(),
             domain_polarity,
             clock_composed,
@@ -394,6 +461,7 @@ impl<'d> ConcolicEngine<'d> {
         // Phase 1: concolic coverage loop.
         while rounds < self.config.max_rounds {
             rounds += 1;
+            let round_started = Instant::now();
             let mut round_span = soccar_obs::span!(self.recorder, "concolic.round", round = rounds);
             let (mut sim, round_violations) = self.execute_round(&schedule)?;
             self.absorb_coverage(&sim);
@@ -412,7 +480,20 @@ impl<'d> ConcolicEngine<'d> {
             if self.all_covered() {
                 break;
             }
-            match self.plan_next(&mut sim, &schedule, &mut solver_calls, &mut solver_sat) {
+            if self.round_deadline_hit(round_started, rounds) {
+                self.degraded_rounds += 1;
+                self.degraded_reasons.insert(format!(
+                    "round {rounds}: round deadline exceeded; flip planning skipped, continuing with sweep"
+                ));
+                break;
+            }
+            match self.plan_next(
+                &mut sim,
+                &schedule,
+                rounds,
+                &mut solver_calls,
+                &mut solver_sat,
+            ) {
                 Some(next) => schedule = next,
                 None => break,
             }
@@ -496,6 +577,20 @@ impl<'d> ConcolicEngine<'d> {
         let covered = self.covered.iter().filter(|c| **c).count();
         let unreachable = self.unreachable.iter().filter(|u| **u).count();
         self.recorder.counter_add("concolic.rounds", rounds as u64);
+        // Resilience counters are only bumped when degradation actually
+        // happened, keeping healthy-run traces byte-identical to before.
+        if self.solver_unknown > 0 {
+            self.recorder
+                .counter_add("resilience.solver_unknown", self.solver_unknown as u64);
+        }
+        if self.flips_failed > 0 {
+            self.recorder
+                .counter_add("resilience.flips_failed", self.flips_failed as u64);
+        }
+        if self.degraded_rounds > 0 {
+            self.recorder
+                .counter_add("resilience.degraded_rounds", self.degraded_rounds as u64);
+        }
         Ok(ConcolicReport {
             rounds,
             targets_total: self.targets.len(),
@@ -506,9 +601,28 @@ impl<'d> ConcolicEngine<'d> {
             witnesses,
             solver_calls,
             solver_sat,
+            solver_unknown: self.solver_unknown,
+            flips_failed: self.flips_failed,
+            degraded_rounds: self.degraded_rounds,
+            degraded_reasons: self.degraded_reasons.iter().cloned().collect(),
             elapsed: start.elapsed(),
             flip_exec: self.flip_stats,
         })
+    }
+
+    /// `true` if the round's wall-clock deadline is exceeded, or the fault
+    /// plan injects a deterministic `round_timeout` for this round.
+    fn round_deadline_hit(&self, round_started: Instant, round: usize) -> bool {
+        if self
+            .config
+            .fault_plan
+            .should_inject("round_timeout", round as u64)
+        {
+            return true;
+        }
+        self.config
+            .round_deadline
+            .is_some_and(|d| round_started.elapsed() >= d)
     }
 
     fn base_schedule(&self) -> TestSchedule {
@@ -520,18 +634,25 @@ impl<'d> ConcolicEngine<'d> {
     }
 
     /// One `Simulate(Input, Restricts)` call of Algorithm 3.
+    ///
+    /// Monitors that fail to resolve (or error mid-check) are dropped
+    /// into the run's degraded reasons instead of being silently ignored
+    /// or panicking: the analysis continues, visibly partial.
     fn execute_round(
-        &self,
+        &mut self,
         schedule: &TestSchedule,
     ) -> SimResult<(Simulator<'d, CoAlgebra>, Vec<Violation>)> {
         let mut sim = Simulator::with_algebra(self.design, CoAlgebra::new(), self.config.init);
-        let mut monitors: Vec<PropertyMonitor> = self
-            .properties
-            .iter()
-            .filter_map(|p| {
-                PropertyMonitor::resolve(self.design, p.clone(), &self.domain_polarity).ok()
-            })
-            .collect();
+        let mut monitors: Vec<PropertyMonitor> = Vec::new();
+        for p in &self.properties {
+            match PropertyMonitor::resolve(self.design, p.clone(), &self.domain_polarity) {
+                Ok(m) => monitors.push(m),
+                Err(e) => {
+                    self.degraded_reasons
+                        .insert(format!("property monitor dropped: {e}"));
+                }
+            }
+        }
         let mut violations = Vec::new();
 
         // Time-zero: deassert resets, park clocks, zero uncontrolled inputs.
@@ -602,7 +723,13 @@ impl<'d> ConcolicEngine<'d> {
             sim.settle()?;
             sim.advance_time(1);
             for mon in &mut monitors {
-                violations.extend(mon.check_cycle(&sim, cycle));
+                match mon.check_cycle(&sim, cycle) {
+                    Ok(found) => violations.extend(found),
+                    Err(e) => {
+                        self.degraded_reasons
+                            .insert(format!("property check skipped: {e}"));
+                    }
+                }
             }
         }
         Ok((sim, violations))
@@ -669,6 +796,7 @@ impl<'d> ConcolicEngine<'d> {
         &mut self,
         sim: &mut Simulator<'d, CoAlgebra>,
         schedule: &TestSchedule,
+        round: usize,
         solver_calls: &mut usize,
         solver_sat: &mut usize,
     ) -> Option<TestSchedule> {
@@ -680,24 +808,45 @@ impl<'d> ConcolicEngine<'d> {
             .filter(|(i, _)| !self.covered[*i] && !self.unreachable[*i])
             .map(|(i, t)| (i, t.clone()))
             .collect();
+        let mut round_degraded = false;
 
         // Phase A: collect flip candidates in deterministic order.
-        let mut candidates: Vec<FlipCandidate> = Vec::new();
+        let mut picks: Vec<(usize, usize, bool)> = Vec::new(); // (target, obs index, dir)
         for (ti, target) in &targets {
             if let TargetGoal::Site { site, dir } = &target.goal {
-                candidates.extend(
+                picks.extend(
                     obs.iter()
                         .enumerate()
                         .filter(|(_, o)| o.site == *site && o.taken != *dir)
                         .take(self.config.max_flip_attempts)
-                        .map(|(k, _)| FlipCandidate {
-                            target: *ti,
-                            obs_index: k,
-                            dir: *dir,
-                        }),
+                        .map(|(k, _)| (*ti, k, *dir)),
                 );
             }
         }
+        // Per-round cap: drop the tail in stable order, and say so.
+        if self.config.max_round_flips > 0 && picks.len() > self.config.max_round_flips {
+            let dropped = picks.len() - self.config.max_round_flips;
+            picks.truncate(self.config.max_round_flips);
+            round_degraded = true;
+            self.degraded_reasons.insert(format!(
+                "round {round}: flip attempts capped at {} ({dropped} dropped)",
+                self.config.max_round_flips
+            ));
+        }
+        // Sequence numbers are assigned serially here — they are the
+        // deterministic per-analysis index the fault plan keys on.
+        let candidates: Vec<FlipCandidate> = picks
+            .into_iter()
+            .map(|(target, obs_index, dir)| {
+                self.flip_seq += 1;
+                FlipCandidate {
+                    target,
+                    obs_index,
+                    dir,
+                    seq: self.flip_seq,
+                }
+            })
+            .collect();
 
         // Phase B: solve all candidates on the pool. Some solves are
         // speculative (a candidate after the consumed SAT one, or after a
@@ -705,29 +854,78 @@ impl<'d> ConcolicEngine<'d> {
         // behavior change, because only consumed results are counted.
         // Solver metrics recorded inside the workers stay deterministic
         // for the same reason: the candidate set never depends on jobs.
+        // KeepGoing turns a panicking flip task into an index-ordered
+        // Failed slot, so one bad solve degrades the round, not the run.
         self.recorder
             .counter_add("concolic.flip_candidates", candidates.len() as u64);
         let graph = &sim.algebra().graph;
         let max_prefix = self.config.max_prefix;
+        let budget = self.config.solver_budget;
+        let plan = &self.config.fault_plan;
         let recorder = &self.recorder;
-        let (solved, stats) = soccar_exec::parallel_map_stats(self.config.jobs, &candidates, |c| {
-            let mut g = graph.clone();
-            solve_flip(
-                &mut g,
-                &obs,
-                schedule,
-                c.obs_index,
-                c.dir,
-                max_prefix,
-                recorder,
-            )
-        });
+        let (solved, stats) = soccar_exec::parallel_map_policy(
+            self.config.jobs,
+            &candidates,
+            self.config.failure_policy,
+            |c| {
+                if plan.should_inject("task_panic:flips", c.seq) {
+                    panic!("injected fault: task_panic@flips:{}", c.seq);
+                }
+                if plan.should_inject("solver_unknown", c.seq) {
+                    return FlipOutcome::Unknown(format!(
+                        "injected fault: solver_unknown@{}",
+                        c.seq
+                    ));
+                }
+                let mut g = graph.clone();
+                solve_flip(
+                    &mut g,
+                    &obs,
+                    schedule,
+                    c.obs_index,
+                    c.dir,
+                    max_prefix,
+                    budget,
+                    recorder,
+                )
+            },
+        );
         self.flip_stats.absorb(&stats);
 
+        // Degradation accounting covers EVERY candidate, consumed or
+        // speculative — the candidate set and the index-ordered outcome
+        // vector are pure functions of the serial round state, so this
+        // stays deterministic. A lost flip is a lost flip even when the
+        // decision walk below would have skipped past it.
+        for (outcome, cand) in solved.iter().zip(&candidates) {
+            match outcome {
+                TaskOutcome::Ok(FlipOutcome::Sat(_) | FlipOutcome::Unsat) => {}
+                TaskOutcome::Ok(FlipOutcome::Unknown(reason)) => {
+                    self.solver_unknown += 1;
+                    round_degraded = true;
+                    self.degraded_reasons.insert(format!(
+                        "round {round}: flip {} skipped: {reason}",
+                        cand.seq
+                    ));
+                }
+                TaskOutcome::Failed { panic } => {
+                    self.flips_failed += 1;
+                    round_degraded = true;
+                    self.degraded_reasons.insert(format!(
+                        "round {round}: flip {} worker panicked: {panic}",
+                        cand.seq
+                    ));
+                }
+            }
+        }
+
         // Phase C: the serial decision walk, consuming solver results in
-        // candidate order instead of invoking the solver inline.
+        // candidate order instead of invoking the solver inline. Unknown
+        // and panicked slots are *skipped* flips: already recorded above,
+        // never fatal, never consumed as answers.
+        let mut chosen: Option<TestSchedule> = None;
         let mut ci = 0usize;
-        for (ti, target) in targets {
+        'targets: for (ti, target) in targets {
             match &target.goal {
                 TargetGoal::Site { .. } => {
                     let mine = candidates[ci..]
@@ -735,33 +933,43 @@ impl<'d> ConcolicEngine<'d> {
                         .take_while(|c| c.target == ti)
                         .count();
                     if mine > 0 {
-                        for result in &solved[ci..ci + mine] {
+                        for outcome in &solved[ci..ci + mine] {
                             *solver_calls += 1;
                             self.recorder.counter_add("concolic.flip_consumed", 1);
-                            if let Some(next) = result {
-                                *solver_sat += 1;
-                                self.recorder.counter_add("concolic.flip_sat", 1);
-                                return Some(next.clone());
+                            match outcome {
+                                TaskOutcome::Ok(FlipOutcome::Sat(next)) => {
+                                    *solver_sat += 1;
+                                    self.recorder.counter_add("concolic.flip_sat", 1);
+                                    chosen = Some(next.clone());
+                                    break 'targets;
+                                }
+                                TaskOutcome::Ok(FlipOutcome::Unsat | FlipOutcome::Unknown(_))
+                                | TaskOutcome::Failed { .. } => {}
                             }
                         }
-                        // All attempted flips UNSAT: keep for the sweep.
+                        // No flip solved: keep the target for the sweep.
                         ci += mine;
                         continue;
                     }
                     // Site never ran with a symbolic condition: schedule a
                     // pulse so the process (and its governor test) runs.
                     if let Some(next) = self.schedule_pulse(ti, &target, schedule) {
-                        return Some(next);
+                        chosen = Some(next);
+                        break 'targets;
                     }
                 }
                 TargetGoal::Process(_) => {
                     if let Some(next) = self.schedule_pulse(ti, &target, schedule) {
-                        return Some(next);
+                        chosen = Some(next);
+                        break 'targets;
                     }
                 }
             }
         }
-        None
+        if round_degraded {
+            self.degraded_rounds += 1;
+        }
+        chosen
     }
 
     /// Direct reset scheduling: assert the target's domain at a rotating
@@ -791,12 +999,25 @@ impl<'d> ConcolicEngine<'d> {
 }
 
 /// One speculative flip attempt: flip observation `obs_index` towards
-/// `dir` on behalf of uncovered target `target`.
+/// `dir` on behalf of uncovered target `target`. `seq` is the 1-based
+/// serial flip-candidate number across the whole analysis — the index
+/// the fault plan's `solver_unknown@N` / `task_panic@flips:N` points
+/// key on.
 #[derive(Debug, Clone, Copy)]
 struct FlipCandidate {
     target: usize,
     obs_index: usize,
     dir: bool,
+    seq: u64,
+}
+
+/// Result of one flip solve: a new schedule, a definite "no", or a
+/// budget-exhausted "don't know" the engine records and skips.
+#[derive(Debug, Clone)]
+enum FlipOutcome {
+    Sat(TestSchedule),
+    Unsat,
+    Unknown(String),
 }
 
 /// Attempts to flip observation `k` towards `dir`, conjoining the path
@@ -804,7 +1025,9 @@ struct FlipCandidate {
 ///
 /// Runs on worker threads against a private clone of the round's term
 /// graph, so the result is a pure function of `(graph, obs, schedule, k,
-/// dir, max_prefix)` — the determinism anchor of the parallel round.
+/// dir, max_prefix, budget)` — the determinism anchor of the parallel
+/// round.
+#[allow(clippy::too_many_arguments)]
 fn solve_flip(
     graph: &mut TermGraph,
     obs: &[BranchObservation],
@@ -812,9 +1035,10 @@ fn solve_flip(
     k: usize,
     dir: bool,
     max_prefix: usize,
+    budget: SolveBudget,
     recorder: &soccar_obs::Recorder,
-) -> Option<TestSchedule> {
-    let mut solver = Solver::new();
+) -> FlipOutcome {
+    let mut solver = Solver::with_budget(budget);
     let prefix_start = k.saturating_sub(max_prefix);
     for o in &obs[prefix_start..k] {
         let c = if o.taken { o.cond } else { graph.not(o.cond) };
@@ -827,7 +1051,8 @@ fn solve_flip(
     };
     solver.assert(goal);
     match solver.check_traced(graph, recorder) {
-        CheckResult::Unsat => None,
+        CheckResult::Unsat => FlipOutcome::Unsat,
+        CheckResult::Unknown { reason } => FlipOutcome::Unknown(reason),
         CheckResult::Sat(model) => {
             // Only variables in the constraint support are updated;
             // everything else keeps its previous schedule value.
@@ -855,7 +1080,7 @@ fn solve_flip(
                     }
                 }
             }
-            Some(next)
+            FlipOutcome::Sat(next)
         }
     }
 }
@@ -1142,6 +1367,178 @@ mod tests {
         assert_eq!(serial.first_violation_round, parallel.first_violation_round);
         assert_eq!(parallel.flip_exec.tasks, serial.flip_exec.tasks);
         assert!(parallel.flip_exec.jobs >= 1);
+        assert_eq!(serial.solver_unknown, parallel.solver_unknown);
+        assert_eq!(serial.flips_failed, parallel.flips_failed);
+        assert_eq!(serial.degraded_rounds, parallel.degraded_rounds);
+        assert_eq!(serial.degraded_reasons, parallel.degraded_reasons);
+    }
+
+    const MAGIC_BRANCH: &str = "
+        module ip(input clk, input rst_n, input [7:0] magic,
+                  output reg flag, output reg [7:0] ctr);
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) begin
+              if (magic == 8'h5A) flag <= 1'b1;
+              ctr <= 8'd0;
+            end else ctr <= ctr + 8'd1;
+        endmodule
+        module top(input clk, input dom_rst_n, input [7:0] magic,
+                   output flag, output [7:0] ctr);
+          ip u (.clk(clk), .rst_n(dom_rst_n), .magic(magic),
+                .flag(flag), .ctr(ctr));
+        endmodule";
+
+    fn magic_config() -> ConcolicConfig {
+        ConcolicConfig {
+            cycles: 10,
+            max_rounds: 16,
+            seed: 7,
+            symbolic_inputs: vec!["top.magic".into()],
+            skip_sweep: true,
+            ..ConcolicConfig::default()
+        }
+    }
+
+    #[test]
+    fn solver_budget_exhaustion_degrades_instead_of_aborting() {
+        // A zero-decision budget makes every flip solve return Unknown;
+        // the engine must record the skips and still finish the run.
+        let report = setup(
+            MAGIC_BRANCH,
+            vec![],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                solver_budget: SolveBudget {
+                    max_conflicts: None,
+                    max_decisions: Some(0),
+                },
+                ..magic_config()
+            },
+        );
+        assert!(report.solver_unknown > 0, "report: {report:?}");
+        assert!(report.is_degraded(), "report: {report:?}");
+        assert!(report.degraded_rounds > 0, "report: {report:?}");
+        assert!(
+            report
+                .degraded_reasons
+                .iter()
+                .any(|r| r.contains("budget exhausted")),
+            "report: {report:?}"
+        );
+        // Unknown flips are skipped, never consumed as SAT.
+        assert_eq!(report.solver_sat, 0, "report: {report:?}");
+    }
+
+    #[test]
+    fn injected_solver_unknown_skips_one_flip() {
+        let report = setup(
+            MAGIC_BRANCH,
+            vec![],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                fault_plan: FaultPlan::parse("solver_unknown@1").expect("plan"),
+                ..magic_config()
+            },
+        );
+        assert_eq!(report.solver_unknown, 1, "report: {report:?}");
+        assert!(report.is_degraded());
+        assert!(report
+            .degraded_reasons
+            .iter()
+            .any(|r| r.contains("injected fault: solver_unknown@1")));
+        // Later flips still run: the branch is eventually covered.
+        assert_eq!(report.targets_covered, report.targets_total);
+    }
+
+    #[test]
+    fn injected_flip_panic_degrades_round_and_continues() {
+        let report = setup(
+            MAGIC_BRANCH,
+            vec![],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                fault_plan: FaultPlan::parse("task_panic@flips:1").expect("plan"),
+                failure_policy: FailurePolicy::KeepGoing,
+                ..magic_config()
+            },
+        );
+        assert_eq!(report.flips_failed, 1, "report: {report:?}");
+        assert!(report.is_degraded());
+        assert!(report
+            .degraded_reasons
+            .iter()
+            .any(|r| r.contains("worker panicked") && r.contains("task_panic@flips:1")));
+        assert_eq!(report.targets_covered, report.targets_total);
+    }
+
+    #[test]
+    fn injected_round_timeout_skips_flip_planning() {
+        let report = setup(
+            MAGIC_BRANCH,
+            vec![],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                fault_plan: FaultPlan::parse("round_timeout@1").expect("plan"),
+                ..magic_config()
+            },
+        );
+        assert!(report.is_degraded(), "report: {report:?}");
+        assert!(report.degraded_rounds >= 1);
+        assert!(report
+            .degraded_reasons
+            .iter()
+            .any(|r| r.contains("round deadline exceeded")));
+    }
+
+    #[test]
+    fn per_round_flip_cap_drops_tail_candidates() {
+        let report = setup(
+            MAGIC_BRANCH,
+            vec![],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                max_round_flips: 1,
+                ..magic_config()
+            },
+        );
+        // The magic design produces several candidates per round; with a
+        // cap of 1 at least one round must have dropped candidates.
+        assert!(
+            report
+                .degraded_reasons
+                .iter()
+                .any(|r| r.contains("flip attempts capped at 1")),
+            "report: {report:?}"
+        );
+        assert!(report.is_degraded());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_across_job_counts() {
+        let run = |jobs: usize| {
+            setup(
+                MAGIC_BRANCH,
+                vec![],
+                GovernorAnalysis::Explicit,
+                ConcolicConfig {
+                    jobs,
+                    fault_plan: FaultPlan::parse("solver_unknown@1,task_panic@flips:2")
+                        .expect("plan"),
+                    failure_policy: FailurePolicy::KeepGoing,
+                    ..magic_config()
+                },
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.solver_unknown, parallel.solver_unknown);
+        assert_eq!(serial.flips_failed, parallel.flips_failed);
+        assert_eq!(serial.degraded_rounds, parallel.degraded_rounds);
+        assert_eq!(serial.degraded_reasons, parallel.degraded_reasons);
+        assert_eq!(serial.rounds, parallel.rounds);
+        assert_eq!(serial.targets_covered, parallel.targets_covered);
+        assert_eq!(serial.solver_calls, parallel.solver_calls);
+        assert_eq!(serial.solver_sat, parallel.solver_sat);
     }
 
     #[test]

@@ -196,15 +196,33 @@ impl PropertyMonitor {
         }
     }
 
+    /// The net a resolved monitor must hold for `role`, or a degraded-path
+    /// error naming the property (never a panic — an unresolved monitor is
+    /// a monitoring gap, not a reason to abort the whole analysis).
+    fn resolved_net(&self, net: Option<NetId>, role: &str) -> Result<NetId, String> {
+        net.ok_or_else(|| {
+            format!(
+                "property `{}`: {role} net was never resolved",
+                self.property.name
+            )
+        })
+    }
+
     /// Checks the property at the end of a settled cycle; returns an
     /// invalidation message on (first) violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the monitor's nets were never resolved (an
+    /// internal misconfiguration). Callers fold this into the run's
+    /// degraded health instead of aborting.
     pub fn check_cycle<A: Algebra>(
         &mut self,
         sim: &Simulator<'_, A>,
         cycle: u64,
-    ) -> Option<Violation> {
+    ) -> Result<Option<Violation>, String> {
         if self.fired {
-            return None;
+            return Ok(None);
         }
         match &self.property.kind {
             PropertyKind::ClearedAfterReset {
@@ -226,44 +244,46 @@ impl PropertyMonitor {
                 self.check_post_reset(sim, cycle, window, &signal, |v| v.truthy() == Some(true))
             }
             PropertyKind::AlwaysOneOf { signal, allowed } => {
-                let net = self.signal_net.expect("resolved");
+                let net = self.resolved_net(self.signal_net, "signal")?;
                 let v = sim.net_logic(net);
                 if v.has_unknown() {
                     // X before any activity is the pre-reset don't-care.
-                    return None;
+                    return Ok(None);
                 }
                 if allowed.iter().any(|a| v.case_eq(a).is_all_ones()) {
-                    return None;
+                    return Ok(None);
                 }
                 self.fired = true;
-                Some(Violation {
+                Ok(Some(Violation {
                     property: self.property.name.clone(),
                     module: self.property.module.clone(),
                     cycle,
                     details: format!("`{signal}` holds illegal value {v}"),
-                })
+                }))
             }
             PropertyKind::NeverEqual { a, b, .. } => {
                 if let Some(en) = self.domain_net {
                     if sim.net_logic(en).truthy() != Some(true) {
-                        return None;
+                        return Ok(None);
                     }
                 }
-                let va = sim.net_logic(self.signal_net.expect("resolved"));
-                let vb = sim.net_logic(self.aux_net.expect("resolved"));
+                let na = self.resolved_net(self.signal_net, "signal")?;
+                let nb = self.resolved_net(self.aux_net, "aux")?;
+                let va = sim.net_logic(na);
+                let vb = sim.net_logic(nb);
                 if va.has_unknown() || vb.has_unknown() {
-                    return None;
+                    return Ok(None);
                 }
                 if !va.case_eq(vb).is_all_ones() {
-                    return None;
+                    return Ok(None);
                 }
                 self.fired = true;
-                Some(Violation {
+                Ok(Some(Violation {
                     property: self.property.name.clone(),
                     module: self.property.module.clone(),
                     cycle,
                     details: format!("`{a}` equals `{b}` (= {va}): secret exposed"),
-                })
+                }))
             }
         }
     }
@@ -275,7 +295,7 @@ impl PropertyMonitor {
         window: u64,
         signal: &str,
         ok: impl Fn(&LogicVec) -> bool,
-    ) -> Option<Violation> {
+    ) -> Result<Option<Violation>, String> {
         let asserted = self.domain_asserted(sim);
         match self.state {
             MonitorState::Idle => {
@@ -288,33 +308,33 @@ impl PropertyMonitor {
                     // cycle if no grace was requested.
                     return self.check_post_reset(sim, cycle, window, signal, ok);
                 }
-                None
+                Ok(None)
             }
             MonitorState::InReset { since, satisfied } => {
                 if !asserted {
                     self.state = MonitorState::Idle;
-                    return None;
+                    return Ok(None);
                 }
                 if satisfied || cycle < since + window {
-                    return None;
+                    return Ok(None);
                 }
-                let net = self.signal_net.expect("resolved");
+                let net = self.resolved_net(self.signal_net, "signal")?;
                 let v = sim.net_logic(net);
                 if ok(v) {
                     self.state = MonitorState::InReset {
                         since,
                         satisfied: true,
                     };
-                    return None;
+                    return Ok(None);
                 }
                 self.fired = true;
                 self.state = MonitorState::Idle;
-                Some(Violation {
+                Ok(Some(Violation {
                     property: self.property.name.clone(),
                     module: self.property.module.clone(),
                     cycle,
                     details: format!("`{signal}` = {v} while reset asserted (grace {window})"),
-                })
+                }))
             }
         }
     }
@@ -366,7 +386,7 @@ mod tests {
                 .expect("rst");
             sim.settle().expect("settle");
             sim.tick(clk).expect("tick");
-            out.extend(mon.check_cycle(sim, cycle));
+            out.extend(mon.check_cycle(sim, cycle).expect("resolved monitor"));
         };
         // Run, reset mid-way, release, observe.
         drive(&mut sim, 1, 0, &mut mon, &mut violations);
@@ -417,10 +437,16 @@ mod tests {
         let rst = design.find_net("m.rst_n").expect("rst");
         sim.write_input(rst, LogicVec::from_u64(1, 0)).expect("rst");
         sim.settle().expect("settle");
-        let v = mon.check_cycle(&sim, 0).expect("violation");
+        let v = mon
+            .check_cycle(&sim, 0)
+            .expect("resolved monitor")
+            .expect("violation");
         assert!(v.details.contains("illegal"));
         // Monitor fires once.
-        assert!(mon.check_cycle(&sim, 1).is_none());
+        assert!(mon
+            .check_cycle(&sim, 1)
+            .expect("resolved monitor")
+            .is_none());
     }
 
     #[test]
@@ -446,10 +472,18 @@ mod tests {
             .expect("sec");
         sim.write_input(en, LogicVec::from_u64(1, 0)).expect("en");
         sim.settle().expect("settle");
-        assert!(mon.check_cycle(&sim, 0).is_none(), "disabled: no check");
+        assert!(
+            mon.check_cycle(&sim, 0)
+                .expect("resolved monitor")
+                .is_none(),
+            "disabled: no check"
+        );
         sim.write_input(en, LogicVec::from_u64(1, 1)).expect("en");
         sim.settle().expect("settle");
-        let v = mon.check_cycle(&sim, 1).expect("violation");
+        let v = mon
+            .check_cycle(&sim, 1)
+            .expect("resolved monitor")
+            .expect("violation");
         assert!(v.details.contains("secret exposed"));
     }
 
@@ -481,7 +515,7 @@ mod tests {
                 .expect("rst");
             sim.settle().expect("settle");
             sim.tick(clk).expect("tick");
-            violations.extend(mon.check_cycle(&sim, cycle));
+            violations.extend(mon.check_cycle(&sim, cycle).expect("resolved monitor"));
         }
         assert_eq!(violations.len(), 1, "{violations:?}");
     }

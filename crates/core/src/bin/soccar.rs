@@ -66,6 +66,9 @@ struct Args {
     vcd: Option<String>,
     trace_out: Option<String>,
     jobs: usize,
+    keep_going: bool,
+    solver_budget: Option<u64>,
+    round_deadline_ms: Option<u64>,
 }
 
 const USAGE: &str = "usage: soccar [analyze] <file.v> --top <module> [options]
@@ -85,7 +88,19 @@ options:
   --trace-out <path>  write the span/metric stream as NDJSON
   --jobs <n>          worker threads for the parallel stages
                       (default: $SOCCAR_JOBS, else all cores; results are
-                      identical for every value)";
+                      identical for every value)
+  --keep-going        degrade instead of aborting when a worker panics;
+                      lost work is reported as per-stage health reasons
+  --solver-budget <n> cap each flip solve at <n> SAT conflicts; exhausted
+                      solves are skipped (reported, never fatal)
+  --round-deadline-ms <n>
+                      wall-clock deadline per concolic round; an
+                      over-deadline round skips flip planning (note:
+                      wall-clock, so reports may differ across machines)
+environment:
+  SOCCAR_FAULTS       deterministic fault-injection plan for chaos
+                      testing, e.g. solver_unknown@3,task_panic@extract:1
+                      (see docs/RESILIENCE.md)";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = args;
@@ -104,6 +119,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
         vcd: None,
         trace_out: None,
         jobs: 0,
+        keep_going: false,
+        solver_budget: None,
+        round_deadline_ms: None,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -130,6 +148,21 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 out.jobs = next(&mut args, "--jobs")?
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--keep-going" => out.keep_going = true,
+            "--solver-budget" => {
+                out.solver_budget = Some(
+                    next(&mut args, "--solver-budget")?
+                        .parse()
+                        .map_err(|e| format!("--solver-budget: {e}"))?,
+                );
+            }
+            "--round-deadline-ms" => {
+                out.round_deadline_ms = Some(
+                    next(&mut args, "--round-deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--round-deadline-ms: {e}"))?,
+                );
             }
             "--list-domains" => out.list_domains = true,
             "--vcd" => out.vcd = Some(next(&mut args, "--vcd")?),
@@ -231,15 +264,23 @@ fn run(args: &Args) -> Result<bool, String> {
         return Ok(true);
     }
 
+    let fault_plan = soccar_exec::FaultPlan::from_env()?;
     let config = SoccarConfig {
         analysis,
         concolic: ConcolicConfig {
             cycles: args.cycles,
             max_rounds: args.rounds,
             symbolic_inputs: symbolic,
+            solver_budget: match args.solver_budget {
+                Some(n) => soccar_smt::SolveBudget::conflicts(n),
+                None => soccar_smt::SolveBudget::UNLIMITED,
+            },
+            round_deadline: args.round_deadline_ms.map(std::time::Duration::from_millis),
             ..ConcolicConfig::default()
         },
         jobs: args.jobs,
+        keep_going: args.keep_going,
+        fault_plan,
         ..SoccarConfig::default()
     };
     // Recording costs a little, so the recorder stays disabled unless a
@@ -269,6 +310,11 @@ fn run(args: &Args) -> Result<bool, String> {
             stage.elapsed.as_secs_f64(),
             stage.detail
         );
+        // Only degraded runs print health lines, so healthy output (and
+        // its golden snapshots) is byte-for-byte what it always was.
+        for reason in stage.health.reasons() {
+            println!("  degraded: {reason}");
+        }
         if args.verbose {
             if let Some(exec) = &stage.exec {
                 println!(
@@ -279,6 +325,12 @@ fn run(args: &Args) -> Result<bool, String> {
                 );
             }
         }
+    }
+    if report.is_degraded() {
+        println!(
+            "HEALTH: degraded ({} reason(s); coverage may be incomplete)",
+            report.health().reasons().len()
+        );
     }
     println!(
         "coverage: {}/{} AR_CFG targets ({} unreachable); solver {} calls / {} sat",

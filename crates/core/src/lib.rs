@@ -77,6 +77,6 @@ pub use evaluation::{
     VariantEvaluation,
 };
 pub use pipeline::{
-    AnalysisReport, CanonicalReport, ExecSummary, ExtractionSummary, Soccar, SoccarConfig,
+    AnalysisReport, CanonicalReport, ExecSummary, ExtractionSummary, Health, Soccar, SoccarConfig,
     StageReport,
 };

@@ -17,7 +17,7 @@
 use std::time::Duration;
 
 use serde::Serialize;
-use soccar_cfg::{bind_events_traced, compose_soc_traced, GovernorAnalysis, ResetNaming};
+use soccar_cfg::{bind_events_traced, compose_soc_resilient, GovernorAnalysis, ResetNaming};
 use soccar_concolic::{ConcolicConfig, ConcolicEngine, ConcolicReport, SecurityProperty};
 use soccar_lint::{LintConfig, LintReport, Linter};
 use soccar_rtl::{elaborate::elaborate_traced, parser::parse_traced, span::SourceMap, Design};
@@ -45,6 +45,17 @@ pub struct SoccarConfig {
     /// merge by stable keys, never completion order — so this knob trades
     /// only wall-clock time, never results.
     pub jobs: usize,
+    /// Degrade instead of aborting when a parallel worker panics: the
+    /// extraction and flip pools run under
+    /// [`soccar_exec::FailurePolicy::KeepGoing`], failed tasks become
+    /// per-stage [`Health::Degraded`] reasons, and the analysis finishes
+    /// with whatever survived. Off (fail-fast) by default.
+    pub keep_going: bool,
+    /// Deterministic fault-injection plan for chaos testing (see
+    /// [`soccar_exec::FaultPlan`]). The default empty plan injects
+    /// nothing. The CLI fills it from the `SOCCAR_FAULTS` environment
+    /// variable.
+    pub fault_plan: soccar_exec::FaultPlan,
 }
 
 impl Default for SoccarConfig {
@@ -55,6 +66,67 @@ impl Default for SoccarConfig {
             concolic: ConcolicConfig::default(),
             lint: LintConfig::default(),
             jobs: 0,
+            keep_going: false,
+            fault_plan: soccar_exec::FaultPlan::default(),
+        }
+    }
+}
+
+/// Health of one pipeline stage (or of the run as a whole): either
+/// everything ran, or parts were skipped/lost and the report explains
+/// what and why. Degradation never hides detected violations — it means
+/// *coverage* may be lower than a healthy run, not that results are
+/// wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// The stage ran in full.
+    Ok,
+    /// The stage lost work; each reason names what was skipped.
+    Degraded(Vec<String>),
+}
+
+impl Health {
+    /// Builds a health value from collected degradation reasons.
+    #[must_use]
+    pub fn from_reasons(reasons: Vec<String>) -> Health {
+        if reasons.is_empty() {
+            Health::Ok
+        } else {
+            Health::Degraded(reasons)
+        }
+    }
+
+    /// `true` for [`Health::Degraded`].
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Health::Degraded(_))
+    }
+
+    /// The degradation reasons (empty when healthy).
+    #[must_use]
+    pub fn reasons(&self) -> &[String] {
+        match self {
+            Health::Ok => &[],
+            Health::Degraded(reasons) => reasons,
+        }
+    }
+}
+
+impl Serialize for Health {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        match self {
+            Health::Ok => {
+                let mut s = serializer.serialize_struct("Health", 1)?;
+                s.serialize_field("status", "ok")?;
+                s.end()
+            }
+            Health::Degraded(reasons) => {
+                let mut s = serializer.serialize_struct("Health", 2)?;
+                s.serialize_field("status", "degraded")?;
+                s.serialize_field("reasons", reasons)?;
+                s.end()
+            }
         }
     }
 }
@@ -96,6 +168,8 @@ pub struct StageReport {
     pub detail: String,
     /// Worker-pool counters, for stages that fanned out.
     pub exec: Option<ExecSummary>,
+    /// Whether the stage ran in full or lost work.
+    pub health: Health,
 }
 
 mod duration_secs {
@@ -144,6 +218,30 @@ impl AnalysisReport {
         &self.concolic.violations
     }
 
+    /// Aggregated health of the run: [`Health::Ok`] when every stage ran
+    /// in full, otherwise the union of all stage reasons, each prefixed
+    /// with its stage name.
+    #[must_use]
+    pub fn health(&self) -> Health {
+        Health::from_reasons(
+            self.stages
+                .iter()
+                .flat_map(|s| {
+                    s.health
+                        .reasons()
+                        .iter()
+                        .map(move |r| format!("{}: {r}", s.stage))
+                })
+                .collect(),
+        )
+    }
+
+    /// `true` if any stage degraded.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.stages.iter().any(|s| s.health.is_degraded())
+    }
+
     /// The deterministic view of this report: every analysis result, but
     /// no wall-clock timing and no worker-pool counters. Two runs of the
     /// same design with the same configuration produce identical
@@ -157,6 +255,7 @@ impl AnalysisReport {
                 .map(|s| CanonicalStage {
                     stage: &s.stage,
                     detail: &s.detail,
+                    health: &s.health,
                 })
                 .collect(),
             lint: &self.lint,
@@ -168,6 +267,9 @@ impl AnalysisReport {
                 targets_unreachable: self.concolic.targets_unreachable,
                 solver_calls: self.concolic.solver_calls,
                 solver_sat: self.concolic.solver_sat,
+                solver_unknown: self.concolic.solver_unknown,
+                flips_failed: self.concolic.flips_failed,
+                degraded_rounds: self.concolic.degraded_rounds,
                 first_violation_round: self.concolic.first_violation_round,
                 violations: self
                     .concolic
@@ -226,6 +328,9 @@ pub struct CanonicalStage<'a> {
     pub stage: &'a str,
     /// One-line summary.
     pub detail: &'a str,
+    /// Stage health (degradation reasons are deterministic, so they
+    /// belong to the canonical view).
+    pub health: &'a Health,
 }
 
 /// Timing-free view of a [`ConcolicReport`].
@@ -243,6 +348,12 @@ pub struct CanonicalConcolic<'a> {
     pub solver_calls: usize,
     /// Of which SAT.
     pub solver_sat: usize,
+    /// Flip solves abandoned on budget exhaustion (or injected faults).
+    pub solver_unknown: usize,
+    /// Flip tasks lost to worker panics under keep-going.
+    pub flips_failed: usize,
+    /// Rounds that lost at least one flip, hit a cap, or timed out.
+    pub degraded_rounds: usize,
     /// Round of the first violation, if any.
     pub first_violation_round: Option<usize>,
     /// All distinct invalidation messages.
@@ -390,6 +501,7 @@ impl Soccar {
             elapsed: frontend_span.close(),
             detail: format!("{} modules; {}", unit.modules.len(), design.stats()),
             exec: None,
+            health: Health::Ok,
         });
 
         // Stage 0: static lint pre-pass (structural reset-domain checks).
@@ -405,18 +517,26 @@ impl Soccar {
             elapsed: lint_span.close(),
             detail: lint.summary(),
             exec: None,
+            health: Health::Ok,
         });
 
         // Stage 1+2: AR_CFG generation and composition (Algorithms 1–2).
         // Per-module extraction fans out across the worker pool; the
         // compose step stays serial and consumes modules in source order.
         let ar_cfg_span = soccar_obs::span!(self.recorder, "pipeline.ar_cfg");
-        let (soc, extract_stats) = compose_soc_traced(
+        let policy = if self.config.keep_going {
+            soccar_exec::FailurePolicy::KeepGoing
+        } else {
+            soccar_exec::FailurePolicy::FailFast
+        };
+        let (soc, extract_stats, extract_degraded) = compose_soc_resilient(
             &unit,
             top,
             &self.config.naming,
             self.config.analysis,
             jobs,
+            policy,
+            &self.config.fault_plan,
             &self.recorder,
         )
         .map_err(SoccarError::Cfg)?;
@@ -433,6 +553,7 @@ impl Soccar {
                 soc.reset_domains.len()
             ),
             exec: Some(ExecSummary::from(&extract_stats)),
+            health: Health::from_reasons(extract_degraded),
         });
         let extraction = ExtractionSummary {
             modules: unit.modules.len(),
@@ -446,6 +567,12 @@ impl Soccar {
         let concolic_span = soccar_obs::span!(self.recorder, "pipeline.concolic");
         let mut concolic_config = self.config.concolic.clone();
         concolic_config.jobs = jobs;
+        if self.config.keep_going {
+            concolic_config.failure_policy = soccar_exec::FailurePolicy::KeepGoing;
+        }
+        if concolic_config.fault_plan.is_empty() {
+            concolic_config.fault_plan = self.config.fault_plan.clone();
+        }
         let mut engine = ConcolicEngine::new(&design, &bound, properties, concolic_config)
             .map_err(SoccarError::Config)?
             .with_recorder(self.recorder.clone());
@@ -462,6 +589,7 @@ impl Soccar {
                 concolic.violations.len()
             ),
             exec: Some(ExecSummary::from(&concolic.flip_exec)),
+            health: Health::from_reasons(concolic.degraded_reasons.clone()),
         });
 
         Ok(AnalysisReport {
@@ -607,6 +735,82 @@ mod tests {
         assert!(serial.contains("\"violations\""));
         assert!(!serial.contains("elapsed"));
         assert!(!serial.contains("busy_secs"));
+    }
+
+    #[test]
+    fn healthy_run_reports_ok_everywhere() {
+        let report = Soccar::new(SoccarConfig::default())
+            .analyze("t.v", LEAKY, "top", vec![key_property()])
+            .expect("analyze");
+        assert!(!report.is_degraded());
+        assert_eq!(report.health(), Health::Ok);
+        assert!(report.stages.iter().all(|s| s.health == Health::Ok));
+        let json = report.canonical_json().expect("json");
+        assert!(json.contains("\"status\": \"ok\""));
+        assert!(!json.contains("\"status\": \"degraded\""));
+    }
+
+    /// LEAKY with a data-guarded branch in the reset arm, so the engine
+    /// has flip candidates for the fault plan's `solver_unknown` point.
+    const LEAKY_GUARDED: &str = "
+        module ip(input clk, input rst_n, input [7:0] magic, output reg [7:0] key);
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) begin
+              if (magic == 8'h5A) key <= key;   // BUG: not scrubbed
+            end else key <= 8'hA5;
+        endmodule
+        module top(input clk, input sec_rst_n, input [7:0] magic);
+          ip u (.clk(clk), .rst_n(sec_rst_n), .magic(magic));
+        endmodule";
+
+    #[test]
+    fn injected_faults_degrade_health_without_losing_the_bug() {
+        let config = SoccarConfig {
+            keep_going: true,
+            fault_plan: soccar_exec::FaultPlan::parse("solver_unknown@1").expect("plan"),
+            concolic: ConcolicConfig {
+                symbolic_inputs: vec!["top.magic".into()],
+                ..ConcolicConfig::default()
+            },
+            ..SoccarConfig::default()
+        };
+        let report = Soccar::new(config)
+            .analyze("t.v", LEAKY_GUARDED, "top", vec![key_property()])
+            .expect("analyze");
+        assert!(report.is_degraded(), "stages: {:?}", report.stages);
+        let health = report.health();
+        assert!(health
+            .reasons()
+            .iter()
+            .any(|r| r.starts_with("concolic: ") && r.contains("solver_unknown@1")));
+        // Degradation loses coverage, never detections.
+        assert_eq!(report.violations().len(), 1);
+        let json = report.canonical_json().expect("json");
+        assert!(json.contains("\"status\": \"degraded\""));
+        assert!(json.contains("solver_unknown@1"));
+    }
+
+    #[test]
+    fn extraction_faults_keep_going_and_degrade_ar_cfg_stage() {
+        let config = SoccarConfig {
+            keep_going: true,
+            // Module index 1 is `ip` — the only reset-governed module.
+            fault_plan: soccar_exec::FaultPlan::parse("task_panic@extract:1").expect("plan"),
+            ..SoccarConfig::default()
+        };
+        let report = Soccar::new(config)
+            .analyze("t.v", LEAKY, "top", vec![key_property()])
+            .expect("analyze");
+        let ar_cfg = report
+            .stages
+            .iter()
+            .find(|s| s.stage == "ar_cfg")
+            .expect("ar_cfg stage");
+        assert!(ar_cfg.health.is_degraded(), "stages: {:?}", report.stages);
+        assert!(ar_cfg.health.reasons()[0].contains("module `ip`"));
+        // The dropped module contributed nothing, so no targets exist —
+        // degraded coverage, not an abort.
+        assert_eq!(report.extraction.ar_events, 0);
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //! * the worker function receives `&T` and must not communicate with its
 //!   siblings — each task's result may depend only on its input;
 //! * a panicking task does not poison its siblings: remaining tasks still
-//!   run, and afterwards the payload of the **lowest-index** panic is
-//!   re-raised on the caller's thread (again independent of scheduling).
+//!   run, and what happens afterwards is the caller's
+//!   [`FailurePolicy`] — [`FailurePolicy::FailFast`] re-raises the payload
+//!   of the **lowest-index** panic on the caller's thread (again
+//!   independent of scheduling), while [`FailurePolicy::KeepGoing`] turns
+//!   each panic into an index-ordered [`TaskOutcome::Failed`] slot that
+//!   preserves the panic message.
 //!
 //! The pool is *scoped*: workers borrow `items` and `f` from the caller's
 //! stack frame and are always joined before [`parallel_map`] returns, so
@@ -23,6 +27,11 @@
 //! Job-count selection is centralized in [`resolve_jobs`]: an explicit
 //! request (`--jobs N`) wins, then the `SOCCAR_JOBS` environment variable,
 //! then the machine's available parallelism.
+//!
+//! This crate also hosts the deterministic fault-injection plans
+//! ([`FaultPlan`], the `SOCCAR_FAULTS` variable) because it sits below
+//! every other crate in the workspace — smt, cfg, concolic, and core all
+//! consult the same plan type at their named injection points.
 //!
 //! # Examples
 //!
@@ -35,6 +44,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+mod faultplan;
+
+pub use faultplan::{FaultPlan, FAULTS_ENV};
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -72,6 +85,80 @@ pub fn resolve_jobs(explicit: Option<usize>) -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// What a pool does when a task panics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// After all tasks finish, re-raise the payload of the lowest-index
+    /// panicking task on the caller's thread (the historical behavior).
+    #[default]
+    FailFast,
+    /// Convert each panic into an index-ordered [`TaskOutcome::Failed`]
+    /// slot carrying the panic message, and keep going. Merging stays
+    /// deterministic: the failed slot sits exactly where the result
+    /// would have.
+    KeepGoing,
+}
+
+/// The per-task result of a [`parallel_map_policy`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome<R> {
+    /// The task completed and produced a value.
+    Ok(R),
+    /// The task panicked; `panic` is the original payload rendered as a
+    /// string (the `&str`/`String` payload verbatim, or a placeholder for
+    /// exotic payload types), so degraded reports can say *why* a worker
+    /// died.
+    Failed {
+        /// The panic payload as a message.
+        panic: String,
+    },
+}
+
+impl<R> TaskOutcome<R> {
+    /// The value if the task succeeded.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            TaskOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// A reference to the value if the task succeeded.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            TaskOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The panic message if the task failed.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            TaskOutcome::Ok(_) => None,
+            TaskOutcome::Failed { panic } => Some(panic),
+        }
+    }
+
+    /// `true` if the task panicked.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, TaskOutcome::Failed { .. })
+    }
+}
+
+/// Renders a caught panic payload as a string, preserving `&str` and
+/// `String` payloads (the overwhelmingly common cases from `panic!` and
+/// `assert!`) verbatim.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
 }
 
 /// Worker-utilization counters for one `parallel_map` call (or several,
@@ -116,32 +203,13 @@ impl PoolStats {
     }
 }
 
-/// Maps `f` over `items` on up to `jobs` worker threads, returning results
-/// in **input order** (see the module docs for the determinism contract).
-///
-/// `jobs == 0` resolves automatically as in [`resolve_jobs`]; `jobs == 1`
-/// (or a single item) runs inline on the calling thread with no pool.
-///
-/// # Panics
-///
-/// If one or more tasks panic, the panic payload of the lowest-index
-/// failing task is re-raised after all tasks have finished.
-pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    parallel_map_stats(jobs, items, f).0
-}
+type RawResult<R> = Result<R, Box<dyn std::any::Any + Send>>;
 
-/// Like [`parallel_map`], additionally returning the pool's utilization
-/// counters for stage reporting.
-///
-/// # Panics
-///
-/// As [`parallel_map`].
-pub fn parallel_map_stats<T, R, F>(jobs: usize, items: &[T], f: F) -> (Vec<R>, PoolStats)
+/// The shared pool core: runs every task, captures panics, and returns
+/// per-task `Result`s **in input order** together with the pool's
+/// utilization counters. All public entry points are policy adapters
+/// over this.
+fn parallel_map_raw<T, R, F>(jobs: usize, items: &[T], f: F) -> (Vec<RawResult<R>>, PoolStats)
 where
     T: Sync,
     R: Send,
@@ -152,27 +220,15 @@ where
     let workers = jobs.min(items.len()).max(1);
 
     if workers <= 1 {
-        // Inline fast path: no threads, but the same panic semantics
-        // (later items still run so side-effect-free tasks behave
-        // identically to the pooled path).
+        // Inline fast path: no threads, but the same panic-capture
+        // semantics (later items still run so side-effect-free tasks
+        // behave identically to the pooled path).
         let mut busy = Duration::ZERO;
-        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut out: Vec<RawResult<R>> = Vec::with_capacity(items.len());
         for item in items {
             let t = Instant::now();
-            match catch_unwind(AssertUnwindSafe(|| f(item))) {
-                Ok(r) => out.push(Some(r)),
-                Err(p) => {
-                    out.push(None);
-                    if first_panic.is_none() {
-                        first_panic = Some(p);
-                    }
-                }
-            }
+            out.push(catch_unwind(AssertUnwindSafe(|| f(item))));
             busy += t.elapsed();
-        }
-        if let Some(p) = first_panic {
-            resume_unwind(p);
         }
         let stats = PoolStats {
             jobs: 1,
@@ -180,18 +236,14 @@ where
             busy,
             elapsed: started.elapsed(),
         };
-        return (
-            out.into_iter().map(|r| r.expect("no panic")).collect(),
-            stats,
-        );
+        return (out, stats);
     }
 
     // Work queue: a shared atomic cursor hands indices to workers; each
     // worker sends `(index, result, task_time)` back over a channel.
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>, Duration)>();
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+    let (tx, rx) = mpsc::channel::<(usize, RawResult<R>, Duration)>();
+    let mut slots: Vec<Option<RawResult<R>>> = (0..items.len()).map(|_| None).collect();
     let mut busy = Duration::ZERO;
 
     std::thread::scope(|scope| {
@@ -214,17 +266,10 @@ where
         drop(tx);
         for (i, result, took) in &rx {
             busy += took;
-            match result {
-                Ok(r) => slots[i] = Some(r),
-                Err(p) => panics.push((i, p)),
-            }
+            slots[i] = Some(result);
         }
     });
 
-    if !panics.is_empty() {
-        panics.sort_by_key(|(i, _)| *i);
-        resume_unwind(panics.swap_remove(0).1);
-    }
     let stats = PoolStats {
         jobs: workers,
         tasks: items.len(),
@@ -238,6 +283,101 @@ where
             .collect(),
         stats,
     )
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning results
+/// in **input order** (see the module docs for the determinism contract).
+///
+/// `jobs == 0` resolves automatically as in [`resolve_jobs`]; `jobs == 1`
+/// (or a single item) runs inline on the calling thread with no pool.
+///
+/// # Panics
+///
+/// If one or more tasks panic, the panic payload of the lowest-index
+/// failing task is re-raised after all tasks have finished
+/// ([`FailurePolicy::FailFast`]).
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_stats(jobs, items, f).0
+}
+
+/// Like [`parallel_map`], additionally returning the pool's utilization
+/// counters for stage reporting.
+///
+/// # Panics
+///
+/// As [`parallel_map`].
+pub fn parallel_map_stats<T, R, F>(jobs: usize, items: &[T], f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (raw, stats) = parallel_map_raw(jobs, items, f);
+    let mut out = Vec::with_capacity(raw.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    // `raw` is index-ordered, so the first error seen is the
+    // lowest-index panic and its original payload is what re-raises.
+    for r in raw {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p);
+    }
+    (out, stats)
+}
+
+/// Like [`parallel_map_stats`], but with an explicit [`FailurePolicy`]:
+/// under [`FailurePolicy::KeepGoing`] each panicking task yields an
+/// index-ordered [`TaskOutcome::Failed`] slot (carrying the panic
+/// message) instead of aborting the caller.
+///
+/// # Panics
+///
+/// Under [`FailurePolicy::FailFast`], as [`parallel_map`]; never under
+/// [`FailurePolicy::KeepGoing`].
+pub fn parallel_map_policy<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    policy: FailurePolicy,
+    f: F,
+) -> (Vec<TaskOutcome<R>>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (raw, stats) = parallel_map_raw(jobs, items, f);
+    if policy == FailurePolicy::FailFast {
+        if let Some(pos) = raw.iter().position(Result::is_err) {
+            let mut raw = raw;
+            let Err(p) = raw.swap_remove(pos) else {
+                unreachable!("position() found an Err")
+            };
+            resume_unwind(p);
+        }
+    }
+    let outcomes = raw
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => TaskOutcome::Ok(v),
+            Err(p) => TaskOutcome::Failed {
+                panic: panic_message(p.as_ref()),
+            },
+        })
+        .collect();
+    (outcomes, stats)
 }
 
 #[cfg(test)]
@@ -309,6 +449,55 @@ mod tests {
                 .expect("string payload");
             assert_eq!(msg, "task 2 failed", "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn keep_going_yields_failed_slots_in_place() {
+        for jobs in [1, 4] {
+            let (out, stats) =
+                parallel_map_policy(jobs, &[0u32, 1, 2, 3], FailurePolicy::KeepGoing, |n| {
+                    if *n == 2 {
+                        panic!("task {n} exploded");
+                    }
+                    *n * 10
+                });
+            assert_eq!(stats.tasks, 4);
+            assert_eq!(out[0], TaskOutcome::Ok(0), "jobs={jobs}");
+            assert_eq!(out[1], TaskOutcome::Ok(10));
+            assert_eq!(
+                out[2],
+                TaskOutcome::Failed {
+                    panic: "task 2 exploded".to_owned()
+                },
+                "panic payload preserved, jobs={jobs}"
+            );
+            assert_eq!(out[3], TaskOutcome::Ok(30));
+            assert_eq!(out[2].panic_message(), Some("task 2 exploded"));
+            assert!(out[2].is_failed());
+            assert_eq!(out[3].as_ok(), Some(&30));
+        }
+    }
+
+    #[test]
+    fn fail_fast_policy_rethrows_original_payload() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_policy(2, &[0u32, 1], FailurePolicy::FailFast, |n| {
+                assert!(*n != 1, "kaboom");
+                *n
+            })
+        }));
+        let payload = result.expect_err("panics propagate");
+        assert!(panic_message(payload.as_ref()).contains("kaboom"));
+    }
+
+    #[test]
+    fn panic_message_preserves_str_and_string_payloads() {
+        let p1 = catch_unwind(|| panic!("static message")).expect_err("panics");
+        assert_eq!(panic_message(p1.as_ref()), "static message");
+        let p2 = catch_unwind(|| panic!("formatted {}", 42)).expect_err("panics");
+        assert_eq!(panic_message(p2.as_ref()), "formatted 42");
+        let p3 = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).expect_err("panics");
+        assert_eq!(panic_message(p3.as_ref()), "<non-string panic payload>");
     }
 
     #[test]

@@ -45,5 +45,6 @@ pub mod solver;
 pub mod term;
 
 pub use bv::BvVal;
+pub use sat::SolveBudget;
 pub use solver::{model_satisfies, CheckResult, Model, SolveStats, Solver};
 pub use term::{Term, TermGraph, TermId};

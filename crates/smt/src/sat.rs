@@ -87,6 +87,51 @@ pub enum SatOutcome {
     Sat,
     /// Unsatisfiable.
     Unsat,
+    /// The [`SolveBudget`] ran out before the search reached an answer.
+    /// The solver state is mid-search; only restarting gives a definite
+    /// answer.
+    Unknown,
+}
+
+/// A resource budget for one [`SatSolver::solve_budgeted`] call.
+///
+/// Both limits count work done *within the call* (not over the solver's
+/// lifetime); `None` means unlimited. The default budget is unlimited,
+/// which makes [`SatSolver::solve`] the classic run-to-completion CDCL.
+///
+/// A budgeted solve is *sound but incomplete*: when it answers
+/// [`SatOutcome::Sat`] or [`SatOutcome::Unsat`] the answer is exactly
+/// what the unbudgeted solve would return; when the budget runs out it
+/// answers [`SatOutcome::Unknown`] instead of looping on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum CDCL conflicts before giving up.
+    pub max_conflicts: Option<u64>,
+    /// Maximum branching decisions before giving up.
+    pub max_decisions: Option<u64>,
+}
+
+impl SolveBudget {
+    /// The unlimited budget (run to completion).
+    pub const UNLIMITED: SolveBudget = SolveBudget {
+        max_conflicts: None,
+        max_decisions: None,
+    };
+
+    /// A budget capping only conflicts.
+    #[must_use]
+    pub fn conflicts(max: u64) -> SolveBudget {
+        SolveBudget {
+            max_conflicts: Some(max),
+            max_decisions: None,
+        }
+    }
+
+    /// `true` if no limit is set (the production default).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_conflicts.is_none() && self.max_decisions.is_none()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +178,7 @@ pub struct SatSolver {
     order: Vec<Var>, // lazy heap (sorted occasionally)
     unsat: bool,
     conflicts: u64,
+    decisions: u64,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -164,6 +210,12 @@ impl SatSolver {
     #[must_use]
     pub fn conflicts(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Branching decisions made so far (diagnostics).
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.decisions
     }
 
     /// Allocates a fresh variable.
@@ -411,8 +463,17 @@ impl SatSolver {
         best.map(|v| Lit::new(v, self.phase[v.0 as usize]))
     }
 
-    /// Decides satisfiability of the accumulated clauses.
+    /// Decides satisfiability of the accumulated clauses, running the
+    /// search to completion (an unlimited [`SolveBudget`]).
     pub fn solve(&mut self) -> SatOutcome {
+        self.solve_budgeted(SolveBudget::UNLIMITED)
+    }
+
+    /// Like [`SatSolver::solve`], but gives up with [`SatOutcome::Unknown`]
+    /// once the budget's conflict or decision limit is reached. Limits
+    /// count work done within this call, so re-invoking with a fresh
+    /// budget continues the search (learnt clauses are kept).
+    pub fn solve_budgeted(&mut self, budget: SolveBudget) -> SatOutcome {
         if self.unsat {
             return SatOutcome::Unsat;
         }
@@ -420,6 +481,8 @@ impl SatSolver {
             self.unsat = true;
             return SatOutcome::Unsat;
         }
+        let conflicts_at_entry = self.conflicts;
+        let decisions_at_entry = self.decisions;
         let mut luby_idx = 1u64;
         let mut conflicts_until_restart = 100 * luby(luby_idx);
         loop {
@@ -445,6 +508,14 @@ impl SatSolver {
                         debug_assert!(ok, "uip literal must be enqueueable");
                     }
                     self.var_inc /= VAR_DECAY;
+                    // Budget check sits after clause learning so an
+                    // interrupted search still keeps what it learnt.
+                    if budget
+                        .max_conflicts
+                        .is_some_and(|max| self.conflicts - conflicts_at_entry >= max)
+                    {
+                        return SatOutcome::Unknown;
+                    }
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                     if conflicts_until_restart == 0 {
                         luby_idx += 1;
@@ -455,6 +526,13 @@ impl SatSolver {
                 None => match self.pick_branch() {
                     None => return SatOutcome::Sat,
                     Some(decision) => {
+                        if budget
+                            .max_decisions
+                            .is_some_and(|max| self.decisions - decisions_at_entry >= max)
+                        {
+                            return SatOutcome::Unknown;
+                        }
+                        self.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(decision, None);
                         debug_assert!(ok, "decision variable was unset");
@@ -578,6 +656,62 @@ mod tests {
         assert_eq!(s.value(a), Some(true));
         assert_eq!(s.value(b), Some(false));
         assert_eq!(s.value(c), Some(true));
+    }
+
+    fn pigeonhole(pigeons: usize, holes: usize) -> SatSolver {
+        let mut s = SatSolver::new();
+        let vars: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &vars {
+            let lits: Vec<Lit> = row.iter().map(|v| Lit::pos(*v)).collect();
+            s.add_clause(&lits);
+        }
+        for (i, row_i) in vars.iter().enumerate() {
+            for row_j in &vars[i + 1..] {
+                for (vi, vj) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[Lit::neg(*vi), Lit::neg(*vj)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown_on_hard_unsat() {
+        let mut s = pigeonhole(6, 5);
+        assert_eq!(
+            s.solve_budgeted(SolveBudget::conflicts(1)),
+            SatOutcome::Unknown
+        );
+        assert!(s.conflicts() >= 1);
+        // Resuming with no budget still reaches the right answer — the
+        // interrupted search kept its learnt clauses.
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn decision_budget_yields_unknown() {
+        let mut s = pigeonhole(6, 5);
+        let budget = SolveBudget {
+            max_conflicts: None,
+            max_decisions: Some(1),
+        };
+        assert_eq!(s.solve_budgeted(budget), SatOutcome::Unknown);
+        assert_eq!(s.decisions(), 1);
+    }
+
+    #[test]
+    fn generous_budget_agrees_with_unbudgeted() {
+        let mut a = pigeonhole(4, 3);
+        let mut b = pigeonhole(4, 3);
+        let budget = SolveBudget {
+            max_conflicts: Some(1_000_000),
+            max_decisions: Some(1_000_000),
+        };
+        assert_eq!(a.solve_budgeted(budget), b.solve());
+        assert!(SolveBudget::default().is_unlimited());
+        assert!(!SolveBudget::conflicts(5).is_unlimited());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt;
 
 use crate::bitblast::BitBlaster;
 use crate::bv::BvVal;
-use crate::sat::SatOutcome;
+use crate::sat::{SatOutcome, SolveBudget};
 use crate::term::{Term, TermGraph, TermId};
 
 /// A satisfying assignment for the asserted formula.
@@ -49,6 +49,14 @@ pub enum CheckResult {
     Sat(Model),
     /// Unsatisfiable.
     Unsat,
+    /// The solver's [`SolveBudget`] ran out before the search finished.
+    /// Sound but incomplete: callers must treat this as "no answer", not
+    /// as either Sat or Unsat. Only produced when a budget is configured.
+    Unknown {
+        /// Human-readable cause (`budget exhausted: 512 conflicts`),
+        /// surfaced in degraded-health reports.
+        reason: String,
+    },
 }
 
 impl CheckResult {
@@ -57,7 +65,7 @@ impl CheckResult {
     pub fn model(&self) -> Option<&Model> {
         match self {
             CheckResult::Sat(m) => Some(m),
-            CheckResult::Unsat => None,
+            CheckResult::Unsat | CheckResult::Unknown { .. } => None,
         }
     }
 
@@ -65,6 +73,12 @@ impl CheckResult {
     #[must_use]
     pub fn is_sat(&self) -> bool {
         matches!(self, CheckResult::Sat(_))
+    }
+
+    /// `true` if the budget ran out before an answer was reached.
+    #[must_use]
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, CheckResult::Unknown { .. })
     }
 }
 
@@ -77,6 +91,8 @@ pub struct SolveStats {
     pub sat_clauses: usize,
     /// CDCL conflicts.
     pub conflicts: u64,
+    /// CDCL branching decisions.
+    pub decisions: u64,
 }
 
 /// A one-shot bit-vector solver over a [`TermGraph`].
@@ -99,20 +115,43 @@ pub struct SolveStats {
 ///     CheckResult::Sat(model) => {
 ///         assert_eq!(model.value(x).and_then(|v| v.to_u64()), Some(37));
 ///     }
-///     CheckResult::Unsat => unreachable!(),
+///     other => unreachable!("{other:?}"),
 /// }
 /// ```
 #[derive(Debug, Default)]
 pub struct Solver {
     assertions: Vec<TermId>,
+    budget: SolveBudget,
     last_stats: SolveStats,
 }
 
 impl Solver {
-    /// Creates a solver with no assertions.
+    /// Creates a solver with no assertions and an unlimited budget.
     #[must_use]
     pub fn new() -> Solver {
         Solver::default()
+    }
+
+    /// Creates a solver with no assertions and the given [`SolveBudget`].
+    /// An exhausted budget makes [`Solver::check`] return
+    /// [`CheckResult::Unknown`] instead of searching forever.
+    #[must_use]
+    pub fn with_budget(budget: SolveBudget) -> Solver {
+        Solver {
+            budget,
+            ..Solver::default()
+        }
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn budget(&self) -> SolveBudget {
+        self.budget
+    }
+
+    /// Replaces the budget for subsequent checks.
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.budget = budget;
     }
 
     /// Adds a 1-bit assertion.
@@ -142,9 +181,9 @@ impl Solver {
     }
 
     /// Like [`Solver::check`] under an observability recorder: bumps the
-    /// `smt.queries` counter and one of `smt.sat` / `smt.unsat`, and feeds
-    /// the query's [`SolveStats`] into the `smt.sat_vars`,
-    /// `smt.sat_clauses`, and `smt.conflicts` histograms.
+    /// `smt.queries` counter and one of `smt.sat` / `smt.unsat` /
+    /// `smt.unknown`, and feeds the query's [`SolveStats`] into the
+    /// `smt.sat_vars`, `smt.sat_clauses`, and `smt.conflicts` histograms.
     ///
     /// Metrics only — no span is opened, so this is safe to call from
     /// worker threads: counter increments and histogram merges commute,
@@ -162,10 +201,10 @@ impl Solver {
         let result = self.check_inner(graph);
         recorder.counter_add("smt.queries", 1);
         recorder.counter_add(
-            if result.is_sat() {
-                "smt.sat"
-            } else {
-                "smt.unsat"
+            match &result {
+                CheckResult::Sat(_) => "smt.sat",
+                CheckResult::Unsat => "smt.unsat",
+                CheckResult::Unknown { .. } => "smt.unknown",
             },
             1,
         );
@@ -193,11 +232,12 @@ impl Solver {
         for v in graph.vars() {
             bb.blast(graph, *v);
         }
-        let outcome = bb.solver.solve();
+        let outcome = bb.solver.solve_budgeted(self.budget);
         self.last_stats = SolveStats {
             sat_vars: bb.solver.num_vars(),
             sat_clauses: bb.solver.num_clauses(),
             conflicts: bb.solver.conflicts(),
+            decisions: bb.solver.decisions(),
         };
         match outcome {
             SatOutcome::Unsat => CheckResult::Unsat,
@@ -209,6 +249,12 @@ impl Solver {
                 }
                 CheckResult::Sat(Model { values })
             }
+            SatOutcome::Unknown => CheckResult::Unknown {
+                reason: format!(
+                    "solver budget exhausted ({} conflicts, {} decisions)",
+                    self.last_stats.conflicts, self.last_stats.decisions
+                ),
+            },
         }
     }
 }
@@ -337,6 +383,49 @@ mod tests {
         let m = r.model().expect("sat");
         assert_eq!(m.len(), 2);
         assert!(m.value(_unused).is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let mut g = TermGraph::new();
+        let x = g.var("x", 16);
+        let y = g.var("y", 16);
+        let sum = g.add(x, y);
+        let c = g.const_u64(16, 1000);
+        let eq = g.eq(sum, c);
+        // A zero-decision budget forces Unknown on anything propagation
+        // alone cannot decide.
+        let mut s = Solver::with_budget(SolveBudget {
+            max_conflicts: None,
+            max_decisions: Some(0),
+        });
+        s.assert(eq);
+        let r = s.check(&g);
+        assert!(r.is_unknown());
+        assert!(r.model().is_none());
+        match &r {
+            CheckResult::Unknown { reason } => assert!(reason.contains("budget exhausted")),
+            other => unreachable!("{other:?}"),
+        }
+        // Lifting the budget recovers the definite answer.
+        s.set_budget(SolveBudget::UNLIMITED);
+        assert!(s.check(&g).is_sat());
+    }
+
+    #[test]
+    fn unsat_is_still_definite_under_a_budget() {
+        // The level-0/fast-path Unsat answers do not consume budget.
+        let mut g = TermGraph::new();
+        let x = g.var("x", 8);
+        let c1 = g.const_u64(8, 1);
+        let c2 = g.const_u64(8, 2);
+        let e1 = g.eq(x, c1);
+        let e2 = g.eq(x, c2);
+        let mut s = Solver::with_budget(SolveBudget::conflicts(1));
+        s.assert(e1);
+        s.assert(e2);
+        assert_eq!(s.check(&g), CheckResult::Unsat);
+        assert_eq!(s.budget(), SolveBudget::conflicts(1));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use proptest::prelude::*;
-use soccar_smt::{model_satisfies, BvVal, CheckResult, Solver, TermGraph, TermId};
+use soccar_smt::{model_satisfies, BvVal, CheckResult, SolveBudget, Solver, TermGraph, TermId};
 
 /// A compact op encoding for random tree generation.
 #[derive(Debug, Clone, Copy)]
@@ -175,5 +175,44 @@ proptest! {
             prop_assert!(model_satisfies(&g, solver.assertions(), &model));
         }
         // UNSAT is fine: not every target is reachable.
+    }
+
+    /// Budgeted solving is *sound*: whenever a budgeted solve commits to
+    /// Sat or Unsat (rather than Unknown), it agrees with the unbudgeted
+    /// solve on the same formula, and any model it returns is real.
+    #[test]
+    fn budgeted_solve_agrees_when_definite(
+        width in 1u32..9,
+        ops in proptest::collection::vec(op_strategy(), 1..5),
+        leaves in proptest::collection::vec(0u64..256, 2..6),
+        target in 0u64..256,
+        max_conflicts in 1u64..48,
+        max_decisions in 1u64..96,
+    ) {
+        let n_vars = (leaves.len() as u32).min(3);
+        let mut g = TermGraph::new();
+        let root = build_tree(&mut g, width, &ops, &leaves, n_vars);
+        let c = g.constant(BvVal::from_u64(width, target));
+        let eq = g.eq(root, c);
+
+        let mut reference = Solver::new();
+        reference.assert(eq);
+        let expected = reference.check(&g);
+
+        let mut budgeted = Solver::with_budget(SolveBudget {
+            max_conflicts: Some(max_conflicts),
+            max_decisions: Some(max_decisions),
+        });
+        budgeted.assert(eq);
+        match budgeted.check(&g) {
+            CheckResult::Unknown { reason } => {
+                prop_assert!(!reason.is_empty(), "Unknown must carry a reason");
+            }
+            CheckResult::Unsat => prop_assert_eq!(expected, CheckResult::Unsat),
+            CheckResult::Sat(model) => {
+                prop_assert!(expected.is_sat(), "budgeted Sat but reference Unsat");
+                prop_assert!(model_satisfies(&g, budgeted.assertions(), &model));
+            }
+        }
     }
 }

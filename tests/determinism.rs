@@ -12,11 +12,21 @@ use soccar_soc::SocModel;
 
 /// Full-pipeline canonical JSON for one bug-seeded variant at `jobs`.
 fn canonical_json(model: SocModel, number: u32, jobs: usize) -> String {
+    canonical_json_faulted(model, number, jobs, "")
+}
+
+/// Same, but with a `SOCCAR_FAULTS`-style plan injected and `keep_going`
+/// set so the injected faults degrade rather than abort.
+fn canonical_json_faulted(model: SocModel, number: u32, jobs: usize, faults: &str) -> String {
     let spec = soccar_soc::variant(model, number).expect("bundled variant exists");
     let mut config = SoccarConfig::default();
     config.concolic.cycles = 12;
     config.concolic.max_rounds = 4;
     config.jobs = jobs;
+    if !faults.is_empty() {
+        config.keep_going = true;
+        config.fault_plan = soccar_exec::FaultPlan::parse(faults).expect("valid fault plan");
+    }
     let eval = evaluate_variant(&spec, config).expect("benchmark variants always evaluate");
     eval.report
         .canonical_json()
@@ -40,6 +50,24 @@ fn auto_soc_report_is_byte_identical_across_job_counts() {
     let parallel = canonical_json(SocModel::AutoSoc, 2, 4);
     assert_eq!(serial, parallel);
     assert!(serial.contains("\"violations\""));
+}
+
+#[test]
+fn faulted_cluster_soc_report_is_byte_identical_across_job_counts() {
+    // A fixed fault plan degrades the same stages by the same reasons no
+    // matter how many workers race: injection points are keyed on serial
+    // per-item indices, never completion order.
+    let faults = "solver_unknown@1,task_panic@extract:2";
+    let serial = canonical_json_faulted(SocModel::ClusterSoc, 1, 1, faults);
+    let parallel = canonical_json_faulted(SocModel::ClusterSoc, 1, 4, faults);
+    assert_eq!(serial, parallel);
+    // The faults actually landed: the report is degraded, not pristine.
+    assert!(
+        serial.contains("\"status\": \"degraded\""),
+        "expected degraded health in:\n{serial}"
+    );
+    assert!(serial.contains("injected fault: solver_unknown@1"));
+    assert!(serial.contains("injected fault: task_panic@extract:2"));
 }
 
 #[test]

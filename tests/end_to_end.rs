@@ -119,7 +119,11 @@ fn witness_schedules_replay_concretely() {
         }
         sim.settle().expect("settle");
         sim.tick(clk).expect("tick");
-        if monitor.check_cycle(&sim, cycle).is_some() {
+        if monitor
+            .check_cycle(&sim, cycle)
+            .expect("resolved monitor")
+            .is_some()
+        {
             violated = true;
             break;
         }
