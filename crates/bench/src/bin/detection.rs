@@ -21,8 +21,8 @@ use std::time::Duration;
 
 use soccar::evaluation::{render_outcomes, VariantEvaluation};
 use soccar_bench::{
-    bench_args, bench_reports, check_bench_baselines, evaluate_all_variants_config, render_table,
-    write_bench_reports, BenchArgs,
+    append_flip_solving, bench_args, bench_reports, check_bench_baselines,
+    evaluate_all_variants_config, render_table, write_bench_reports, BenchArgs,
 };
 
 fn main() -> ExitCode {
@@ -86,7 +86,18 @@ fn main() -> ExitCode {
     }
 
     // Machine-readable perf records (and, in CI, the regression gate).
-    let reports = bench_reports(&evals, args.mode());
+    let mut reports = bench_reports(&evals, args.mode());
+    // The flip_solving comparison: same frozen candidates solved one-shot
+    // and incrementally; counters are gated, the speedup is reported.
+    for (model, record) in append_flip_solving(&mut reports, &args.config()) {
+        println!(
+            "flip_solving {model:?}: one-shot {:.1}ms vs incremental {:.1}ms — {:.2}x speedup",
+            record.oneshot.as_secs_f64() * 1e3,
+            record.incremental.as_secs_f64() * 1e3,
+            record.speedup()
+        );
+    }
+    let reports = reports;
     let out_dir = std::path::Path::new(args.bench_out.as_deref().unwrap_or("."));
     match write_bench_reports(out_dir, &reports) {
         Ok(paths) => {

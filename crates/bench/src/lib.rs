@@ -197,10 +197,172 @@ pub fn bench_reports(evals: &[VariantEvaluation], mode: &str) -> Vec<soccar_obs:
             .push(soccar_obs::BenchVariant {
                 variant: eval.variant.clone(),
                 counters,
+                timings_q: std::collections::BTreeMap::new(),
                 seconds_q: soccar_obs::quantize_seconds(eval.verification_time().as_secs_f64()),
             });
     }
     reports
+}
+
+/// Builds the frozen one-round [`soccar_concolic::FlipWorkload`] for a
+/// bundled SoC under `config` — the shared input of the `flip_solving`
+/// benchmark (one-shot vs incremental flip solving on identical state).
+///
+/// # Panics
+///
+/// Panics if the bundled SoC fails to compile or simulate (bench driver
+/// code, not a library API).
+#[must_use]
+pub fn flip_workload(model: SocModel, config: &SoccarConfig) -> soccar_concolic::FlipWorkload {
+    let soc = soccar_soc::generate(model, None);
+    let unit = soccar_rtl::parser::parse(soccar_rtl::span::FileId(0), &soc.source)
+        .expect("benchmark SoCs always parse");
+    let design =
+        soccar_rtl::elaborate::elaborate(&unit, &soc.top).expect("benchmark SoCs always elaborate");
+    let arcfg = soccar_cfg::compose_soc(
+        &unit,
+        &soc.top,
+        &soccar_cfg::ResetNaming::new(),
+        config.analysis,
+    )
+    .expect("benchmark SoCs always compose");
+    let bound = soccar_cfg::bind_events(&design, &arcfg).expect("benchmark SoCs always bind");
+    let mut concolic = config.concolic.clone();
+    concolic.symbolic_inputs = soccar_soc::symbolic_inputs(model);
+    let mut engine = soccar_concolic::ConcolicEngine::new(&design, &bound, Vec::new(), concolic)
+        .expect("benchmark SoCs always build an engine");
+    engine
+        .flip_workload()
+        .expect("benchmark SoCs always simulate")
+}
+
+/// Outcome of one `flip_solving` comparison: the synthetic bench variant
+/// recorded into `BENCH_<soc>.json` plus the raw (unquantized) timings
+/// for speedup reporting.
+#[derive(Debug, Clone)]
+pub struct FlipSolvingRecord {
+    /// The `flip_solving` record appended to the SoC's bench report:
+    /// deterministic counters (`flip_candidates`, `flip_sat`,
+    /// `smt.incremental_calls`, `smt.blast_cache_hits`,
+    /// `smt.clauses_reused`) are gated; `flip_oneshot_q` /
+    /// `flip_incremental_q` timings are reported only.
+    pub variant: soccar_obs::BenchVariant,
+    /// Wall-clock of the one-shot pass.
+    pub oneshot: std::time::Duration,
+    /// Wall-clock of the incremental pass.
+    pub incremental: std::time::Duration,
+}
+
+impl FlipSolvingRecord {
+    /// One-shot time over incremental time — the headline win.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.oneshot.as_secs_f64() / self.incremental.as_secs_f64().max(1e-9)
+    }
+}
+
+/// How many flip candidates the `flip_solving` benchmark solves per SoC.
+/// Large enough that the shared path prefix dominates and the window
+/// spans gate-bearing branch conditions (comparisons, not just 1-bit
+/// guards), small enough that the one-shot (quadratic re-blasting) side
+/// stays in benchmark budget.
+pub const FLIP_SOLVING_CAP: usize = 256;
+
+/// Runs the `flip_solving` comparison for one SoC model: solves the same
+/// frozen flip candidates one-shot and incrementally, asserts the SAT
+/// counts agree, and returns the bench record.
+///
+/// # Panics
+///
+/// Panics if the strategies disagree on any SAT count (that would be an
+/// incremental-solver soundness bug, not a perf regression).
+#[must_use]
+pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvingRecord {
+    let workload = flip_workload(model, config);
+    let cap = FLIP_SOLVING_CAP;
+    // Criterion-style timing: one warm-up pass, then the best of a few
+    // runs (the timings are reported, never gated, so "best" beats "one
+    // noisy sample"). The span API is the one timing code path (see
+    // `detection.rs`).
+    let recorder = soccar_obs::Recorder::disabled();
+    let time_best = |f: &dyn Fn() -> usize| {
+        let (sat, mut best) = recorder.time("bench.flip_solving.warmup", f);
+        for _ in 0..4 {
+            let (again, t) = recorder.time("bench.flip_solving.run", f);
+            assert_eq!(sat, again, "{model:?}: flip solving is not deterministic");
+            best = best.min(t);
+        }
+        (sat, best)
+    };
+    let (oneshot_sat, oneshot) = time_best(&|| workload.solve_oneshot(cap, &recorder));
+    let (incremental_sat, incremental) = time_best(&|| workload.solve_incremental(cap, &recorder));
+    assert_eq!(
+        oneshot_sat, incremental_sat,
+        "{model:?}: one-shot and incremental flip solving disagreed"
+    );
+    // One separately counted pass feeds the gated counters.
+    let inc_recorder = soccar_obs::Recorder::enabled();
+    assert_eq!(
+        workload.solve_incremental(cap, &inc_recorder),
+        incremental_sat
+    );
+    let snap = inc_recorder.snapshot();
+    let mut counters = std::collections::BTreeMap::new();
+    counters.insert(
+        "flip_candidates".to_owned(),
+        workload.candidates(cap) as u64,
+    );
+    counters.insert("flip_sat".to_owned(), oneshot_sat as u64);
+    for name in [
+        "smt.incremental_calls",
+        "smt.blast_cache_hits",
+        "smt.clauses_reused",
+    ] {
+        counters.insert(
+            name.to_owned(),
+            snap.counters.get(name).copied().unwrap_or(0),
+        );
+    }
+    let mut timings_q = std::collections::BTreeMap::new();
+    timings_q.insert(
+        "flip_oneshot_q".to_owned(),
+        soccar_obs::quantize_seconds(oneshot.as_secs_f64()),
+    );
+    timings_q.insert(
+        "flip_incremental_q".to_owned(),
+        soccar_obs::quantize_seconds(incremental.as_secs_f64()),
+    );
+    FlipSolvingRecord {
+        variant: soccar_obs::BenchVariant {
+            variant: format!("{model:?} flip_solving"),
+            counters,
+            timings_q,
+            seconds_q: soccar_obs::quantize_seconds((oneshot + incremental).as_secs_f64()),
+        },
+        oneshot,
+        incremental,
+    }
+}
+
+/// Appends one `flip_solving` variant to every SoC's bench report and
+/// returns the records (for speedup reporting). `reports` must cover
+/// each SoC at most once (what [`bench_reports`] produces).
+pub fn append_flip_solving(
+    reports: &mut [soccar_obs::BenchReport],
+    config: &SoccarConfig,
+) -> Vec<(SocModel, FlipSolvingRecord)> {
+    let mut out = Vec::new();
+    for report in reports {
+        let model = match report.soc.as_str() {
+            "clustersoc" => SocModel::ClusterSoc,
+            "autosoc" => SocModel::AutoSoc,
+            other => panic!("no bundled SoC model for bench report `{other}`"),
+        };
+        let record = flip_solving_record(model, config);
+        report.variants.push(record.variant.clone());
+        out.push((model, record));
+    }
+    out
 }
 
 /// Writes every report into `dir` (created if absent) and returns the

@@ -96,6 +96,25 @@ pub struct ConcolicConfig {
     /// consults the points `solver_unknown`, `task_panic:flips`, and
     /// `round_timeout`; see `soccar_exec::FaultPlan`.
     pub fault_plan: FaultPlan,
+    /// Use assumption-based incremental solving for the per-round flip
+    /// fan-out: the round's path prefix is bit-blasted once into a shared
+    /// [`Solver`] context and each candidate is discharged with
+    /// `check_assuming` against a cheap clone of the *blasted* state,
+    /// instead of deep-cloning the raw term graph and re-blasting per
+    /// candidate. Identical Sat/Unsat answers, large constant-factor
+    /// speedup. Defaults to on; `SOCCAR_INCREMENTAL=0` (or the CLI's
+    /// `--no-incremental`) selects the one-shot path as an escape hatch.
+    pub incremental: bool,
+}
+
+/// Reads the `SOCCAR_INCREMENTAL` escape hatch: `0`/`false`/`off`
+/// disable incremental flip solving, anything else (or unset) enables it.
+#[must_use]
+pub fn incremental_default() -> bool {
+    !matches!(
+        std::env::var("SOCCAR_INCREMENTAL").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
 }
 
 impl Default for ConcolicConfig {
@@ -117,12 +136,13 @@ impl Default for ConcolicConfig {
             round_deadline: None,
             failure_policy: FailurePolicy::FailFast,
             fault_plan: FaultPlan::default(),
+            incremental: incremental_default(),
         }
     }
 }
 
 /// What one coverage target demands.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum TargetGoal {
     /// A branch site must be observed taking direction `dir`.
     Site { site: BranchSiteId, dir: bool },
@@ -336,7 +356,7 @@ impl<'d> ConcolicEngine<'d> {
             let domain_idx = domains.iter().position(|(s, _, _)| *s == ev.domain_source);
             if ev.event.arm == EventArm::WholeBlock {
                 let goal = TargetGoal::Process(ev.process);
-                if seen.insert(goal.clone()) {
+                if seen.insert(goal) {
                     targets.push(Target {
                         goal,
                         domain_idx,
@@ -362,7 +382,7 @@ impl<'d> ConcolicEngine<'d> {
             for site in sites {
                 for dir in [true, false] {
                     let goal = TargetGoal::Site { site, dir };
-                    if seen.insert(goal.clone()) {
+                    if seen.insert(goal) {
                         targets.push(Target {
                             goal,
                             domain_idx,
@@ -801,19 +821,22 @@ impl<'d> ConcolicEngine<'d> {
         solver_sat: &mut usize,
     ) -> Option<TestSchedule> {
         let obs: Vec<BranchObservation> = sim.algebra().observations().to_vec();
-        let targets: Vec<(usize, Target)> = self
+        // Goals are `Copy` ids interned at construction time, so the
+        // per-round bookkeeping copies `(index, goal, domain)` triples
+        // instead of deep-cloning `Target`s.
+        let targets: Vec<(usize, TargetGoal, Option<usize>)> = self
             .targets
             .iter()
             .enumerate()
             .filter(|(i, _)| !self.covered[*i] && !self.unreachable[*i])
-            .map(|(i, t)| (i, t.clone()))
+            .map(|(i, t)| (i, t.goal, t.domain_idx))
             .collect();
         let mut round_degraded = false;
 
         // Phase A: collect flip candidates in deterministic order.
         let mut picks: Vec<(usize, usize, bool)> = Vec::new(); // (target, obs index, dir)
-        for (ti, target) in &targets {
-            if let TargetGoal::Site { site, dir } = &target.goal {
+        for (ti, goal, _) in &targets {
+            if let TargetGoal::Site { site, dir } = goal {
                 picks.extend(
                     obs.iter()
                         .enumerate()
@@ -858,38 +881,108 @@ impl<'d> ConcolicEngine<'d> {
         // Failed slot, so one bad solve degrades the round, not the run.
         self.recorder
             .counter_add("concolic.flip_candidates", candidates.len() as u64);
-        let graph = &sim.algebra().graph;
         let max_prefix = self.config.max_prefix;
         let budget = self.config.solver_budget;
         let plan = &self.config.fault_plan;
         let recorder = &self.recorder;
-        let (solved, stats) = soccar_exec::parallel_map_policy(
-            self.config.jobs,
-            &candidates,
-            self.config.failure_policy,
-            |c| {
-                if plan.should_inject("task_panic:flips", c.seq) {
-                    panic!("injected fault: task_panic@flips:{}", c.seq);
-                }
-                if plan.should_inject("solver_unknown", c.seq) {
-                    return FlipOutcome::Unknown(format!(
-                        "injected fault: solver_unknown@{}",
-                        c.seq
-                    ));
-                }
-                let mut g = graph.clone();
-                solve_flip(
-                    &mut g,
-                    &obs,
-                    schedule,
-                    c.obs_index,
-                    c.dir,
-                    max_prefix,
-                    budget,
-                    recorder,
-                )
-            },
-        );
+        let (solved, stats) = if self.config.incremental && !candidates.is_empty() {
+            // Incremental path: intern the negated conditions into the
+            // round's own graph (it is append-only and the simulation is
+            // over, so existing TermIds keep their meaning), then blast
+            // the whole observation window ONCE into a frozen base
+            // solver. Workers clone the blasted state — cheap relative to
+            // re-blasting — and discharge their candidate with
+            // retractable assumptions. Each solve is still a pure
+            // function of the frozen round state, so reports stay
+            // bit-identical for every job count.
+            let neg: Vec<TermId> = {
+                let g = &mut sim.algebra_mut().graph;
+                obs.iter().map(|o| g.not(o.cond)).collect()
+            };
+            let graph = &sim.algebra().graph;
+            let mut base = Solver::with_budget(budget);
+            let max_k = candidates
+                .iter()
+                .map(|c| c.obs_index)
+                .max()
+                .expect("candidates is non-empty");
+            let window_start = candidates
+                .iter()
+                .map(|c| c.obs_index.saturating_sub(max_prefix))
+                .min()
+                .expect("candidates is non-empty");
+            let mut window = Vec::with_capacity(2 * (max_k + 1 - window_start));
+            for i in window_start..=max_k {
+                window.push(obs[i].cond);
+                window.push(neg[i]);
+            }
+            base.preblast(graph, &window);
+            // Shared-prefix blasting work saved while building the base
+            // context (recorded once; per-call hits are recorded by the
+            // workers' `check_assuming_traced`).
+            let base_hits = base.blast_cache_hits();
+            if base_hits > 0 {
+                recorder.counter_add("smt.blast_cache_hits", base_hits);
+            }
+            let base = &base;
+            let neg = &neg;
+            soccar_exec::parallel_map_policy(
+                self.config.jobs,
+                &candidates,
+                self.config.failure_policy,
+                |c| {
+                    if plan.should_inject("task_panic:flips", c.seq) {
+                        panic!("injected fault: task_panic@flips:{}", c.seq);
+                    }
+                    if plan.should_inject("solver_unknown", c.seq) {
+                        return FlipOutcome::Unknown(format!(
+                            "injected fault: solver_unknown@{}",
+                            c.seq
+                        ));
+                    }
+                    solve_flip_assuming(
+                        base,
+                        graph,
+                        &obs,
+                        neg,
+                        schedule,
+                        c.obs_index,
+                        c.dir,
+                        max_prefix,
+                        recorder,
+                    )
+                },
+            )
+        } else {
+            let graph = &sim.algebra().graph;
+            soccar_exec::parallel_map_policy(
+                self.config.jobs,
+                &candidates,
+                self.config.failure_policy,
+                |c| {
+                    if plan.should_inject("task_panic:flips", c.seq) {
+                        panic!("injected fault: task_panic@flips:{}", c.seq);
+                    }
+                    if plan.should_inject("solver_unknown", c.seq) {
+                        return FlipOutcome::Unknown(format!(
+                            "injected fault: solver_unknown@{}",
+                            c.seq
+                        ));
+                    }
+                    let mut g = graph.clone();
+                    solve_flip(
+                        &mut g,
+                        &obs,
+                        schedule,
+                        c.obs_index,
+                        c.dir,
+                        max_prefix,
+                        budget,
+                        recorder,
+                    )
+                },
+            )
+        };
         self.flip_stats.absorb(&stats);
 
         // Degradation accounting covers EVERY candidate, consumed or
@@ -925,8 +1018,8 @@ impl<'d> ConcolicEngine<'d> {
         // never fatal, never consumed as answers.
         let mut chosen: Option<TestSchedule> = None;
         let mut ci = 0usize;
-        'targets: for (ti, target) in targets {
-            match &target.goal {
+        'targets: for (ti, goal, domain_idx) in targets {
+            match goal {
                 TargetGoal::Site { .. } => {
                     let mine = candidates[ci..]
                         .iter()
@@ -953,13 +1046,13 @@ impl<'d> ConcolicEngine<'d> {
                     }
                     // Site never ran with a symbolic condition: schedule a
                     // pulse so the process (and its governor test) runs.
-                    if let Some(next) = self.schedule_pulse(ti, &target, schedule) {
+                    if let Some(next) = self.schedule_pulse(ti, domain_idx, schedule) {
                         chosen = Some(next);
                         break 'targets;
                     }
                 }
                 TargetGoal::Process(_) => {
-                    if let Some(next) = self.schedule_pulse(ti, &target, schedule) {
+                    if let Some(next) = self.schedule_pulse(ti, domain_idx, schedule) {
                         chosen = Some(next);
                         break 'targets;
                     }
@@ -977,10 +1070,10 @@ impl<'d> ConcolicEngine<'d> {
     fn schedule_pulse(
         &mut self,
         target_idx: usize,
-        target: &Target,
+        domain_idx: Option<usize>,
         schedule: &TestSchedule,
     ) -> Option<TestSchedule> {
-        let Some(di) = target.domain_idx else {
+        let Some(di) = domain_idx else {
             // No controllable domain reaches this target.
             self.unreachable[target_idx] = true;
             return None;
@@ -995,6 +1088,124 @@ impl<'d> ConcolicEngine<'d> {
         let mut next = schedule.clone();
         next.add_pulse(di, at, 1);
         Some(next)
+    }
+
+    /// Runs one concrete round and freezes its symbolic state into a
+    /// [`FlipWorkload`], so the one-shot and incremental flip-solving
+    /// strategies can be compared on identical inputs (the `flip_solving`
+    /// benchmark). Does not advance engine coverage state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors, as [`ConcolicEngine::run`].
+    pub fn flip_workload(&mut self) -> SimResult<FlipWorkload> {
+        let mut schedule = self.base_schedule();
+        schedule.randomize(self.config.seed);
+        let (mut sim, _violations) = self.execute_round(&schedule)?;
+        let observations = sim.algebra().observations().to_vec();
+        let neg: Vec<TermId> = {
+            let g = &mut sim.algebra_mut().graph;
+            observations.iter().map(|o| g.not(o.cond)).collect()
+        };
+        Ok(FlipWorkload {
+            graph: sim.algebra().graph.clone(),
+            neg,
+            observations,
+            schedule,
+            max_prefix: self.config.max_prefix,
+            budget: self.config.solver_budget,
+        })
+    }
+}
+
+/// One round's frozen symbolic state, packaged for the `flip_solving`
+/// benchmark: the term graph, branch observations, pre-interned negated
+/// conditions, and the schedule they were produced under. Both solve
+/// strategies flip each candidate observation towards its untaken
+/// direction, so their answers — and SAT counts — must agree.
+#[derive(Debug, Clone)]
+pub struct FlipWorkload {
+    graph: TermGraph,
+    neg: Vec<TermId>,
+    observations: Vec<BranchObservation>,
+    schedule: TestSchedule,
+    max_prefix: usize,
+    budget: SolveBudget,
+}
+
+impl FlipWorkload {
+    /// Number of flip candidates a `cap`-limited pass solves (the last
+    /// `cap` observations of the round, longest path prefixes first-class).
+    #[must_use]
+    pub fn candidates(&self, cap: usize) -> usize {
+        self.observations.len().min(cap)
+    }
+
+    /// Solves the candidates one-shot: each clones the term graph and
+    /// re-blasts its whole prefix from scratch (the legacy path, kept as
+    /// the `SOCCAR_INCREMENTAL=0` escape hatch). Returns the SAT count.
+    #[must_use]
+    pub fn solve_oneshot(&self, cap: usize, recorder: &soccar_obs::Recorder) -> usize {
+        let n = self.candidates(cap);
+        let len = self.observations.len();
+        let mut sat = 0;
+        for k in len - n..len {
+            let dir = !self.observations[k].taken;
+            let mut g = self.graph.clone();
+            let outcome = solve_flip(
+                &mut g,
+                &self.observations,
+                &self.schedule,
+                k,
+                dir,
+                self.max_prefix,
+                self.budget,
+                recorder,
+            );
+            sat += usize::from(matches!(outcome, FlipOutcome::Sat(_)));
+        }
+        sat
+    }
+
+    /// Solves the same candidates incrementally: the shared window is
+    /// blasted once into a base solver, each candidate runs
+    /// `check_assuming` on a clone of the blasted state. Returns the SAT
+    /// count, which must equal [`FlipWorkload::solve_oneshot`]'s.
+    #[must_use]
+    pub fn solve_incremental(&self, cap: usize, recorder: &soccar_obs::Recorder) -> usize {
+        let n = self.candidates(cap);
+        let len = self.observations.len();
+        let mut base = Solver::with_budget(self.budget);
+        let window_start = (len - n).saturating_sub(self.max_prefix);
+        let mut window = Vec::with_capacity(2 * (len - window_start));
+        for i in window_start..len {
+            window.push(self.observations[i].cond);
+            window.push(self.neg[i]);
+        }
+        base.preblast(&self.graph, &window);
+        let hits = base.blast_cache_hits();
+        if hits > 0 {
+            recorder.counter_add("smt.blast_cache_hits", hits);
+        }
+        let mut sat = 0;
+        for k in len - n..len {
+            let dir = !self.observations[k].taken;
+            // Serial, so no per-candidate clone: one context answers every
+            // candidate and keeps its learnt clauses between them.
+            let outcome = solve_flip_on(
+                &mut base,
+                &self.graph,
+                &self.observations,
+                &self.neg,
+                &self.schedule,
+                k,
+                dir,
+                self.max_prefix,
+                recorder,
+            );
+            sat += usize::from(matches!(outcome, FlipOutcome::Sat(_)));
+        }
+        sat
     }
 }
 
@@ -1053,36 +1264,116 @@ fn solve_flip(
     match solver.check_traced(graph, recorder) {
         CheckResult::Unsat => FlipOutcome::Unsat,
         CheckResult::Unknown { reason } => FlipOutcome::Unknown(reason),
+        CheckResult::Sat(model) => FlipOutcome::Sat(schedule_from_model(
+            graph,
+            schedule,
+            solver.assertions(),
+            &model,
+        )),
+    }
+}
+
+/// The incremental counterpart of [`solve_flip`]: clones the pre-blasted
+/// `base` solver (CNF, learnt clauses, activities — everything but the
+/// search trail) and discharges the same prefix-plus-goal constraint as
+/// *retractable assumptions* via [`Solver::check_assuming`]. `neg[i]`
+/// holds the pre-interned negation of `obs[i].cond`, so workers never
+/// mutate the shared graph.
+///
+/// Still a pure function of the frozen round state `(base, graph, obs,
+/// neg, schedule, k, dir, max_prefix)` — the determinism anchor of the
+/// parallel round.
+#[allow(clippy::too_many_arguments)]
+fn solve_flip_assuming(
+    base: &Solver,
+    graph: &TermGraph,
+    obs: &[BranchObservation],
+    neg: &[TermId],
+    schedule: &TestSchedule,
+    k: usize,
+    dir: bool,
+    max_prefix: usize,
+    recorder: &soccar_obs::Recorder,
+) -> FlipOutcome {
+    let mut solver = base.clone();
+    solve_flip_on(
+        &mut solver,
+        graph,
+        obs,
+        neg,
+        schedule,
+        k,
+        dir,
+        max_prefix,
+        recorder,
+    )
+}
+
+/// [`solve_flip_assuming`] without the clone: discharges the candidate
+/// directly on `solver`, so a *serial* caller (the `flip_solving`
+/// benchmark) accumulates learnt clauses across candidates on one
+/// context instead of paying a blast-state copy per candidate.
+#[allow(clippy::too_many_arguments)]
+fn solve_flip_on(
+    solver: &mut Solver,
+    graph: &TermGraph,
+    obs: &[BranchObservation],
+    neg: &[TermId],
+    schedule: &TestSchedule,
+    k: usize,
+    dir: bool,
+    max_prefix: usize,
+    recorder: &soccar_obs::Recorder,
+) -> FlipOutcome {
+    let prefix_start = k.saturating_sub(max_prefix);
+    let mut assumptions: Vec<TermId> = Vec::with_capacity(k - prefix_start + 1);
+    for (i, o) in obs.iter().enumerate().take(k).skip(prefix_start) {
+        assumptions.push(if o.taken { o.cond } else { neg[i] });
+    }
+    assumptions.push(if dir { obs[k].cond } else { neg[k] });
+    match solver.check_assuming_traced(graph, &assumptions, recorder) {
+        CheckResult::Unsat => FlipOutcome::Unsat,
+        CheckResult::Unknown { reason } => FlipOutcome::Unknown(reason),
         CheckResult::Sat(model) => {
-            // Only variables in the constraint support are updated;
-            // everything else keeps its previous schedule value.
-            let mut support = HashSet::new();
-            for t in solver.assertions() {
-                collect_vars(graph, *t, &mut support);
-            }
-            let mut next = schedule.clone();
-            for var in support {
-                let Term::Var(name) = graph.term(var) else {
-                    continue;
-                };
-                let Some(value) = model.value(var) else {
-                    continue;
-                };
-                if let Some((d, c)) = parse_slot(name, "rst_") {
-                    if d < next.resets.len() && c < next.cycles {
-                        let track = &mut next.resets[d];
-                        let line_high = value.to_u64() == Some(1);
-                        track.asserted[c as usize] = line_high != track.active_low;
-                    }
-                } else if let Some((i, c)) = parse_slot(name, "in_") {
-                    if i < next.inputs.len() && c < next.cycles {
-                        next.inputs[i].values[c as usize] = from_bv(value);
-                    }
-                }
-            }
-            FlipOutcome::Sat(next)
+            FlipOutcome::Sat(schedule_from_model(graph, schedule, &assumptions, &model))
         }
     }
+}
+
+/// Rebuilds a schedule from a flip model. Only variables in the support
+/// of the solved constraints are updated; everything else keeps its
+/// previous schedule value.
+fn schedule_from_model(
+    graph: &TermGraph,
+    schedule: &TestSchedule,
+    constraints: &[TermId],
+    model: &soccar_smt::Model,
+) -> TestSchedule {
+    let mut support = HashSet::new();
+    for t in constraints {
+        collect_vars(graph, *t, &mut support);
+    }
+    let mut next = schedule.clone();
+    for var in support {
+        let Term::Var(name) = graph.term(var) else {
+            continue;
+        };
+        let Some(value) = model.value(var) else {
+            continue;
+        };
+        if let Some((d, c)) = parse_slot(name, "rst_") {
+            if d < next.resets.len() && c < next.cycles {
+                let track = &mut next.resets[d];
+                let line_high = value.to_u64() == Some(1);
+                track.asserted[c as usize] = line_high != track.active_low;
+            }
+        } else if let Some((i, c)) = parse_slot(name, "in_") {
+            if i < next.inputs.len() && c < next.cycles {
+                next.inputs[i].values[c as usize] = from_bv(value);
+            }
+        }
+    }
+    next
 }
 
 /// Parses `prefix{index}_{cycle}` variable names.
@@ -1266,6 +1557,87 @@ mod tests {
             report.solver_sat > 0,
             "at least one flip solved: {report:?}"
         );
+    }
+
+    const MAGIC_SRC: &str = "
+        module ip(input clk, input rst_n, input [7:0] magic,
+                  output reg flag, output reg [7:0] ctr);
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) begin
+              if (magic == 8'h5A) flag <= 1'b1;
+              ctr <= 8'd0;
+            end else ctr <= ctr + 8'd1;
+        endmodule
+        module top(input clk, input dom_rst_n, input [7:0] magic,
+                   output flag, output [7:0] ctr);
+          ip u (.clk(clk), .rst_n(dom_rst_n), .magic(magic),
+                .flag(flag), .ctr(ctr));
+        endmodule";
+
+    #[test]
+    fn one_shot_escape_hatch_reaches_same_coverage() {
+        // `incremental: false` pins the legacy clone-and-reblast path
+        // (what `SOCCAR_INCREMENTAL=0` selects); it must still solve the
+        // magic-guarded branch.
+        let report = setup(
+            MAGIC_SRC,
+            vec![],
+            GovernorAnalysis::Explicit,
+            ConcolicConfig {
+                cycles: 10,
+                max_rounds: 16,
+                seed: 7,
+                symbolic_inputs: vec!["top.magic".into()],
+                skip_sweep: true,
+                incremental: false,
+                ..ConcolicConfig::default()
+            },
+        );
+        assert_eq!(
+            report.targets_covered, report.targets_total,
+            "one-shot path must reach the magic-guarded branch: {report:?}"
+        );
+        assert!(report.solver_sat > 0, "report: {report:?}");
+    }
+
+    #[test]
+    fn flip_workload_strategies_agree() {
+        // The benchmark harness relies on this: one-shot and incremental
+        // flip solving answer identically (in sat-ness) per candidate.
+        let unit = parse(FileId(0), MAGIC_SRC).expect("parse");
+        let design = soccar_rtl::elaborate::elaborate(&unit, "top").expect("elaborate");
+        let soc = compose_soc(
+            &unit,
+            "top",
+            &ResetNaming::new(),
+            GovernorAnalysis::Explicit,
+        )
+        .expect("compose");
+        let bound = bind_events(&design, &soc).expect("bind");
+        let config = ConcolicConfig {
+            cycles: 8,
+            seed: 7,
+            symbolic_inputs: vec!["top.magic".into()],
+            ..ConcolicConfig::default()
+        };
+        let mut engine = ConcolicEngine::new(&design, &bound, vec![], config).expect("engine");
+        let workload = engine.flip_workload().expect("workload");
+        let cap = 16;
+        assert!(workload.candidates(cap) > 0, "round produced no branches");
+        let recorder = soccar_obs::Recorder::enabled();
+        let oneshot = workload.solve_oneshot(cap, &soccar_obs::Recorder::disabled());
+        let incremental = workload.solve_incremental(cap, &recorder);
+        assert_eq!(oneshot, incremental, "strategies disagreed on SAT count");
+        // The incremental pass actually reused blasting work and went
+        // through check_assuming.
+        let snap = recorder.snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            counter("smt.incremental_calls"),
+            workload.candidates(cap) as u64
+        );
+        assert!(counter("smt.blast_cache_hits") > 0);
+        assert!(counter("smt.clauses_reused") > 0);
     }
 
     #[test]

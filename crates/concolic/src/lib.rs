@@ -28,6 +28,8 @@ pub mod property;
 pub mod schedule;
 
 pub use coalg::{BranchObservation, CoAlgebra, CoValue};
-pub use engine::{ConcolicConfig, ConcolicEngine, ConcolicReport, Witness};
+pub use engine::{
+    incremental_default, ConcolicConfig, ConcolicEngine, ConcolicReport, FlipWorkload, Witness,
+};
 pub use property::{PropertyKind, PropertyMonitor, SecurityProperty, Violation};
 pub use schedule::{InputTrack, ResetTrack, TestSchedule};

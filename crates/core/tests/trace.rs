@@ -22,19 +22,26 @@ fn scratch(test: &str) -> PathBuf {
 
 /// Runs the CLI with `--trace-out` in `dir` and returns the NDJSON
 /// trace. `jobs` is the `SOCCAR_JOBS` value (`None` removes it so the
-/// `--jobs` flag in `args` governs).
-fn run_traced(dir: &Path, args: &[&str], jobs: Option<&str>) -> String {
+/// `--jobs` flag in `args` governs); `envs` are extra variables for the
+/// child. `SOCCAR_INCREMENTAL` and `SOCCAR_FAULTS` are cleared first so
+/// ambient settings never leak into a test.
+fn run_traced_env(dir: &Path, args: &[&str], jobs: Option<&str>, envs: &[(&str, &str)]) -> String {
     let trace = dir.join("trace.jsonl");
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_soccar"));
     cmd.arg("analyze")
         .args(args)
         .arg("--trace-out")
         .arg(&trace)
-        .current_dir(dir);
+        .current_dir(dir)
+        .env_remove("SOCCAR_INCREMENTAL")
+        .env_remove("SOCCAR_FAULTS");
     match jobs {
         Some(n) => cmd.env("SOCCAR_JOBS", n),
         None => cmd.env_remove("SOCCAR_JOBS"),
     };
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
     let out = cmd.output().expect("run soccar");
     assert!(
         out.stderr.is_empty(),
@@ -42,6 +49,11 @@ fn run_traced(dir: &Path, args: &[&str], jobs: Option<&str>) -> String {
         String::from_utf8_lossy(&out.stderr)
     );
     std::fs::read_to_string(&trace).expect("read trace file")
+}
+
+/// [`run_traced_env`] with no extra environment.
+fn run_traced(dir: &Path, args: &[&str], jobs: Option<&str>) -> String {
+    run_traced_env(dir, args, jobs, &[])
 }
 
 /// Reduces a trace to its canonical form, mirroring the
@@ -192,5 +204,53 @@ fn trace_metrics_identical_across_job_counts() {
         metric_lines(&serial),
         metric_lines(&parallel),
         "metric lines must be byte-identical at SOCCAR_JOBS=1 vs 4"
+    );
+}
+
+#[test]
+fn trace_metrics_identical_across_job_counts_without_incremental() {
+    // Same contract as above with the incremental flip solver disabled:
+    // the one-shot escape hatch must be just as scheduling-independent.
+    let args = {
+        let mut a = vec!["--soc", "clustersoc"];
+        a.extend_from_slice(SMOKE);
+        a
+    };
+    let envs = &[("SOCCAR_INCREMENTAL", "0")];
+    let serial = run_traced_env(&scratch("determinism-oneshot-j1"), &args, Some("1"), envs);
+    let parallel = run_traced_env(&scratch("determinism-oneshot-j4"), &args, Some("4"), envs);
+    assert_eq!(
+        metric_lines(&serial),
+        metric_lines(&parallel),
+        "metric lines must be byte-identical at SOCCAR_JOBS=1 vs 4 with SOCCAR_INCREMENTAL=0"
+    );
+    assert!(
+        !metric_lines(&serial).contains("\"name\":\"smt.incremental_calls\""),
+        "SOCCAR_INCREMENTAL=0 must keep every flip solve on the one-shot path"
+    );
+}
+
+#[test]
+fn trace_metrics_identical_across_job_counts_under_faults() {
+    // An injected solver Unknown lands on flip candidate #2 regardless
+    // of which worker picks it up, so the degraded metric stream must
+    // stay byte-identical across job counts too.
+    let args = {
+        let mut a = vec!["--soc", "clustersoc", "--keep-going"];
+        a.extend_from_slice(SMOKE);
+        a
+    };
+    let envs = &[("SOCCAR_FAULTS", "solver_unknown@2")];
+    let serial = run_traced_env(&scratch("determinism-fault-j1"), &args, Some("1"), envs);
+    let parallel = run_traced_env(&scratch("determinism-fault-j4"), &args, Some("4"), envs);
+    let serial_metrics = metric_lines(&serial);
+    assert_eq!(
+        serial_metrics,
+        metric_lines(&parallel),
+        "metric lines must be byte-identical at SOCCAR_JOBS=1 vs 4 under SOCCAR_FAULTS"
+    );
+    assert!(
+        serial_metrics.contains("\"name\":\"resilience.solver_unknown\""),
+        "the injected Unknown must surface in the resilience counters"
     );
 }

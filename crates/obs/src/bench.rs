@@ -32,6 +32,10 @@ pub struct BenchVariant {
     /// Exact, deterministic counters (`detected`, `rounds`,
     /// `solver_calls`, …), serialized sorted by name.
     pub counters: BTreeMap<String, u64>,
+    /// Named quantized timings in seconds (key must end in `_q`, e.g.
+    /// `flip_incremental_q`). Reported, not gated — [`strip_timing`]
+    /// zeroes them before baseline comparison. Additive to schema v1.
+    pub timings_q: BTreeMap<String, f64>,
     /// Quantized verification wall-clock, in seconds. Reported, not gated.
     pub seconds_q: f64,
 }
@@ -72,6 +76,12 @@ impl BenchReport {
             push_json_str(&mut out, &v.variant);
             out.push_str(",\n");
             for (name, value) in &v.counters {
+                out.push_str("      ");
+                push_json_str(&mut out, name);
+                let _ = writeln!(out, ": {value},");
+            }
+            for (name, value) in &v.timings_q {
+                debug_assert!(name.ends_with("_q"), "timing key must end in _q: {name}");
                 out.push_str("      ");
                 push_json_str(&mut out, name);
                 let _ = writeln!(out, ": {value},");
@@ -169,11 +179,13 @@ mod tests {
                 BenchVariant {
                     variant: "ClusterSoC Variant #1".to_owned(),
                     counters: counters.clone(),
+                    timings_q: BTreeMap::from([("flip_incremental_q".to_owned(), 0.004)]),
                     seconds_q: 0.256,
                 },
                 BenchVariant {
                     variant: "ClusterSoC Variant #2".to_owned(),
                     counters,
+                    timings_q: BTreeMap::new(),
                     seconds_q: 0.512,
                 },
             ],
@@ -189,6 +201,7 @@ mod tests {
         assert!(json.contains("\"mode\": \"smoke\""));
         assert!(json.contains("\"variant\": \"ClusterSoC Variant #1\""));
         assert!(json.contains("\"detected\": 2,"));
+        assert!(json.contains("\"flip_incremental_q\": 0.004,"));
         assert!(json.contains("\"seconds_q\": 0.256"));
         assert!(json.ends_with("  ]\n}\n"));
     }
@@ -218,8 +231,10 @@ mod tests {
         let json = sample().to_json();
         let stripped = strip_timing(&json);
         assert!(stripped.contains("\"seconds_q\": 0\n"));
+        assert!(stripped.contains("\"flip_incremental_q\": 0,"));
         assert!(stripped.contains("\"detected\": 2,"));
         assert!(!stripped.contains("0.256"));
+        assert!(!stripped.contains("0.004"));
     }
 
     #[test]

@@ -160,12 +160,17 @@ pub fn to_ndjson_canonical(snap: &TraceSnapshot) -> String {
     render(snap, true)
 }
 
-/// Renders the span tree with durations and fields, for `--verbose`:
+/// Renders the span tree with durations and fields, for `--verbose`,
+/// followed by the run's counters and histogram summaries:
 ///
 /// ```text
 /// pipeline.analyze  128.4ms
 ///   rtl.parse  3.1ms  modules=12
 ///   concolic.round  9.8ms  round=1
+/// counters:
+///   smt.incremental_calls  42
+/// histograms:
+///   smt.propagations  count=42 sum=9001
 /// ```
 #[must_use]
 pub fn render_tree(snap: &TraceSnapshot) -> String {
@@ -195,6 +200,18 @@ pub fn render_tree(snap: &TraceSnapshot) -> String {
             }
         }
         out.push('\n');
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name}  {value}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(out, "  {name}  count={} sum={}", h.count, h.sum);
+        }
     }
     out
 }
@@ -248,6 +265,8 @@ mod tests {
         assert!(lines[0].starts_with("pipeline.analyze  "));
         assert!(lines[0].contains("top=soc"));
         assert!(lines[1].starts_with("  rtl.parse  "));
+        assert!(tree.contains("counters:\n  rtl.modules  12\n"));
+        assert!(tree.contains("histograms:\n  smt.clauses  count=2 sum=305\n"));
     }
 
     #[test]

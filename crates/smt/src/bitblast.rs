@@ -12,12 +12,13 @@ use crate::sat::{Lit, SatSolver};
 use crate::term::{Term, TermGraph, TermId};
 
 /// Bit-blasts terms into a [`SatSolver`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BitBlaster {
     /// The solver receiving clauses.
     pub solver: SatSolver,
     cache: HashMap<TermId, Vec<Lit>>,
     true_lit: Lit,
+    cache_hits: u64,
 }
 
 impl BitBlaster {
@@ -32,7 +33,15 @@ impl BitBlaster {
             solver,
             cache: HashMap::new(),
             true_lit: Lit::pos(t),
+            cache_hits: 0,
         }
+    }
+
+    /// How often [`BitBlaster::blast`] was answered from the term cache
+    /// (shared subterms and repeated blasts encoded zero new clauses).
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
     /// The always-true literal.
@@ -61,6 +70,7 @@ impl BitBlaster {
     /// Returns the literal vector (LSB first) encoding `id`.
     pub fn blast(&mut self, g: &TermGraph, id: TermId) -> Vec<Lit> {
         if let Some(bits) = self.cache.get(&id) {
+            self.cache_hits += 1;
             return bits.clone();
         }
         let w = g.width(id) as usize;

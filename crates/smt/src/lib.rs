@@ -46,5 +46,5 @@ pub mod term;
 
 pub use bv::BvVal;
 pub use sat::SolveBudget;
-pub use solver::{model_satisfies, CheckResult, Model, SolveStats, Solver};
+pub use solver::{model_satisfies, BlastContext, CheckResult, Model, SolveStats, Solver};
 pub use term::{Term, TermGraph, TermId};

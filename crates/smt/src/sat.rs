@@ -141,7 +141,7 @@ enum Assign {
     False,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
 }
@@ -162,7 +162,7 @@ struct Clause {
 /// assert_eq!(s.value(a), Some(false));
 /// assert_eq!(s.value(b), Some(true));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SatSolver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<u32>>, // per literal index: clause indices
@@ -175,10 +175,13 @@ pub struct SatSolver {
     activity: Vec<f64>,
     var_inc: f64,
     phase: Vec<bool>,
-    order: Vec<Var>, // lazy heap (sorted occasionally)
+    occurs: Vec<bool>, // var appears in at least one clause
+    order: Vec<Var>,   // lazy heap (sorted occasionally)
     unsat: bool,
     conflicts: u64,
     decisions: u64,
+    propagations: u64,
+    learnt_literals: u64,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -218,6 +221,18 @@ impl SatSolver {
         self.decisions
     }
 
+    /// Literals propagated by unit propagation so far (diagnostics).
+    #[must_use]
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Total literals across all learnt clauses so far (diagnostics).
+    #[must_use]
+    pub fn learnt_literals(&self) -> u64 {
+        self.learnt_literals
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
@@ -226,6 +241,7 @@ impl SatSolver {
         self.reasons.push(None);
         self.activity.push(0.0);
         self.phase.push(false);
+        self.occurs.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.push(v);
@@ -236,6 +252,11 @@ impl SatSolver {
     pub fn add_clause(&mut self, lits: &[Lit]) {
         if self.unsat {
             return;
+        }
+        // Every mentioned variable gets a defined model value, even if the
+        // clause itself is dropped below (tautology / already satisfied).
+        for l in lits {
+            self.occurs[l.var().0 as usize] = true;
         }
         // Deduplicate and check for tautology.
         let mut ls: Vec<Lit> = lits.to_vec();
@@ -310,6 +331,7 @@ impl SatSolver {
         while self.prop_head < self.trail.len() {
             let l = self.trail[self.prop_head];
             self.prop_head += 1;
+            self.propagations += 1;
             // Clauses watching ¬l need a new watch or produce units.
             let mut watch_list = std::mem::take(&mut self.watches[l.index()]);
             let mut keep = Vec::with_capacity(watch_list.len());
@@ -451,11 +473,14 @@ impl SatSolver {
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
-        // Lazy max-activity scan (instances are small enough).
+        // Lazy max-activity scan (instances are small enough). Variables
+        // in no clause are never branched on: they cannot conflict, and
+        // models default them to their initial (false) phase — the same
+        // value branching would have assigned.
         let mut best: Option<Var> = None;
         let mut best_act = -1.0;
         for v in 0..self.num_vars() {
-            if self.assigns[v] == Assign::Unset && self.activity[v] > best_act {
+            if self.occurs[v] && self.assigns[v] == Assign::Unset && self.activity[v] > best_act {
                 best_act = self.activity[v];
                 best = Some(Var(v as u32));
             }
@@ -494,6 +519,7 @@ impl SatSolver {
                         return SatOutcome::Unsat;
                     }
                     let (learnt, bt) = self.analyze(conflict);
+                    self.learnt_literals += learnt.len() as u64;
                     self.backtrack(bt);
                     if learnt.len() == 1 {
                         let ok = self.enqueue(learnt[0], None);
@@ -538,6 +564,132 @@ impl SatSolver {
                         debug_assert!(ok, "decision variable was unset");
                     }
                 },
+            }
+        }
+    }
+
+    /// Solves under retractable *assumption* literals.
+    ///
+    /// Assumptions are enqueued as pseudo-decisions at successive levels
+    /// (MiniSat style), so everything the solver accumulates — clause
+    /// database, watches, activities, phases, and learnt clauses — stays
+    /// alive across calls and the next call benefits from the last one's
+    /// work. Outcomes:
+    ///
+    /// * [`SatOutcome::Sat`]: a model consistent with every assumption is
+    ///   on the trail (query via [`SatSolver::value`]).
+    /// * [`SatOutcome::Unsat`]: unsatisfiable *under these assumptions*.
+    ///   Only a conflict at decision level 0 marks the instance
+    ///   permanently unsat; an assumption-level conflict is retracted by
+    ///   backtracking and later calls may still answer `Sat`.
+    /// * [`SatOutcome::Unknown`]: the per-call `budget` ran out. Learnt
+    ///   clauses are kept, so a re-solve resumes rather than restarts.
+    ///
+    /// Learnt clauses never resolve on assumption literals (assumptions
+    /// carry no reason clause), so everything learnt is implied by the
+    /// clause database alone and remains valid once the assumptions are
+    /// retracted.
+    pub fn solve_assuming(&mut self, assumptions: &[Lit], budget: SolveBudget) -> SatOutcome {
+        // Retract whatever a previous call left on the trail.
+        self.backtrack(0);
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        let n_assumps = assumptions.len() as u32;
+        let conflicts_at_entry = self.conflicts;
+        let decisions_at_entry = self.decisions;
+        let mut luby_idx = 1u64;
+        let mut conflicts_until_restart = 100 * luby(luby_idx);
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.conflicts += 1;
+                    if self.decision_level() == 0 {
+                        self.unsat = true;
+                        return SatOutcome::Unsat;
+                    }
+                    if self.decision_level() <= n_assumps {
+                        // The conflict is forced by the assumptions alone:
+                        // unsat under them, but not permanently.
+                        self.backtrack(0);
+                        return SatOutcome::Unsat;
+                    }
+                    let (learnt, bt) = self.analyze(conflict);
+                    self.learnt_literals += learnt.len() as u64;
+                    self.backtrack(bt);
+                    if learnt.len() == 1 {
+                        let ok = self.enqueue(learnt[0], None);
+                        debug_assert!(ok, "learnt unit must be enqueueable");
+                    } else {
+                        let idx = self.clauses.len() as u32;
+                        self.watches[learnt[0].negate().index()].push(idx);
+                        self.watches[learnt[1].negate().index()].push(idx);
+                        let first = learnt[0];
+                        self.clauses.push(Clause { lits: learnt });
+                        let ok = self.enqueue(first, Some(idx));
+                        debug_assert!(ok, "uip literal must be enqueueable");
+                    }
+                    self.var_inc /= VAR_DECAY;
+                    // Budget check sits after clause learning so an
+                    // interrupted search still keeps what it learnt.
+                    if budget
+                        .max_conflicts
+                        .is_some_and(|max| self.conflicts - conflicts_at_entry >= max)
+                    {
+                        self.backtrack(0);
+                        return SatOutcome::Unknown;
+                    }
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                    if conflicts_until_restart == 0 {
+                        luby_idx += 1;
+                        conflicts_until_restart = 100 * luby(luby_idx);
+                        // Assumptions below the restart point are simply
+                        // re-enqueued by the level check below.
+                        self.backtrack(0);
+                    }
+                }
+                None => {
+                    if (self.decision_level() as usize) < assumptions.len() {
+                        let a = assumptions[self.decision_level() as usize];
+                        match self.value_lit(a) {
+                            Some(true) => {
+                                // Already implied: push a dummy level to
+                                // keep level ↔ assumption-index in step.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            Some(false) => {
+                                self.backtrack(0);
+                                return SatOutcome::Unsat;
+                            }
+                            None => {
+                                self.trail_lim.push(self.trail.len());
+                                let ok = self.enqueue(a, None);
+                                debug_assert!(ok, "assumption literal was unset");
+                            }
+                        }
+                    } else {
+                        match self.pick_branch() {
+                            None => return SatOutcome::Sat,
+                            Some(decision) => {
+                                if budget
+                                    .max_decisions
+                                    .is_some_and(|max| self.decisions - decisions_at_entry >= max)
+                                {
+                                    self.backtrack(0);
+                                    return SatOutcome::Unknown;
+                                }
+                                self.decisions += 1;
+                                self.trail_lim.push(self.trail.len());
+                                let ok = self.enqueue(decision, None);
+                                debug_assert!(ok, "decision variable was unset");
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -712,6 +864,154 @@ mod tests {
         assert_eq!(a.solve_budgeted(budget), b.solve());
         assert!(SolveBudget::default().is_unlimited());
         assert!(!SolveBudget::conflicts(5).is_unlimited());
+    }
+
+    #[test]
+    fn assumptions_flip_between_calls() {
+        // (a ∨ b) with assumption ¬a forces b; assumption ¬b forces a.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(
+            s.solve_assuming(&[Lit::neg(a)], SolveBudget::UNLIMITED),
+            SatOutcome::Sat
+        );
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(
+            s.solve_assuming(&[Lit::neg(b)], SolveBudget::UNLIMITED),
+            SatOutcome::Sat
+        );
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn unsat_under_assumptions_is_retractable() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        // ¬a ∧ ¬b contradicts the clause — but only under assumptions.
+        assert_eq!(
+            s.solve_assuming(&[Lit::neg(a), Lit::neg(b)], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+        // The instance itself is still satisfiable.
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(a)], SolveBudget::UNLIMITED),
+            SatOutcome::Sat
+        );
+    }
+
+    #[test]
+    fn contradictory_assumptions_unsat_without_poisoning() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(a), Lit::neg(a)], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+        assert_eq!(s.solve(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn permanent_unsat_survives_assumption_calls() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::neg(a)]);
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(b)], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+        // A level-0 conflict is permanent: every later call stays Unsat.
+        assert_eq!(
+            s.solve_assuming(&[], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn assumption_budget_unknown_then_resume() {
+        let mut s = pigeonhole(6, 5);
+        let extra = s.new_var();
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(extra)], SolveBudget::conflicts(1)),
+            SatOutcome::Unknown
+        );
+        let learnt_after_budget = s.num_clauses();
+        // Re-solving under the same assumptions resumes with the learnt
+        // clauses intact and reaches the definite answer.
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(extra)], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+        assert!(s.num_clauses() >= learnt_after_budget);
+    }
+
+    #[test]
+    fn assumptions_agree_with_hard_units() {
+        // Random instances: solve_assuming(lits) must agree with a fresh
+        // solver where the same lits are added as unit clauses.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..30 {
+            let n_vars = 4 + (rng() % 7) as usize;
+            let n_clauses = 2 + (rng() % (3 * n_vars as u64)) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..n_clauses {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| Lit::new(Var((rng() % n_vars as u64) as u32), rng() % 2 == 0))
+                    .collect();
+                clauses.push(c);
+            }
+            let mut inc = SatSolver::new();
+            for _ in 0..n_vars {
+                inc.new_var();
+            }
+            for c in &clauses {
+                inc.add_clause(c);
+            }
+            // Three assumption sets against the SAME incremental solver.
+            for set in 0..3 {
+                let n_assumps = (rng() % (n_vars as u64).min(3)) as usize;
+                let assumps: Vec<Lit> = (0..n_assumps)
+                    .map(|_| Lit::new(Var((rng() % n_vars as u64) as u32), rng() % 2 == 0))
+                    .collect();
+                let mut fresh = SatSolver::new();
+                for _ in 0..n_vars {
+                    fresh.new_var();
+                }
+                for c in &clauses {
+                    fresh.add_clause(c);
+                }
+                for a in &assumps {
+                    fresh.add_clause(&[*a]);
+                }
+                let want = fresh.solve();
+                let got = inc.solve_assuming(&assumps, SolveBudget::UNLIMITED);
+                assert_eq!(got, want, "round {round} set {set} disagreed");
+                if got == SatOutcome::Sat {
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|l| inc.value(l.var()) == Some(l.is_pos())),
+                            "model violates clause in round {round}"
+                        );
+                    }
+                    for a in &assumps {
+                        assert_eq!(inc.value_lit(*a), Some(true), "assumption not honored");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

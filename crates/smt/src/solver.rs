@@ -83,6 +83,11 @@ impl CheckResult {
 }
 
 /// Statistics from one `check` call.
+///
+/// For [`Solver::check_assuming`] the `conflicts`, `decisions`,
+/// `propagations`, and `learnt_literals` fields are per-call deltas
+/// (budgets meter per call), while `sat_vars` / `sat_clauses` report the
+/// live size of the shared incremental state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// SAT variables created by bit-blasting.
@@ -93,6 +98,38 @@ pub struct SolveStats {
     pub conflicts: u64,
     /// CDCL branching decisions.
     pub decisions: u64,
+    /// Literals assigned by unit propagation.
+    pub propagations: u64,
+    /// Total literals across learnt clauses.
+    pub learnt_literals: u64,
+}
+
+/// Blasted solver state kept alive across [`Solver::check_assuming`]
+/// calls: the CNF-level [`BitBlaster`] (term → literal cache plus the
+/// incremental CDCL solver underneath) and high-water marks recording how
+/// much of the word-level state has been lowered into it.
+///
+/// The context is only valid for the [`TermGraph`] it was built against,
+/// and relies on the graph being append-only: existing `TermId`s never
+/// change meaning, so cached literal vectors stay correct as the graph
+/// grows. Cloning a `Solver` clones the context too — clones share no
+/// state, which is how the concolic engine hands each worker a cheap
+/// private copy of an already-blasted round prefix.
+#[derive(Debug, Clone)]
+pub struct BlastContext {
+    bb: BitBlaster,
+    synced_assertions: usize,
+    blasted_vars: usize,
+}
+
+impl BlastContext {
+    fn new() -> BlastContext {
+        BlastContext {
+            bb: BitBlaster::new(),
+            synced_assertions: 0,
+            blasted_vars: 0,
+        }
+    }
 }
 
 /// A one-shot bit-vector solver over a [`TermGraph`].
@@ -118,11 +155,12 @@ pub struct SolveStats {
 ///     other => unreachable!("{other:?}"),
 /// }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Solver {
     assertions: Vec<TermId>,
     budget: SolveBudget,
     last_stats: SolveStats,
+    ctx: Option<BlastContext>,
 }
 
 impl Solver {
@@ -211,6 +249,8 @@ impl Solver {
         recorder.histogram_record("smt.sat_vars", self.last_stats.sat_vars as u64);
         recorder.histogram_record("smt.sat_clauses", self.last_stats.sat_clauses as u64);
         recorder.histogram_record("smt.conflicts", self.last_stats.conflicts);
+        recorder.histogram_record("smt.propagations", self.last_stats.propagations);
+        recorder.histogram_record("smt.learnt_literals", self.last_stats.learnt_literals);
         result
     }
 
@@ -238,6 +278,8 @@ impl Solver {
             sat_clauses: bb.solver.num_clauses(),
             conflicts: bb.solver.conflicts(),
             decisions: bb.solver.decisions(),
+            propagations: bb.solver.propagations(),
+            learnt_literals: bb.solver.learnt_literals(),
         };
         match outcome {
             SatOutcome::Unsat => CheckResult::Unsat,
@@ -245,6 +287,168 @@ impl Solver {
                 let mut values = HashMap::new();
                 for v in graph.vars() {
                     let bits = bb.model_bits(*v).expect("variable was blasted");
+                    values.insert(*v, BvVal::from_bits(&bits));
+                }
+                CheckResult::Sat(Model { values })
+            }
+            SatOutcome::Unknown => CheckResult::Unknown {
+                reason: format!(
+                    "solver budget exhausted ({} conflicts, {} decisions)",
+                    self.last_stats.conflicts, self.last_stats.decisions
+                ),
+            },
+        }
+    }
+
+    /// Cache hits of the incremental blast context so far (0 before the
+    /// first [`Solver::check_assuming`] / [`Solver::preblast`] call).
+    #[must_use]
+    pub fn blast_cache_hits(&self) -> u64 {
+        self.ctx.as_ref().map_or(0, |c| c.bb.cache_hits())
+    }
+
+    /// Lowers `terms` (and all pending assertions / graph variables) into
+    /// the incremental blast context ahead of time, so that subsequent
+    /// [`Solver::check_assuming`] calls — or calls on *clones* of this
+    /// solver — find everything already encoded and only pay for the
+    /// search.
+    ///
+    /// # Panics
+    ///
+    /// As [`Solver::check_assuming`].
+    pub fn preblast(&mut self, graph: &TermGraph, terms: &[TermId]) {
+        self.sync_ctx(graph);
+        let ctx = self.ctx.as_mut().expect("context just synced");
+        for t in terms {
+            ctx.bb.blast(graph, *t);
+        }
+    }
+
+    /// Brings the blast context up to date with the word-level state:
+    /// assertions added since the last call become hard (non-retractable)
+    /// clauses, and new graph variables are blasted so models stay total.
+    fn sync_ctx(&mut self, graph: &TermGraph) {
+        let ctx = self.ctx.get_or_insert_with(BlastContext::new);
+        while ctx.synced_assertions < self.assertions.len() {
+            let t = self.assertions[ctx.synced_assertions];
+            ctx.bb.assert_true(graph, t);
+            ctx.synced_assertions += 1;
+        }
+        let vars = graph.vars();
+        while ctx.blasted_vars < vars.len() {
+            ctx.bb.blast(graph, vars[ctx.blasted_vars]);
+            ctx.blasted_vars += 1;
+        }
+    }
+
+    /// Decides the assertions conjoined with retractable `assumptions`
+    /// (1-bit terms), reusing the blasted CNF, learnt clauses, variable
+    /// activities, and saved phases of every previous `check_assuming`
+    /// call on this solver.
+    ///
+    /// Unlike [`Solver::assert`] + [`Solver::check`], the assumptions are
+    /// not part of the formula afterwards: `Unsat` means "unsat under
+    /// these assumptions" unless the hard assertions alone are
+    /// contradictory (a level-0 conflict), which is permanent. The
+    /// [`SolveBudget`] meters each call separately; an `Unknown` answer
+    /// keeps everything learnt, so re-solving resumes rather than
+    /// restarts.
+    ///
+    /// The context assumes `graph` only grows between calls (append-only
+    /// `TermId`s); see `docs/SOLVER.md` for the reuse invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assertion or assumption is not a 1-bit term of
+    /// `graph`.
+    pub fn check_assuming(&mut self, graph: &TermGraph, assumptions: &[TermId]) -> CheckResult {
+        self.check_assuming_traced(graph, assumptions, &soccar_obs::Recorder::disabled())
+    }
+
+    /// Like [`Solver::check_assuming`] under an observability recorder.
+    ///
+    /// On top of the [`Solver::check_traced`] metrics it bumps
+    /// `smt.incremental_calls`, `smt.blast_cache_hits` (terms answered
+    /// from the blast cache during this call), and `smt.clauses_reused`
+    /// (clauses already present when the call started — the work the
+    /// incremental path did *not* redo), and feeds the new
+    /// `smt.propagations` / `smt.learnt_literals` histograms. Metrics
+    /// only — no span — so it is worker-thread safe like `check_traced`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Solver::check_assuming`].
+    pub fn check_assuming_traced(
+        &mut self,
+        graph: &TermGraph,
+        assumptions: &[TermId],
+        recorder: &soccar_obs::Recorder,
+    ) -> CheckResult {
+        let hits_at_entry = self.blast_cache_hits();
+        let clauses_at_entry = self.ctx.as_ref().map_or(0, |c| c.bb.solver.num_clauses());
+        let result = self.check_assuming_inner(graph, assumptions);
+        recorder.counter_add("smt.queries", 1);
+        recorder.counter_add("smt.incremental_calls", 1);
+        recorder.counter_add(
+            match &result {
+                CheckResult::Sat(_) => "smt.sat",
+                CheckResult::Unsat => "smt.unsat",
+                CheckResult::Unknown { .. } => "smt.unknown",
+            },
+            1,
+        );
+        let hits = self.blast_cache_hits() - hits_at_entry;
+        if hits > 0 {
+            recorder.counter_add("smt.blast_cache_hits", hits);
+        }
+        if clauses_at_entry > 0 {
+            recorder.counter_add("smt.clauses_reused", clauses_at_entry as u64);
+        }
+        recorder.histogram_record("smt.sat_vars", self.last_stats.sat_vars as u64);
+        recorder.histogram_record("smt.sat_clauses", self.last_stats.sat_clauses as u64);
+        recorder.histogram_record("smt.conflicts", self.last_stats.conflicts);
+        recorder.histogram_record("smt.propagations", self.last_stats.propagations);
+        recorder.histogram_record("smt.learnt_literals", self.last_stats.learnt_literals);
+        result
+    }
+
+    fn check_assuming_inner(&mut self, graph: &TermGraph, assumptions: &[TermId]) -> CheckResult {
+        // Fast path: a constant-false assertion or assumption.
+        if self
+            .assertions
+            .iter()
+            .chain(assumptions)
+            .any(|t| graph.as_const(*t).is_some_and(BvVal::is_zero))
+        {
+            self.last_stats = SolveStats::default();
+            return CheckResult::Unsat;
+        }
+        self.sync_ctx(graph);
+        let ctx = self.ctx.as_mut().expect("context just synced");
+        let mut lits = Vec::with_capacity(assumptions.len());
+        for t in assumptions {
+            assert_eq!(graph.width(*t), 1, "assumptions must be 1-bit terms");
+            lits.push(ctx.bb.blast(graph, *t)[0]);
+        }
+        let conflicts_at_entry = ctx.bb.solver.conflicts();
+        let decisions_at_entry = ctx.bb.solver.decisions();
+        let propagations_at_entry = ctx.bb.solver.propagations();
+        let learnt_at_entry = ctx.bb.solver.learnt_literals();
+        let outcome = ctx.bb.solver.solve_assuming(&lits, self.budget);
+        self.last_stats = SolveStats {
+            sat_vars: ctx.bb.solver.num_vars(),
+            sat_clauses: ctx.bb.solver.num_clauses(),
+            conflicts: ctx.bb.solver.conflicts() - conflicts_at_entry,
+            decisions: ctx.bb.solver.decisions() - decisions_at_entry,
+            propagations: ctx.bb.solver.propagations() - propagations_at_entry,
+            learnt_literals: ctx.bb.solver.learnt_literals() - learnt_at_entry,
+        };
+        match outcome {
+            SatOutcome::Unsat => CheckResult::Unsat,
+            SatOutcome::Sat => {
+                let mut values = HashMap::new();
+                for v in graph.vars() {
+                    let bits = ctx.bb.model_bits(*v).expect("variable was blasted");
                     values.insert(*v, BvVal::from_bits(&bits));
                 }
                 CheckResult::Sat(Model { values })
@@ -426,6 +630,128 @@ mod tests {
         s.assert(e2);
         assert_eq!(s.check(&g), CheckResult::Unsat);
         assert_eq!(s.budget(), SolveBudget::conflicts(1));
+    }
+
+    #[test]
+    fn check_assuming_flips_without_reasserting() {
+        let mut g = TermGraph::new();
+        let x = g.var("x", 8);
+        let c1 = g.const_u64(8, 1);
+        let c2 = g.const_u64(8, 2);
+        let e1 = g.eq(x, c1);
+        let e2 = g.eq(x, c2);
+        let mut s = Solver::new();
+        // No hard assertions: each call decides one retractable goal.
+        let r1 = s.check_assuming(&g, &[e1]);
+        assert_eq!(
+            r1.model().and_then(|m| m.value(x)).and_then(BvVal::to_u64),
+            Some(1)
+        );
+        let r2 = s.check_assuming(&g, &[e2]);
+        assert_eq!(
+            r2.model().and_then(|m| m.value(x)).and_then(BvVal::to_u64),
+            Some(2)
+        );
+        // Contradictory assumptions: unsat under them, not permanently.
+        assert_eq!(s.check_assuming(&g, &[e1, e2]), CheckResult::Unsat);
+        assert!(s.check_assuming(&g, &[e1]).is_sat());
+        // The second blast of e1/e2 came from the cache.
+        assert!(s.blast_cache_hits() > 0);
+    }
+
+    #[test]
+    fn check_assuming_with_hard_assertions_and_graph_growth() {
+        let mut g = TermGraph::new();
+        let x = g.var("x", 8);
+        let y = g.var("y", 8);
+        let sum = g.add(x, y);
+        let c10 = g.const_u64(8, 10);
+        let eq10 = g.eq(sum, c10);
+        let mut s = Solver::new();
+        s.assert(eq10);
+        let c3 = g.const_u64(8, 3);
+        let xeq3 = g.eq(x, c3);
+        let r = s.check_assuming(&g, &[xeq3]);
+        let m = r.model().expect("sat");
+        assert_eq!(m.value(y).and_then(BvVal::to_u64), Some(7));
+        assert!(model_satisfies(&g, &[eq10, xeq3], m));
+        // Grow the graph after the context exists: new terms blast on
+        // demand, new variables join the model.
+        let z = g.var("z", 4);
+        let c9 = g.const_u64(4, 9);
+        let zeq9 = g.eq(z, c9);
+        let r = s.check_assuming(&g, &[zeq9]);
+        let m = r.model().expect("sat");
+        assert_eq!(m.value(z).and_then(BvVal::to_u64), Some(9));
+        assert_eq!(m.value(x).map(|v| v.width()), Some(8));
+        // A contradictory assumption pair is retractable...
+        let c200 = g.const_u64(8, 200);
+        let xeq200 = g.eq(x, c200);
+        assert_eq!(s.check_assuming(&g, &[xeq3, xeq200]), CheckResult::Unsat);
+        // ...and the solver still answers Sat afterwards.
+        assert!(s.check_assuming(&g, &[xeq3]).is_sat());
+    }
+
+    #[test]
+    fn check_assuming_permanent_unsat_from_hard_assertions() {
+        let mut g = TermGraph::new();
+        let x = g.var("x", 8);
+        let c1 = g.const_u64(8, 1);
+        let c2 = g.const_u64(8, 2);
+        let e1 = g.eq(x, c1);
+        let e2 = g.eq(x, c2);
+        let mut s = Solver::new();
+        s.assert(e1);
+        s.assert(e2);
+        assert_eq!(s.check_assuming(&g, &[]), CheckResult::Unsat);
+        assert_eq!(s.check_assuming(&g, &[e1]), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn check_assuming_budget_unknown_with_deltas() {
+        let mut g = TermGraph::new();
+        let x = g.var("x", 16);
+        let y = g.var("y", 16);
+        let sum = g.add(x, y);
+        let c = g.const_u64(16, 1000);
+        let eq = g.eq(sum, c);
+        let mut s = Solver::with_budget(SolveBudget {
+            max_conflicts: None,
+            max_decisions: Some(0),
+        });
+        let r = s.check_assuming(&g, &[eq]);
+        assert!(r.is_unknown());
+        match &r {
+            CheckResult::Unknown { reason } => assert!(reason.contains("budget exhausted")),
+            other => unreachable!("{other:?}"),
+        }
+        // Budgets meter per call: lifting it resumes to a definite answer
+        // on the same context.
+        s.set_budget(SolveBudget::UNLIMITED);
+        let r = s.check_assuming(&g, &[eq]);
+        let m = r.model().expect("sat");
+        assert!(model_satisfies(&g, &[eq], m));
+        assert_eq!(s.stats().decisions, s.stats().decisions); // per-call delta
+    }
+
+    #[test]
+    fn cloned_solver_shares_no_state_with_original() {
+        let mut g = TermGraph::new();
+        let x = g.var("x", 8);
+        let c5 = g.const_u64(8, 5);
+        let c6 = g.const_u64(8, 6);
+        let e5 = g.eq(x, c5);
+        let e6 = g.eq(x, c6);
+        let mut base = Solver::new();
+        base.preblast(&g, &[e5, e6]);
+        let clauses = base.blast_cache_hits();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        assert!(a.check_assuming(&g, &[e5]).is_sat());
+        assert_eq!(b.check_assuming(&g, &[e5, e6]), CheckResult::Unsat);
+        // Both clones hit the preblasted cache; the base is untouched.
+        assert!(a.blast_cache_hits() > clauses);
+        assert_eq!(base.blast_cache_hits(), clauses);
     }
 
     #[test]

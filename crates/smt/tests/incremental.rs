@@ -1,0 +1,132 @@
+//! Property tests for assumption-based incremental solving: one solver
+//! answering a *sequence* of assumption sets must agree with a fresh
+//! one-shot `check` for each set, with and without budgets. This is the
+//! contract the concolic flip loop relies on — reusing the blasted CNF
+//! and learnt clauses must never change an answer, only its cost.
+
+use proptest::prelude::*;
+use soccar_smt::{model_satisfies, BvVal, CheckResult, SolveBudget, Solver, TermGraph, TermId};
+
+/// Builds a small expression over `n_vars` variables and returns 1-bit
+/// goal terms `root == target` for each requested target.
+fn build_goals(g: &mut TermGraph, width: u32, seeds: &[u64], targets: &[u64]) -> Vec<TermId> {
+    let vars: Vec<TermId> = (0..3).map(|i| g.var(format!("v{i}"), width)).collect();
+    // Fold the seeds into an expression mixing all three variables.
+    let mut acc = vars[0];
+    for (i, s) in seeds.iter().enumerate() {
+        let c = g.constant(BvVal::from_u64(width, *s));
+        let mixed = match i % 4 {
+            0 => g.add(acc, c),
+            1 => g.xor(acc, vars[1]),
+            2 => g.mul(acc, c),
+            _ => g.and(acc, vars[2]),
+        };
+        acc = mixed;
+    }
+    targets
+        .iter()
+        .map(|t| {
+            let c = g.constant(BvVal::from_u64(width, *t));
+            g.eq(acc, c)
+        })
+        .collect()
+}
+
+/// One-shot reference: a fresh solver asserting `hard ∧ set`.
+fn one_shot(g: &TermGraph, budget: SolveBudget, hard: &[TermId], set: &[TermId]) -> CheckResult {
+    let mut s = Solver::with_budget(budget);
+    for t in hard.iter().chain(set) {
+        s.assert(*t);
+    }
+    s.check(g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Unlimited budget: every answer is definite, so the incremental
+    /// solver must agree exactly (in sat-ness) with a fresh one-shot
+    /// check on each assumption set, and its models must be real.
+    #[test]
+    fn assumption_sequence_agrees_with_one_shot(
+        width in 1u32..8,
+        seeds in proptest::collection::vec(0u64..128, 1..5),
+        targets in proptest::collection::vec(0u64..128, 2..6),
+        pin in 0u64..128,
+    ) {
+        let mut g = TermGraph::new();
+        let goals = build_goals(&mut g, width, &seeds, &targets);
+        let v0 = g.var("v0", width);
+        let pin_c = g.constant(BvVal::from_u64(width, pin));
+        let hard = g.eq(v0, pin_c);
+
+        let mut inc = Solver::new();
+        inc.assert(hard);
+        for (i, goal) in goals.iter().enumerate() {
+            // Alternate single goals with pairs so retraction is covered.
+            let set: Vec<TermId> = if i % 2 == 0 {
+                vec![*goal]
+            } else {
+                vec![goals[i - 1], *goal]
+            };
+            let want = one_shot(&g, SolveBudget::UNLIMITED, &[hard], &set);
+            let got = inc.check_assuming(&g, &set);
+            prop_assert_eq!(
+                got.is_sat(),
+                want.is_sat(),
+                "set {} disagreed: inc {:?} vs one-shot {:?}",
+                i,
+                got,
+                want
+            );
+            if let CheckResult::Sat(model) = &got {
+                let mut asserted = vec![hard];
+                asserted.extend(&set);
+                prop_assert!(model_satisfies(&g, &asserted, model));
+            }
+        }
+    }
+
+    /// Under a budget the incremental solver stays *sound*: a definite
+    /// answer matches the unbudgeted truth, and `Unknown` only appears
+    /// where a one-shot check is also Unknown-eligible (i.e. a budget is
+    /// actually configured — definite fast paths stay definite).
+    #[test]
+    fn budgeted_assumption_sequence_is_sound(
+        width in 1u32..8,
+        seeds in proptest::collection::vec(0u64..128, 1..5),
+        targets in proptest::collection::vec(0u64..128, 2..5),
+        max_conflicts in 1u64..32,
+        max_decisions in 1u64..64,
+    ) {
+        let budget = SolveBudget {
+            max_conflicts: Some(max_conflicts),
+            max_decisions: Some(max_decisions),
+        };
+        let mut g = TermGraph::new();
+        let goals = build_goals(&mut g, width, &seeds, &targets);
+
+        let mut inc = Solver::with_budget(budget);
+        for (i, goal) in goals.iter().enumerate() {
+            let set = [*goal];
+            let truth = one_shot(&g, SolveBudget::UNLIMITED, &[], &set);
+            match inc.check_assuming(&g, &set) {
+                CheckResult::Unknown { reason } => {
+                    // Only a configured budget can run out, and the
+                    // reason must say so.
+                    prop_assert!(!budget.is_unlimited());
+                    prop_assert!(reason.contains("budget exhausted"));
+                }
+                CheckResult::Unsat => prop_assert!(
+                    !truth.is_sat(),
+                    "set {} incremental Unsat but truth Sat",
+                    i
+                ),
+                CheckResult::Sat(model) => {
+                    prop_assert!(truth.is_sat(), "set {i} incremental Sat but truth Unsat");
+                    prop_assert!(model_satisfies(&g, &set, &model));
+                }
+            }
+        }
+    }
+}
