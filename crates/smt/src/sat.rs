@@ -249,10 +249,17 @@ impl SatSolver {
     }
 
     /// Adds a clause. An empty clause makes the instance trivially unsat.
+    ///
+    /// Adding a clause invalidates the model of a previous solve: the
+    /// trail is retracted to decision level 0 first, so the clause is
+    /// simplified against (and any unit enqueued on) level-0 state only.
+    /// A unit landed on a stale search trail would be popped — and
+    /// silently lost — by the next solve's entry backtrack.
     pub fn add_clause(&mut self, lits: &[Lit]) {
         if self.unsat {
             return;
         }
+        self.backtrack(0);
         // Every mentioned variable gets a defined model value, even if the
         // clause itself is dropped below (tautology / already satisfied).
         for l in lits {
@@ -290,6 +297,12 @@ impl SatSolver {
     }
 
     /// The model value of `v` after [`SatSolver::solve`] returned `Sat`.
+    ///
+    /// `Sat` models are *partial* over variables that occur in no clause:
+    /// such variables are never branched on (see `pick_branch`) and stay
+    /// `None`. Callers needing a total assignment pick their own default
+    /// — the bit-blaster's `model_bits` defaults unconstrained bits to
+    /// `false`, matching what the one-shot solver's models contain.
     #[must_use]
     pub fn value(&self, v: Var) -> Option<bool> {
         match self.assigns[v.0 as usize] {
@@ -468,15 +481,17 @@ impl SatSolver {
                 self.reasons[v] = None;
             }
         }
+        // Clamp only: literals enqueued at the target level but not yet
+        // propagated (units from `add_clause`) must stay queued, or their
+        // consequences — including level-0 conflicts — are missed.
         self.prop_head = self.trail.len().min(self.prop_head);
-        self.prop_head = self.trail.len();
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
         // Lazy max-activity scan (instances are small enough). Variables
-        // in no clause are never branched on: they cannot conflict, and
-        // models default them to their initial (false) phase — the same
-        // value branching would have assigned.
+        // in no clause are never branched on: they cannot contribute to a
+        // conflict, so the model is simply left partial over them (see
+        // `value`) and callers choose the default.
         let mut best: Option<Var> = None;
         let mut best_act = -1.0;
         for v in 0..self.num_vars() {
@@ -950,6 +965,66 @@ mod tests {
             SatOutcome::Unsat
         );
         assert!(s.num_clauses() >= learnt_after_budget);
+    }
+
+    #[test]
+    fn units_added_after_a_sat_assumption_call_stick() {
+        // add_clause used to enqueue new units on the previous call's
+        // stale Sat trail; solve_assuming's entry backtrack then dropped
+        // them (or, if the trail falsified the unit, the instance was
+        // wrongly latched permanently unsat).
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(a)], SolveBudget::UNLIMITED),
+            SatOutcome::Sat
+        );
+        // The stale trail has a = true, which falsifies this new unit.
+        s.add_clause(&[Lit::neg(a)]);
+        assert_eq!(
+            s.solve_assuming(&[], SolveBudget::UNLIMITED),
+            SatOutcome::Sat
+        );
+        assert_eq!(s.value(a), Some(false));
+        assert_eq!(s.value(b), Some(true));
+        // And the unit is a real hard clause, not a lost enqueue.
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(a)], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn pending_level0_units_propagate_at_assumption_solve_entry() {
+        // The entry backtrack(0) of solve_assuming must not advance the
+        // propagation head past units that add_clause enqueued at level 0
+        // but nothing has propagated yet — skipping them here leaves the
+        // binary clause below with both watches false and unscanned,
+        // turning this Unsat instance into a wrong Sat.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::pos(b)]);
+        assert_eq!(
+            s.solve_assuming(&[], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn models_are_partial_over_nonoccurring_vars() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let lonely = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(true));
+        // `lonely` occurs in no clause: never branched on, stays unset.
+        assert_eq!(s.value(lonely), None);
     }
 
     #[test]

@@ -120,6 +120,11 @@ pub struct BlastContext {
     bb: BitBlaster,
     synced_assertions: usize,
     blasted_vars: usize,
+    // High-water mark for the `smt.clauses_reused` counter: clauses below
+    // it were already credited by an earlier traced call, so each
+    // carried-over clause is counted exactly once per context (clones
+    // inherit the mark and re-count only what they inherited uncredited).
+    counted_clauses: usize,
 }
 
 impl BlastContext {
@@ -128,6 +133,7 @@ impl BlastContext {
             bb: BitBlaster::new(),
             synced_assertions: 0,
             blasted_vars: 0,
+            counted_clauses: 0,
         }
     }
 }
@@ -370,8 +376,10 @@ impl Solver {
     /// On top of the [`Solver::check_traced`] metrics it bumps
     /// `smt.incremental_calls`, `smt.blast_cache_hits` (terms answered
     /// from the blast cache during this call), and `smt.clauses_reused`
-    /// (clauses already present when the call started — the work the
-    /// incremental path did *not* redo), and feeds the new
+    /// (clauses a call finds already present — blasted or learnt by an
+    /// earlier call — with each clause credited only once per context,
+    /// so the counter tracks the clause database's size, not the call
+    /// count), and feeds the new
     /// `smt.propagations` / `smt.learnt_literals` histograms. Metrics
     /// only — no span — so it is worker-thread safe like `check_traced`.
     ///
@@ -385,7 +393,10 @@ impl Solver {
         recorder: &soccar_obs::Recorder,
     ) -> CheckResult {
         let hits_at_entry = self.blast_cache_hits();
-        let clauses_at_entry = self.ctx.as_ref().map_or(0, |c| c.bb.solver.num_clauses());
+        let (clauses_at_entry, counted_at_entry) = self
+            .ctx
+            .as_ref()
+            .map_or((0, 0), |c| (c.bb.solver.num_clauses(), c.counted_clauses));
         let result = self.check_assuming_inner(graph, assumptions);
         recorder.counter_add("smt.queries", 1);
         recorder.counter_add("smt.incremental_calls", 1);
@@ -401,8 +412,12 @@ impl Solver {
         if hits > 0 {
             recorder.counter_add("smt.blast_cache_hits", hits);
         }
-        if clauses_at_entry > 0 {
-            recorder.counter_add("smt.clauses_reused", clauses_at_entry as u64);
+        let reused = clauses_at_entry.saturating_sub(counted_at_entry);
+        if reused > 0 {
+            recorder.counter_add("smt.clauses_reused", reused as u64);
+        }
+        if let Some(ctx) = self.ctx.as_mut() {
+            ctx.counted_clauses = ctx.counted_clauses.max(clauses_at_entry);
         }
         recorder.histogram_record("smt.sat_vars", self.last_stats.sat_vars as u64);
         recorder.histogram_record("smt.sat_clauses", self.last_stats.sat_clauses as u64);
@@ -690,6 +705,91 @@ mod tests {
         assert_eq!(s.check_assuming(&g, &[xeq3, xeq200]), CheckResult::Unsat);
         // ...and the solver still answers Sat afterwards.
         assert!(s.check_assuming(&g, &[xeq3]).is_sat());
+    }
+
+    #[test]
+    fn assertions_added_between_assumption_calls_are_kept() {
+        // Regression: the unit clause for a new assertion used to be
+        // enqueued on the previous call's stale Sat trail and then
+        // silently discarded by the next solve's entry backtrack.
+        let mut g = TermGraph::new();
+        let x = g.var("x", 8);
+        let c0 = g.const_u64(8, 0);
+        let c1 = g.const_u64(8, 1);
+        let xeq0 = g.eq(x, c0);
+        let xeq1 = g.eq(x, c1);
+        let mut s = Solver::new();
+        // Leave a Sat trail (x = 1) on the shared context...
+        assert!(s.check_assuming(&g, &[xeq1]).is_sat());
+        // ...then land a hard assertion while that trail is still up.
+        s.assert(xeq0);
+        let r = s.check_assuming(&g, &[]);
+        let m = r.model().expect("x == 0 is satisfiable");
+        assert_eq!(m.value(x).and_then(BvVal::to_u64), Some(0));
+        assert!(model_satisfies(&g, s.assertions(), m));
+        // The assertion is a real hard clause now, not a lost enqueue...
+        assert_eq!(s.check_assuming(&g, &[xeq1]), CheckResult::Unsat);
+        // ...and that Unsat was assumption-level, not permanent.
+        assert!(s.check_assuming(&g, &[xeq0]).is_sat());
+    }
+
+    #[test]
+    fn assertion_falsified_by_stale_model_is_not_permanent_unsat() {
+        // Regression: when the stale Sat trail falsified a new hard
+        // unit, the failed enqueue wrongly latched the solver
+        // permanently unsat.
+        let mut g = TermGraph::new();
+        let x = g.var("x", 8);
+        let c1 = g.const_u64(8, 1);
+        let xeq1 = g.eq(x, c1);
+        let xne1 = g.not(xeq1);
+        let mut s = Solver::new();
+        // Sat trail with x = 1, so the blasted literal of `xeq1` is true.
+        assert!(s.check_assuming(&g, &[xeq1]).is_sat());
+        // `not` reuses that cached literal negated — false on the trail.
+        s.assert(xne1);
+        let r = s.check_assuming(&g, &[]);
+        let m = r.model().expect("x != 1 is satisfiable");
+        assert_ne!(m.value(x).and_then(BvVal::to_u64), Some(1));
+        assert!(model_satisfies(&g, s.assertions(), m));
+    }
+
+    #[test]
+    fn clauses_reused_counts_each_clause_once() {
+        // The counter credits a carried-over clause the first time a call
+        // finds it already present — repeating the same call must not
+        // keep re-adding the whole clause database (quadratic growth).
+        let mut g = TermGraph::new();
+        let x = g.var("x", 8);
+        let y = g.var("y", 8);
+        let sum = g.add(x, y);
+        let c10 = g.const_u64(8, 10);
+        let eq10 = g.eq(sum, c10);
+        let c3 = g.const_u64(8, 3);
+        let xeq3 = g.eq(x, c3);
+        let mut s = Solver::new();
+        s.assert(eq10);
+        let recorder = soccar_obs::Recorder::enabled();
+        let reused = |r: &soccar_obs::Recorder| {
+            r.snapshot()
+                .counters
+                .get("smt.clauses_reused")
+                .copied()
+                .unwrap_or(0)
+        };
+        for _ in 0..5 {
+            assert!(s.check_assuming_traced(&g, &[xeq3], &recorder).is_sat());
+        }
+        // Every clause is credited at most once, so the counter is
+        // bounded by the database size no matter how many calls ran
+        // (the old per-call accumulation would be ~5x the database).
+        let total = reused(&recorder);
+        assert!(total > 0, "the repeated calls reused blasted clauses");
+        assert!(
+            total <= s.stats().sat_clauses as u64,
+            "reused {total} > {} live clauses",
+            s.stats().sat_clauses
+        );
     }
 
     #[test]
