@@ -188,10 +188,6 @@ pub fn compose_soc_resilient(
     if unit.module(top).is_none() {
         return Err(format!("top module `{top}` not found"));
     }
-    let profiles: HashMap<String, ConnectionProfile> = connection_profiles(unit, naming)
-        .into_iter()
-        .map(|p| (p.module.clone(), p))
-        .collect();
     let mut extract_span = soccar_obs::span!(
         recorder,
         "cfg.extract",
@@ -216,6 +212,38 @@ pub fn compose_soc_resilient(
     let ar_cfgs: HashMap<String, ArCfg> = extracted
         .into_iter()
         .map(|(_, ar)| (ar.module.clone(), ar))
+        .collect();
+    let soc = compose_soc_prepared(unit, top, naming, &ar_cfgs, recorder)?;
+    Ok((soc, stats, degraded))
+}
+
+/// The serial compose walk over already-extracted per-module AR_CFGs.
+///
+/// This is the second half of [`compose_soc_resilient`]: it instantiates
+/// the hierarchy from `top`, traces reset domains, and emits the
+/// `cfg.compose` span and `cfg.instances`/`cfg.reset_domains`/
+/// `cfg.ar_events` counters. The incremental analysis server calls it
+/// directly with a cache-assembled `ar_cfgs` map, skipping re-extraction
+/// of unchanged modules; the result is identical to the batch path
+/// because the walk only reads the map and the instance tree.
+///
+/// # Errors
+///
+/// Returns a message naming the missing module if `top` (or any
+/// instantiated module) has no entry in `ar_cfgs`.
+pub fn compose_soc_prepared(
+    unit: &SourceUnit,
+    top: &str,
+    naming: &ResetNaming,
+    ar_cfgs: &HashMap<String, ArCfg>,
+    recorder: &soccar_obs::Recorder,
+) -> Result<SocArCfg, String> {
+    if unit.module(top).is_none() {
+        return Err(format!("top module `{top}` not found"));
+    }
+    let profiles: HashMap<String, ConnectionProfile> = connection_profiles(unit, naming)
+        .into_iter()
+        .map(|p| (p.module.clone(), p))
         .collect();
     let mut compose_span = soccar_obs::span!(recorder, "cfg.compose", top = top);
 
@@ -328,7 +356,7 @@ pub fn compose_soc_resilient(
     compose_span.record("reset_domains", soc.reset_domains.len());
     compose_span.record("ar_events", soc.event_count());
     drop(compose_span);
-    Ok((soc, stats, degraded))
+    Ok(soc)
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ use soccar_rtl::span::Span;
 use crate::reset_id::{identify_resets, leading_if, ResetNaming, ResetSignal};
 
 /// Which governor-detection rules to apply (see module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum GovernorAnalysis {
     /// The paper's published extraction rules.
     #[default]

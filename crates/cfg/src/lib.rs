@@ -47,7 +47,8 @@ pub mod reset_id;
 
 pub use bind::{bind_events, bind_events_traced, BindError, BoundEvent};
 pub use compose::{
-    compose_soc, compose_soc_jobs, compose_soc_resilient, compose_soc_traced, ResetDomain, SocArCfg,
+    compose_soc, compose_soc_jobs, compose_soc_prepared, compose_soc_resilient, compose_soc_traced,
+    ResetDomain, SocArCfg,
 };
 pub use connect::{connection_profiles, ChildConn, ConnectionProfile, SignalConn};
 pub use extract::{

@@ -23,7 +23,8 @@
 //!    "prohibitive" for plain dynamic validation — here it is tractable
 //!    because the AR_CFG restricts attention to reset-governed logic.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use soccar_cfg::bind::BoundEvent;
@@ -248,6 +249,105 @@ impl ConcolicReport {
     }
 }
 
+/// A pool of retained pre-blasted incremental base solvers, shared
+/// across engine instances (and hence across analysis-server requests).
+///
+/// Each entry is a frozen [`Solver`] whose [`BlastContext`] holds the CNF
+/// of one round's observation window, keyed by the structural fingerprint
+/// of the window's reachable term DAG plus the solve budget (see
+/// [`TermGraph::reachable_fingerprint`]). A fingerprint match guarantees
+/// every blasted [`TermId`] means the same thing in the new round's
+/// graph, so reusing the context is sound and — because the retained base
+/// was never `check`ed, hence carries no learnt clauses — produces
+/// bit-identical results to rebuilding it.
+///
+/// Rounds whose window diverges simply miss; the pool is a pure
+/// wall-clock optimization. Bounded FIFO eviction keeps the oldest
+/// windows from pinning memory.
+///
+/// [`BlastContext`]: soccar_smt::BlastContext
+#[derive(Debug)]
+pub struct WarmBlastPool {
+    entries: HashMap<u64, Arc<Solver>>,
+    order: VecDeque<u64>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl WarmBlastPool {
+    /// Creates a pool retaining at most `cap` base contexts.
+    #[must_use]
+    pub fn new(cap: usize) -> WarmBlastPool {
+        WarmBlastPool {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// A pool behind the `Arc<Mutex<…>>` handle the engine consumes.
+    #[must_use]
+    pub fn shared(cap: usize) -> Arc<Mutex<WarmBlastPool>> {
+        Arc::new(Mutex::new(WarmBlastPool::new(cap)))
+    }
+
+    /// The retained base for `key`, if present. Bases are shared by
+    /// handle — a retained base is frozen (pre-blasted, never `check`ed),
+    /// so lookups and stores never deep-copy solver state.
+    #[must_use]
+    pub fn lookup(&mut self, key: u64) -> Option<Arc<Solver>> {
+        match self.entries.get(&key) {
+            Some(s) => {
+                self.hits += 1;
+                Some(Arc::clone(s))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Retains `base` under `key`, evicting the oldest entry at capacity.
+    pub fn store(&mut self, key: u64, base: Arc<Solver>) {
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            self.entries.remove(&old);
+            self.evictions += 1;
+        }
+        self.entries.insert(key, base);
+        self.order.push_back(key);
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Number of retained contexts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// The reset-aware concolic engine. See the [module docs](self).
 #[derive(Debug)]
 pub struct ConcolicEngine<'d> {
@@ -276,6 +376,9 @@ pub struct ConcolicEngine<'d> {
     /// Domains owning at least one clock-composed implicit governor
     /// (Refined analysis only); these also get a high-phase sweep.
     clock_composed: Vec<bool>,
+    /// Cross-request pool of pre-blasted incremental bases; `None` (the
+    /// batch default) builds each round's base from scratch.
+    warm_blast: Option<Arc<Mutex<WarmBlastPool>>>,
 }
 
 impl<'d> ConcolicEngine<'d> {
@@ -431,7 +534,20 @@ impl<'d> ConcolicEngine<'d> {
             recorder: soccar_obs::Recorder::disabled(),
             domain_polarity,
             clock_composed,
+            warm_blast: None,
         })
+    }
+
+    /// Attaches a shared [`WarmBlastPool`]: when a round's observation
+    /// window structurally matches a retained entry, the incremental base
+    /// solver is cloned from the pool instead of re-blasted, and the
+    /// reuse is counted as `smt.warm_blast_hits`. Results are unchanged
+    /// either way; only wall-clock time moves. Used by the analysis
+    /// server to keep blast state warm across requests.
+    #[must_use]
+    pub fn with_warm_blast(mut self, pool: Arc<Mutex<WarmBlastPool>>) -> Self {
+        self.warm_blast = Some(pool);
+        self
     }
 
     /// Attaches an observability recorder: each concolic round gets a
@@ -900,7 +1016,6 @@ impl<'d> ConcolicEngine<'d> {
                 obs.iter().map(|o| g.not(o.cond)).collect()
             };
             let graph = &sim.algebra().graph;
-            let mut base = Solver::with_budget(budget);
             let max_k = candidates
                 .iter()
                 .map(|c| c.obs_index)
@@ -916,15 +1031,48 @@ impl<'d> ConcolicEngine<'d> {
                 window.push(obs[i].cond);
                 window.push(neg[i]);
             }
-            base.preblast(graph, &window);
-            // Shared-prefix blasting work saved while building the base
-            // context (recorded once; per-call hits are recorded by the
-            // workers' `check_assuming_traced`).
-            let base_hits = base.blast_cache_hits();
-            if base_hits > 0 {
-                recorder.counter_add("smt.blast_cache_hits", base_hits);
-            }
-            let base = &base;
+            // A retained base is only valid if every window term means
+            // the same thing, so the pool key is the structural
+            // fingerprint of the window's reachable DAG (plus the budget
+            // baked into the solver).
+            let warm_key = self.warm_blast.as_ref().map(|_| {
+                let mut h = graph.reachable_fingerprint(&window);
+                for id in &window {
+                    h = h.rotate_left(7) ^ u64::from(id.0);
+                }
+                h ^ budget.max_conflicts.unwrap_or(u64::MAX).rotate_left(17)
+                    ^ budget.max_decisions.unwrap_or(u64::MAX).rotate_left(31)
+            });
+            let warm = warm_key.and_then(|key| {
+                let pool = self.warm_blast.as_ref().expect("key implies pool");
+                let hit = pool.lock().expect("warm-blast pool poisoned").lookup(key);
+                if hit.is_some() {
+                    recorder.counter_add("smt.warm_blast_hits", 1);
+                }
+                hit
+            });
+            let base = match warm {
+                Some(base) => base,
+                None => {
+                    let mut base = Solver::with_budget(budget);
+                    base.preblast(graph, &window);
+                    // Shared-prefix blasting work saved while building
+                    // the base context (recorded once; per-call hits are
+                    // recorded by the workers' `check_assuming_traced`).
+                    let base_hits = base.blast_cache_hits();
+                    if base_hits > 0 {
+                        recorder.counter_add("smt.blast_cache_hits", base_hits);
+                    }
+                    let base = Arc::new(base);
+                    if let (Some(key), Some(pool)) = (warm_key, &self.warm_blast) {
+                        pool.lock()
+                            .expect("warm-blast pool poisoned")
+                            .store(key, Arc::clone(&base));
+                    }
+                    base
+                }
+            };
+            let base = &*base;
             let neg = &neg;
             soccar_exec::parallel_map_policy(
                 self.config.jobs,
@@ -1638,6 +1786,68 @@ mod tests {
         );
         assert!(counter("smt.blast_cache_hits") > 0);
         assert!(counter("smt.clauses_reused") > 0);
+    }
+
+    #[test]
+    fn warm_blast_pool_reuses_bases_without_changing_results() {
+        let unit = parse(FileId(0), MAGIC_SRC).expect("parse");
+        let design = soccar_rtl::elaborate::elaborate(&unit, "top").expect("elaborate");
+        let soc = compose_soc(
+            &unit,
+            "top",
+            &ResetNaming::new(),
+            GovernorAnalysis::Explicit,
+        )
+        .expect("compose");
+        let bound = bind_events(&design, &soc).expect("bind");
+        let config = ConcolicConfig {
+            cycles: 10,
+            max_rounds: 16,
+            seed: 7,
+            symbolic_inputs: vec!["top.magic".into()],
+            skip_sweep: true,
+            incremental: true,
+            ..ConcolicConfig::default()
+        };
+        let cold = {
+            let mut engine =
+                ConcolicEngine::new(&design, &bound, vec![], config.clone()).expect("engine");
+            engine.run().expect("run")
+        };
+
+        // Two warm runs against one shared pool: the first fills it, the
+        // second replays every round from retained bases.
+        let pool = WarmBlastPool::shared(32);
+        let run_warm = |recorder: soccar_obs::Recorder| {
+            let mut engine = ConcolicEngine::new(&design, &bound, vec![], config.clone())
+                .expect("engine")
+                .with_recorder(recorder)
+                .with_warm_blast(Arc::clone(&pool));
+            engine.run().expect("run")
+        };
+        let first = run_warm(soccar_obs::Recorder::disabled());
+        let recorder = soccar_obs::Recorder::enabled();
+        let second = run_warm(recorder.clone());
+
+        for r in [&first, &second] {
+            assert_eq!(r.rounds, cold.rounds);
+            assert_eq!(r.targets_covered, cold.targets_covered);
+            assert_eq!(r.solver_calls, cold.solver_calls);
+            assert_eq!(r.solver_sat, cold.solver_sat);
+            assert_eq!(r.violations.len(), cold.violations.len());
+        }
+        let (hits, _, _) = pool.lock().expect("pool").stats();
+        assert!(hits > 0, "second run must hit retained bases");
+        let snap = recorder.snapshot();
+        assert!(
+            snap.counters
+                .get("smt.warm_blast_hits")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "warm hits must surface as a counter: {:?}",
+            snap.counters
+        );
     }
 
     #[test]

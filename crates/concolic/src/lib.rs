@@ -29,7 +29,8 @@ pub mod schedule;
 
 pub use coalg::{BranchObservation, CoAlgebra, CoValue};
 pub use engine::{
-    incremental_default, ConcolicConfig, ConcolicEngine, ConcolicReport, FlipWorkload, Witness,
+    incremental_default, ConcolicConfig, ConcolicEngine, ConcolicReport, FlipWorkload,
+    WarmBlastPool, Witness,
 };
 pub use property::{PropertyKind, PropertyMonitor, SecurityProperty, Violation};
 pub use schedule::{InputTrack, ResetTrack, TestSchedule};

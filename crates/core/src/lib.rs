@@ -68,6 +68,7 @@
 pub mod cli;
 pub mod error;
 pub mod evaluation;
+pub mod incremental;
 pub mod json;
 pub mod pipeline;
 
@@ -76,6 +77,7 @@ pub use evaluation::{
     evaluate_clean, evaluate_variant, property_of, BugOutcome, Campaign, CampaignRow,
     VariantEvaluation,
 };
+pub use incremental::{AnalysisSession, CacheCaps, RequestQos, RequestStats, SessionCounters};
 pub use pipeline::{
     AnalysisReport, CanonicalReport, ExecSummary, ExtractionSummary, Health, Soccar, SoccarConfig,
     StageReport,

@@ -197,7 +197,7 @@ pub struct ExtractionSummary {
 }
 
 /// The complete result of one SoCCAR run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AnalysisReport {
     /// Per-stage timing (Figure 1).
     pub stages: Vec<StageReport>,

@@ -46,8 +46,10 @@
 #![warn(missing_debug_implementations)]
 
 mod faultplan;
+mod semaphore;
 
 pub use faultplan::{FaultPlan, FAULTS_ENV};
+pub use semaphore::{Semaphore, SemaphoreGuard};
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,169 @@
+//! A counting semaphore for bounded concurrent admission.
+//!
+//! `std::sync` has no semaphore, and the offline-crate policy rules out
+//! `tokio`/`parking_lot`; this is the minimal Condvar-based one the
+//! analysis server uses to cap in-flight connections. Permits are
+//! released by RAII guard, so a panicking handler can never leak one.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A counting semaphore handing out at most `permits` concurrent
+/// [`SemaphoreGuard`]s.
+///
+/// # Examples
+///
+/// ```
+/// use soccar_exec::Semaphore;
+///
+/// let sem = Semaphore::new(2);
+/// let a = sem.acquire();
+/// let b = sem.acquire();
+/// assert!(sem.try_acquire().is_none()); // full
+/// drop(a);
+/// assert!(sem.try_acquire().is_some()); // released by RAII
+/// # drop(b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Semaphore {
+    inner: Arc<SemInner>,
+}
+
+#[derive(Debug)]
+struct SemInner {
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` concurrent permits (minimum 1).
+    #[must_use]
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            inner: Arc::new(SemInner {
+                available: Mutex::new(permits.max(1)),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Blocks until a permit is available, then takes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a holder panicked while
+    /// releasing — unreachable from the public API, which only touches
+    /// the lock inside this module).
+    #[must_use]
+    pub fn acquire(&self) -> SemaphoreGuard {
+        let mut available = self.inner.available.lock().expect("semaphore poisoned");
+        while *available == 0 {
+            available = self
+                .inner
+                .freed
+                .wait(available)
+                .expect("semaphore poisoned");
+        }
+        *available -= 1;
+        SemaphoreGuard {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Takes a permit if one is free, without blocking.
+    #[must_use]
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard> {
+        let mut available = self.inner.available.lock().expect("semaphore poisoned");
+        if *available == 0 {
+            return None;
+        }
+        *available -= 1;
+        Some(SemaphoreGuard {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Permits currently free (racy — informational only).
+    #[must_use]
+    pub fn available(&self) -> usize {
+        *self.inner.available.lock().expect("semaphore poisoned")
+    }
+}
+
+/// RAII permit returned by [`Semaphore::acquire`]; dropping it releases
+/// the permit and wakes one waiter.
+#[derive(Debug)]
+pub struct SemaphoreGuard {
+    inner: Arc<SemInner>,
+}
+
+impl Drop for SemaphoreGuard {
+    fn drop(&mut self) {
+        let mut available = match self.inner.available.lock() {
+            Ok(g) => g,
+            // Propagating a second panic from Drop would abort; a
+            // poisoned count is unrecoverable anyway, so leave it.
+            Err(_) => return,
+        };
+        *available += 1;
+        self.inner.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn permits_are_bounded_and_released() {
+        let sem = Semaphore::new(2);
+        assert_eq!(sem.available(), 2);
+        let a = sem.acquire();
+        let b = sem.acquire();
+        assert_eq!(sem.available(), 0);
+        assert!(sem.try_acquire().is_none());
+        drop(a);
+        assert_eq!(sem.available(), 1);
+        let c = sem.try_acquire().expect("freed permit");
+        drop(b);
+        drop(c);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn zero_permits_clamps_to_one() {
+        let sem = Semaphore::new(0);
+        assert_eq!(sem.available(), 1);
+    }
+
+    #[test]
+    fn concurrent_holders_never_exceed_cap() {
+        let sem = Semaphore::new(3);
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    let _g = sem.acquire();
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(sem.available(), 3);
+    }
+
+    #[test]
+    fn panicking_holder_releases_its_permit() {
+        let sem = Semaphore::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = sem.acquire();
+            panic!("handler died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(sem.available(), 1, "RAII must survive the panic");
+    }
+}

@@ -53,6 +53,7 @@ pub mod constfold;
 pub mod design;
 pub mod elaborate;
 pub mod error;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod printer;

@@ -43,6 +43,7 @@
 //! * `neverflag:<name>:<module>:<signal>` — a 1-bit observation point
 //!   that must never read 1.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use soccar::cli::parse_property;
@@ -50,6 +51,7 @@ use soccar::{Soccar, SoccarConfig};
 use soccar_cfg::{compose_soc, GovernorAnalysis, ResetNaming};
 use soccar_concolic::{ConcolicConfig, SecurityProperty};
 use soccar_lint::{LintConfig, Linter, Severity};
+use soccar_serve::{Client, Request, Server, ServerOptions};
 
 struct Args {
     file: String,
@@ -63,6 +65,7 @@ struct Args {
     rounds: usize,
     list_domains: bool,
     verbose: bool,
+    json: bool,
     vcd: Option<String>,
     trace_out: Option<String>,
     jobs: usize,
@@ -74,6 +77,8 @@ struct Args {
 
 const USAGE: &str = "usage: soccar [analyze] <file.v> --top <module> [options]
        soccar [analyze] --soc <clustersoc|autosoc> [--variant <n>] [options]
+       soccar serve [options]      run the persistent analysis daemon
+       soccar client [options]     drive a running daemon (CI mode)
 options:
   --property <spec>   add a security property (repeatable); see --help-properties
   --symbolic <net>    treat a top-level input as symbolic (repeatable)
@@ -85,6 +90,9 @@ options:
   --rounds <n>        max concolic rounds before the sweep (default 12)
   --list-domains      print reset domains / AR_CFG summary and exit
   --verbose           print witness schedules and the trace span tree
+  --json              print the canonical report JSON instead of the
+                      human-readable summary (byte-identical across runs
+                      and job counts; diagnostics go to stderr)
   --vcd <path>        replay the first witness and write a VCD waveform
   --trace-out <path>  write the span/metric stream as NDJSON
   --jobs <n>          worker threads for the parallel stages
@@ -122,6 +130,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
         rounds: 12,
         list_domains: false,
         verbose: false,
+        json: false,
         vcd: None,
         trace_out: None,
         jobs: 0,
@@ -190,6 +199,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 );
             }
             "--verbose" => out.verbose = true,
+            "--json" => out.json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -306,10 +316,25 @@ fn run(args: &Args) -> Result<bool, String> {
     if let Some(path) = &args.trace_out {
         std::fs::write(path, soccar_obs::to_ndjson(&recorder.snapshot()))
             .map_err(|e| format!("{path}: {e}"))?;
-        println!("trace written to {path}");
+        if args.json {
+            eprintln!("trace written to {path}");
+        } else {
+            println!("trace written to {path}");
+        }
     }
     if args.verbose {
-        print!("{}", soccar_obs::render_tree(&recorder.snapshot()));
+        let tree = soccar_obs::render_tree(&recorder.snapshot());
+        if args.json {
+            eprint!("{tree}");
+        } else {
+            print!("{tree}");
+        }
+    }
+    if args.json {
+        // The canonical report is the machine interface: stdout carries
+        // exactly the JSON a `soccar client analyze` body carries.
+        println!("{}", report.canonical_json().map_err(|e| e.to_string())?);
+        return Ok(report.violations().is_empty());
     }
 
     for stage in &report.stages {
@@ -473,7 +498,263 @@ fn run_lint(args: &LintArgs) -> Result<bool, String> {
     Ok(report.worst() != Some(Severity::Error))
 }
 
+const SERVE_USAGE: &str = "usage: soccar serve [options]
+options:
+  --listen <addr>        bind address (default 127.0.0.1:0)
+  --port-file <path>     write the bound address to <path> once listening
+  --trace-out <path>     write the server's span/metric stream as NDJSON
+                         on shutdown (includes the server.* counters)
+  --max-connections <n>  concurrent connections admitted (default 4)
+  --jobs <n>             worker threads per request (default: $SOCCAR_JOBS,
+                         else all cores; results identical for every value)
+runs until a client sends `shutdown`, then exits 0 (see docs/SERVER.md)";
+
+struct ServeArgs {
+    listen: String,
+    port_file: Option<String>,
+    trace_out: Option<String>,
+    max_connections: usize,
+    jobs: usize,
+}
+
+fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut args = args;
+    let mut out = ServeArgs {
+        listen: "127.0.0.1:0".to_owned(),
+        port_file: None,
+        trace_out: None,
+        max_connections: 4,
+        jobs: 0,
+    };
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => out.listen = next(&mut args, "--listen")?,
+            "--port-file" => out.port_file = Some(next(&mut args, "--port-file")?),
+            "--trace-out" => out.trace_out = Some(next(&mut args, "--trace-out")?),
+            "--max-connections" => {
+                out.max_connections = next(&mut args, "--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+            }
+            "--jobs" => {
+                out.jobs = next(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{SERVE_USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn run_serve(args: &ServeArgs) -> Result<(), String> {
+    let recorder = if args.trace_out.is_some() {
+        soccar_obs::Recorder::enabled()
+    } else {
+        soccar_obs::Recorder::disabled()
+    };
+    let options = ServerOptions {
+        listen: args.listen.clone(),
+        max_connections: args.max_connections,
+        jobs: args.jobs,
+        ..ServerOptions::default()
+    };
+    let server = Server::bind_with_recorder(&options, recorder.clone())
+        .map_err(|e| format!("bind {}: {e}", args.listen))?;
+    let addr = server.local_addr();
+    // Flush eagerly: supervisors and tests read this line (or the port
+    // file) to learn the ephemeral port before connecting. A supervisor
+    // may close our stdout after reading it — a daemon must keep serving
+    // (and shut down cleanly) without a console, so never panic on it.
+    let _ = writeln!(std::io::stdout(), "soccar-serve listening on {addr}");
+    std::io::stdout().flush().ok();
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let served = server.run().map_err(|e| format!("serve: {e}"))?;
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, soccar_obs::to_ndjson(&recorder.snapshot()))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let _ = writeln!(
+        std::io::stdout(),
+        "soccar-serve shut down cleanly after {served} request(s)"
+    );
+    Ok(())
+}
+
+const CLIENT_USAGE: &str =
+    "usage: soccar client [--connect <addr> | --port-file <path>] <command> [options]
+commands:
+  analyze <file.v> --top <module> [analyze options]
+  analyze --soc <clustersoc|autosoc> [--variant <n>] [analyze options]
+  lint <file.v> [--allow <rule>] [--deny <rule>]
+  status
+  shutdown
+analyze options mirror the batch CLI (--property --symbolic --refined
+--cycles --rounds --solver-budget --keep-going --round-deadline-ms);
+`analyze` prints the canonical report JSON, byte-identical to
+`soccar analyze --json`; `lint` prints the lint report JSON,
+byte-identical to `soccar lint --json`
+exit status: 0 = clean, 1 = violations/errors found, 2 = failure";
+
+struct ClientArgs {
+    addr: String,
+    request: Request,
+}
+
+fn parse_client_args(args: impl Iterator<Item = String>) -> Result<ClientArgs, String> {
+    let mut args = args;
+    let mut addr = String::new();
+    let mut port_file = None;
+    let mut request: Option<Request> = None;
+    let mut file = String::new();
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => addr = next(&mut args, "--connect")?,
+            "--port-file" => port_file = Some(next(&mut args, "--port-file")?),
+            "--help" | "-h" => {
+                println!("{CLIENT_USAGE}");
+                std::process::exit(0);
+            }
+            "analyze" | "lint" | "status" | "shutdown" if request.is_none() => {
+                request = Some(Request::new(&arg));
+            }
+            other => {
+                let req = request
+                    .as_mut()
+                    .ok_or_else(|| format!("expected a command before `{other}`"))?;
+                match other {
+                    "--soc" => req.soc = next(&mut args, "--soc")?,
+                    "--variant" => {
+                        req.variant = Some(
+                            next(&mut args, "--variant")?
+                                .parse()
+                                .map_err(|e| format!("--variant: {e}"))?,
+                        );
+                    }
+                    "--top" => req.top = next(&mut args, "--top")?,
+                    "--property" => req.properties.push(next(&mut args, "--property")?),
+                    "--symbolic" => req.symbolic.push(next(&mut args, "--symbolic")?),
+                    "--refined" => req.refined = true,
+                    "--cycles" => {
+                        req.cycles = Some(
+                            next(&mut args, "--cycles")?
+                                .parse()
+                                .map_err(|e| format!("--cycles: {e}"))?,
+                        );
+                    }
+                    "--rounds" => {
+                        req.rounds = Some(
+                            next(&mut args, "--rounds")?
+                                .parse()
+                                .map_err(|e| format!("--rounds: {e}"))?,
+                        );
+                    }
+                    "--solver-budget" => {
+                        req.solver_budget = Some(
+                            next(&mut args, "--solver-budget")?
+                                .parse()
+                                .map_err(|e| format!("--solver-budget: {e}"))?,
+                        );
+                    }
+                    "--keep-going" => req.keep_going = true,
+                    "--round-deadline-ms" => {
+                        req.round_deadline_ms = Some(
+                            next(&mut args, "--round-deadline-ms")?
+                                .parse()
+                                .map_err(|e| format!("--round-deadline-ms: {e}"))?,
+                        );
+                    }
+                    "--allow" => req.allow.push(next(&mut args, "--allow")?),
+                    "--deny" => req.deny.push(next(&mut args, "--deny")?),
+                    path if !path.starts_with('-') && file.is_empty() => {
+                        file = path.to_owned();
+                    }
+                    _ => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+        }
+    }
+    let mut request = request.ok_or_else(|| CLIENT_USAGE.to_owned())?;
+    if !file.is_empty() {
+        request.source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+        request.file_name = file;
+    }
+    if addr.is_empty() {
+        let path =
+            port_file.ok_or_else(|| "need --connect <addr> or --port-file <path>".to_owned())?;
+        addr = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .trim()
+            .to_owned();
+    }
+    Ok(ClientArgs { addr, request })
+}
+
+fn run_client(args: &ClientArgs) -> Result<bool, String> {
+    let mut client =
+        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let (envelope, body) = client.roundtrip(&args.request)?;
+    if !envelope.ok {
+        return Err(envelope.error);
+    }
+    if !body.is_empty() {
+        let text = String::from_utf8(body).map_err(|_| "response body is not utf-8".to_owned())?;
+        println!("{text}");
+    }
+    for reason in &envelope.degraded_reasons {
+        eprintln!("degraded: {reason}");
+    }
+    Ok(envelope.violations == 0)
+}
+
 fn main() -> ExitCode {
+    match std::env::args().nth(1).as_deref() {
+        // The daemon and its CI driver.
+        Some("serve") => {
+            return match parse_serve_args(std::env::args().skip(2)) {
+                Ok(args) => match run_serve(&args) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::from(2)
+                    }
+                },
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        Some("client") => {
+            return match parse_client_args(std::env::args().skip(2)) {
+                Ok(args) => match run_client(&args) {
+                    Ok(true) => ExitCode::SUCCESS,
+                    Ok(false) => ExitCode::FAILURE,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::from(2)
+                    }
+                },
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        _ => {}
+    }
     // `lint` runs only the static pre-pass and has its own flag set.
     if std::env::args().nth(1).as_deref() == Some("lint") {
         return match parse_lint_args(std::env::args().skip(2)) {

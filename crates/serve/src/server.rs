@@ -1,0 +1,497 @@
+//! The analysis daemon: a TCP server wrapping one
+//! [`AnalysisSession`].
+//!
+//! One server holds one session — per-design caches are keyed by content
+//! hash inside the session, so a single server happily serves many
+//! designs. Connections are admitted through a
+//! [`soccar_exec::Semaphore`] (bounded handler threads); each connection
+//! may pipeline any number of requests. All analysis requests serialize
+//! over the session mutex — parallelism lives *inside* the pipeline's
+//! worker pool, which keeps responses byte-identical to batch runs by
+//! construction. Shutdown is cooperative: a `shutdown` request is
+//! acknowledged, then the acceptor drains and [`Server::run`] returns.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+use soccar::cli::parse_property;
+use soccar::incremental::{AnalysisSession, CacheCaps, SessionCounters};
+use soccar::SoccarConfig;
+use soccar_cfg::GovernorAnalysis;
+use soccar_concolic::{ConcolicConfig, SecurityProperty};
+use soccar_exec::Semaphore;
+use soccar_lint::{LintConfig, Linter, Severity};
+
+use crate::proto::{read_frame, write_frame, Envelope, Request};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub listen: String,
+    /// Concurrent connections admitted (further accepts queue).
+    pub max_connections: usize,
+    /// Worker threads for each request's parallel stages (0 = resolve
+    /// via `SOCCAR_JOBS`, then available cores). Reports are identical
+    /// for every value.
+    pub jobs: usize,
+    /// Cache capacities for the underlying session.
+    pub caps: CacheCaps,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            listen: "127.0.0.1:0".to_owned(),
+            max_connections: 4,
+            jobs: 0,
+            caps: CacheCaps::default(),
+        }
+    }
+}
+
+/// The `status` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatusBody {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// The server's worker-thread setting (0 = auto).
+    pub jobs: usize,
+    /// Session-lifetime cache counters.
+    pub counters: SessionCounters,
+    /// Entries currently held per cache tier.
+    pub tiers: TierSizes,
+}
+
+/// Current entry counts of the session's cache tiers.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TierSizes {
+    /// Per-module ASTs.
+    pub parse: usize,
+    /// Per-module AR_CFGs.
+    pub extract: usize,
+    /// Elaborated + composed designs.
+    pub design: usize,
+    /// Concolic reports.
+    pub concolic: usize,
+    /// Full analysis reports.
+    pub report: usize,
+}
+
+/// Resolves an analyze/lint request into concrete pipeline inputs:
+/// `(file_name, source, top, properties, config)`. Bundled SoC requests
+/// pick up their catalog properties and symbolic inputs, exactly like
+/// `soccar analyze --soc`; defaults (cycles 24, rounds 12, unlimited
+/// budget) match the CLI so responses are byte-identical to batch runs.
+///
+/// # Errors
+///
+/// On an unknown SoC model, a bad property spec, or a missing top.
+pub fn resolve_request(
+    req: &Request,
+) -> Result<(String, String, String, Vec<SecurityProperty>, SoccarConfig), String> {
+    let (file_name, source, top, mut properties, mut symbolic) = if req.soc.is_empty() {
+        if req.top.is_empty() {
+            return Err("analyze request needs `top` (or `soc`)".to_owned());
+        }
+        let name = if req.file_name.is_empty() {
+            "request.v".to_owned()
+        } else {
+            req.file_name.clone()
+        };
+        (
+            name,
+            req.source.clone(),
+            req.top.clone(),
+            Vec::new(),
+            Vec::new(),
+        )
+    } else {
+        let model = match req.soc.as_str() {
+            "clustersoc" => soccar_soc::SocModel::ClusterSoc,
+            "autosoc" => soccar_soc::SocModel::AutoSoc,
+            other => return Err(format!("unknown soc model `{other}`")),
+        };
+        let soc = soccar_soc::generate(model, req.variant);
+        let props: Vec<SecurityProperty> = soccar_soc::security_checks(model)
+            .iter()
+            .map(soccar::property_of)
+            .collect();
+        let sym = soccar_soc::symbolic_inputs(model);
+        let name = format!("{model:?}.v").to_lowercase();
+        let top = if req.top.is_empty() {
+            soc.top.clone()
+        } else {
+            req.top.clone()
+        };
+        (name, soc.source, top, props, sym)
+    };
+    for spec in &req.properties {
+        properties.push(parse_property(spec)?);
+    }
+    symbolic.extend(req.symbolic.iter().cloned());
+    let config = SoccarConfig {
+        analysis: if req.refined {
+            GovernorAnalysis::Refined
+        } else {
+            GovernorAnalysis::Explicit
+        },
+        concolic: ConcolicConfig {
+            cycles: req.cycles.unwrap_or(24),
+            max_rounds: req.rounds.unwrap_or(12) as usize,
+            symbolic_inputs: symbolic,
+            solver_budget: match req.solver_budget {
+                Some(n) => soccar_smt::SolveBudget::conflicts(n),
+                None => soccar_smt::SolveBudget::UNLIMITED,
+            },
+            round_deadline: req.round_deadline_ms.map(std::time::Duration::from_millis),
+            incremental: soccar_concolic::incremental_default(),
+            ..ConcolicConfig::default()
+        },
+        keep_going: req.keep_going,
+        ..SoccarConfig::default()
+    };
+    Ok((file_name, source, top, properties, config))
+}
+
+/// The daemon (see the [module docs](self)).
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    session: Mutex<AnalysisSession>,
+    recorder: soccar_obs::Recorder,
+    jobs: usize,
+    admission: Semaphore,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(options: &ServerOptions) -> std::io::Result<Server> {
+        Server::bind_with_recorder(options, soccar_obs::Recorder::disabled())
+    }
+
+    /// Like [`Server::bind`], with an observability recorder: `server.*`
+    /// counters and every request's pipeline spans land in it (snapshot
+    /// after [`Server::run`] returns for `--trace-out`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with_recorder(
+        options: &ServerOptions,
+        recorder: soccar_obs::Recorder,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&options.listen)?;
+        let addr = listener.local_addr()?;
+        let base = SoccarConfig::default();
+        let session =
+            AnalysisSession::with_caps(base, options.caps).with_recorder(recorder.clone());
+        Ok(Server {
+            listener,
+            addr,
+            session: Mutex::new(session),
+            recorder,
+            jobs: options.jobs,
+            admission: Semaphore::new(options.max_connections),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The recorder the server reports into.
+    #[must_use]
+    pub fn recorder(&self) -> &soccar_obs::Recorder {
+        &self.recorder
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains and
+    /// returns the total number of requests served. In-flight handler
+    /// threads finish before this returns — no request is abandoned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures.
+    pub fn run(&self) -> std::io::Result<u64> {
+        std::thread::scope(|scope| loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.shutdown.load(Ordering::Acquire) {
+                break std::io::Result::Ok(());
+            }
+            // Admission control: bounding here (not in the handler)
+            // bounds the thread count, not just the work in flight.
+            let permit = self.admission.acquire();
+            self.recorder.counter_add("server.connections", 1);
+            scope.spawn(move || {
+                let _permit = permit;
+                // A broken connection only loses that client.
+                let _ = self.handle(stream);
+            });
+        })?;
+        Ok(self
+            .session
+            .lock()
+            .map(|s| s.counters().requests)
+            .unwrap_or(0))
+    }
+
+    /// Requests shutdown from outside a connection (used by tests and
+    /// signal handling). The acceptor wakes on the next connection; pair
+    /// with a dummy connect if none is expected.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        while let Some(frame) = read_frame(&mut reader)? {
+            let (envelope, body, stop) = match std::str::from_utf8(&frame) {
+                Err(_) => (
+                    Envelope::error("request frame is not utf-8"),
+                    Vec::new(),
+                    false,
+                ),
+                Ok(text) => match Request::from_json(text) {
+                    Err(e) => (Envelope::error(&e), Vec::new(), false),
+                    Ok(req) => self.dispatch(&req),
+                },
+            };
+            let envelope_json = envelope
+                .to_json()
+                .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"));
+            write_frame(&mut writer, envelope_json.as_bytes())?;
+            write_frame(&mut writer, &body)?;
+            if stop {
+                // Acknowledge first, then wake the acceptor so `run`
+                // observes the flag and drains.
+                self.request_shutdown();
+                let _ = TcpStream::connect(self.addr);
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves one request: `(envelope, body, shutdown?)`.
+    fn dispatch(&self, req: &Request) -> (Envelope, Vec<u8>, bool) {
+        match req.cmd.as_str() {
+            "analyze" => {
+                let (envelope, body) = self.dispatch_analyze(req);
+                (envelope, body, false)
+            }
+            "lint" => {
+                let (envelope, body) = self.dispatch_lint(req);
+                (envelope, body, false)
+            }
+            "status" => {
+                let (envelope, body) = self.dispatch_status();
+                (envelope, body, false)
+            }
+            "shutdown" => (Envelope::ok("shutdown"), Vec::new(), true),
+            other => (
+                Envelope::error(&format!("unknown command `{other}`")),
+                Vec::new(),
+                false,
+            ),
+        }
+    }
+
+    fn dispatch_analyze(&self, req: &Request) -> (Envelope, Vec<u8>) {
+        let (file_name, source, top, properties, mut config) = match resolve_request(req) {
+            Ok(resolved) => resolved,
+            Err(e) => return (Envelope::error(&e), Vec::new()),
+        };
+        config.jobs = self.jobs;
+        let outcome = {
+            let mut session = match self.session.lock() {
+                Ok(guard) => guard,
+                Err(_) => {
+                    return (
+                        Envelope::error("analysis session poisoned by an earlier panic"),
+                        Vec::new(),
+                    )
+                }
+            };
+            session.analyze_with_config(&file_name, &source, &top, properties, &config)
+        };
+        match outcome {
+            Err(e) => (Envelope::error(&e.to_string()), Vec::new()),
+            Ok((report, stats)) => {
+                let body = match report.canonical_json() {
+                    Ok(json) => json.into_bytes(),
+                    Err(e) => return (Envelope::error(&e.to_string()), Vec::new()),
+                };
+                let health = report.health();
+                let mut envelope = Envelope::ok("analyze");
+                envelope.health = if health.is_degraded() {
+                    "degraded"
+                } else {
+                    "ok"
+                }
+                .to_owned();
+                envelope.degraded_reasons = health.reasons().to_vec();
+                envelope.violations = report.violations().len() as u64;
+                envelope.stats = Some(stats);
+                (envelope, body)
+            }
+        }
+    }
+
+    fn dispatch_lint(&self, req: &Request) -> (Envelope, Vec<u8>) {
+        self.recorder.counter_add("server.requests", 1);
+        let (file_name, source) = if req.soc.is_empty() {
+            let name = if req.file_name.is_empty() {
+                "request.v".to_owned()
+            } else {
+                req.file_name.clone()
+            };
+            (name, req.source.clone())
+        } else {
+            match resolve_request(req) {
+                Ok((name, source, _, _, _)) => (name, source),
+                Err(e) => return (Envelope::error(&e), Vec::new()),
+            }
+        };
+        let lint_config = LintConfig {
+            allow: req.allow.clone(),
+            deny: req.deny.clone(),
+        };
+        let linter = Linter::new().with_config(lint_config);
+        for id in req.allow.iter().chain(&req.deny) {
+            if !linter.is_known_rule(id) {
+                return (Envelope::error(&format!("unknown rule `{id}`")), Vec::new());
+            }
+        }
+        match linter.lint_source(&file_name, &source) {
+            Err(e) => (Envelope::error(&e), Vec::new()),
+            Ok(report) => {
+                let body = match soccar::json::to_json_pretty(&report) {
+                    Ok(json) => json.into_bytes(),
+                    Err(e) => return (Envelope::error(&e.to_string()), Vec::new()),
+                };
+                let mut envelope = Envelope::ok("lint");
+                envelope.violations = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count() as u64;
+                (envelope, body)
+            }
+        }
+    }
+
+    fn dispatch_status(&self) -> (Envelope, Vec<u8>) {
+        self.recorder.counter_add("server.requests", 1);
+        let session = match self.session.lock() {
+            Ok(guard) => guard,
+            Err(_) => {
+                return (
+                    Envelope::error("analysis session poisoned by an earlier panic"),
+                    Vec::new(),
+                )
+            }
+        };
+        let (parse, extract, design, concolic, report) = session.tier_sizes();
+        let body = StatusBody {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            jobs: self.jobs,
+            counters: *session.counters(),
+            tiers: TierSizes {
+                parse,
+                extract,
+                design,
+                concolic,
+                report,
+            },
+        };
+        match soccar::json::to_json_pretty(&body) {
+            Err(e) => (Envelope::error(&e.to_string()), Vec::new()),
+            Ok(json) => (Envelope::ok("status"), json.into_bytes()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_request_mirrors_cli_defaults() {
+        let mut req = Request::new("analyze");
+        req.source = "module top(input clk); endmodule".into();
+        req.top = "top".into();
+        let (name, _, top, props, config) = resolve_request(&req).expect("resolve");
+        assert_eq!(name, "request.v");
+        assert_eq!(top, "top");
+        assert!(props.is_empty());
+        assert_eq!(config.concolic.cycles, 24);
+        assert_eq!(config.concolic.max_rounds, 12);
+        assert!(config.concolic.solver_budget.is_unlimited());
+        assert_eq!(config.analysis, GovernorAnalysis::Explicit);
+    }
+
+    #[test]
+    fn resolve_request_loads_bundled_soc_catalogs() {
+        let mut req = Request::new("analyze");
+        req.soc = "clustersoc".into();
+        let (name, source, top, props, config) = resolve_request(&req).expect("resolve");
+        assert_eq!(name, "clustersoc.v");
+        assert!(!source.is_empty());
+        assert!(!top.is_empty());
+        assert!(!props.is_empty(), "catalog properties pre-loaded");
+        assert!(!config.concolic.symbolic_inputs.is_empty());
+        req.soc = "toastersoc".into();
+        assert!(resolve_request(&req).is_err());
+    }
+
+    #[test]
+    fn resolve_request_applies_qos_knobs() {
+        let mut req = Request::new("analyze");
+        req.source = "module top(input clk); endmodule".into();
+        req.top = "top".into();
+        req.refined = true;
+        req.cycles = Some(8);
+        req.rounds = Some(2);
+        req.solver_budget = Some(50);
+        req.keep_going = true;
+        req.round_deadline_ms = Some(1000);
+        let (_, _, _, _, config) = resolve_request(&req).expect("resolve");
+        assert_eq!(config.analysis, GovernorAnalysis::Refined);
+        assert_eq!(config.concolic.cycles, 8);
+        assert_eq!(config.concolic.max_rounds, 2);
+        assert_eq!(
+            config.concolic.solver_budget,
+            soccar_smt::SolveBudget::conflicts(50)
+        );
+        assert!(config.keep_going);
+        assert_eq!(
+            config.concolic.round_deadline,
+            Some(std::time::Duration::from_millis(1000))
+        );
+    }
+
+    #[test]
+    fn missing_top_is_rejected() {
+        let mut req = Request::new("analyze");
+        req.source = "module top(input clk); endmodule".into();
+        assert!(resolve_request(&req).is_err());
+    }
+}

@@ -7,7 +7,7 @@
 //! To update the snapshots after an intentional output change:
 //!
 //! ```sh
-//! SOCCAR_BLESS=1 cargo test -p soccar --test golden
+//! SOCCAR_BLESS=1 cargo test -p soccar-serve --test golden
 //! ```
 
 use std::path::{Path, PathBuf};

@@ -1,0 +1,141 @@
+//! End-to-end smoke test: the real `soccar serve` daemon as a
+//! subprocess, driven by the real `soccar client` — the exact shape the
+//! CI `serve-smoke` job uses. Verifies the daemon starts, serves
+//! analyze/lint/status byte-identically to the batch CLI, shuts down on
+//! request, and exits 0 with no orphan process.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_soccar");
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn() -> Daemon {
+        let mut child = Command::new(BIN)
+            .args(["serve", "--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn soccar serve");
+        // The first stdout line announces the bound (ephemeral) port.
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("daemon printed nothing")
+            .expect("read daemon stdout");
+        let addr = first
+            .strip_prefix("soccar-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {first}"))
+            .to_owned();
+        Daemon { child, addr }
+    }
+
+    fn client(&self, args: &[&str]) -> std::process::Output {
+        Command::new(BIN)
+            .args(["client", "--connect", &self.addr])
+            .args(args)
+            .output()
+            .expect("run soccar client")
+    }
+
+    /// Requests shutdown and asserts a clean exit within the deadline.
+    fn shutdown(mut self) {
+        let out = self.client(&["shutdown"]);
+        assert!(
+            out.status.success(),
+            "shutdown client failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exited with {status}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    self.child.kill().ok();
+                    panic!("daemon did not exit within 30s of shutdown — orphan process");
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Belt-and-braces: never leak a daemon past a failing test.
+        self.child.kill().ok();
+    }
+}
+
+fn batch(args: &[&str]) -> std::process::Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("run soccar batch")
+}
+
+#[test]
+fn daemon_serves_both_socs_byte_identically_and_shuts_down_cleanly() {
+    let daemon = Daemon::spawn();
+
+    for soc in ["clustersoc", "autosoc"] {
+        let served = daemon.client(&["analyze", "--soc", soc, "--cycles", "12", "--rounds", "3"]);
+        let batched = batch(&[
+            "analyze", "--soc", soc, "--cycles", "12", "--rounds", "3", "--json",
+        ]);
+        assert_eq!(
+            served.status.code(),
+            batched.status.code(),
+            "{soc}: exit codes must agree (server stderr: {})",
+            String::from_utf8_lossy(&served.stderr)
+        );
+        assert!(!served.stdout.is_empty(), "{soc}: empty served report");
+        assert_eq!(
+            String::from_utf8_lossy(&served.stdout),
+            String::from_utf8_lossy(&batched.stdout),
+            "{soc}: served stdout diverged from `soccar analyze --json`"
+        );
+        // Warm repeat: same bytes again, now from the report cache.
+        let warm = daemon.client(&["analyze", "--soc", soc, "--cycles", "12", "--rounds", "3"]);
+        assert_eq!(warm.stdout, served.stdout, "{soc}: warm body changed");
+    }
+
+    // Lint parity on a scratch file, exercising the client's file path.
+    let dir = std::env::temp_dir().join(format!("soccar-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("smoke.v");
+    std::fs::write(
+        &file,
+        "module top(input clk, input rst_n, output reg q);\n\
+         always @(posedge clk) q <= ~q;\nendmodule\n",
+    )
+    .expect("write scratch design");
+    let path = file.to_str().expect("utf-8 path");
+    let served = daemon.client(&["lint", path]);
+    let batched = batch(&["lint", path, "--json"]);
+    assert_eq!(served.status.code(), batched.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&served.stdout),
+        String::from_utf8_lossy(&batched.stdout),
+        "lint: served stdout diverged from `soccar lint --json`"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Status is well-formed and counts the four analyses.
+    let status = daemon.client(&["status"]);
+    assert!(status.status.success());
+    let text = String::from_utf8_lossy(&status.stdout);
+    assert!(text.contains("\"requests\": 4"), "status: {text}");
+
+    daemon.shutdown();
+}

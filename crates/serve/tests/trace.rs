@@ -7,7 +7,7 @@
 //! To update the snapshot after an intentional trace change:
 //!
 //! ```sh
-//! SOCCAR_BLESS=1 cargo test -p soccar --test trace
+//! SOCCAR_BLESS=1 cargo test -p soccar-serve --test trace
 //! ```
 
 use std::path::{Path, PathBuf};
