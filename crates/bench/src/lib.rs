@@ -20,6 +20,7 @@ use soccar_concolic::{ConcolicConfig, PropertyMonitor, SecurityProperty, Violati
 use soccar_lint::{Diagnostic, Linter};
 use soccar_rtl::value::LogicVec;
 use soccar_sim::{InitPolicy, Simulator};
+use soccar_soc::GenSpec;
 use soccar_soc::{SocDesign, SocModel};
 
 /// The evaluation configuration used by all detection benches: paper
@@ -55,6 +56,295 @@ pub fn smoke_config() -> SoccarConfig {
             ..ConcolicConfig::default()
         },
         ..SoccarConfig::default()
+    }
+}
+
+/// The pinned configuration of the `stress` bench binary: the
+/// generated-corpus recall oracle and scale records run under one fixed
+/// configuration — independent of smoke/full mode — so the
+/// `BENCH_gen_*.json` counters are one fixed point across every
+/// invocation. Matches the reduced-rounds smoke budget (the generated
+/// designs are bigger than the bundled SoCs; the budget already
+/// detects every seeded bug, see `tests/gen_recall.rs`).
+#[must_use]
+pub fn stress_config() -> SoccarConfig {
+    SoccarConfig {
+        analysis: soccar_cfg::GovernorAnalysis::Explicit,
+        concolic: ConcolicConfig {
+            cycles: 10,
+            max_rounds: 3,
+            sweep_stride: 3,
+            init: InitPolicy::Ones,
+            // Pinned rather than env-derived: the gated `smt.*` counters
+            // differ between the incremental and one-shot strategies
+            // (the canonical *report* does not), so the baseline must
+            // not depend on `SOCCAR_INCREMENTAL`.
+            incremental: true,
+            ..ConcolicConfig::default()
+        },
+        jobs: 1,
+        ..SoccarConfig::default()
+    }
+}
+
+/// The ~10x stress point: scale 15 ⇒ 11·15 + 4 = 169 generated modules,
+/// more than ten times ClusterSoC's 16. Analyzed in full by the stress
+/// tier with detection recall gated against the ground-truth manifest.
+pub const STRESS_X10: GenSpec = GenSpec {
+    seed: 11,
+    scale: 15,
+};
+
+/// The ~50x stress point: scale 73 ⇒ 11·73 + 4 = 807 generated modules.
+/// Too large for a full concolic sweep in CI budget — the stress tier
+/// runs the lint pre-pass (implicit-bug recall gated) and the frozen
+/// flip-workload clause-reuse probe on it instead.
+pub const STRESS_X50: GenSpec = GenSpec {
+    seed: 11,
+    scale: 73,
+};
+
+/// Evaluates one generated design and folds the outcome into a bench
+/// variant: manifest recall (`bugs`, `detected`, `missed`,
+/// `false_alarms`), topology facts (`gen.modules`, `gen.clusters`,
+/// `gen.reset_domains`, `gen.bugs`), and the usual concolic counters —
+/// all gated. The quantized wall-clock rides along as `seconds_q`
+/// (reported, never gated).
+///
+/// # Panics
+///
+/// Panics if the generated design fails to evaluate (generated designs
+/// always elaborate — that is a library invariant, not a bench knob).
+#[must_use]
+pub fn gen_recall_variant(spec: &GenSpec, config: &SoccarConfig) -> soccar_obs::BenchVariant {
+    let recorder = soccar_obs::Recorder::enabled();
+    let (eval, elapsed) = recorder.time("bench.gen_recall", || {
+        soccar::evaluate_generated_traced(spec, config.clone(), recorder.clone())
+            .expect("generated designs always evaluate")
+    });
+    let snap = recorder.snapshot();
+    let trace = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let c = &eval.report.concolic;
+    let mut counters = std::collections::BTreeMap::new();
+    for (name, value) in [
+        ("bugs", eval.recall.total as u64),
+        ("detected", eval.recall.detected as u64),
+        ("missed", eval.recall.missed.len() as u64),
+        ("false_alarms", eval.recall.false_alarms as u64),
+        ("gen.modules", u64::from(eval.manifest.modules)),
+        ("gen.clusters", u64::from(spec.scale)),
+        ("gen.reset_domains", u64::from(eval.manifest.reset_domains)),
+        ("gen.bugs", eval.manifest.bugs.len() as u64),
+        ("rounds", c.rounds as u64),
+        ("solver_calls", c.solver_calls as u64),
+        ("solver_sat", c.solver_sat as u64),
+        ("targets_covered", c.targets_covered as u64),
+        ("targets_total", c.targets_total as u64),
+        // The trace-level solver counters: `smt.queries` counts every
+        // real solver invocation, including the speculative flip solves
+        // that `solver_calls` (consumed answers only) excludes.
+        ("smt.queries", trace("smt.queries")),
+        ("smt.sat", trace("smt.sat")),
+        ("smt.clauses_reused", trace("smt.clauses_reused")),
+        ("flip_candidates", trace("concolic.flip_candidates")),
+    ] {
+        counters.insert(name.to_owned(), value);
+    }
+    soccar_obs::BenchVariant {
+        variant: spec.name(),
+        counters,
+        timings_q: std::collections::BTreeMap::new(),
+        seconds_q: soccar_obs::quantize_seconds(elapsed.as_secs_f64()),
+    }
+}
+
+/// The pinned-sweep recall report (`BENCH_gen_sweep.json`): one gated
+/// record per [`soccar_soc::generate::pinned_sweep`] design. A recall
+/// regression shows up as a `detected`/`missed` counter diff naming the
+/// exact `gen:<seed>:<scale>` design to reproduce.
+///
+/// # Panics
+///
+/// Panics if any sweep design misses a manifest bug or raises a false
+/// alarm — the stress tier must fail loudly even before the baseline
+/// diff runs.
+#[must_use]
+pub fn gen_sweep_report(config: &SoccarConfig) -> soccar_obs::BenchReport {
+    let mut variants = Vec::new();
+    for spec in soccar_soc::generate::pinned_sweep() {
+        let v = gen_recall_variant(&spec, config);
+        assert_eq!(
+            v.counters["missed"],
+            0,
+            "{}: manifest bugs went undetected (recall gate)",
+            spec.name()
+        );
+        assert_eq!(
+            v.counters["false_alarms"],
+            0,
+            "{}: violations outside the manifest's detector set",
+            spec.name()
+        );
+        variants.push(v);
+    }
+    soccar_obs::BenchReport {
+        soc: "gen_sweep".to_owned(),
+        mode: "stress".to_owned(),
+        variants,
+    }
+}
+
+/// The 10x-scale report (`BENCH_gen_x10.json`): [`STRESS_X10`] analyzed
+/// in full. Gated like the sweep, plus the ISSUE 7 acceptance floor
+/// asserted directly: ≥160 modules and at least one real solver call
+/// per concolic round.
+///
+/// # Panics
+///
+/// Panics on a recall miss, a false alarm, fewer than 160 modules, or a
+/// round that drove no solver call.
+#[must_use]
+pub fn gen_x10_report(config: &SoccarConfig) -> soccar_obs::BenchReport {
+    let v = gen_recall_variant(&STRESS_X10, config);
+    assert!(
+        v.counters["gen.modules"] >= 160,
+        "the 10x stress design shrank below 10x ClusterSoC ({} modules)",
+        v.counters["gen.modules"]
+    );
+    assert_eq!(v.counters["missed"], 0, "10x recall gate");
+    assert_eq!(v.counters["false_alarms"], 0, "10x false-alarm gate");
+    // ≥1 real solver call per concolic (flip-planning) round. The
+    // report's `solver_calls` field counts only consumed answers — the
+    // decision walk usually breaks at a pulse-able target first on a
+    // design this size — so the gate reads the trace-level `smt.queries`
+    // counter, which counts every actual SAT invocation.
+    let flip_rounds = config.concolic.max_rounds as u64;
+    assert!(
+        v.counters["smt.queries"] >= flip_rounds && v.counters["flip_candidates"] > 0,
+        "the 10x design must drive ≥1 real solver call per round \
+         ({} queries / {} candidates over {} flip rounds)",
+        v.counters["smt.queries"],
+        v.counters["flip_candidates"],
+        flip_rounds
+    );
+    soccar_obs::BenchReport {
+        soc: "gen_x10".to_owned(),
+        mode: "stress".to_owned(),
+        variants: vec![v],
+    }
+}
+
+/// The 50x-scale report (`BENCH_gen_x50.json`) — two records on
+/// [`STRESS_X50`]:
+///
+/// * `lint_recall`: the lint pre-pass over all ~800 modules, with the
+///   manifest's implicit (lint-stage) bugs gated fully flagged;
+/// * `clause_reuse_probe`: the frozen flip workload solved
+///   incrementally, answering whether larger generated flip windows
+///   reuse clauses on a *real* workload (the synthetic
+///   [`clause_reuse_record`] design was built because the bundled SoCs'
+///   windows are too shallow). The answer is **recorded either way** —
+///   `clause_reuse_engaged` is gated at its measured value, not
+///   asserted non-zero — so a future change in either direction trips
+///   the baseline, not an assumption.
+///
+/// Measured answer (recorded in the baseline): reuse does **not** scale
+/// with the frozen window. At scale 1 and 4 the probe reuses a few
+/// dozen learnt clauses; at scale 73 it reuses none, because every
+/// capped solve localizes to its own candidate cone through the
+/// assumption literals and completes conflict-free — there are no
+/// learnt clauses to carry. The real-workload reuse evidence at scale
+/// lives in the full-pipeline x10 record instead, where cross-round
+/// window accumulation reuses clauses by the hundred-thousand (see
+/// `smt.clauses_reused` in `BENCH_gen_x10.json`).
+///
+/// # Panics
+///
+/// Panics if a manifest lint-stage bug goes unflagged.
+#[must_use]
+pub fn gen_x50_report() -> soccar_obs::BenchReport {
+    let soc = soccar_soc::generate::generate(&STRESS_X50);
+    let recorder = soccar_obs::Recorder::disabled();
+
+    // Lint recall over the whole generated corpus at 50x.
+    let (diagnostics, lint_elapsed) =
+        recorder.time("bench.gen_x50.lint", || lint_soc("gen_x50.v", &soc.source));
+    let flagged: BTreeSet<&str> = diagnostics
+        .iter()
+        .filter(|d| d.rule == "implicit-governor")
+        .map(|d| d.module.as_str())
+        .collect();
+    let implicit: Vec<_> = soc.manifest.bugs.iter().filter(|b| b.implicit).collect();
+    for bug in &implicit {
+        assert!(
+            flagged.contains(bug.module.as_str()),
+            "{}: implicit bug in `{}` not flagged by implicit-governor",
+            soc.name,
+            bug.module
+        );
+    }
+    let mut lint_counters = std::collections::BTreeMap::new();
+    lint_counters.insert("gen.modules".to_owned(), u64::from(soc.manifest.modules));
+    lint_counters.insert("lint.implicit_bugs".to_owned(), implicit.len() as u64);
+    lint_counters.insert(
+        "lint.implicit_flagged".to_owned(),
+        implicit
+            .iter()
+            .filter(|b| flagged.contains(b.module.as_str()))
+            .count() as u64,
+    );
+    lint_counters.insert("lint.diagnostics".to_owned(), diagnostics.len() as u64);
+    let lint_variant = soccar_obs::BenchVariant {
+        variant: format!("{} lint_recall", soc.name),
+        counters: lint_counters,
+        timings_q: std::collections::BTreeMap::new(),
+        seconds_q: soccar_obs::quantize_seconds(lint_elapsed.as_secs_f64()),
+    };
+
+    // Clause-reuse probe on the real 50x flip workload.
+    let concolic = ConcolicConfig {
+        cycles: 10,
+        seed: 7,
+        symbolic_inputs: soc.symbolic.clone(),
+        ..ConcolicConfig::default()
+    };
+    let workload = custom_flip_workload(&soc.source, &soc.top, concolic);
+    // Deep enough into the 13k-candidate window that SAT flips appear
+    // (the first ~2k candidates are all UNSAT at this scale), small
+    // enough to keep the probe in milliseconds.
+    let cap = 2048;
+    let probe_recorder = soccar_obs::Recorder::enabled();
+    let (sat, probe_elapsed) = probe_recorder.time("bench.gen_x50.probe", || {
+        workload.solve_incremental(cap, &probe_recorder)
+    });
+    let snap = probe_recorder.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let reused = counter("smt.clauses_reused");
+    let mut probe_counters = std::collections::BTreeMap::new();
+    probe_counters.insert(
+        "flip_candidates".to_owned(),
+        workload.candidates(cap) as u64,
+    );
+    probe_counters.insert("flip_sat".to_owned(), sat as u64);
+    probe_counters.insert("clause_reuse_engaged".to_owned(), u64::from(reused > 0));
+    for name in [
+        "smt.incremental_calls",
+        "smt.blast_cache_hits",
+        "smt.clauses_reused",
+    ] {
+        probe_counters.insert(name.to_owned(), counter(name));
+    }
+    let probe_variant = soccar_obs::BenchVariant {
+        variant: format!("{} clause_reuse_probe", soc.name),
+        counters: probe_counters,
+        timings_q: std::collections::BTreeMap::new(),
+        seconds_q: soccar_obs::quantize_seconds(probe_elapsed.as_secs_f64()),
+    };
+
+    soccar_obs::BenchReport {
+        soc: "gen_x50".to_owned(),
+        mode: "stress".to_owned(),
+        variants: vec![lint_variant, probe_variant],
     }
 }
 
@@ -1043,6 +1333,22 @@ mod tests {
         assert_eq!(before.len(), after.len());
         let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
         assert_eq!(changed, 1, "the bench edit must localize to one module");
+    }
+
+    #[test]
+    fn stress_scales_hit_their_module_floors() {
+        // Pure string generation — cheap even in debug builds.
+        let x10 = soccar_soc::generate::generate(&STRESS_X10);
+        assert!(
+            x10.manifest.modules >= 160,
+            "10x point must stay ≥10x ClusterSoC's 16 modules"
+        );
+        let x50 = soccar_soc::generate::generate(&STRESS_X50);
+        assert!(x50.manifest.modules >= 800, "50x point shrank");
+        assert!(
+            x50.manifest.bugs.iter().any(|b| b.implicit),
+            "the 50x lint-recall record needs at least one implicit bug"
+        );
     }
 
     #[test]

@@ -186,6 +186,125 @@ pub fn evaluate_clean(
     soccar.analyze("soc.v", &design.source, &design.top, properties)
 }
 
+/// Recall scoring of a generated design against its ground-truth
+/// manifest (the stress tier's oracle).
+#[derive(Debug, Clone, Serialize)]
+pub struct GeneratedRecall {
+    /// Bugs in the manifest.
+    pub total: usize,
+    /// Bugs whose expected stage reported them.
+    pub detected: usize,
+    /// Rendered manifest entries of missed bugs, ready for a test
+    /// failure message (each carries the seed for reproduction).
+    pub missed: Vec<String>,
+    /// Violations that map to no manifest detector.
+    pub false_alarms: usize,
+}
+
+/// One generated-design evaluation: the report plus its recall score.
+#[derive(Debug)]
+pub struct GeneratedEvaluation {
+    /// Ground truth.
+    pub manifest: soccar_soc::Manifest,
+    /// Recall against the manifest.
+    pub recall: GeneratedRecall,
+    /// The underlying pipeline report.
+    pub report: AnalysisReport,
+}
+
+/// Scores a finished report against a generated design's manifest.
+///
+/// A bug counts as detected when one of its expected detector checks
+/// was violated, or — for `lint`-stage (implicit-governor) bugs — when
+/// the lint pre-pass flagged its module.
+#[must_use]
+pub fn score_generated(
+    manifest: &soccar_soc::Manifest,
+    report: &AnalysisReport,
+) -> GeneratedRecall {
+    let fired: Vec<&str> = report
+        .concolic
+        .violations
+        .iter()
+        .map(|v| v.property.as_str())
+        .collect();
+    let lint_flagged: Vec<&str> = report
+        .lint
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "implicit-governor")
+        .map(|d| d.module.as_str())
+        .collect();
+    let mut detected = 0;
+    let mut missed = Vec::new();
+    let mut explained: Vec<&str> = Vec::new();
+    for bug in &manifest.bugs {
+        explained.extend(bug.detectors.iter().map(String::as_str));
+        let hit = bug.detectors.iter().any(|d| fired.contains(&d.as_str()))
+            || (bug.stage == soccar_soc::DetectionStage::Lint
+                && lint_flagged.contains(&bug.module.as_str()));
+        if hit {
+            detected += 1;
+        } else {
+            missed.push(format!(
+                "{} (seed {}): {}",
+                manifest.name,
+                manifest.seed,
+                bug.describe()
+            ));
+        }
+    }
+    let false_alarms = fired.iter().filter(|f| !explained.contains(f)).count();
+    GeneratedRecall {
+        total: manifest.bugs.len(),
+        detected,
+        missed,
+        false_alarms,
+    }
+}
+
+/// Runs the pipeline on a generated design and scores recall against
+/// its manifest.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn evaluate_generated(
+    spec: &soccar_soc::GenSpec,
+    config: SoccarConfig,
+) -> Result<GeneratedEvaluation, SoccarError> {
+    evaluate_generated_traced(spec, config, soccar_obs::Recorder::disabled())
+}
+
+/// [`evaluate_generated`] with an observability recorder attached, so
+/// callers (the bench stress tier) can gate on the pipeline's span and
+/// counter stream — e.g. `smt.queries` counts *every* real solver call
+/// including the speculative flip solves the report's `solver_calls`
+/// field deliberately excludes.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn evaluate_generated_traced(
+    spec: &soccar_soc::GenSpec,
+    config: SoccarConfig,
+    recorder: soccar_obs::Recorder,
+) -> Result<GeneratedEvaluation, SoccarError> {
+    let gen = soccar_soc::generate::generate(spec);
+    let properties: Vec<SecurityProperty> = gen.checks.iter().map(property_of).collect();
+    let mut config = config;
+    config.concolic.symbolic_inputs = gen.symbolic.clone();
+    let soccar = Soccar::new(config).with_recorder(recorder);
+    let file_name = format!("{}.v", gen.slug);
+    let report = soccar.analyze(&file_name, &gen.source, &gen.top, properties)?;
+    let recall = score_generated(&gen.manifest, &report);
+    Ok(GeneratedEvaluation {
+        manifest: gen.manifest,
+        recall,
+        report,
+    })
+}
+
 /// Sanity helper for tests: a bug outcome table as text.
 #[must_use]
 pub fn render_outcomes(eval: &VariantEvaluation) -> String {
@@ -287,6 +406,20 @@ mod tests {
         assert_eq!(eval.outcomes.len(), 2);
         assert_eq!(eval.detected(), 2, "{}", render_outcomes(&eval));
         assert!(eval.false_alarms.is_empty(), "{}", render_outcomes(&eval));
+    }
+
+    #[test]
+    fn generated_design_bugs_are_recalled() {
+        let spec = soccar_soc::GenSpec { seed: 29, scale: 2 };
+        let eval =
+            evaluate_generated(&spec, fast_config(GovernorAnalysis::Explicit)).expect("evaluate");
+        assert!(eval.recall.total >= 1, "sweep designs always carry a bug");
+        assert_eq!(
+            eval.recall.detected, eval.recall.total,
+            "missed: {:#?}",
+            eval.recall.missed
+        );
+        assert_eq!(eval.recall.false_alarms, 0);
     }
 
     #[test]

@@ -74,7 +74,8 @@ pub mod pipeline;
 
 pub use error::SoccarError;
 pub use evaluation::{
-    evaluate_clean, evaluate_variant, property_of, BugOutcome, Campaign, CampaignRow,
+    evaluate_clean, evaluate_generated, evaluate_generated_traced, evaluate_variant, property_of,
+    score_generated, BugOutcome, Campaign, CampaignRow, GeneratedEvaluation, GeneratedRecall,
     VariantEvaluation,
 };
 pub use incremental::{AnalysisSession, CacheCaps, RequestQos, RequestStats, SessionCounters};

@@ -18,6 +18,15 @@
 //! ```sh
 //! soccar analyze --soc clustersoc --trace-out trace.jsonl
 //! soccar analyze --soc autosoc --variant 2 --refined --verbose
+//! soccar analyze --soc gen:7:4 --json       # seeded generated topology
+//! ```
+//!
+//! The `gen` subcommand materializes a generated design without
+//! analyzing it — the ground-truth manifest goes to stdout and `--rtl`
+//! dumps the Verilog:
+//!
+//! ```sh
+//! soccar gen gen:7:4 --rtl gen_7_4.v
 //! ```
 //!
 //! `--trace-out <path>` writes the run's span/metric stream as NDJSON
@@ -55,7 +64,7 @@ use soccar_serve::{Client, Request, Server, ServerOptions};
 
 struct Args {
     file: String,
-    soc: Option<soccar_soc::SocModel>,
+    soc: Option<String>,
     variant: Option<u32>,
     top: String,
     properties: Vec<SecurityProperty>,
@@ -76,15 +85,18 @@ struct Args {
 }
 
 const USAGE: &str = "usage: soccar [analyze] <file.v> --top <module> [options]
-       soccar [analyze] --soc <clustersoc|autosoc> [--variant <n>] [options]
+       soccar [analyze] --soc <name> [--variant <n>] [options]
+       soccar gen <gen:seed:scale> [options]   dump a generated SoC
        soccar serve [options]      run the persistent analysis daemon
        soccar client [options]     drive a running daemon (CI mode)
 options:
   --property <spec>   add a security property (repeatable); see --help-properties
   --symbolic <net>    treat a top-level input as symbolic (repeatable)
-  --soc <model>       analyze a bundled evaluation SoC (catalog properties
-                      and symbolic inputs pre-loaded)
-  --variant <n>       bug-seeded variant of the bundled SoC (default: clean)
+  --soc <name>        analyze a catalog SoC: `clustersoc`, `autosoc`, or a
+                      seeded generated topology `gen:<seed>:<scale>`
+                      (catalog properties and symbolic inputs pre-loaded)
+  --variant <n>       bug-seeded variant of a bundled SoC (default: clean;
+                      generated designs draw bugs from the seed instead)
   --refined           use the refined (implicit-governor) analysis
   --cycles <n>        simulation horizon per round (default 24)
   --rounds <n>        max concolic rounds before the sweep (default 12)
@@ -185,11 +197,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--vcd" => out.vcd = Some(next(&mut args, "--vcd")?),
             "--trace-out" => out.trace_out = Some(next(&mut args, "--trace-out")?),
             "--soc" => {
-                out.soc = Some(match next(&mut args, "--soc")?.as_str() {
-                    "clustersoc" => soccar_soc::SocModel::ClusterSoc,
-                    "autosoc" => soccar_soc::SocModel::AutoSoc,
+                let name = next(&mut args, "--soc")?;
+                match name.as_str() {
+                    "clustersoc" | "autosoc" => {}
+                    n if n.starts_with("gen:") => {
+                        soccar_soc::GenSpec::parse(n).map_err(|e| format!("--soc: {e}"))?;
+                    }
                     other => return Err(format!("--soc: unknown model `{other}`")),
-                });
+                }
+                out.soc = Some(name);
             }
             "--variant" => {
                 out.variant = Some(
@@ -223,21 +239,16 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
 fn run(args: &Args) -> Result<bool, String> {
     // Resolve the design: a file on disk, or a bundled evaluation SoC
     // (which brings its catalog properties and symbolic inputs along).
-    let (file_name, source, top, mut properties, mut symbolic) = match args.soc {
-        Some(model) => {
-            let soc = soccar_soc::generate(model, args.variant);
-            let props: Vec<SecurityProperty> = soccar_soc::security_checks(model)
-                .iter()
-                .map(soccar::property_of)
-                .collect();
-            let sym = soccar_soc::symbolic_inputs(model);
-            let name = format!("{model:?}.v").to_lowercase();
+    let (file_name, source, top, mut properties, mut symbolic) = match &args.soc {
+        Some(name) => {
+            let soc = soccar_soc::catalog::resolve(name, args.variant)?;
+            let props: Vec<SecurityProperty> = soc.checks.iter().map(soccar::property_of).collect();
             let top = if args.top.is_empty() {
                 soc.top.clone()
             } else {
                 args.top.clone()
             };
-            (name, soc.source, top, props, sym)
+            (soc.file_name, soc.source, top, props, soc.symbolic)
         }
         None => {
             let source =
@@ -498,6 +509,83 @@ fn run_lint(args: &LintArgs) -> Result<bool, String> {
     Ok(report.worst() != Some(Severity::Error))
 }
 
+const GEN_USAGE: &str = "usage: soccar gen <gen:seed:scale> [options]
+materialize a seeded generated SoC from the catalog: the ground-truth
+bug manifest (JSON) goes to stdout, and the design can be analyzed with
+`soccar analyze --soc gen:<seed>:<scale>` (see docs/GENERATOR.md)
+options:
+  --rtl <path>        also write the generated Verilog to <path>
+  --manifest <path>   write the manifest to <path> instead of stdout
+  --summary           print a one-line topology summary instead of the
+                      manifest JSON";
+
+struct GenArgs {
+    name: String,
+    rtl: Option<String>,
+    manifest: Option<String>,
+    summary: bool,
+}
+
+fn parse_gen_args(args: impl Iterator<Item = String>) -> Result<GenArgs, String> {
+    let mut args = args;
+    let mut out = GenArgs {
+        name: String::new(),
+        rtl: None,
+        manifest: None,
+        summary: false,
+    };
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rtl" => out.rtl = Some(next(&mut args, "--rtl")?),
+            "--manifest" => out.manifest = Some(next(&mut args, "--manifest")?),
+            "--summary" => out.summary = true,
+            "--help" | "-h" => {
+                println!("{GEN_USAGE}");
+                std::process::exit(0);
+            }
+            other if out.name.is_empty() && !other.starts_with('-') => {
+                out.name = other.to_owned();
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if out.name.is_empty() {
+        return Err(GEN_USAGE.to_owned());
+    }
+    Ok(out)
+}
+
+fn run_gen(args: &GenArgs) -> Result<(), String> {
+    let spec = soccar_soc::GenSpec::parse(&args.name)?;
+    let soc = soccar_soc::generate::generate(&spec);
+    if let Some(path) = &args.rtl {
+        std::fs::write(path, &soc.source).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{}: RTL written to {path}", soc.name);
+    }
+    let manifest_json = soc.manifest.to_json();
+    if let Some(path) = &args.manifest {
+        std::fs::write(path, format!("{manifest_json}\n")).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{}: manifest written to {path}", soc.name);
+    }
+    if args.summary {
+        println!(
+            "{}: {} modules, {} reset domains, {} seeded bug(s), {} checks, top {}",
+            soc.name,
+            soc.manifest.modules,
+            soc.manifest.reset_domains,
+            soc.manifest.bugs.len(),
+            soc.checks.len(),
+            soc.top
+        );
+    } else if args.manifest.is_none() {
+        println!("{manifest_json}");
+    }
+    Ok(())
+}
+
 const SERVE_USAGE: &str = "usage: soccar serve [options]
 options:
   --listen <addr>        bind address (default 127.0.0.1:0)
@@ -594,7 +682,8 @@ const CLIENT_USAGE: &str =
     "usage: soccar client [--connect <addr> | --port-file <path>] <command> [options]
 commands:
   analyze <file.v> --top <module> [analyze options]
-  analyze --soc <clustersoc|autosoc> [--variant <n>] [analyze options]
+  analyze --soc <name> [--variant <n>] [analyze options]
+         (<name>: clustersoc, autosoc, or gen:<seed>:<scale>)
   lint <file.v> [--allow <rule>] [--deny <rule>]
   status
   shutdown
@@ -754,6 +843,22 @@ fn main() -> ExitCode {
             };
         }
         _ => {}
+    }
+    // `gen` materializes a generated design without analyzing it.
+    if std::env::args().nth(1).as_deref() == Some("gen") {
+        return match parse_gen_args(std::env::args().skip(2)) {
+            Ok(args) => match run_gen(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
     }
     // `lint` runs only the static pre-pass and has its own flag set.
     if std::env::args().nth(1).as_deref() == Some("lint") {

@@ -83,8 +83,9 @@ pub struct TierSizes {
 }
 
 /// Resolves an analyze/lint request into concrete pipeline inputs:
-/// `(file_name, source, top, properties, config)`. Bundled SoC requests
-/// pick up their catalog properties and symbolic inputs, exactly like
+/// `(file_name, source, top, properties, config)`. Catalog SoC requests
+/// (`clustersoc`, `autosoc`, or a generated `gen:<seed>:<scale>`) pick
+/// up their catalog properties and symbolic inputs, exactly like
 /// `soccar analyze --soc`; defaults (cycles 24, rounds 12, unlimited
 /// budget) match the CLI so responses are byte-identical to batch runs.
 ///
@@ -111,24 +112,14 @@ pub fn resolve_request(
             Vec::new(),
         )
     } else {
-        let model = match req.soc.as_str() {
-            "clustersoc" => soccar_soc::SocModel::ClusterSoc,
-            "autosoc" => soccar_soc::SocModel::AutoSoc,
-            other => return Err(format!("unknown soc model `{other}`")),
-        };
-        let soc = soccar_soc::generate(model, req.variant);
-        let props: Vec<SecurityProperty> = soccar_soc::security_checks(model)
-            .iter()
-            .map(soccar::property_of)
-            .collect();
-        let sym = soccar_soc::symbolic_inputs(model);
-        let name = format!("{model:?}.v").to_lowercase();
+        let soc = soccar_soc::catalog::resolve(&req.soc, req.variant)?;
+        let props: Vec<SecurityProperty> = soc.checks.iter().map(soccar::property_of).collect();
         let top = if req.top.is_empty() {
             soc.top.clone()
         } else {
             req.top.clone()
         };
-        (name, soc.source, top, props, sym)
+        (soc.file_name, soc.source, top, props, soc.symbolic)
     };
     for spec in &req.properties {
         properties.push(parse_property(spec)?);
@@ -459,6 +450,21 @@ mod tests {
         assert!(!props.is_empty(), "catalog properties pre-loaded");
         assert!(!config.concolic.symbolic_inputs.is_empty());
         req.soc = "toastersoc".into();
+        assert!(resolve_request(&req).is_err());
+    }
+
+    #[test]
+    fn resolve_request_loads_generated_designs() {
+        let mut req = Request::new("analyze");
+        req.soc = "gen:7:2".into();
+        let (name, source, top, props, config) = resolve_request(&req).expect("resolve");
+        assert_eq!(name, "gen_7_2.v");
+        assert_eq!(top, "gen_soc");
+        assert!(source.contains("module gen_soc"));
+        assert!(!props.is_empty(), "generated checks pre-loaded");
+        assert!(!config.concolic.symbolic_inputs.is_empty());
+        // Generated designs draw bugs from the seed, never from --variant.
+        req.variant = Some(1);
         assert!(resolve_request(&req).is_err());
     }
 

@@ -273,6 +273,77 @@ fn bundled_soc_requests_match_batch_catalog_analysis() {
     });
 }
 
+#[test]
+fn generated_soc_requests_match_batch_catalog_analysis() {
+    let mut req = Request::new("analyze");
+    req.soc = "gen:5:1".to_owned();
+    req.cycles = Some(10);
+    req.rounds = Some(3);
+    let batch = batch_canonical(&req);
+    let ((), _) = with_server(ServerOptions::default(), |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        let (envelope, body) = client.roundtrip(&req).expect("roundtrip");
+        assert!(envelope.ok, "gen analyze failed: {}", envelope.error);
+        assert_eq!(
+            std::str::from_utf8(&body).expect("utf-8"),
+            batch,
+            "served gen design diverged from batch canonical JSON"
+        );
+        // Warm repeat is a pure report-tier hit, same bytes.
+        let (envelope, body) = raw_roundtrip(addr, &req);
+        assert_eq!(
+            envelope
+                .get("stats")
+                .and_then(|s| s.get("report_cache_hit"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(std::str::from_utf8(&body).expect("utf-8"), batch);
+    });
+}
+
+#[test]
+fn generated_module_edit_reextracts_only_that_module() {
+    let spec = soccar_soc::GenSpec { seed: 5, scale: 1 };
+    let soc = soccar_soc::generate::generate(&spec);
+    let modules = u64::from(soc.manifest.modules);
+    // Edit exactly one generated module: a dead wire inside the
+    // cluster's test gate, right before its `endmodule`.
+    let gate = soc.source.find("module tst_gate_c0").expect("gate module");
+    let end = gate + soc.source[gate..].find("endmodule").expect("endmodule");
+    let mut edited = soc.source.clone();
+    edited.insert_str(end, "  wire gen_probe;\n");
+
+    let request = |source: &str| {
+        let mut req = Request::new("analyze");
+        req.file_name = "gen_5_1.v".to_owned();
+        req.source = source.to_owned();
+        req.top = soc.top.clone();
+        req.cycles = Some(8);
+        req.rounds = Some(2);
+        req
+    };
+    let ((), _) = with_server(ServerOptions::default(), |addr| {
+        let (cold, _) = raw_roundtrip(addr, &request(&soc.source));
+        assert_eq!(
+            stat(&cold, "modules_reparsed"),
+            modules,
+            "cold run parses the whole generated design"
+        );
+        let (warm, _) = raw_roundtrip(addr, &request(&edited));
+        assert_eq!(
+            stat(&warm, "modules_reparsed"),
+            1,
+            "only the test gate was edited"
+        );
+        assert_eq!(
+            stat(&warm, "modules_reextracted"),
+            1,
+            "only the test gate re-extracts"
+        );
+    });
+}
+
 /// `SoccarConfig::default()` derives worker count from `SOCCAR_JOBS` when
 /// `jobs == 0`, so this whole suite doubles as a determinism check under
 /// `SOCCAR_JOBS=1` and `SOCCAR_JOBS=4` (CI runs both).

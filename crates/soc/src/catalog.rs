@@ -5,7 +5,9 @@
 //! crypto core while a DoS attack making some privilege modes unavailable
 //! would make sense in a processor IP."
 
-use crate::bugs::ViolationType;
+use crate::bugs::{SocModel, ViolationType};
+use crate::checks::CheckSpec;
+use crate::generate::{GenSpec, Manifest};
 
 /// The IP classes of Table II (plus the infrastructure classes the SoCs
 /// also contain).
@@ -65,9 +67,28 @@ impl IpClass {
     }
 }
 
-/// Classifies a generator module name into its IP class.
+/// Strips the uniquification suffix the topology generator appends to
+/// IP module names: `_c<digits>` (per-cluster copies) and `_shr` (the
+/// shared tier). `aes192_c3` → `aes192`, `sram_sp_shr` → `sram_sp`.
+#[must_use]
+pub fn strip_generated_suffix(module: &str) -> &str {
+    if let Some(base) = module.strip_suffix("_shr") {
+        return base;
+    }
+    if let Some(pos) = module.rfind("_c") {
+        let digits = &module[pos + 2..];
+        if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+            return &module[..pos];
+        }
+    }
+    module
+}
+
+/// Classifies a generator module name into its IP class. Generated
+/// per-cluster copies (`aes192_c3`) classify as their base IP.
 #[must_use]
 pub fn classify(module: &str) -> Option<IpClass> {
+    let module = strip_generated_suffix(module);
     Some(match module {
         "sram_sp" | "sram_dp" | "dma_engine" => IpClass::Memory,
         m if m.starts_with("rv32") => IpClass::Processor,
@@ -85,6 +106,88 @@ pub fn classify(module: &str) -> Option<IpClass> {
 #[must_use]
 pub fn table_ii() -> Vec<IpClass> {
     vec![IpClass::Memory, IpClass::Processor, IpClass::Cryptographic]
+}
+
+/// A catalog design resolved by name, ready for the pipeline: RTL,
+/// security regression, symbolic inputs, and (for generated designs)
+/// the ground-truth manifest.
+#[derive(Debug, Clone)]
+pub struct ResolvedSoc {
+    /// Canonical catalog name (`clustersoc`, `autosoc`, `gen:<seed>:<scale>`).
+    pub name: String,
+    /// Pipeline file name — stable, filename-safe (serves as the cache key).
+    pub file_name: String,
+    /// Display name (`ClusterSoC Variant #2`, `gen:7:4`, ...).
+    pub display: String,
+    /// Complete Verilog source.
+    pub source: String,
+    /// Top module name.
+    pub top: String,
+    /// The security regression shipped with the design.
+    pub checks: Vec<CheckSpec>,
+    /// Top-level inputs the concolic engine treats symbolically.
+    pub symbolic: Vec<String>,
+    /// Ground-truth bug manifest (generated designs only; the bundled
+    /// SoCs keep theirs in [`crate::bugs::variants`]).
+    pub manifest: Option<Manifest>,
+}
+
+/// Resolves a catalog name — `clustersoc`, `autosoc`, or
+/// `gen:<seed>:<scale>` — into a pipeline-ready design.
+///
+/// `variant` selects a Table IV bug variant for the bundled SoCs;
+/// generated designs draw their bugs from the seed and reject it.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names, bad `gen:`
+/// specs, unknown variant numbers, or a `variant` on a `gen:` design.
+pub fn resolve(name: &str, variant: Option<u32>) -> Result<ResolvedSoc, String> {
+    if name.starts_with("gen:") {
+        if variant.is_some() {
+            return Err(format!(
+                "`{name}`: generated designs have no seeded variants; bugs are drawn from the seed"
+            ));
+        }
+        let spec = GenSpec::parse(name)?;
+        let gen = crate::generate::generate(&spec);
+        return Ok(ResolvedSoc {
+            name: gen.name.clone(),
+            file_name: format!("{}.v", gen.slug),
+            display: gen.name,
+            source: gen.source,
+            top: gen.top,
+            checks: gen.checks,
+            symbolic: gen.symbolic,
+            manifest: Some(gen.manifest),
+        });
+    }
+    let model = match name {
+        "clustersoc" => SocModel::ClusterSoc,
+        "autosoc" => SocModel::AutoSoc,
+        other => {
+            return Err(format!(
+                "unknown soc model `{other}` (expected `clustersoc`, `autosoc`, or \
+                 `gen:<seed>:<scale>`)"
+            ))
+        }
+    };
+    if let Some(n) = variant {
+        if crate::bugs::variant(model, n).is_none() {
+            return Err(format!("{model:?} has no variant #{n}"));
+        }
+    }
+    let design = crate::generate(model, variant);
+    Ok(ResolvedSoc {
+        name: name.to_owned(),
+        file_name: format!("{model:?}.v").to_lowercase(),
+        display: design.name,
+        source: design.source,
+        top: design.top,
+        checks: crate::checks::security_checks(model),
+        symbolic: crate::checks::symbolic_inputs(model),
+        manifest: None,
+    })
 }
 
 #[cfg(test)]
@@ -137,6 +240,53 @@ mod tests {
             assert!(classify(m).is_some(), "{m}");
         }
         assert!(classify("mystery").is_none());
+    }
+
+    #[test]
+    fn generated_suffixes_classify_as_their_base_ip() {
+        assert_eq!(classify("aes192_c3"), Some(IpClass::Cryptographic));
+        assert_eq!(classify("sram_sp_c12"), Some(IpClass::Memory));
+        assert_eq!(classify("sram_sp_shr"), Some(IpClass::Memory));
+        assert_eq!(classify("dma_engine_c0"), Some(IpClass::Memory));
+        assert_eq!(classify("rv32imc_core_c7"), Some(IpClass::Processor));
+        assert_eq!(classify("wb_fabric_c2"), Some(IpClass::Interconnect));
+        assert_eq!(classify("dft_core_c2"), Some(IpClass::Dsp));
+        assert_eq!(classify("eth_mac_c1"), Some(IpClass::Communication));
+        // Not a generated suffix: `_c` must be followed by digits only.
+        assert_eq!(strip_generated_suffix("dft_core"), "dft_core");
+        assert_eq!(classify("tst_gate_c3"), None);
+    }
+
+    #[test]
+    fn resolve_covers_bundled_and_generated_names() {
+        let cluster = resolve("clustersoc", Some(2)).expect("clustersoc");
+        assert_eq!(cluster.file_name, "clustersoc.v");
+        assert_eq!(cluster.top, "cluster_soc");
+        assert_eq!(cluster.display, "ClusterSoC Variant #2");
+        assert!(cluster.manifest.is_none());
+        assert_eq!(cluster.checks.len(), 18);
+
+        let auto = resolve("autosoc", None).expect("autosoc");
+        assert_eq!(auto.file_name, "autosoc.v");
+        assert_eq!(auto.display, "AutoSoC (clean)");
+
+        let gen = resolve("gen:7:2", None).expect("gen");
+        assert_eq!(gen.file_name, "gen_7_2.v");
+        assert_eq!(gen.top, "gen_soc");
+        let manifest = gen.manifest.expect("manifest");
+        assert_eq!(manifest.scale, 2);
+        assert!(!manifest.bugs.is_empty());
+
+        assert!(resolve("toastersoc", None)
+            .expect_err("unknown")
+            .contains("unknown soc model"));
+        assert!(resolve("gen:7:2", Some(1))
+            .expect_err("variant")
+            .contains("no seeded variants"));
+        assert!(resolve("gen:7:x", None).is_err());
+        assert!(resolve("clustersoc", Some(9))
+            .expect_err("variant")
+            .contains("no variant"));
     }
 
     #[test]

@@ -29,9 +29,12 @@ pub use cluster::SocDesign;
 pub mod auto;
 pub mod catalog;
 pub mod checks;
+pub mod generate;
 pub mod topology;
 
+pub use catalog::{resolve, ResolvedSoc};
 pub use checks::{expected_detectors, security_checks, symbolic_inputs, CheckKind, CheckSpec};
+pub use generate::{DetectionStage, GenSpec, GeneratedSoc, Manifest, ManifestBug};
 
 /// Generates any benchmark SoC by model and optional variant number.
 ///

@@ -6,9 +6,11 @@
 //! binding, concolic testing — on both bundled SoCs at `--jobs 1` and
 //! `--jobs 4` and compare the serialized `AnalysisReport` JSON.
 
+use proptest::prelude::*;
+use soccar::evaluation::evaluate_generated;
 use soccar::evaluation::evaluate_variant;
 use soccar::SoccarConfig;
-use soccar_soc::SocModel;
+use soccar_soc::{GenSpec, SocModel};
 
 /// Full-pipeline canonical JSON for one bug-seeded variant at `jobs`.
 fn canonical_json(model: SocModel, number: u32, jobs: usize) -> String {
@@ -68,6 +70,55 @@ fn faulted_cluster_soc_report_is_byte_identical_across_job_counts() {
     );
     assert!(serial.contains("injected fault: solver_unknown@1"));
     assert!(serial.contains("injected fault: task_panic@extract:2"));
+}
+
+/// Full-pipeline canonical JSON for a *generated* design at a given
+/// job count and incremental-solver setting. Mirrors what
+/// `SOCCAR_JOBS` / `SOCCAR_INCREMENTAL` select via the environment,
+/// set directly on the config so the four combinations can run in one
+/// process without racing on env vars.
+fn generated_canonical_json(spec: &GenSpec, jobs: usize, incremental: bool) -> String {
+    let mut config = SoccarConfig::default();
+    config.concolic.cycles = 10;
+    config.concolic.max_rounds = 3;
+    config.concolic.sweep_stride = 3;
+    config.concolic.incremental = incremental;
+    config.jobs = jobs;
+    let eval = evaluate_generated(spec, config).expect("generated designs always evaluate");
+    eval.report
+        .canonical_json()
+        .expect("canonical report serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The determinism contract extended beyond the two hand-built
+    /// SoCs: any seeded topology produces one canonical report across
+    /// `SOCCAR_JOBS={1,4}` × `SOCCAR_INCREMENTAL={0,1}`.
+    #[test]
+    fn generated_soc_reports_are_byte_identical_across_jobs_and_solver_modes(
+        seed in 0u64..4096,
+        scale in 1u32..3,
+    ) {
+        let spec = GenSpec { seed, scale };
+        let baseline = generated_canonical_json(&spec, 1, true);
+        for (jobs, incremental) in [(1, false), (4, true), (4, false)] {
+            let other = generated_canonical_json(&spec, jobs, incremental);
+            prop_assert_eq!(
+                &baseline,
+                &other,
+                "gen:{}:{} diverged at jobs={} incremental={}",
+                seed,
+                scale,
+                jobs,
+                incremental
+            );
+        }
+        // Real work happened: the report carries solver and sweep fields.
+        prop_assert!(baseline.contains("\"solver_calls\""));
+        prop_assert!(baseline.contains("\"violations\""));
+    }
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! The recall oracle for the generated corpus (ISSUE 7, satellite 1).
+//!
+//! For every spec in the pinned sweep (5 seeds × 3 scales), every
+//! ground-truth manifest bug must be reported — by the concolic stage
+//! through its expected detector checks, or by the `implicit-governor`
+//! lint rule for the Section V-C construct. A miss fails with the
+//! rendered manifest entry and the seed, so the exact design can be
+//! regenerated with `soccar gen gen:<seed>:<scale>`.
+
+use soccar::evaluation::evaluate_generated;
+use soccar::SoccarConfig;
+use soccar_cfg::GovernorAnalysis;
+use soccar_sim::InitPolicy;
+use soccar_soc::generate::pinned_sweep;
+
+fn sweep_config() -> SoccarConfig {
+    let mut config = SoccarConfig {
+        analysis: GovernorAnalysis::Explicit,
+        ..SoccarConfig::default()
+    };
+    config.concolic.cycles = 10;
+    config.concolic.max_rounds = 3;
+    config.concolic.sweep_stride = 3;
+    config.concolic.init = InitPolicy::Ones;
+    config
+}
+
+#[test]
+fn every_manifest_bug_in_the_pinned_sweep_is_reported() {
+    let mut total = 0;
+    let mut missed: Vec<String> = Vec::new();
+    for spec in pinned_sweep() {
+        let eval = evaluate_generated(&spec, sweep_config())
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", spec.name()));
+        assert!(
+            eval.recall.total >= 1,
+            "{}: generated designs always seed at least one bug",
+            spec.name()
+        );
+        assert_eq!(
+            eval.recall.false_alarms,
+            0,
+            "{}: violations outside the manifest's detector set",
+            spec.name()
+        );
+        total += eval.recall.total;
+        missed.extend(eval.recall.missed);
+    }
+    assert!(
+        missed.is_empty(),
+        "missed {}/{total} manifest bugs:\n  {}",
+        missed.len(),
+        missed.join("\n  ")
+    );
+    // The sweep is big enough to mean something: 15 designs, and the
+    // 50% injection rate lands well above one bug per seed on average.
+    assert!(total >= 15, "suspiciously small ground truth: {total}");
+}
