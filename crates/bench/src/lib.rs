@@ -76,10 +76,11 @@ pub fn stress_config() -> SoccarConfig {
             sweep_stride: 3,
             init: InitPolicy::Ones,
             // Pinned rather than env-derived: the gated `smt.*` counters
-            // differ between the incremental and one-shot strategies
-            // (the canonical *report* does not), so the baseline must
-            // not depend on `SOCCAR_INCREMENTAL`.
+            // differ between solver strategies (the canonical *report*
+            // does not), so the baseline must depend on neither
+            // `SOCCAR_INCREMENTAL` nor `SOCCAR_PORTFOLIO`.
             incremental: true,
+            portfolio: false,
             ..ConcolicConfig::default()
         },
         jobs: 1,
@@ -140,9 +141,9 @@ pub fn gen_recall_variant(spec: &GenSpec, config: &SoccarConfig) -> soccar_obs::
         ("solver_sat", c.solver_sat as u64),
         ("targets_covered", c.targets_covered as u64),
         ("targets_total", c.targets_total as u64),
-        // The trace-level solver counters: `smt.queries` counts every
-        // real solver invocation, including the speculative flip solves
-        // that `solver_calls` (consumed answers only) excludes.
+        // The trace-level solver counters ride along with the report's
+        // own `solver_calls` (every issued flip query): `smt.queries`
+        // counts the actual SAT invocations the solver front-end saw.
         ("smt.queries", trace("smt.queries")),
         ("smt.sat", trace("smt.sat")),
         ("smt.clauses_reused", trace("smt.clauses_reused")),
@@ -214,16 +215,14 @@ pub fn gen_x10_report(config: &SoccarConfig) -> soccar_obs::BenchReport {
     assert_eq!(v.counters["missed"], 0, "10x recall gate");
     assert_eq!(v.counters["false_alarms"], 0, "10x false-alarm gate");
     // ≥1 real solver call per concolic (flip-planning) round. The
-    // report's `solver_calls` field counts only consumed answers — the
-    // decision walk usually breaks at a pulse-able target first on a
-    // design this size — so the gate reads the trace-level `smt.queries`
-    // counter, which counts every actual SAT invocation.
+    // report's `solver_calls` now counts every issued flip query
+    // (consumed or speculative), so the gate reads it directly.
     let flip_rounds = config.concolic.max_rounds as u64;
     assert!(
-        v.counters["smt.queries"] >= flip_rounds && v.counters["flip_candidates"] > 0,
+        v.counters["solver_calls"] >= flip_rounds && v.counters["flip_candidates"] > 0,
         "the 10x design must drive ≥1 real solver call per round \
-         ({} queries / {} candidates over {} flip rounds)",
-        v.counters["smt.queries"],
+         ({} calls / {} candidates over {} flip rounds)",
+        v.counters["solver_calls"],
         v.counters["flip_candidates"],
         flip_rounds
     );
@@ -248,15 +247,16 @@ pub fn gen_x10_report(config: &SoccarConfig) -> soccar_obs::BenchReport {
 ///   asserted non-zero — so a future change in either direction trips
 ///   the baseline, not an assumption.
 ///
-/// Measured answer (recorded in the baseline): reuse does **not** scale
-/// with the frozen window. At scale 1 and 4 the probe reuses a few
-/// dozen learnt clauses; at scale 73 it reuses none, because every
-/// capped solve localizes to its own candidate cone through the
-/// assumption literals and completes conflict-free — there are no
-/// learnt clauses to carry. The real-workload reuse evidence at scale
-/// lives in the full-pipeline x10 record instead, where cross-round
-/// window accumulation reuses clauses by the hundred-thousand (see
-/// `smt.clauses_reused` in `BENCH_gen_x10.json`).
+/// Measured answer (recorded in the baseline): learnt-clause reuse does
+/// **not** scale with the frozen window. At scale 73 the probe reuses
+/// none, because every capped solve localizes to its own candidate cone
+/// through the assumption literals and completes conflict-free — there
+/// are no learnt clauses to carry (and the probe's engine passes no
+/// property monitors, so its windows carry no check obligations
+/// either). The real-workload reuse evidence at scale lives in the
+/// full-pipeline x10 record instead, where cross-round window
+/// accumulation — check obligations included — reuses clauses by the
+/// million (see `smt.clauses_reused` in `BENCH_gen_x10.json`).
 ///
 /// # Panics
 ///
@@ -519,7 +519,14 @@ pub fn flip_workload(model: SocModel, config: &SoccarConfig) -> soccar_concolic:
     let bound = soccar_cfg::bind_events(&design, &arcfg).expect("benchmark SoCs always bind");
     let mut concolic = config.concolic.clone();
     concolic.symbolic_inputs = soccar_soc::symbolic_inputs(model);
-    let mut engine = soccar_concolic::ConcolicEngine::new(&design, &bound, Vec::new(), concolic)
+    // The catalog security checks ride along so the frozen round records
+    // its symbolic check obligations — the window content the
+    // `flip_solving` record's `smt.clauses_reused` gate measures.
+    let properties: Vec<SecurityProperty> = soccar_soc::security_checks(model)
+        .iter()
+        .map(soccar::property_of)
+        .collect();
+    let mut engine = soccar_concolic::ConcolicEngine::new(&design, &bound, properties, concolic)
         .expect("benchmark SoCs always build an engine");
     engine
         .flip_workload()
@@ -565,7 +572,9 @@ pub const FLIP_SOLVING_CAP: usize = 256;
 /// # Panics
 ///
 /// Panics if the strategies disagree on any SAT count (that would be an
-/// incremental-solver soundness bug, not a perf regression).
+/// incremental-solver soundness bug, not a perf regression), or if the
+/// incremental window reused no clauses — the bundled SoCs' windows carry
+/// check-obligation clauses precisely so this stays observable.
 #[must_use]
 pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvingRecord {
     let workload = flip_workload(model, config);
@@ -597,6 +606,15 @@ pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvin
         incremental_sat
     );
     let snap = inc_recorder.snapshot();
+    assert!(
+        snap.counters
+            .get("smt.clauses_reused")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "{model:?}: the bundled SoC's own flip window reused no clauses — \
+         check-obligation folding has silently stopped engaging"
+    );
     let mut counters = std::collections::BTreeMap::new();
     counters.insert(
         "flip_candidates".to_owned(),
@@ -740,6 +758,79 @@ pub fn clause_reuse_record() -> soccar_obs::BenchVariant {
     );
     soccar_obs::BenchVariant {
         variant: "clause_reuse".to_owned(),
+        counters,
+        timings_q,
+        seconds_q: soccar_obs::quantize_seconds(elapsed.as_secs_f64()),
+    }
+}
+
+/// Runs the `solver_maintenance` record: a conflict-rich pigeonhole
+/// formula (6 bit-vector pigeons into 5 holes, UNSAT) solved under a
+/// pinned aggressive [`soccar_smt::SolverProfile`] (restart interval 2,
+/// learnt-DB reduction from 8 clauses), with the modern-CDCL maintenance
+/// counters `smt.restarts` and `smt.learnt_deleted` gated **non-zero**
+/// (and exact, like every gated counter). The bundled SoCs' own flip
+/// solves are conflict-free, so without this record a regression that
+/// silently disabled restarts or learnt-DB reduction would pass CI.
+///
+/// # Panics
+///
+/// Panics if the formula stops being UNSAT, or if restarts or learnt-DB
+/// reduction fail to engage — the regressions this record exists to
+/// catch must fail loudly even before the baseline diff runs.
+#[must_use]
+pub fn solver_maintenance_record() -> soccar_obs::BenchVariant {
+    let mut g = soccar_smt::TermGraph::new();
+    let mut solver = soccar_smt::Solver::new();
+    solver.set_profile(soccar_smt::SolverProfile {
+        seed: 0,
+        invert_phase: false,
+        restart_base: 2,
+        reduce_base: 8,
+    });
+    let holes = g.const_u64(3, 5);
+    let pigeons: Vec<_> = (0..6).map(|i| g.var(format!("p{i}"), 3)).collect();
+    for &p in &pigeons {
+        let in_range = g.ult(p, holes);
+        solver.assert(in_range);
+    }
+    for i in 0..pigeons.len() {
+        for j in i + 1..pigeons.len() {
+            let distinct = g.ne(pigeons[i], pigeons[j]);
+            solver.assert(distinct);
+        }
+    }
+    let recorder = soccar_obs::Recorder::enabled();
+    let (result, elapsed) = recorder.time("bench.solver_maintenance.run", || {
+        solver.check_traced(&g, &recorder)
+    });
+    assert!(
+        matches!(result, soccar_smt::CheckResult::Unsat),
+        "the pigeonhole formula must be UNSAT"
+    );
+    let snap = recorder.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert!(
+        counter("smt.restarts") > 0,
+        "the aggressive profile drove no restarts — Luby restarting has \
+         silently stopped engaging"
+    );
+    assert!(
+        counter("smt.learnt_deleted") > 0,
+        "the aggressive profile deleted no learnt clauses — learnt-DB \
+         reduction has silently stopped engaging"
+    );
+    let mut counters = std::collections::BTreeMap::new();
+    for name in ["smt.restarts", "smt.learnt_deleted", "smt.learnt_kept"] {
+        counters.insert(name.to_owned(), counter(name));
+    }
+    let mut timings_q = std::collections::BTreeMap::new();
+    timings_q.insert(
+        "solver_maintenance_q".to_owned(),
+        soccar_obs::quantize_seconds(elapsed.as_secs_f64()),
+    );
+    soccar_obs::BenchVariant {
+        variant: "solver_maintenance".to_owned(),
         counters,
         timings_q,
         seconds_q: soccar_obs::quantize_seconds(elapsed.as_secs_f64()),
@@ -933,6 +1024,7 @@ pub fn append_serving_records(
     config: &SoccarConfig,
 ) -> Vec<(SocModel, ReanalysisRecord)> {
     let clause_reuse = clause_reuse_record();
+    let solver_maintenance = solver_maintenance_record();
     let mut out = Vec::new();
     for report in reports {
         let model = match report.soc.as_str() {
@@ -943,6 +1035,7 @@ pub fn append_serving_records(
         let record = incremental_reanalysis_record(model, config);
         report.variants.push(record.variant.clone());
         report.variants.push(clause_reuse.clone());
+        report.variants.push(solver_maintenance.clone());
         out.push((model, record));
     }
     out

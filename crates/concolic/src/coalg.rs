@@ -61,12 +61,28 @@ pub struct BranchObservation {
     pub step: u64,
 }
 
+/// One recorded security-check obligation whose monitored net was symbolic.
+///
+/// `term` is the 1-bit "property holds here" formula built from the
+/// monitored net's symbolic shadow at the cycle the check fired. These are
+/// never assumed or asserted — they exist so the incremental flip window can
+/// pre-blast the real proof obligations and carry their clauses across
+/// candidates (see `docs/SOLVER.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckObservation {
+    /// The 1-bit holds-term of the property at this occurrence.
+    pub term: TermId,
+    /// Chronological index within the run (shared with branch steps).
+    pub step: u64,
+}
+
 /// The co-simulation algebra: owns the term graph and the branch log.
 #[derive(Debug, Default)]
 pub struct CoAlgebra {
     /// The shared term graph (vars minted by the engine live here too).
     pub graph: TermGraph,
     observations: Vec<BranchObservation>,
+    checks: Vec<CheckObservation>,
     coverage: std::collections::HashSet<(BranchSiteId, bool)>,
     step: u64,
 }
@@ -103,6 +119,22 @@ impl CoAlgebra {
         &self.observations
     }
 
+    /// Symbolic security-check obligations recorded so far, in
+    /// chronological order.
+    #[must_use]
+    pub fn check_observations(&self) -> &[CheckObservation] {
+        &self.checks
+    }
+
+    /// Records a symbolic security-check obligation at the current step.
+    pub fn record_check(&mut self, term: TermId) {
+        self.step += 1;
+        self.checks.push(CheckObservation {
+            term,
+            step: self.step,
+        });
+    }
+
     /// Branch coverage: every `(site, direction)` executed this run,
     /// whether or not the condition was symbolic.
     #[must_use]
@@ -114,6 +146,7 @@ impl CoAlgebra {
     /// they are hash-consed and cheap to keep.
     pub fn reset_observations(&mut self) {
         self.observations.clear();
+        self.checks.clear();
         self.coverage.clear();
         self.step = 0;
     }

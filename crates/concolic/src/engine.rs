@@ -106,6 +106,24 @@ pub struct ConcolicConfig {
     /// speedup. Defaults to on; `SOCCAR_INCREMENTAL=0` (or the CLI's
     /// `--no-incremental`) selects the one-shot path as an escape hatch.
     pub incremental: bool,
+    /// Race the deterministic solver portfolio
+    /// ([`soccar_smt::PORTFOLIO_PROFILES`]) on each incremental flip
+    /// solve: diverse `SolverProfile`s (branching seed, phase polarity,
+    /// restart schedule) share the call's budget in a deterministic
+    /// time-sliced rotation, first definite answer wins. Profile 0 runs
+    /// first with a generous opening slice, so healthy workloads answer
+    /// identically with the portfolio on or off — byte-identical reports
+    /// across `SOCCAR_PORTFOLIO={0,1}`. Only consulted on the incremental
+    /// path (one-shot solves are single-profile). Defaults to off;
+    /// `SOCCAR_PORTFOLIO=1` (or the CLI's `--portfolio`) enables it.
+    pub portfolio: bool,
+    /// Cap on symbolic security-check obligations folded into the
+    /// incremental window preblast (most recent first, deduplicated by
+    /// term). The obligations are blast-only — Tseitin-encoded but never
+    /// assumed or asserted, so answers and reports are untouched — and
+    /// give `check_assuming` real clauses to carry across candidates.
+    /// `0` disables the folding.
+    pub max_window_checks: usize,
 }
 
 /// Reads the `SOCCAR_INCREMENTAL` escape hatch: `0`/`false`/`off`
@@ -115,6 +133,17 @@ pub fn incremental_default() -> bool {
     !matches!(
         std::env::var("SOCCAR_INCREMENTAL").as_deref(),
         Ok("0") | Ok("false") | Ok("off")
+    )
+}
+
+/// Reads the `SOCCAR_PORTFOLIO` opt-in: `1`/`true`/`on` enable the
+/// deterministic solver portfolio, anything else (or unset) keeps the
+/// single-profile default.
+#[must_use]
+pub fn portfolio_default() -> bool {
+    matches!(
+        std::env::var("SOCCAR_PORTFOLIO").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
     )
 }
 
@@ -138,6 +167,8 @@ impl Default for ConcolicConfig {
             failure_policy: FailurePolicy::FailFast,
             fault_plan: FaultPlan::default(),
             incremental: incremental_default(),
+            portfolio: portfolio_default(),
+            max_window_checks: 4,
         }
     }
 }
@@ -191,7 +222,9 @@ pub struct ConcolicReport {
     pub first_violation_round: Option<usize>,
     /// One witness schedule per violated property.
     pub witnesses: Vec<Witness>,
-    /// Solver invocations (consumed flip attempts; job-count invariant).
+    /// Solver invocations: every issued flip query, consumed or
+    /// speculative (the candidate set is fixed before the fan-out, so the
+    /// count is job-count invariant).
     pub solver_calls: usize,
     /// Of which SAT.
     pub solver_sat: usize,
@@ -867,6 +900,19 @@ impl<'d> ConcolicEngine<'d> {
                     }
                 }
             }
+            // Shadow the concrete checks with symbolic proof obligations:
+            // whenever a monitored net carries a term, record the 1-bit
+            // "property holds" formula so flip planning can pre-blast it
+            // (blast-only, never assumed — see `ConcolicConfig::
+            // max_window_checks`). Serial and in monitor order, so the
+            // observation log stays deterministic.
+            if self.config.max_window_checks > 0 {
+                for mon in &monitors {
+                    if let Some(t) = mon.symbolic_obligation(&mut sim) {
+                        sim.algebra_mut().record_check(t);
+                    }
+                }
+            }
         }
         Ok((sim, violations))
     }
@@ -997,7 +1043,13 @@ impl<'d> ConcolicEngine<'d> {
         // Failed slot, so one bad solve degrades the round, not the run.
         self.recorder
             .counter_add("concolic.flip_candidates", candidates.len() as u64);
+        // Every issued query counts, consumed or speculative — the old
+        // consumed-only count read 0 whenever the decision walk stopped
+        // before its first site target. Still job-count invariant: the
+        // candidate set is fixed before the fan-out.
+        *solver_calls += candidates.len();
         let max_prefix = self.config.max_prefix;
+        let portfolio = self.config.portfolio;
         let budget = self.config.solver_budget;
         let plan = &self.config.fault_plan;
         let recorder = &self.recorder;
@@ -1015,6 +1067,10 @@ impl<'d> ConcolicEngine<'d> {
                 let g = &mut sim.algebra_mut().graph;
                 obs.iter().map(|o| g.not(o.cond)).collect()
             };
+            let extras = recent_check_terms(
+                sim.algebra().check_observations(),
+                self.config.max_window_checks,
+            );
             let graph = &sim.algebra().graph;
             let max_k = candidates
                 .iter()
@@ -1026,11 +1082,17 @@ impl<'d> ConcolicEngine<'d> {
                 .map(|c| c.obs_index.saturating_sub(max_prefix))
                 .min()
                 .expect("candidates is non-empty");
-            let mut window = Vec::with_capacity(2 * (max_k + 1 - window_start));
+            let mut window = Vec::with_capacity(2 * (max_k + 1 - window_start) + extras.len());
             for i in window_start..=max_k {
                 window.push(obs[i].cond);
                 window.push(neg[i]);
             }
+            // The round's symbolic security-check obligations ride along:
+            // blast-only (Tseitin is satisfiability-preserving and nothing
+            // here is assumed), so every answer is unchanged — but the
+            // shared context now carries the checks' real clauses, which
+            // `check_assuming` re-uses across every candidate.
+            window.extend_from_slice(&extras);
             // A retained base is only valid if every window term means
             // the same thing, so the pool key is the structural
             // fingerprint of the window's reachable DAG (plus the budget
@@ -1042,6 +1104,7 @@ impl<'d> ConcolicEngine<'d> {
                 }
                 h ^ budget.max_conflicts.unwrap_or(u64::MAX).rotate_left(17)
                     ^ budget.max_decisions.unwrap_or(u64::MAX).rotate_left(31)
+                    ^ u64::from(self.config.portfolio).rotate_left(43)
             });
             let warm = warm_key.and_then(|key| {
                 let pool = self.warm_blast.as_ref().expect("key implies pool");
@@ -1097,6 +1160,7 @@ impl<'d> ConcolicEngine<'d> {
                         c.obs_index,
                         c.dir,
                         max_prefix,
+                        portfolio,
                         recorder,
                     )
                 },
@@ -1175,7 +1239,6 @@ impl<'d> ConcolicEngine<'d> {
                         .count();
                     if mine > 0 {
                         for outcome in &solved[ci..ci + mine] {
-                            *solver_calls += 1;
                             self.recorder.counter_add("concolic.flip_consumed", 1);
                             match outcome {
                                 TaskOutcome::Ok(FlipOutcome::Sat(next)) => {
@@ -1255,10 +1318,15 @@ impl<'d> ConcolicEngine<'d> {
             let g = &mut sim.algebra_mut().graph;
             observations.iter().map(|o| g.not(o.cond)).collect()
         };
+        let checks = recent_check_terms(
+            sim.algebra().check_observations(),
+            self.config.max_window_checks,
+        );
         Ok(FlipWorkload {
             graph: sim.algebra().graph.clone(),
             neg,
             observations,
+            checks,
             schedule,
             max_prefix: self.config.max_prefix,
             budget: self.config.solver_budget,
@@ -1276,6 +1344,9 @@ pub struct FlipWorkload {
     graph: TermGraph,
     neg: Vec<TermId>,
     observations: Vec<BranchObservation>,
+    /// Deduplicated, capped symbolic security-check obligations of the
+    /// round, folded into the incremental window preblast (blast-only).
+    checks: Vec<TermId>,
     schedule: TestSchedule,
     max_prefix: usize,
     budget: SolveBudget,
@@ -1325,11 +1396,12 @@ impl FlipWorkload {
         let len = self.observations.len();
         let mut base = Solver::with_budget(self.budget);
         let window_start = (len - n).saturating_sub(self.max_prefix);
-        let mut window = Vec::with_capacity(2 * (len - window_start));
+        let mut window = Vec::with_capacity(2 * (len - window_start) + self.checks.len());
         for i in window_start..len {
             window.push(self.observations[i].cond);
             window.push(self.neg[i]);
         }
+        window.extend_from_slice(&self.checks);
         base.preblast(&self.graph, &window);
         let hits = base.blast_cache_hits();
         if hits > 0 {
@@ -1349,6 +1421,7 @@ impl FlipWorkload {
                 k,
                 dir,
                 self.max_prefix,
+                false,
                 recorder,
             );
             sat += usize::from(matches!(outcome, FlipOutcome::Sat(_)));
@@ -1441,6 +1514,7 @@ fn solve_flip_assuming(
     k: usize,
     dir: bool,
     max_prefix: usize,
+    portfolio: bool,
     recorder: &soccar_obs::Recorder,
 ) -> FlipOutcome {
     let mut solver = base.clone();
@@ -1453,6 +1527,7 @@ fn solve_flip_assuming(
         k,
         dir,
         max_prefix,
+        portfolio,
         recorder,
     )
 }
@@ -1471,6 +1546,7 @@ fn solve_flip_on(
     k: usize,
     dir: bool,
     max_prefix: usize,
+    portfolio: bool,
     recorder: &soccar_obs::Recorder,
 ) -> FlipOutcome {
     let prefix_start = k.saturating_sub(max_prefix);
@@ -1479,13 +1555,36 @@ fn solve_flip_on(
         assumptions.push(if o.taken { o.cond } else { neg[i] });
     }
     assumptions.push(if dir { obs[k].cond } else { neg[k] });
-    match solver.check_assuming_traced(graph, &assumptions, recorder) {
+    let result = if portfolio {
+        solver.check_assuming_portfolio_traced(graph, &assumptions, recorder)
+    } else {
+        solver.check_assuming_traced(graph, &assumptions, recorder)
+    };
+    match result {
         CheckResult::Unsat => FlipOutcome::Unsat,
         CheckResult::Unknown { reason } => FlipOutcome::Unknown(reason),
         CheckResult::Sat(model) => {
             FlipOutcome::Sat(schedule_from_model(graph, schedule, &assumptions, &model))
         }
     }
+}
+
+/// The most recent `cap` distinct symbolic check-obligation terms, in
+/// chronological order — the deterministic selection folded into the
+/// incremental window preblast.
+fn recent_check_terms(checks: &[crate::coalg::CheckObservation], cap: usize) -> Vec<TermId> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for c in checks.iter().rev() {
+        if out.len() >= cap {
+            break;
+        }
+        if seen.insert(c.term) {
+            out.push(c.term);
+        }
+    }
+    out.reverse();
+    out
 }
 
 /// Rebuilds a schedule from a flip model. Only variables in the support

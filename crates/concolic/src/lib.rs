@@ -27,10 +27,10 @@ pub mod engine;
 pub mod property;
 pub mod schedule;
 
-pub use coalg::{BranchObservation, CoAlgebra, CoValue};
+pub use coalg::{BranchObservation, CheckObservation, CoAlgebra, CoValue};
 pub use engine::{
-    incremental_default, ConcolicConfig, ConcolicEngine, ConcolicReport, FlipWorkload,
-    WarmBlastPool, Witness,
+    incremental_default, portfolio_default, ConcolicConfig, ConcolicEngine, ConcolicReport,
+    FlipWorkload, WarmBlastPool, Witness,
 };
 pub use property::{PropertyKind, PropertyMonitor, SecurityProperty, Violation};
 pub use schedule::{InputTrack, ResetTrack, TestSchedule};

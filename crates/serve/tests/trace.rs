@@ -34,6 +34,7 @@ fn run_traced_env(dir: &Path, args: &[&str], jobs: Option<&str>, envs: &[(&str, 
         .arg(&trace)
         .current_dir(dir)
         .env_remove("SOCCAR_INCREMENTAL")
+        .env_remove("SOCCAR_PORTFOLIO")
         .env_remove("SOCCAR_FAULTS");
     match jobs {
         Some(n) => cmd.env("SOCCAR_JOBS", n),
@@ -227,6 +228,31 @@ fn trace_metrics_identical_across_job_counts_without_incremental() {
     assert!(
         !metric_lines(&serial).contains("\"name\":\"smt.incremental_calls\""),
         "SOCCAR_INCREMENTAL=0 must keep every flip solve on the one-shot path"
+    );
+}
+
+#[test]
+fn trace_metrics_identical_with_portfolio() {
+    // The deterministic portfolio must be invisible on healthy
+    // workloads: profile 0 answers inside its generous opening slice, so
+    // every counter and histogram line is byte-identical to the
+    // single-profile run.
+    let args = {
+        let mut a = vec!["--soc", "clustersoc"];
+        a.extend_from_slice(SMOKE);
+        a
+    };
+    let single = run_traced(&scratch("portfolio-off"), &args, Some("2"));
+    let raced = run_traced_env(
+        &scratch("portfolio-on"),
+        &args,
+        Some("2"),
+        &[("SOCCAR_PORTFOLIO", "1")],
+    );
+    assert_eq!(
+        metric_lines(&single),
+        metric_lines(&raced),
+        "metric lines must be byte-identical with SOCCAR_PORTFOLIO=0 vs 1"
     );
 }
 

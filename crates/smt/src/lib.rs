@@ -45,6 +45,8 @@ pub mod solver;
 pub mod term;
 
 pub use bv::BvVal;
-pub use sat::SolveBudget;
-pub use solver::{model_satisfies, BlastContext, CheckResult, Model, SolveStats, Solver};
+pub use sat::{SolveBudget, SolverProfile};
+pub use solver::{
+    model_satisfies, BlastContext, CheckResult, Model, SolveStats, Solver, PORTFOLIO_PROFILES,
+};
 pub use term::{Term, TermGraph, TermId};

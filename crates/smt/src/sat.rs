@@ -8,11 +8,16 @@
 //!   non-chronological backjumping;
 //! * EVSIDS variable activities with a lazy max-heap;
 //! * phase saving;
-//! * Luby-sequence restarts.
-//!
-//! Learned-clause garbage collection is intentionally omitted — the
-//! instances this reproduction generates stay far below the sizes where it
-//! pays off (documented trade-off; see DESIGN.md §8).
+//! * Luby-sequence restarts (profile-scheduled, assumption-trail aware);
+//! * LBD ("glue") scoring of learnt clauses with two-tier learnt-database
+//!   reduction (glue clauses are permanent, the worse half of the rest is
+//!   dropped once the database crosses its growth threshold);
+//! * bounded inprocessing at decision level 0: level-0 clause
+//!   simplification, forward subsumption, and self-subsuming resolution
+//!   (see [`SatSolver::inprocess`]);
+//! * deterministic [`SolverProfile`]s (branching seed, phase polarity,
+//!   restart schedule) so a portfolio can race diverse configurations of
+//!   the same search without sacrificing reproducibility.
 
 use std::fmt;
 
@@ -134,6 +139,46 @@ impl SolveBudget {
     }
 }
 
+/// A deterministic solver configuration: everything that legitimately
+/// varies between portfolio members without changing *answers*.
+///
+/// Two solvers over the same clauses always agree on Sat/Unsat whatever
+/// their profiles; profiles only steer *which* model a Sat search finds
+/// and how fast either answer arrives. The default profile is the
+/// canonical single-solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SolverProfile {
+    /// Branching tie-break seed. `0` keeps the canonical first-maximum
+    /// scan; any other value perturbs ties among equal activities
+    /// deterministically (splitmix64 ranking).
+    pub seed: u64,
+    /// Start every variable with saved phase `true` instead of `false`.
+    pub invert_phase: bool,
+    /// Luby restart multiplier (conflicts before the first restart).
+    pub restart_base: u64,
+    /// Learnt clauses accumulated before the first two-tier database
+    /// reduction; the threshold then grows by 1.5x per reduction.
+    pub reduce_base: u64,
+}
+
+impl Default for SolverProfile {
+    fn default() -> SolverProfile {
+        SolverProfile {
+            seed: 0,
+            invert_phase: false,
+            restart_base: 100,
+            reduce_base: 2000,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Assign {
     Unset,
@@ -144,6 +189,10 @@ enum Assign {
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Learnt (eligible for reduction) vs. original (permanent).
+    learnt: bool,
+    /// Literal-block distance at learn time (0 for originals).
+    lbd: u32,
 }
 
 /// The CDCL solver.
@@ -182,6 +231,21 @@ pub struct SatSolver {
     decisions: u64,
     propagations: u64,
     learnt_literals: u64,
+    profile: SolverProfile,
+    /// Monotonic count of clauses ever pushed into the database. Unlike
+    /// `num_clauses()` this never decreases when reduction or
+    /// inprocessing deletes clauses, so it is the safe basis for
+    /// high-water-mark accounting (the blast context's reuse counter).
+    clauses_added: u64,
+    /// Live learnt clauses (maintained across learning and deletion).
+    num_learnts: usize,
+    /// Learnt count that triggers the next reduction (0 = use the
+    /// profile's `reduce_base`).
+    reduce_threshold: u64,
+    restarts: u64,
+    learnt_deleted: u64,
+    learnt_kept: u64,
+    subsumed: u64,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -233,6 +297,72 @@ impl SatSolver {
         self.learnt_literals
     }
 
+    /// Monotonic count of clauses ever added (original + learnt). Never
+    /// decreases, even when reduction or inprocessing deletes clauses —
+    /// use this (not [`SatSolver::num_clauses`]) for high-water marks.
+    #[must_use]
+    pub fn clauses_added(&self) -> u64 {
+        self.clauses_added
+    }
+
+    /// Live learnt clauses currently in the database.
+    #[must_use]
+    pub fn num_learnts(&self) -> usize {
+        self.num_learnts
+    }
+
+    /// Restarts performed so far (diagnostics).
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Learnt clauses deleted by two-tier database reduction so far.
+    #[must_use]
+    pub fn learnt_deleted(&self) -> u64 {
+        self.learnt_deleted
+    }
+
+    /// Learnt clauses retained, summed over reduction passes.
+    #[must_use]
+    pub fn learnt_kept(&self) -> u64 {
+        self.learnt_kept
+    }
+
+    /// Clauses removed by subsumption plus literals removed by
+    /// self-subsuming resolution, so far.
+    #[must_use]
+    pub fn subsumed(&self) -> u64 {
+        self.subsumed
+    }
+
+    /// The active [`SolverProfile`].
+    #[must_use]
+    pub fn profile(&self) -> SolverProfile {
+        self.profile
+    }
+
+    /// Installs a profile. Switching `invert_phase` flips every saved
+    /// phase once (idempotent: re-installing the same profile is a
+    /// no-op), so a freshly cloned portfolio member explores the
+    /// complementary polarity space.
+    pub fn set_profile(&mut self, profile: SolverProfile) {
+        if profile.invert_phase != self.profile.invert_phase {
+            for ph in &mut self.phase {
+                *ph = !*ph;
+            }
+        }
+        self.profile = profile;
+    }
+
+    fn reduce_limit(&self) -> u64 {
+        if self.reduce_threshold == 0 {
+            self.profile.reduce_base.max(8)
+        } else {
+            self.reduce_threshold
+        }
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
@@ -240,7 +370,7 @@ impl SatSolver {
         self.levels.push(0);
         self.reasons.push(None);
         self.activity.push(0.0);
-        self.phase.push(false);
+        self.phase.push(self.profile.invert_phase);
         self.occurs.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -291,7 +421,12 @@ impl SatSolver {
                 let idx = self.clauses.len() as u32;
                 self.watches[ls[0].negate().index()].push(idx);
                 self.watches[ls[1].negate().index()].push(idx);
-                self.clauses.push(Clause { lits: ls });
+                self.clauses.push(Clause {
+                    lits: ls,
+                    learnt: false,
+                    lbd: 0,
+                });
+                self.clauses_added += 1;
             }
         }
     }
@@ -414,7 +549,7 @@ impl SatSolver {
         }
     }
 
-    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 reserved for UIP
         let mut seen = vec![false; self.num_vars()];
         let mut counter = 0u32;
@@ -468,7 +603,16 @@ impl SatSolver {
                 .expect("literal at backjump level");
             learnt.swap(1, pos);
         }
-        (learnt, bt)
+        // LBD ("glue"): distinct decision levels across the learnt
+        // clause, computed before backtracking unassigns the UIP.
+        let mut lvls: Vec<u32> = learnt
+            .iter()
+            .map(|l| self.levels[l.var().0 as usize])
+            .collect();
+        lvls.sort_unstable();
+        lvls.dedup();
+        let lbd = lvls.len() as u32;
+        (learnt, bt, lbd)
     }
 
     fn backtrack(&mut self, level: u32) {
@@ -494,10 +638,23 @@ impl SatSolver {
         // `value`) and callers choose the default.
         let mut best: Option<Var> = None;
         let mut best_act = -1.0;
+        let seed = self.profile.seed;
         for v in 0..self.num_vars() {
-            if self.occurs[v] && self.assigns[v] == Assign::Unset && self.activity[v] > best_act {
-                best_act = self.activity[v];
-                best = Some(Var(v as u32));
+            if self.occurs[v] && self.assigns[v] == Assign::Unset {
+                let act = self.activity[v];
+                // Seed 0 keeps the canonical first-maximum scan; other
+                // seeds break activity ties by a deterministic rank so
+                // portfolio members branch differently from move one.
+                let better = act > best_act
+                    || (seed != 0
+                        && act == best_act
+                        && best.is_some_and(|b| {
+                            splitmix64(seed ^ v as u64) > splitmix64(seed ^ u64::from(b.0))
+                        }));
+                if better {
+                    best_act = act;
+                    best = Some(Var(v as u32));
+                }
             }
         }
         best.map(|v| Lit::new(v, self.phase[v.0 as usize]))
@@ -514,73 +671,7 @@ impl SatSolver {
     /// count work done within this call, so re-invoking with a fresh
     /// budget continues the search (learnt clauses are kept).
     pub fn solve_budgeted(&mut self, budget: SolveBudget) -> SatOutcome {
-        if self.unsat {
-            return SatOutcome::Unsat;
-        }
-        if self.propagate().is_some() {
-            self.unsat = true;
-            return SatOutcome::Unsat;
-        }
-        let conflicts_at_entry = self.conflicts;
-        let decisions_at_entry = self.decisions;
-        let mut luby_idx = 1u64;
-        let mut conflicts_until_restart = 100 * luby(luby_idx);
-        loop {
-            match self.propagate() {
-                Some(conflict) => {
-                    self.conflicts += 1;
-                    if self.decision_level() == 0 {
-                        self.unsat = true;
-                        return SatOutcome::Unsat;
-                    }
-                    let (learnt, bt) = self.analyze(conflict);
-                    self.learnt_literals += learnt.len() as u64;
-                    self.backtrack(bt);
-                    if learnt.len() == 1 {
-                        let ok = self.enqueue(learnt[0], None);
-                        debug_assert!(ok, "learnt unit must be enqueueable");
-                    } else {
-                        let idx = self.clauses.len() as u32;
-                        self.watches[learnt[0].negate().index()].push(idx);
-                        self.watches[learnt[1].negate().index()].push(idx);
-                        let first = learnt[0];
-                        self.clauses.push(Clause { lits: learnt });
-                        let ok = self.enqueue(first, Some(idx));
-                        debug_assert!(ok, "uip literal must be enqueueable");
-                    }
-                    self.var_inc /= VAR_DECAY;
-                    // Budget check sits after clause learning so an
-                    // interrupted search still keeps what it learnt.
-                    if budget
-                        .max_conflicts
-                        .is_some_and(|max| self.conflicts - conflicts_at_entry >= max)
-                    {
-                        return SatOutcome::Unknown;
-                    }
-                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
-                    if conflicts_until_restart == 0 {
-                        luby_idx += 1;
-                        conflicts_until_restart = 100 * luby(luby_idx);
-                        self.backtrack(0);
-                    }
-                }
-                None => match self.pick_branch() {
-                    None => return SatOutcome::Sat,
-                    Some(decision) => {
-                        if budget
-                            .max_decisions
-                            .is_some_and(|max| self.decisions - decisions_at_entry >= max)
-                        {
-                            return SatOutcome::Unknown;
-                        }
-                        self.decisions += 1;
-                        self.trail_lim.push(self.trail.len());
-                        let ok = self.enqueue(decision, None);
-                        debug_assert!(ok, "decision variable was unset");
-                    }
-                },
-            }
-        }
+        self.search(&[], budget)
     }
 
     /// Solves under retractable *assumption* literals.
@@ -605,6 +696,11 @@ impl SatSolver {
     /// clause database alone and remains valid once the assumptions are
     /// retracted.
     pub fn solve_assuming(&mut self, assumptions: &[Lit], budget: SolveBudget) -> SatOutcome {
+        self.search(assumptions, budget)
+    }
+
+    /// The CDCL main loop shared by plain and assumption solving.
+    fn search(&mut self, assumptions: &[Lit], budget: SolveBudget) -> SatOutcome {
         // Retract whatever a previous call left on the trail.
         self.backtrack(0);
         if self.unsat {
@@ -617,8 +713,9 @@ impl SatSolver {
         let n_assumps = assumptions.len() as u32;
         let conflicts_at_entry = self.conflicts;
         let decisions_at_entry = self.decisions;
+        let restart_base = self.profile.restart_base.max(1);
         let mut luby_idx = 1u64;
-        let mut conflicts_until_restart = 100 * luby(luby_idx);
+        let mut conflicts_until_restart = restart_base * luby(luby_idx);
         loop {
             match self.propagate() {
                 Some(conflict) => {
@@ -633,7 +730,7 @@ impl SatSolver {
                         self.backtrack(0);
                         return SatOutcome::Unsat;
                     }
-                    let (learnt, bt) = self.analyze(conflict);
+                    let (learnt, bt, lbd) = self.analyze(conflict);
                     self.learnt_literals += learnt.len() as u64;
                     self.backtrack(bt);
                     if learnt.len() == 1 {
@@ -644,7 +741,13 @@ impl SatSolver {
                         self.watches[learnt[0].negate().index()].push(idx);
                         self.watches[learnt[1].negate().index()].push(idx);
                         let first = learnt[0];
-                        self.clauses.push(Clause { lits: learnt });
+                        self.clauses.push(Clause {
+                            lits: learnt,
+                            learnt: true,
+                            lbd,
+                        });
+                        self.clauses_added += 1;
+                        self.num_learnts += 1;
                         let ok = self.enqueue(first, Some(idx));
                         debug_assert!(ok, "uip literal must be enqueueable");
                     }
@@ -661,10 +764,22 @@ impl SatSolver {
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                     if conflicts_until_restart == 0 {
                         luby_idx += 1;
-                        conflicts_until_restart = 100 * luby(luby_idx);
-                        // Assumptions below the restart point are simply
-                        // re-enqueued by the level check below.
-                        self.backtrack(0);
+                        conflicts_until_restart = restart_base * luby(luby_idx);
+                        self.restarts += 1;
+                        if self.num_learnts as u64 >= self.reduce_limit() {
+                            // Full restart with a two-tier learnt-DB
+                            // reduction; assumptions are re-enqueued by
+                            // the level check below.
+                            self.backtrack(0);
+                            self.maintain(true, false);
+                            if self.unsat {
+                                return SatOutcome::Unsat;
+                            }
+                        } else {
+                            // Restart to the assumption floor: the
+                            // retractable assumption trail survives.
+                            self.backtrack(n_assumps.min(self.decision_level()));
+                        }
                     }
                 }
                 None => {
@@ -708,6 +823,280 @@ impl SatSolver {
             }
         }
     }
+
+    /// Runs bounded inprocessing at decision level 0: level-0 clause
+    /// simplification, forward subsumption, self-subsuming resolution,
+    /// and — when the learnt database has outgrown its threshold —
+    /// two-tier LBD-based reduction. Any active trail is retracted
+    /// first, so call it *between* solves (the word-level solver does so
+    /// between `check_assuming` calls). Satisfiability, all future solve
+    /// answers, and variable numbering are preserved; only clause
+    /// indices are compacted.
+    pub fn inprocess(&mut self) {
+        if self.unsat {
+            return;
+        }
+        self.backtrack(0);
+        let reduce = self.num_learnts as u64 >= self.reduce_limit();
+        self.maintain(reduce, true);
+    }
+
+    /// Level-0 maintenance: simplify, optionally reduce/subsume, then
+    /// compact the clause database and rebuild the watch lists.
+    fn maintain(&mut self, reduce: bool, subsume: bool) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.unsat {
+            return;
+        }
+        // Close the level-0 assignment first (valid watches required).
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return;
+        }
+        let mut deleted = vec![false; self.clauses.len()];
+        if !self.simplify_pass(&mut deleted) {
+            return;
+        }
+        if reduce {
+            self.reduce_learnts(&mut deleted);
+        }
+        if subsume {
+            self.subsume_pass(&mut deleted);
+            // Strengthening can surface new units; re-simplify so no
+            // surviving clause mentions an assigned variable.
+            if self.unsat || !self.simplify_pass(&mut deleted) {
+                return;
+            }
+        }
+        self.compact(&deleted);
+    }
+
+    fn unlink(&mut self, ci: usize, deleted: &mut [bool]) {
+        if deleted[ci] {
+            return;
+        }
+        deleted[ci] = true;
+        if self.clauses[ci].learnt {
+            self.num_learnts -= 1;
+        }
+    }
+
+    /// Simplifies every clause against the (permanent) level-0
+    /// assignment to fixpoint: satisfied clauses are dropped, false
+    /// literals stripped, new units enqueued directly. Scanning every
+    /// clause per pass is complete unit propagation, so the stale watch
+    /// lists are never consulted. Returns `false` on a level-0 conflict
+    /// (the solver is latched unsat).
+    fn simplify_pass(&mut self, deleted: &mut [bool]) -> bool {
+        loop {
+            let trail_before = self.trail.len();
+            for ci in 0..self.clauses.len() {
+                if deleted[ci] {
+                    continue;
+                }
+                let mut satisfied = false;
+                let mut has_false = false;
+                for &l in &self.clauses[ci].lits {
+                    match self.value_lit(l) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => has_false = true,
+                        None => {}
+                    }
+                }
+                if satisfied {
+                    self.unlink(ci, deleted);
+                    continue;
+                }
+                if !has_false {
+                    continue;
+                }
+                let mut lits = std::mem::take(&mut self.clauses[ci].lits);
+                lits.retain(|&l| self.value_lit(l) != Some(false));
+                match lits.len() {
+                    0 => {
+                        self.unsat = true;
+                        return false;
+                    }
+                    1 => {
+                        let unit = lits[0];
+                        self.clauses[ci].lits = lits;
+                        self.unlink(ci, deleted);
+                        if !self.enqueue(unit, None) {
+                            self.unsat = true;
+                            return false;
+                        }
+                    }
+                    _ => self.clauses[ci].lits = lits,
+                }
+            }
+            if self.trail.len() == trail_before {
+                return true;
+            }
+        }
+    }
+
+    /// Two-tier learnt reduction: glue clauses (LBD ≤ 2) are permanent;
+    /// of the rest, the worse half (highest LBD first, oldest first
+    /// among equals) is deleted.
+    fn reduce_learnts(&mut self, deleted: &mut [bool]) {
+        let mut cands: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| !deleted[i] && self.clauses[i].learnt && self.clauses[i].lbd > 2)
+            .collect();
+        cands.sort_by(|&a, &b| {
+            self.clauses[b]
+                .lbd
+                .cmp(&self.clauses[a].lbd)
+                .then(a.cmp(&b))
+        });
+        let drop_n = cands.len() / 2;
+        for &ci in &cands[..drop_n] {
+            self.unlink(ci, deleted);
+            self.learnt_deleted += 1;
+        }
+        self.learnt_kept += self.num_learnts as u64;
+        let lim = self.reduce_limit();
+        self.reduce_threshold = lim + lim / 2;
+    }
+
+    /// Bounded forward subsumption and self-subsuming resolution over
+    /// the live clauses. Work is capped by a literal-comparison budget
+    /// so inprocessing stays a bounded pause, never a second search.
+    fn subsume_pass(&mut self, deleted: &mut [bool]) {
+        const MAX_CLAUSE_LEN: usize = 16;
+        const CHECK_BUDGET: u64 = 200_000;
+        let n = self.clauses.len();
+        let mut sigs: Vec<u64> = self.clauses.iter().map(|c| clause_sig(&c.lits)).collect();
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); self.num_vars() * 2];
+        for (ci, dead) in deleted.iter().enumerate().take(n) {
+            if *dead || self.clauses[ci].lits.len() > MAX_CLAUSE_LEN {
+                continue;
+            }
+            for &l in &self.clauses[ci].lits {
+                occ[l.index()].push(ci as u32);
+            }
+        }
+        let mut order: Vec<usize> = (0..n)
+            .filter(|&i| !deleted[i] && self.clauses[i].lits.len() <= MAX_CLAUSE_LEN)
+            .collect();
+        order.sort_by_key(|&i| (self.clauses[i].lits.len(), i));
+        let mut budget = CHECK_BUDGET;
+        for ci in order {
+            if deleted[ci] {
+                continue;
+            }
+            if budget == 0 {
+                break;
+            }
+            let lits = self.clauses[ci].lits.clone();
+            let Some(&pivot) = lits.iter().min_by_key(|l| occ[l.index()].len()) else {
+                continue;
+            };
+            // Forward subsumption: ci ⊆ cj deletes cj. Candidates are
+            // found through ci's rarest literal.
+            for &cand in &occ[pivot.index()] {
+                let cj = cand as usize;
+                if cj == ci || deleted[cj] || self.clauses[cj].lits.len() < lits.len() {
+                    continue;
+                }
+                budget = budget.saturating_sub(lits.len() as u64);
+                if budget == 0 {
+                    break;
+                }
+                if sigs[ci] & !sigs[cj] != 0 {
+                    continue;
+                }
+                if is_subset(&lits, &self.clauses[cj].lits) {
+                    self.unlink(cj, deleted);
+                    self.subsumed += 1;
+                }
+            }
+            // Self-subsuming resolution: if (ci \ {l}) ∪ {¬l} ⊆ cj,
+            // resolving on l shows cj can drop ¬l.
+            for &l in &lits {
+                if budget == 0 {
+                    break;
+                }
+                for &cand in &occ[l.negate().index()] {
+                    let cj = cand as usize;
+                    if cj == ci || deleted[cj] || self.clauses[cj].lits.len() < lits.len() {
+                        continue;
+                    }
+                    budget = budget.saturating_sub(lits.len() as u64);
+                    if budget == 0 {
+                        break;
+                    }
+                    if sigs[ci] & !sigs[cj] != 0 {
+                        continue;
+                    }
+                    if subsumes_with_flip(&lits, l, &self.clauses[cj].lits) {
+                        let neg = l.negate();
+                        self.clauses[cj].lits.retain(|&x| x != neg);
+                        sigs[cj] = clause_sig(&self.clauses[cj].lits);
+                        self.subsumed += 1;
+                        if self.clauses[cj].lits.len() == 1 {
+                            let unit = self.clauses[cj].lits[0];
+                            self.unlink(cj, deleted);
+                            if !self.enqueue(unit, None) {
+                                self.unsat = true;
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops deleted clauses and rebuilds the watch lists from scratch.
+    /// Precondition (established by `simplify_pass`): no surviving
+    /// clause mentions an assigned variable, so watching the first two
+    /// literals is sound. Level-0 reasons are cleared — conflict
+    /// analysis only dereferences reasons above level 0, so no dangling
+    /// clause index survives the compaction.
+    fn compact(&mut self, deleted: &[bool]) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let old = std::mem::take(&mut self.clauses);
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in old.into_iter().enumerate() {
+            if deleted[i] {
+                continue;
+            }
+            debug_assert!(c.lits.len() >= 2, "unit/empty clause survived simplify");
+            let idx = self.clauses.len() as u32;
+            self.watches[c.lits[0].negate().index()].push(idx);
+            self.watches[c.lits[1].negate().index()].push(idx);
+            self.clauses.push(c);
+        }
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().0 as usize;
+            self.reasons[v] = None;
+        }
+    }
+}
+
+fn clause_sig(lits: &[Lit]) -> u64 {
+    lits.iter().fold(0u64, |s, l| s | 1u64 << (l.var().0 % 64))
+}
+
+fn is_subset(small: &[Lit], big: &[Lit]) -> bool {
+    small.iter().all(|l| big.contains(l))
+}
+
+/// `true` if `small` with `flip` negated is a subset of `big` — the
+/// self-subsuming-resolution condition.
+fn subsumes_with_flip(small: &[Lit], flip: Lit, big: &[Lit]) -> bool {
+    small.iter().all(|&l| {
+        if l == flip {
+            big.contains(&l.negate())
+        } else {
+            big.contains(&l)
+        }
+    })
 }
 
 /// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
@@ -1085,6 +1474,193 @@ mod tests {
                         assert_eq!(inc.value_lit(*a), Some(true), "assumption not honored");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_agree_on_answers() {
+        // Diverse profiles steer the search, never the answer.
+        let profiles = [
+            SolverProfile::default(),
+            SolverProfile {
+                seed: 0x9E37_79B9,
+                invert_phase: true,
+                restart_base: 3,
+                reduce_base: 8,
+            },
+            SolverProfile {
+                seed: 0xD1B5_4A32,
+                invert_phase: false,
+                restart_base: 7,
+                reduce_base: 16,
+            },
+        ];
+        let mut seed = 0xDEAD_BEEF_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..25 {
+            let n_vars = 4 + (rng() % 8) as usize;
+            let n_clauses = 2 + (rng() % (4 * n_vars as u64)) as usize;
+            let clauses: Vec<Vec<Lit>> = (0..n_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| Lit::new(Var((rng() % n_vars as u64) as u32), rng() % 2 == 0))
+                        .collect()
+                })
+                .collect();
+            let mut want = None;
+            for p in profiles {
+                let mut s = SatSolver::new();
+                s.set_profile(p);
+                for _ in 0..n_vars {
+                    s.new_var();
+                }
+                for c in &clauses {
+                    s.add_clause(c);
+                }
+                let got = s.solve();
+                if got == SatOutcome::Sat {
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|l| s.value(l.var()) == Some(l.is_pos())),
+                            "model violates clause in round {round} under {p:?}"
+                        );
+                    }
+                }
+                match &want {
+                    None => want = Some(got),
+                    Some(w) => assert_eq!(&got, w, "round {round}: {p:?} disagreed"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_reduction_keeps_correctness() {
+        // A tiny reduce_base + restart_base forces restarts and learnt-DB
+        // reductions mid-search on a hard UNSAT instance.
+        let mut s = pigeonhole(6, 5);
+        s.set_profile(SolverProfile {
+            seed: 0,
+            invert_phase: false,
+            restart_base: 2,
+            reduce_base: 8,
+        });
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+        assert!(s.restarts() > 0, "expected restarts under base 2");
+        assert!(s.learnt_deleted() > 0, "expected learnt-DB reductions");
+        assert!(s.clauses_added() >= s.num_clauses() as u64);
+    }
+
+    #[test]
+    fn reduction_during_assumption_solving_is_sound() {
+        // Same forcing profile, but through the retractable-assumption
+        // path: answers must match a fresh untouched solver.
+        let mut s = pigeonhole(6, 5);
+        let extra = s.new_var();
+        s.set_profile(SolverProfile {
+            seed: 0,
+            invert_phase: false,
+            restart_base: 2,
+            reduce_base: 8,
+        });
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(extra)], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+        assert_eq!(
+            s.solve_assuming(&[], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn subsumption_removes_redundant_clauses() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::pos(a), Lit::pos(b), Lit::pos(c)]);
+        let before = s.num_clauses();
+        s.inprocess();
+        assert!(
+            s.subsumed() >= 1,
+            "the 3-clause is subsumed by the 2-clause"
+        );
+        assert!(s.num_clauses() < before);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        // clauses_added is a high-water mark: deletion never lowers it.
+        assert_eq!(s.clauses_added(), before as u64);
+    }
+
+    #[test]
+    fn self_subsuming_resolution_strengthens_to_unit() {
+        // (a ∨ b) and (¬a ∨ b): resolving on a strengthens the second
+        // clause to the unit b.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+        s.inprocess();
+        assert!(s.subsumed() >= 1);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn inprocess_between_assumption_calls_preserves_answers() {
+        let mut seed = 0x1234_5678_9ABC_DEF0_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..20 {
+            let n_vars = 4 + (rng() % 7) as usize;
+            let n_clauses = 2 + (rng() % (3 * n_vars as u64)) as usize;
+            let clauses: Vec<Vec<Lit>> = (0..n_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| Lit::new(Var((rng() % n_vars as u64) as u32), rng() % 2 == 0))
+                        .collect()
+                })
+                .collect();
+            let mut inc = SatSolver::new();
+            for _ in 0..n_vars {
+                inc.new_var();
+            }
+            for c in &clauses {
+                inc.add_clause(c);
+            }
+            for set in 0..3 {
+                // Inprocess between every call: answers must still match
+                // a fresh solver with the assumptions as hard units.
+                inc.inprocess();
+                let n_assumps = (rng() % (n_vars as u64).min(3)) as usize;
+                let assumps: Vec<Lit> = (0..n_assumps)
+                    .map(|_| Lit::new(Var((rng() % n_vars as u64) as u32), rng() % 2 == 0))
+                    .collect();
+                let mut fresh = SatSolver::new();
+                for _ in 0..n_vars {
+                    fresh.new_var();
+                }
+                for c in &clauses {
+                    fresh.add_clause(c);
+                }
+                for a in &assumps {
+                    fresh.add_clause(&[*a]);
+                }
+                let want = fresh.solve();
+                let got = inc.solve_assuming(&assumps, SolveBudget::UNLIMITED);
+                assert_eq!(got, want, "round {round} set {set} disagreed");
             }
         }
     }

@@ -5,8 +5,48 @@ use std::fmt;
 
 use crate::bitblast::BitBlaster;
 use crate::bv::BvVal;
-use crate::sat::{SatOutcome, SolveBudget};
+use crate::sat::{SatOutcome, SolveBudget, SolverProfile};
 use crate::term::{Term, TermGraph, TermId};
+
+/// The profiles [`Solver::check_assuming_portfolio_traced`] races.
+///
+/// Profile 0 is the canonical default configuration; it always runs
+/// first in every rotation round, on the solver itself (so its learnt
+/// clauses persist across calls). The others differ in branching seed,
+/// phase polarity, and restart schedule — enough diversity to escape
+/// pathological searches, while any profile's definite answer is the
+/// same Sat/Unsat verdict.
+pub const PORTFOLIO_PROFILES: [SolverProfile; 3] = [
+    SolverProfile {
+        seed: 0,
+        invert_phase: false,
+        restart_base: 100,
+        reduce_base: 2000,
+    },
+    SolverProfile {
+        seed: 0x9E37_79B9_7F4A_7C15,
+        invert_phase: true,
+        restart_base: 100,
+        reduce_base: 2000,
+    },
+    SolverProfile {
+        seed: 0xD1B5_4A32_D192_ED03,
+        invert_phase: false,
+        restart_base: 50,
+        reduce_base: 2000,
+    },
+];
+
+/// First conflict slice of the portfolio rotation. Deliberately generous:
+/// any query the canonical profile finishes within this many conflicts
+/// gets byte-identical answers whether the portfolio is on or off,
+/// because no other profile ever runs. Slices double per rotation round,
+/// so an unbudgeted race always terminates.
+const PORTFOLIO_FIRST_SLICE: u64 = 4096;
+
+/// Clause-database growth (in clauses ever added) between two bounded
+/// inprocessing passes on an incremental context.
+const INPROCESS_GROWTH: u64 = 512;
 
 /// A satisfying assignment for the asserted formula.
 ///
@@ -102,6 +142,15 @@ pub struct SolveStats {
     pub propagations: u64,
     /// Total literals across learnt clauses.
     pub learnt_literals: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses deleted by two-tier database reduction.
+    pub learnt_deleted: u64,
+    /// Learnt clauses retained, summed over reduction passes.
+    pub learnt_kept: u64,
+    /// Clauses removed by subsumption plus literals removed by
+    /// self-subsuming resolution.
+    pub subsumed: u64,
 }
 
 /// Blasted solver state kept alive across [`Solver::check_assuming`]
@@ -124,7 +173,13 @@ pub struct BlastContext {
     // it were already credited by an earlier traced call, so each
     // carried-over clause is counted exactly once per context (clones
     // inherit the mark and re-count only what they inherited uncredited).
-    counted_clauses: usize,
+    // Measured in `SatSolver::clauses_added` units — a monotonic count
+    // that learnt-DB reduction and inprocessing never lower, so deletion
+    // cannot corrupt the accounting.
+    counted_clauses: u64,
+    // `clauses_added` at the last bounded inprocessing pass; the next
+    // pass runs once the database has grown by `INPROCESS_GROWTH`.
+    inprocessed_at: u64,
 }
 
 impl BlastContext {
@@ -134,6 +189,7 @@ impl BlastContext {
             synced_assertions: 0,
             blasted_vars: 0,
             counted_clauses: 0,
+            inprocessed_at: 0,
         }
     }
 }
@@ -167,6 +223,7 @@ pub struct Solver {
     budget: SolveBudget,
     last_stats: SolveStats,
     ctx: Option<BlastContext>,
+    profile: SolverProfile,
 }
 
 impl Solver {
@@ -196,6 +253,22 @@ impl Solver {
     /// Replaces the budget for subsequent checks.
     pub fn set_budget(&mut self, budget: SolveBudget) {
         self.budget = budget;
+    }
+
+    /// The active [`SolverProfile`].
+    #[must_use]
+    pub fn profile(&self) -> SolverProfile {
+        self.profile
+    }
+
+    /// Installs a [`SolverProfile`] on this solver (and on its live
+    /// incremental context, if any). Profiles steer the search, never
+    /// the Sat/Unsat answer.
+    pub fn set_profile(&mut self, profile: SolverProfile) {
+        self.profile = profile;
+        if let Some(ctx) = self.ctx.as_mut() {
+            ctx.bb.solver.set_profile(profile);
+        }
     }
 
     /// Adds a 1-bit assertion.
@@ -252,12 +325,32 @@ impl Solver {
             },
             1,
         );
-        recorder.histogram_record("smt.sat_vars", self.last_stats.sat_vars as u64);
-        recorder.histogram_record("smt.sat_clauses", self.last_stats.sat_clauses as u64);
-        recorder.histogram_record("smt.conflicts", self.last_stats.conflicts);
-        recorder.histogram_record("smt.propagations", self.last_stats.propagations);
-        recorder.histogram_record("smt.learnt_literals", self.last_stats.learnt_literals);
+        self.record_solve_metrics(recorder);
         result
+    }
+
+    /// Histograms plus the only-when-nonzero CDCL-dynamics counters
+    /// (`smt.restarts`, `smt.learnt_kept`, `smt.learnt_deleted`,
+    /// `smt.subsumed`) for the most recent call's [`SolveStats`].
+    fn record_solve_metrics(&self, recorder: &soccar_obs::Recorder) {
+        let st = self.last_stats;
+        recorder.histogram_record("smt.sat_vars", st.sat_vars as u64);
+        recorder.histogram_record("smt.sat_clauses", st.sat_clauses as u64);
+        recorder.histogram_record("smt.conflicts", st.conflicts);
+        recorder.histogram_record("smt.propagations", st.propagations);
+        recorder.histogram_record("smt.learnt_literals", st.learnt_literals);
+        if st.restarts > 0 {
+            recorder.counter_add("smt.restarts", st.restarts);
+        }
+        if st.learnt_kept > 0 {
+            recorder.counter_add("smt.learnt_kept", st.learnt_kept);
+        }
+        if st.learnt_deleted > 0 {
+            recorder.counter_add("smt.learnt_deleted", st.learnt_deleted);
+        }
+        if st.subsumed > 0 {
+            recorder.counter_add("smt.subsumed", st.subsumed);
+        }
     }
 
     fn check_inner(&mut self, graph: &TermGraph) -> CheckResult {
@@ -271,6 +364,7 @@ impl Solver {
             return CheckResult::Unsat;
         }
         let mut bb = BitBlaster::new();
+        bb.solver.set_profile(self.profile);
         for t in &self.assertions {
             bb.assert_true(graph, *t);
         }
@@ -286,6 +380,10 @@ impl Solver {
             decisions: bb.solver.decisions(),
             propagations: bb.solver.propagations(),
             learnt_literals: bb.solver.learnt_literals(),
+            restarts: bb.solver.restarts(),
+            learnt_deleted: bb.solver.learnt_deleted(),
+            learnt_kept: bb.solver.learnt_kept(),
+            subsumed: bb.solver.subsumed(),
         };
         match outcome {
             SatOutcome::Unsat => CheckResult::Unsat,
@@ -334,7 +432,12 @@ impl Solver {
     /// assertions added since the last call become hard (non-retractable)
     /// clauses, and new graph variables are blasted so models stay total.
     fn sync_ctx(&mut self, graph: &TermGraph) {
-        let ctx = self.ctx.get_or_insert_with(BlastContext::new);
+        if self.ctx.is_none() {
+            let mut ctx = BlastContext::new();
+            ctx.bb.solver.set_profile(self.profile);
+            self.ctx = Some(ctx);
+        }
+        let ctx = self.ctx.as_mut().expect("context just created");
         while ctx.synced_assertions < self.assertions.len() {
             let t = self.assertions[ctx.synced_assertions];
             ctx.bb.assert_true(graph, t);
@@ -392,16 +495,68 @@ impl Solver {
         assumptions: &[TermId],
         recorder: &soccar_obs::Recorder,
     ) -> CheckResult {
-        let hits_at_entry = self.blast_cache_hits();
-        let (clauses_at_entry, counted_at_entry) = self
+        let entry = self.assuming_entry_marks();
+        let result = self.check_assuming_inner(graph, assumptions);
+        self.record_assuming_metrics(recorder, entry, &result);
+        self.maintain_ctx(recorder);
+        result
+    }
+
+    /// Like [`Solver::check_assuming_traced`], but races the
+    /// [`PORTFOLIO_PROFILES`] over the query in deterministic,
+    /// geometrically growing conflict slices: the canonical profile 0
+    /// runs first in every rotation round (on this solver, so its learnt
+    /// clauses persist), the others on lazily created clones that are
+    /// discarded afterwards. The first definite answer wins; a win by a
+    /// non-canonical profile bumps `smt.portfolio_wins`.
+    ///
+    /// Determinism: the rotation order, slice schedule, and clone points
+    /// are fixed, so the same query on the same state always returns the
+    /// same result — and any query profile 0 finishes within the first
+    /// slice returns exactly what [`Solver::check_assuming_traced`]
+    /// would. The configured [`SolveBudget`] applies *per profile*;
+    /// `Unknown` is returned only once every profile has exhausted it.
+    ///
+    /// # Panics
+    ///
+    /// As [`Solver::check_assuming`].
+    pub fn check_assuming_portfolio_traced(
+        &mut self,
+        graph: &TermGraph,
+        assumptions: &[TermId],
+        recorder: &soccar_obs::Recorder,
+    ) -> CheckResult {
+        let entry = self.assuming_entry_marks();
+        let (result, winner) = self.check_assuming_portfolio_inner(graph, assumptions);
+        if winner > 0 {
+            recorder.counter_add("smt.portfolio_wins", 1);
+        }
+        self.record_assuming_metrics(recorder, entry, &result);
+        self.maintain_ctx(recorder);
+        result
+    }
+
+    /// `(blast cache hits, clauses ever added, reuse mark)` at call entry.
+    fn assuming_entry_marks(&self) -> (u64, u64, u64) {
+        let hits = self.blast_cache_hits();
+        let (added, counted) = self
             .ctx
             .as_ref()
-            .map_or((0, 0), |c| (c.bb.solver.num_clauses(), c.counted_clauses));
-        let result = self.check_assuming_inner(graph, assumptions);
+            .map_or((0, 0), |c| (c.bb.solver.clauses_added(), c.counted_clauses));
+        (hits, added, counted)
+    }
+
+    /// The shared metrics tail of the incremental entry points.
+    fn record_assuming_metrics(
+        &mut self,
+        recorder: &soccar_obs::Recorder,
+        (hits_at_entry, added_at_entry, counted_at_entry): (u64, u64, u64),
+        result: &CheckResult,
+    ) {
         recorder.counter_add("smt.queries", 1);
         recorder.counter_add("smt.incremental_calls", 1);
         recorder.counter_add(
-            match &result {
+            match result {
                 CheckResult::Sat(_) => "smt.sat",
                 CheckResult::Unsat => "smt.unsat",
                 CheckResult::Unknown { .. } => "smt.unknown",
@@ -412,19 +567,136 @@ impl Solver {
         if hits > 0 {
             recorder.counter_add("smt.blast_cache_hits", hits);
         }
-        let reused = clauses_at_entry.saturating_sub(counted_at_entry);
+        let reused = added_at_entry.saturating_sub(counted_at_entry);
         if reused > 0 {
-            recorder.counter_add("smt.clauses_reused", reused as u64);
+            recorder.counter_add("smt.clauses_reused", reused);
         }
         if let Some(ctx) = self.ctx.as_mut() {
-            ctx.counted_clauses = ctx.counted_clauses.max(clauses_at_entry);
+            ctx.counted_clauses = ctx.counted_clauses.max(added_at_entry);
         }
-        recorder.histogram_record("smt.sat_vars", self.last_stats.sat_vars as u64);
-        recorder.histogram_record("smt.sat_clauses", self.last_stats.sat_clauses as u64);
-        recorder.histogram_record("smt.conflicts", self.last_stats.conflicts);
-        recorder.histogram_record("smt.propagations", self.last_stats.propagations);
-        recorder.histogram_record("smt.learnt_literals", self.last_stats.learnt_literals);
-        result
+        self.record_solve_metrics(recorder);
+    }
+
+    /// Bounded inprocessing between `check_assuming` calls, triggered by
+    /// clause-database growth against the context's high-water mark. The
+    /// trigger depends only on the call sequence, never on wall clock,
+    /// so runs stay deterministic; the pass happens after the call's
+    /// model was extracted, so it only ever touches a retracted trail.
+    fn maintain_ctx(&mut self, recorder: &soccar_obs::Recorder) {
+        let Some(ctx) = self.ctx.as_mut() else {
+            return;
+        };
+        let added = ctx.bb.solver.clauses_added();
+        if added.saturating_sub(ctx.inprocessed_at) < INPROCESS_GROWTH {
+            return;
+        }
+        let subsumed_before = ctx.bb.solver.subsumed();
+        let deleted_before = ctx.bb.solver.learnt_deleted();
+        let kept_before = ctx.bb.solver.learnt_kept();
+        ctx.bb.solver.inprocess();
+        ctx.inprocessed_at = added;
+        let subsumed = ctx.bb.solver.subsumed() - subsumed_before;
+        if subsumed > 0 {
+            recorder.counter_add("smt.subsumed", subsumed);
+        }
+        let deleted = ctx.bb.solver.learnt_deleted() - deleted_before;
+        if deleted > 0 {
+            recorder.counter_add("smt.learnt_deleted", deleted);
+        }
+        let kept = ctx.bb.solver.learnt_kept() - kept_before;
+        if kept > 0 {
+            recorder.counter_add("smt.learnt_kept", kept);
+        }
+    }
+
+    /// The deterministic portfolio race; returns the result and the
+    /// index of the winning profile (0 when no profile answered).
+    fn check_assuming_portfolio_inner(
+        &mut self,
+        graph: &TermGraph,
+        assumptions: &[TermId],
+    ) -> (CheckResult, usize) {
+        let user = self.budget;
+        let n = PORTFOLIO_PROFILES.len();
+        let mut clones: Vec<Option<Solver>> = (0..n).map(|_| None).collect();
+        let mut spent_conflicts = vec![0u64; n];
+        let mut spent_decisions = vec![0u64; n];
+        let mut ran = vec![false; n];
+        let mut done = vec![false; n];
+        let mut slice = PORTFOLIO_FIRST_SLICE;
+        loop {
+            let mut all_done = true;
+            for p in 0..n {
+                if done[p] {
+                    continue;
+                }
+                let rem_c = user
+                    .max_conflicts
+                    .map(|m| m.saturating_sub(spent_conflicts[p]));
+                let rem_d = user
+                    .max_decisions
+                    .map(|m| m.saturating_sub(spent_decisions[p]));
+                // A profile that has run at least once and exhausted the
+                // per-profile user budget is out of the race. (Before the
+                // first run even a zero budget gets one call, preserving
+                // the single-profile semantics of degenerate budgets.)
+                if ran[p] && (rem_c == Some(0) || rem_d == Some(0)) {
+                    done[p] = true;
+                    continue;
+                }
+                all_done = false;
+                let call_budget = SolveBudget {
+                    max_conflicts: Some(rem_c.map_or(slice, |r| r.min(slice))),
+                    max_decisions: rem_d,
+                };
+                let (outcome, stats) = if p == 0 {
+                    let saved = self.budget;
+                    self.budget = call_budget;
+                    let r = self.check_assuming_inner(graph, assumptions);
+                    self.budget = saved;
+                    (r, self.last_stats)
+                } else {
+                    if clones[p].is_none() {
+                        // Lazy clone seeded from the canonical member's
+                        // current state: earlier slices' learnt clauses
+                        // are shared, and the clone point is a fixed
+                        // position in the rotation, so it is as
+                        // deterministic as an eager clone.
+                        let mut c = self.clone();
+                        c.set_profile(PORTFOLIO_PROFILES[p]);
+                        clones[p] = Some(c);
+                    }
+                    let c = clones[p].as_mut().expect("clone just created");
+                    c.budget = call_budget;
+                    let r = c.check_assuming_inner(graph, assumptions);
+                    (r, c.last_stats)
+                };
+                ran[p] = true;
+                spent_conflicts[p] += stats.conflicts;
+                spent_decisions[p] += stats.decisions;
+                match outcome {
+                    CheckResult::Unknown { .. } => {}
+                    definite => {
+                        if p != 0 {
+                            // Surface the winner's per-call stats (the
+                            // model inside `definite` is already the
+                            // winner's).
+                            self.last_stats = stats;
+                        }
+                        return (definite, p);
+                    }
+                }
+            }
+            if all_done {
+                return (
+                    CheckResult::Unknown {
+                        reason: format!("solver budget exhausted across {n} portfolio profiles"),
+                    },
+                    0,
+                );
+            }
+            slice = slice.saturating_mul(2);
+        }
     }
 
     fn check_assuming_inner(&mut self, graph: &TermGraph, assumptions: &[TermId]) -> CheckResult {
@@ -449,6 +721,10 @@ impl Solver {
         let decisions_at_entry = ctx.bb.solver.decisions();
         let propagations_at_entry = ctx.bb.solver.propagations();
         let learnt_at_entry = ctx.bb.solver.learnt_literals();
+        let restarts_at_entry = ctx.bb.solver.restarts();
+        let deleted_at_entry = ctx.bb.solver.learnt_deleted();
+        let kept_at_entry = ctx.bb.solver.learnt_kept();
+        let subsumed_at_entry = ctx.bb.solver.subsumed();
         let outcome = ctx.bb.solver.solve_assuming(&lits, self.budget);
         self.last_stats = SolveStats {
             sat_vars: ctx.bb.solver.num_vars(),
@@ -457,6 +733,10 @@ impl Solver {
             decisions: ctx.bb.solver.decisions() - decisions_at_entry,
             propagations: ctx.bb.solver.propagations() - propagations_at_entry,
             learnt_literals: ctx.bb.solver.learnt_literals() - learnt_at_entry,
+            restarts: ctx.bb.solver.restarts() - restarts_at_entry,
+            learnt_deleted: ctx.bb.solver.learnt_deleted() - deleted_at_entry,
+            learnt_kept: ctx.bb.solver.learnt_kept() - kept_at_entry,
+            subsumed: ctx.bb.solver.subsumed() - subsumed_at_entry,
         };
         match outcome {
             SatOutcome::Unsat => CheckResult::Unsat,

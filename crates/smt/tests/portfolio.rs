@@ -1,0 +1,178 @@
+//! Property tests for the deterministic solver portfolio: racing the
+//! [`soccar_smt::PORTFOLIO_PROFILES`] over a `check_assuming` query must
+//! never change a definite answer — only (at worst, under a budget)
+//! upgrade an `Unknown` to a definite one. This is the contract that lets
+//! `SOCCAR_PORTFOLIO=1` keep reports byte-identical: the portfolio is a
+//! different search order over the same formula, not a different formula.
+
+use proptest::prelude::*;
+use soccar_smt::{model_satisfies, BvVal, CheckResult, SolveBudget, Solver, TermGraph, TermId};
+
+/// Builds a small expression over three variables and returns 1-bit goal
+/// terms `root == target` for each requested target (the same shape the
+/// incremental-solving tests use, so the two contracts cover the same
+/// formula family).
+fn build_goals(g: &mut TermGraph, width: u32, seeds: &[u64], targets: &[u64]) -> Vec<TermId> {
+    let vars: Vec<TermId> = (0..3).map(|i| g.var(format!("v{i}"), width)).collect();
+    let mut acc = vars[0];
+    for (i, s) in seeds.iter().enumerate() {
+        let c = g.constant(BvVal::from_u64(width, *s));
+        let mixed = match i % 4 {
+            0 => g.add(acc, c),
+            1 => g.xor(acc, vars[1]),
+            2 => g.mul(acc, c),
+            _ => g.and(acc, vars[2]),
+        };
+        acc = mixed;
+    }
+    targets
+        .iter()
+        .map(|t| {
+            let c = g.constant(BvVal::from_u64(width, *t));
+            g.eq(acc, c)
+        })
+        .collect()
+}
+
+/// Unbudgeted single-profile truth for `hard ∧ set` on a fresh solver.
+fn truth(g: &TermGraph, hard: &[TermId], set: &[TermId]) -> CheckResult {
+    let mut s = Solver::new();
+    for t in hard.iter().chain(set) {
+        s.assert(*t);
+    }
+    s.check(g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Unlimited budget: the portfolio-raced call must agree in sat-ness
+    /// with single-profile solving on every assumption set of a
+    /// sequence (same warm context semantics), and its models must
+    /// satisfy the formula. Both solvers walk the same set sequence so
+    /// retraction and clause reuse are exercised on each side.
+    #[test]
+    fn portfolio_sequence_agrees_with_single_profile(
+        width in 1u32..8,
+        seeds in proptest::collection::vec(0u64..128, 1..5),
+        targets in proptest::collection::vec(0u64..128, 2..6),
+        pin in 0u64..128,
+    ) {
+        let recorder = soccar_obs::Recorder::disabled();
+        let mut g = TermGraph::new();
+        let goals = build_goals(&mut g, width, &seeds, &targets);
+        let v0 = g.var("v0", width);
+        let pin_c = g.constant(BvVal::from_u64(width, pin));
+        let hard = g.eq(v0, pin_c);
+
+        let mut single = Solver::new();
+        single.assert(hard);
+        let mut raced = Solver::new();
+        raced.assert(hard);
+        for (i, goal) in goals.iter().enumerate() {
+            // Alternate single goals with pairs so retraction is covered.
+            let set: Vec<TermId> = if i % 2 == 0 {
+                vec![*goal]
+            } else {
+                vec![goals[i - 1], *goal]
+            };
+            let want = single.check_assuming(&g, &set);
+            let got = raced.check_assuming_portfolio_traced(&g, &set, &recorder);
+            prop_assert_eq!(
+                got.is_sat(),
+                want.is_sat(),
+                "set {} disagreed: portfolio {:?} vs single-profile {:?}",
+                i,
+                got,
+                want
+            );
+            if let CheckResult::Sat(model) = &got {
+                let mut asserted = vec![hard];
+                asserted.extend(&set);
+                prop_assert!(model_satisfies(&g, &asserted, model));
+            }
+        }
+    }
+
+    /// Under a per-profile budget the race stays *sound*: a definite
+    /// answer must match the unbudgeted truth (never a wrong Sat/Unsat),
+    /// and `Unknown` may only appear when a budget is actually
+    /// configured — i.e. the portfolio may answer where a single profile
+    /// gives up, but must never answer differently.
+    #[test]
+    fn budgeted_portfolio_is_sound(
+        width in 1u32..8,
+        seeds in proptest::collection::vec(0u64..128, 1..5),
+        targets in proptest::collection::vec(0u64..128, 2..5),
+        max_conflicts in 1u64..32,
+        max_decisions in 1u64..64,
+    ) {
+        let budget = SolveBudget {
+            max_conflicts: Some(max_conflicts),
+            max_decisions: Some(max_decisions),
+        };
+        let recorder = soccar_obs::Recorder::disabled();
+        let mut g = TermGraph::new();
+        let goals = build_goals(&mut g, width, &seeds, &targets);
+
+        let mut raced = Solver::with_budget(budget);
+        for (i, goal) in goals.iter().enumerate() {
+            let set = [*goal];
+            let want = truth(&g, &[], &set);
+            match raced.check_assuming_portfolio_traced(&g, &set, &recorder) {
+                CheckResult::Unknown { reason } => {
+                    prop_assert!(!budget.is_unlimited());
+                    prop_assert!(reason.contains("budget exhausted"));
+                }
+                CheckResult::Unsat => prop_assert!(
+                    !want.is_sat(),
+                    "set {} portfolio Unsat but truth Sat",
+                    i
+                ),
+                CheckResult::Sat(model) => {
+                    prop_assert!(want.is_sat(), "set {i} portfolio Sat but truth Unsat");
+                    prop_assert!(model_satisfies(&g, &set, &model));
+                }
+            }
+        }
+    }
+
+    /// Determinism: the same query sequence on two identically
+    /// constructed solvers returns identical results call by call — the
+    /// race has no hidden timing dependence.
+    #[test]
+    fn portfolio_race_is_deterministic(
+        width in 1u32..8,
+        seeds in proptest::collection::vec(0u64..128, 1..5),
+        targets in proptest::collection::vec(0u64..128, 2..5),
+        max_conflicts in 1u64..16,
+    ) {
+        let budget = SolveBudget {
+            max_conflicts: Some(max_conflicts),
+            max_decisions: None,
+        };
+        let recorder = soccar_obs::Recorder::disabled();
+        let mut g = TermGraph::new();
+        let goals = build_goals(&mut g, width, &seeds, &targets);
+
+        // Canonical rendering: Model iterates a HashMap (unspecified
+        // order), so sort the assignments before comparing.
+        let canon = |r: &CheckResult| match r {
+            CheckResult::Sat(m) => {
+                let mut vals: Vec<(TermId, String)> =
+                    m.iter().map(|(k, v)| (k, format!("{v:?}"))).collect();
+                vals.sort();
+                format!("Sat({vals:?})")
+            }
+            other => format!("{other:?}"),
+        };
+        let mut a = Solver::with_budget(budget);
+        let mut b = Solver::with_budget(budget);
+        for goal in &goals {
+            let set = [*goal];
+            let ra = a.check_assuming_portfolio_traced(&g, &set, &recorder);
+            let rb = b.check_assuming_portfolio_traced(&g, &set, &recorder);
+            prop_assert_eq!(canon(&ra), canon(&rb));
+        }
+    }
+}

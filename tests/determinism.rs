@@ -73,16 +73,23 @@ fn faulted_cluster_soc_report_is_byte_identical_across_job_counts() {
 }
 
 /// Full-pipeline canonical JSON for a *generated* design at a given
-/// job count and incremental-solver setting. Mirrors what
-/// `SOCCAR_JOBS` / `SOCCAR_INCREMENTAL` select via the environment,
-/// set directly on the config so the four combinations can run in one
-/// process without racing on env vars.
-fn generated_canonical_json(spec: &GenSpec, jobs: usize, incremental: bool) -> String {
+/// job count, incremental-solver setting, and portfolio setting.
+/// Mirrors what `SOCCAR_JOBS` / `SOCCAR_INCREMENTAL` /
+/// `SOCCAR_PORTFOLIO` select via the environment, set directly on the
+/// config so all combinations can run in one process without racing on
+/// env vars.
+fn generated_canonical_json(
+    spec: &GenSpec,
+    jobs: usize,
+    incremental: bool,
+    portfolio: bool,
+) -> String {
     let mut config = SoccarConfig::default();
     config.concolic.cycles = 10;
     config.concolic.max_rounds = 3;
     config.concolic.sweep_stride = 3;
     config.concolic.incremental = incremental;
+    config.concolic.portfolio = portfolio;
     config.jobs = jobs;
     let eval = evaluate_generated(spec, config).expect("generated designs always evaluate");
     eval.report
@@ -95,24 +102,37 @@ proptest! {
 
     /// The determinism contract extended beyond the two hand-built
     /// SoCs: any seeded topology produces one canonical report across
-    /// `SOCCAR_JOBS={1,4}` × `SOCCAR_INCREMENTAL={0,1}`.
+    /// `SOCCAR_JOBS={1,4}` × `SOCCAR_INCREMENTAL={0,1}` ×
+    /// `SOCCAR_PORTFOLIO={0,1}`. The portfolio dimension is the racing
+    /// contract made visible: first-definite-answer-wins must never
+    /// change which answer that is (portfolio only applies on the
+    /// incremental path, so the `incremental=false` × `portfolio=true`
+    /// cell doubles as the "ignored knob stays ignored" check).
     #[test]
     fn generated_soc_reports_are_byte_identical_across_jobs_and_solver_modes(
         seed in 0u64..4096,
         scale in 1u32..3,
     ) {
         let spec = GenSpec { seed, scale };
-        let baseline = generated_canonical_json(&spec, 1, true);
-        for (jobs, incremental) in [(1, false), (4, true), (4, false)] {
-            let other = generated_canonical_json(&spec, jobs, incremental);
+        let baseline = generated_canonical_json(&spec, 1, true, false);
+        for (jobs, incremental, portfolio) in [
+            (1, false, false),
+            (4, true, false),
+            (4, false, false),
+            (1, true, true),
+            (4, true, true),
+            (4, false, true),
+        ] {
+            let other = generated_canonical_json(&spec, jobs, incremental, portfolio);
             prop_assert_eq!(
                 &baseline,
                 &other,
-                "gen:{}:{} diverged at jobs={} incremental={}",
+                "gen:{}:{} diverged at jobs={} incremental={} portfolio={}",
                 seed,
                 scale,
                 jobs,
-                incremental
+                incremental,
+                portfolio
             );
         }
         // Real work happened: the report carries solver and sweep fields.
