@@ -25,7 +25,7 @@
 //! with a wall-clock round deadline keep the structural tiers but skip
 //! the result tiers, since their outcome is timing-dependent.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -154,44 +154,98 @@ impl Default for CacheCaps {
     }
 }
 
-/// A bounded FIFO map: the eviction policy every tier shares. FIFO (not
-/// LRU) keeps behavior independent of request interleaving, which makes
-/// eviction tests deterministic.
+/// A bounded map with cost-aware, recency-tiered eviction — the policy
+/// every cache tier shares (it replaced the original FIFO once the serve
+/// layer saw real mixed traffic).
+///
+/// Each entry carries a caller-supplied **cost**: an estimate of what
+/// recomputing it takes, scaled by its size (bytes of source for the
+/// structural tiers, targets × cycles for the concolic tier). Eviction
+/// picks its victim in two tiers:
+///
+/// 1. **cold** entries — untouched for more than `cap` map operations —
+///    are evicted first, cheapest first;
+/// 2. only when no entry is cold does eviction reach into the **recent**
+///    tier, again cheapest first.
+///
+/// Ties break on insertion sequence (oldest first), so the victim is a
+/// pure function of the operation history: no wall clock, no hash-map
+/// iteration order, no thread timing. Requests serialize over the
+/// session mutex, which makes the operation history — and therefore
+/// eviction — deterministic for a given request sequence, exactly like
+/// the FIFO it replaced. Cached *results* are never policy-dependent;
+/// the policy only decides what is recomputed.
 #[derive(Debug)]
-struct BoundedMap<K, V> {
-    entries: HashMap<K, V>,
-    order: VecDeque<K>,
+struct CostAwareMap<K, V> {
+    entries: HashMap<K, CostSlot<V>>,
     cap: usize,
+    /// Logical clock: bumps on every get/insert; drives the recency tier.
+    clock: u64,
+    /// Insertion sequence: the deterministic tie-breaker.
+    seq: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
-    fn new(cap: usize) -> BoundedMap<K, V> {
-        BoundedMap {
+#[derive(Debug)]
+struct CostSlot<V> {
+    value: V,
+    cost: u64,
+    last_use: u64,
+    seq: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> CostAwareMap<K, V> {
+    fn new(cap: usize) -> CostAwareMap<K, V> {
+        CostAwareMap {
             entries: HashMap::new(),
-            order: VecDeque::new(),
             cap: cap.max(1),
+            clock: 0,
+            seq: 0,
         }
     }
 
-    fn get(&self, key: &K) -> Option<&V> {
-        self.entries.get(key)
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|slot| {
+            slot.last_use = clock;
+            &slot.value
+        })
     }
 
-    /// Inserts, returning how many old entries were evicted.
-    fn insert(&mut self, key: K, value: V) -> u64 {
+    /// Inserts with a recompute-cost estimate, returning how many old
+    /// entries were evicted to make room.
+    fn insert(&mut self, key: K, value: V, cost: u64) -> u64 {
+        self.clock += 1;
         let mut evicted = 0;
         if !self.entries.contains_key(&key) {
             while self.entries.len() >= self.cap {
-                let Some(old) = self.order.pop_front() else {
-                    break;
-                };
-                self.entries.remove(&old);
+                let Some(victim) = self.victim() else { break };
+                self.entries.remove(&victim);
                 evicted += 1;
             }
-            self.order.push_back(key.clone());
         }
-        self.entries.insert(key, value);
+        self.seq += 1;
+        self.entries.insert(
+            key,
+            CostSlot {
+                value,
+                cost,
+                last_use: self.clock,
+                seq: self.seq,
+            },
+        );
         evicted
+    }
+
+    /// The deterministic eviction victim: cold before recent, cheap
+    /// before expensive, oldest insertion as the final tie-break.
+    fn victim(&self) -> Option<K> {
+        let horizon = self.clock.saturating_sub(self.cap as u64);
+        self.entries
+            .iter()
+            .min_by_key(|(_, slot)| (slot.last_use > horizon, slot.cost, slot.seq))
+            .map(|(key, _)| key.clone())
     }
 
     fn len(&self) -> usize {
@@ -250,11 +304,11 @@ pub struct AnalysisSession {
     config: SoccarConfig,
     recorder: soccar_obs::Recorder,
     caps: CacheCaps,
-    parse_cache: BoundedMap<u64, Module>,
-    extract_cache: BoundedMap<(u64, u64), ArCfg>,
-    design_cache: BoundedMap<DesignKey, Arc<DesignEntry>>,
-    concolic_cache: BoundedMap<u64, ConcolicEntry>,
-    report_cache: BoundedMap<u64, AnalysisReport>,
+    parse_cache: CostAwareMap<u64, Module>,
+    extract_cache: CostAwareMap<(u64, u64), ArCfg>,
+    design_cache: CostAwareMap<DesignKey, Arc<DesignEntry>>,
+    concolic_cache: CostAwareMap<u64, ConcolicEntry>,
+    report_cache: CostAwareMap<u64, AnalysisReport>,
     warm_blast: Arc<Mutex<WarmBlastPool>>,
     counters: SessionCounters,
 }
@@ -273,11 +327,11 @@ impl AnalysisSession {
             config,
             recorder: soccar_obs::Recorder::disabled(),
             caps,
-            parse_cache: BoundedMap::new(caps.parse),
-            extract_cache: BoundedMap::new(caps.extract),
-            design_cache: BoundedMap::new(caps.design),
-            concolic_cache: BoundedMap::new(caps.concolic),
-            report_cache: BoundedMap::new(caps.report),
+            parse_cache: CostAwareMap::new(caps.parse),
+            extract_cache: CostAwareMap::new(caps.extract),
+            design_cache: CostAwareMap::new(caps.design),
+            concolic_cache: CostAwareMap::new(caps.concolic),
+            report_cache: CostAwareMap::new(caps.report),
             warm_blast: WarmBlastPool::shared(caps.warm_blast),
             counters: SessionCounters::default(),
         }
@@ -432,7 +486,10 @@ impl AnalysisSession {
                     soccar_rtl::parser::parse(soccar_rtl::span::FileId(0), &chunk.text)
                 {
                     if let [m] = parsed.modules.as_slice() {
-                        evictions += self.parse_cache.insert(raw_fp, m.clone());
+                        // Re-parse cost scales with the chunk's size.
+                        evictions +=
+                            self.parse_cache
+                                .insert(raw_fp, m.clone(), chunk.text.len() as u64);
                     }
                 }
             }
@@ -473,7 +530,10 @@ impl AnalysisSession {
             None => {
                 let design = predesign.expect("computed on design miss");
                 let mut ar_cfgs: HashMap<String, ArCfg> = HashMap::new();
-                for (module, fp) in unit.modules.iter().zip(&fps) {
+                // `assemble_unit` emits modules in chunk order, so each
+                // module's chunk (its re-extraction cost proxy) rides
+                // along by position.
+                for ((module, fp), chunk) in unit.modules.iter().zip(&fps).zip(&chunks) {
                     let key = (*fp, extract_cfg_fp);
                     let ar = match self.extract_cache.get(&key) {
                         Some(ar) => ar.clone(),
@@ -484,7 +544,9 @@ impl AnalysisSession {
                                 &config.naming,
                                 config.analysis,
                             ));
-                            evictions += self.extract_cache.insert(key, ar.clone());
+                            evictions +=
+                                self.extract_cache
+                                    .insert(key, ar.clone(), chunk.text.len() as u64);
                             ar
                         }
                     };
@@ -496,9 +558,13 @@ impl AnalysisSession {
                 let bound =
                     bind_events(&design, &soc).map_err(|e| SoccarError::Cfg(e.to_string()))?;
                 let entry = Arc::new(DesignEntry { design, soc, bound });
-                evictions += self
-                    .design_cache
-                    .insert(design_key.clone(), Arc::clone(&entry));
+                // Rebuilding a design entry re-elaborates and re-composes
+                // the whole file: cost is the full source size.
+                evictions += self.design_cache.insert(
+                    design_key.clone(),
+                    Arc::clone(&entry),
+                    source.len() as u64,
+                );
                 entry
             }
         };
@@ -558,11 +624,15 @@ impl AnalysisSession {
                 let report = engine.run()?;
                 stats.targets_rerun = report.targets_total;
                 if cacheable_results {
+                    // Re-running concolic costs roughly targets × cycles
+                    // of simulate-and-solve work.
+                    let cost = (report.targets_total as u64 + 1) * config.concolic.cycles.max(1);
                     evictions += self.concolic_cache.insert(
                         concolic_key,
                         ConcolicEntry {
                             report: report.clone(),
                         },
+                        cost,
                     );
                 }
                 report
@@ -629,7 +699,9 @@ impl AnalysisSession {
             total: total_start.elapsed(),
         };
         if cacheable_results {
-            evictions += self.report_cache.insert(request_fp, report.clone());
+            evictions += self
+                .report_cache
+                .insert(request_fp, report.clone(), source.len() as u64);
         }
         if evictions > 0 {
             self.counters.evictions += evictions;
@@ -675,7 +747,9 @@ impl AnalysisSession {
             && config.concolic.round_deadline.is_none();
         if cacheable {
             let fp = request_fingerprint(file_name, source, top, &properties, config);
-            let evictions = self.report_cache.insert(fp, report.clone());
+            let evictions = self
+                .report_cache
+                .insert(fp, report.clone(), source.len() as u64);
             if evictions > 0 {
                 self.counters.evictions += evictions;
                 self.recorder.counter_add("server.evictions", evictions);
@@ -933,6 +1007,58 @@ endmodule
             RequestQos::default().apply(&base).keep_going,
             base.keep_going
         );
+    }
+
+    #[test]
+    fn eviction_prefers_cold_entries_over_expensive_recent_ones() {
+        let mut map: CostAwareMap<&str, ()> = CostAwareMap::new(2);
+        map.insert("cheap_recent", (), 10);
+        map.insert("costly_cold", (), 1000);
+        // Touch the cheap entry; the costly one ages past the horizon.
+        assert!(map.get(&"cheap_recent").is_some());
+        map.insert("newcomer", (), 1);
+        assert!(
+            map.get(&"costly_cold").is_none(),
+            "a cold entry is evicted before a recent one, whatever its cost"
+        );
+        assert!(map.get(&"cheap_recent").is_some());
+        assert!(map.get(&"newcomer").is_some());
+    }
+
+    #[test]
+    fn eviction_picks_the_cheapest_cold_entry_with_seq_tiebreak() {
+        let mut map: CostAwareMap<&str, ()> = CostAwareMap::new(2);
+        map.insert("expensive", (), 500);
+        map.insert("cheap", (), 1);
+        // Age both entries past the recency horizon with missed lookups.
+        assert!(map.get(&"absent").is_none());
+        assert!(map.get(&"absent").is_none());
+        map.insert("newcomer", (), 7);
+        assert!(
+            map.get(&"cheap").is_none(),
+            "cheapest cold entry goes first"
+        );
+        assert!(map.get(&"expensive").is_some());
+
+        // Equal costs: the older insertion loses.
+        let mut map: CostAwareMap<&str, ()> = CostAwareMap::new(2);
+        map.insert("older", (), 3);
+        map.insert("newer", (), 3);
+        assert!(map.get(&"absent").is_none());
+        assert!(map.get(&"absent").is_none());
+        map.insert("newcomer", (), 3);
+        assert!(map.get(&"older").is_none());
+        assert!(map.get(&"newer").is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_never_evicts() {
+        let mut map: CostAwareMap<&str, u32> = CostAwareMap::new(2);
+        map.insert("a", 1, 1);
+        map.insert("b", 2, 1);
+        assert_eq!(map.insert("a", 3, 1), 0, "overwrite needs no room");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(&"a"), Some(&3));
     }
 
     #[test]

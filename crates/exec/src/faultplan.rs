@@ -28,10 +28,36 @@
 //! | `task_panic:extract` | module index in the cfg extraction fan-out | the extraction task panics |
 //! | `task_panic:flips` | flip-candidate sequence number | the flip solve task panics |
 //! | `round_timeout` | concolic round number (1-based) | the round deadline fires at the next check |
+//! | `frame_truncate:serve` | response frame written by the daemon (serial, per server) | the frame is cut mid-payload and the connection aborted |
+//! | `conn_drop:respond` | response about to be written by the daemon (serial, per server) | the connection drops before any response byte |
+//! | `journal_corrupt:replay` | journal record index during startup replay (1-based) | the record (and the tail after it) is treated as corrupt |
+//! | `shed:admission` | connection admission attempt (serial, per server) | the connection is shed with a `busy` envelope |
 //!
-//! New points must document their index semantics here and in
-//! `docs/RESILIENCE.md`, and the index must be derived from input
-//! position, never from scheduling.
+//! Pipeline points derive their index from input position, never from
+//! scheduling, so injection is identical for every job count. The four
+//! serve-layer points index serial per-server sequences (frames written,
+//! responses, replayed records, admissions); they are deterministic for
+//! a serial request stream, which is how the chaos-serve suite drives
+//! them. New points must document their index semantics here and in
+//! `docs/RESILIENCE.md`.
+//!
+//! Unknown point names are rejected at parse time (a typo in a chaos
+//! plan must fail loudly, not silently inject nothing); the registry of
+//! valid names is [`KNOWN_POINTS`].
+
+/// Every injection point production code consults, exactly as spelled in
+/// [`FaultPlan::should_inject`] calls. [`FaultPlan::parse`] rejects any
+/// entry naming a point outside this list.
+pub const KNOWN_POINTS: &[&str] = &[
+    "solver_unknown",
+    "task_panic:extract",
+    "task_panic:flips",
+    "round_timeout",
+    "frame_truncate:serve",
+    "conn_drop:respond",
+    "journal_corrupt:replay",
+    "shed:admission",
+];
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -64,7 +90,9 @@ impl FaultPlan {
     /// # Errors
     ///
     /// Returns a message naming the malformed entry if an entry lacks the
-    /// `@`, names an empty kind/site, or has a non-positive occurrence.
+    /// `@`, names an empty kind/site, has a non-positive occurrence, or
+    /// addresses an injection point not in [`KNOWN_POINTS`] (typos must
+    /// fail loudly, not silently inject nothing).
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut points: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
@@ -85,6 +113,13 @@ impl FaultPlan {
                 }
                 None => (kind.to_owned(), rest),
             };
+            if !KNOWN_POINTS.contains(&point.as_str()) {
+                return Err(format!(
+                    "fault entry `{entry}`: unknown injection point `{point}` \
+                     (known points: {})",
+                    KNOWN_POINTS.join(", ")
+                ));
+            }
             let occ: u64 = occ_str.trim().parse().map_err(|_| {
                 format!("fault entry `{entry}`: occurrence `{occ_str}` is not an integer")
             })?;
@@ -177,5 +212,53 @@ mod tests {
         assert!(FaultPlan::parse("task_panic@:1").is_err()); // empty site
         assert!(FaultPlan::parse("solver_unknown@x").is_err()); // non-integer
         assert!(FaultPlan::parse("solver_unknown@0").is_err()); // 0-based
+    }
+
+    #[test]
+    fn unknown_points_are_rejected_with_a_named_error() {
+        // A bare typo of a known kind.
+        let err = FaultPlan::parse("solver_unknwon@1").expect_err("typo must fail");
+        assert!(
+            err.contains("unknown injection point `solver_unknwon`"),
+            "{err}"
+        );
+        assert!(err.contains("known points:"), "{err}");
+        // A known kind at an unregistered site.
+        let err = FaultPlan::parse("task_panic@compose:1").expect_err("bad site");
+        assert!(err.contains("`task_panic:compose`"), "{err}");
+        // A sited kind spelled without its site parses the site token as
+        // the occurrence-free point name and is rejected by the registry.
+        let err = FaultPlan::parse("frame_truncate@serve").expect_err("missing occurrence");
+        assert!(
+            err.contains("unknown injection point `frame_truncate`"),
+            "{err}"
+        );
+        // One bad entry poisons the whole plan, even with valid siblings.
+        assert!(FaultPlan::parse("solver_unknown@1,bogus@2").is_err());
+    }
+
+    #[test]
+    fn serve_layer_points_parse() {
+        let plan = FaultPlan::parse(
+            "frame_truncate@serve:3,conn_drop@respond:2,journal_corrupt@replay:1,shed@admission:4",
+        )
+        .expect("serve-layer plan");
+        assert!(plan.should_inject("frame_truncate:serve", 3));
+        assert!(plan.should_inject("conn_drop:respond", 2));
+        assert!(plan.should_inject("journal_corrupt:replay", 1));
+        assert!(plan.should_inject("shed:admission", 4));
+        assert!(!plan.should_inject("shed:admission", 1));
+    }
+
+    #[test]
+    fn every_registered_point_round_trips_through_parse() {
+        for point in KNOWN_POINTS {
+            let entry = match point.split_once(':') {
+                Some((kind, site)) => format!("{kind}@{site}:7"),
+                None => format!("{point}@7"),
+            };
+            let plan = FaultPlan::parse(&entry).unwrap_or_else(|e| panic!("{entry}: {e}"));
+            assert!(plan.should_inject(point, 7), "{entry}");
+        }
     }
 }

@@ -48,7 +48,7 @@
 mod faultplan;
 mod semaphore;
 
-pub use faultplan::{FaultPlan, FAULTS_ENV};
+pub use faultplan::{FaultPlan, FAULTS_ENV, KNOWN_POINTS};
 pub use semaphore::{Semaphore, SemaphoreGuard};
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -69,6 +69,35 @@ impl Semaphore {
         }
     }
 
+    /// Blocks up to `timeout` for a permit; `None` if the wait expires.
+    /// A zero timeout degenerates to [`Semaphore::try_acquire`]. This is
+    /// the admission primitive behind load shedding: callers queue
+    /// briefly, then shed instead of queueing unboundedly.
+    #[must_use]
+    pub fn acquire_timeout(&self, timeout: std::time::Duration) -> Option<SemaphoreGuard> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut available = self.inner.available.lock().expect("semaphore poisoned");
+        while *available == 0 {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, result) = self
+                .inner
+                .freed
+                .wait_timeout(available, remaining)
+                .expect("semaphore poisoned");
+            available = guard;
+            if result.timed_out() && *available == 0 {
+                return None;
+            }
+        }
+        *available -= 1;
+        Some(SemaphoreGuard {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
     /// Takes a permit if one is free, without blocking.
     #[must_use]
     pub fn try_acquire(&self) -> Option<SemaphoreGuard> {
@@ -154,6 +183,22 @@ mod tests {
         });
         assert!(peak.load(Ordering::SeqCst) <= 3);
         assert_eq!(sem.available(), 3);
+    }
+
+    #[test]
+    fn acquire_timeout_expires_when_saturated_and_succeeds_when_freed() {
+        let sem = Semaphore::new(1);
+        let held = sem.acquire();
+        let start = std::time::Instant::now();
+        assert!(sem
+            .acquire_timeout(std::time::Duration::from_millis(50))
+            .is_none());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(45));
+        assert!(sem.acquire_timeout(std::time::Duration::ZERO).is_none());
+        drop(held);
+        assert!(sem
+            .acquire_timeout(std::time::Duration::from_millis(50))
+            .is_some());
     }
 
     #[test]

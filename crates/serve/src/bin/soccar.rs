@@ -60,7 +60,7 @@ use soccar::{Soccar, SoccarConfig};
 use soccar_cfg::{compose_soc, GovernorAnalysis, ResetNaming};
 use soccar_concolic::{ConcolicConfig, SecurityProperty};
 use soccar_lint::{LintConfig, Linter, Severity};
-use soccar_serve::{Client, Request, Server, ServerOptions};
+use soccar_serve::{Request, Server, ServerOptions};
 
 struct Args {
     file: String,
@@ -602,9 +602,29 @@ options:
   --port-file <path>     write the bound address to <path> once listening
   --trace-out <path>     write the server's span/metric stream as NDJSON
                          on shutdown (includes the server.* counters)
-  --max-connections <n>  concurrent connections admitted (default 4)
+  --max-connections <n>  concurrent connections admitted (default 4);
+                         connections beyond this queue briefly, then are
+                         shed with a structured `busy` envelope
   --jobs <n>             worker threads per request (default: $SOCCAR_JOBS,
                          else all cores; results identical for every value)
+  --cache-dir <dir>      persist the cache journal in <dir>; on restart
+                         the journal replays and the cache is warm again
+                         (corrupt tails degrade, never block startup)
+  --idle-timeout-ms <n>  close connections silent for <n> ms between
+                         frames (default: never)
+  --frame-deadline-ms <n>
+                         abort connections whose started frame does not
+                         arrive in full within <n> ms — the slow-loris
+                         guard (default: never)
+  --write-timeout-ms <n> per-connection socket write deadline
+                         (default: blocking)
+  --admission-wait-ms <n>
+                         how long a connection may queue for admission
+                         before being shed (default 500)
+environment:
+  SOCCAR_FAULTS          serve-layer chaos points (frame_truncate@serve:N,
+                         conn_drop@respond:N, journal_corrupt@replay:N,
+                         shed@admission:N; see docs/RESILIENCE.md)
 runs until a client sends `shutdown`, then exits 0 (see docs/SERVER.md)";
 
 struct ServeArgs {
@@ -613,6 +633,11 @@ struct ServeArgs {
     trace_out: Option<String>,
     max_connections: usize,
     jobs: usize,
+    cache_dir: Option<String>,
+    idle_timeout_ms: Option<u64>,
+    frame_deadline_ms: Option<u64>,
+    write_timeout_ms: Option<u64>,
+    admission_wait_ms: u64,
 }
 
 fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -623,15 +648,27 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeArgs, Str
         trace_out: None,
         max_connections: 4,
         jobs: 0,
+        cache_dir: None,
+        idle_timeout_ms: None,
+        frame_deadline_ms: None,
+        write_timeout_ms: None,
+        admission_wait_ms: 500,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let ms = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<u64, String> {
+        args.next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}"))
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => out.listen = next(&mut args, "--listen")?,
             "--port-file" => out.port_file = Some(next(&mut args, "--port-file")?),
             "--trace-out" => out.trace_out = Some(next(&mut args, "--trace-out")?),
+            "--cache-dir" => out.cache_dir = Some(next(&mut args, "--cache-dir")?),
             "--max-connections" => {
                 out.max_connections = next(&mut args, "--max-connections")?
                     .parse()
@@ -641,6 +678,18 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeArgs, Str
                 out.jobs = next(&mut args, "--jobs")?
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--idle-timeout-ms" => {
+                out.idle_timeout_ms = Some(ms(&mut args, "--idle-timeout-ms")?);
+            }
+            "--frame-deadline-ms" => {
+                out.frame_deadline_ms = Some(ms(&mut args, "--frame-deadline-ms")?);
+            }
+            "--write-timeout-ms" => {
+                out.write_timeout_ms = Some(ms(&mut args, "--write-timeout-ms")?);
+            }
+            "--admission-wait-ms" => {
+                out.admission_wait_ms = ms(&mut args, "--admission-wait-ms")?;
             }
             "--help" | "-h" => {
                 println!("{SERVE_USAGE}");
@@ -658,14 +707,27 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     } else {
         soccar_obs::Recorder::disabled()
     };
+    let fault_plan = soccar_exec::FaultPlan::from_env()?;
+    let defaults = ServerOptions::default();
     let options = ServerOptions {
         listen: args.listen.clone(),
         max_connections: args.max_connections,
         jobs: args.jobs,
-        ..ServerOptions::default()
+        cache_dir: args.cache_dir.clone().map(std::path::PathBuf::from),
+        fault_plan,
+        idle_timeout: args.idle_timeout_ms.map(std::time::Duration::from_millis),
+        frame_deadline: args.frame_deadline_ms.map(std::time::Duration::from_millis),
+        write_timeout: args.write_timeout_ms.map(std::time::Duration::from_millis),
+        admission_wait: std::time::Duration::from_millis(args.admission_wait_ms),
+        ..defaults
     };
     let server = Server::bind_with_recorder(&options, recorder.clone())
         .map_err(|e| format!("bind {}: {e}", args.listen))?;
+    // Degraded journal recovery is worth operator attention but must not
+    // pollute stdout — the banner below stays the first stdout line.
+    for reason in server.journal_degraded() {
+        eprintln!("degraded: {reason}");
+    }
     let addr = server.local_addr();
     // Flush eagerly: supervisors and tests read this line (or the port
     // file) to learn the ephemeral port before connecting. A supervisor
@@ -697,6 +759,15 @@ commands:
   lint <file.v> [--allow <rule>] [--deny <rule>]
   status
   shutdown
+client options:
+  --retries <n>       retry connect failures, dropped/torn responses, and
+                      `busy` envelopes up to <n> times with deterministic
+                      seeded exponential backoff + jitter (default 0)
+  --timeout-ms <n>    per-attempt connect/read/write deadline
+                      (default: none)
+a --port-file that does not exist yet is polled with bounded backoff (the
+daemon may still be starting), so `soccar client` can be launched
+concurrently with `soccar serve`
 analyze options mirror the batch CLI (--property --symbolic --refined
 --cycles --rounds --solver-budget --keep-going --round-deadline-ms);
 `analyze` prints the canonical report JSON, byte-identical to
@@ -706,6 +777,9 @@ exit status: 0 = clean, 1 = violations/errors found, 2 = failure";
 
 struct ClientArgs {
     addr: String,
+    port_file: Option<String>,
+    retries: u32,
+    timeout_ms: Option<u64>,
     request: Request,
 }
 
@@ -713,6 +787,8 @@ fn parse_client_args(args: impl Iterator<Item = String>) -> Result<ClientArgs, S
     let mut args = args;
     let mut addr = String::new();
     let mut port_file = None;
+    let mut retries = 0u32;
+    let mut timeout_ms = None;
     let mut request: Option<Request> = None;
     let mut file = String::new();
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -722,6 +798,18 @@ fn parse_client_args(args: impl Iterator<Item = String>) -> Result<ClientArgs, S
         match arg.as_str() {
             "--connect" => addr = next(&mut args, "--connect")?,
             "--port-file" => port_file = Some(next(&mut args, "--port-file")?),
+            "--retries" => {
+                retries = next(&mut args, "--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    next(&mut args, "--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!("{CLIENT_USAGE}");
                 std::process::exit(0);
@@ -790,21 +878,51 @@ fn parse_client_args(args: impl Iterator<Item = String>) -> Result<ClientArgs, S
         request.source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
         request.file_name = file;
     }
-    if addr.is_empty() {
-        let path =
-            port_file.ok_or_else(|| "need --connect <addr> or --port-file <path>".to_owned())?;
-        addr = std::fs::read_to_string(&path)
-            .map_err(|e| format!("{path}: {e}"))?
-            .trim()
-            .to_owned();
+    if addr.is_empty() && port_file.is_none() {
+        return Err("need --connect <addr> or --port-file <path>".to_owned());
     }
-    Ok(ClientArgs { addr, request })
+    Ok(ClientArgs {
+        addr,
+        port_file,
+        retries,
+        timeout_ms,
+        request,
+    })
+}
+
+/// Reads the daemon's address from its `--port-file`, polling with
+/// bounded backoff: a client launched concurrently with `soccar serve`
+/// must not lose the race against the daemon's port-file write. Gives
+/// up (naming the path) after ~10 s.
+fn read_port_file(path: &str) -> Result<String, String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut delay = std::time::Duration::from_millis(20);
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(text) if !text.trim().is_empty() => return Ok(text.trim().to_owned()),
+            // Missing or still-empty: the daemon is starting up.
+            Ok(_) | Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(std::time::Duration::from_millis(500));
+            }
+            Ok(_) => return Err(format!("{path}: still empty after waiting for the daemon")),
+            Err(e) => return Err(format!("{path}: {e} (daemon never wrote its port file)")),
+        }
+    }
 }
 
 fn run_client(args: &ClientArgs) -> Result<bool, String> {
-    let mut client =
-        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
-    let (envelope, body) = client.roundtrip(&args.request)?;
+    let addr = if args.addr.is_empty() {
+        read_port_file(args.port_file.as_deref().expect("checked at parse"))?
+    } else {
+        args.addr.clone()
+    };
+    let policy = soccar_serve::RetryPolicy {
+        retries: args.retries,
+        timeout: args.timeout_ms.map(std::time::Duration::from_millis),
+        ..soccar_serve::RetryPolicy::default()
+    };
+    let (envelope, body) = soccar_serve::roundtrip_with_retry(&addr, &args.request, &policy)?;
     if !envelope.ok {
         return Err(envelope.error);
     }

@@ -1,0 +1,416 @@
+//! The persistent cache journal behind `soccar serve --cache-dir`.
+//!
+//! A crash-only daemon cannot serialize its cache tiers on the way down
+//! (a SIGKILL gives it no way down), so durability is append-only and
+//! write-ahead-shaped: every *successful, cacheable* analyze request is
+//! journaled as its canonical request JSON, and a restarting daemon
+//! **replays** those requests through a fresh
+//! [`soccar::incremental::AnalysisSession`] to rebuild all five cache
+//! tiers. Because served bodies are byte-identical to batch output by
+//! construction, replaying the requests reproduces the pre-crash cache
+//! state exactly — warm-restart parity is structural, not best-effort.
+//!
+//! # On-disk format
+//!
+//! One file, `journal.soccar`, inside the `--cache-dir`:
+//!
+//! ```text
+//! header := magic "SOCCARJ\x01" (8 bytes) | version u32 BE   (= 1)
+//! record := length u32 BE | checksum u64 BE | payload (length bytes)
+//! ```
+//!
+//! The checksum is FNV-1a over the payload. Records are capped at
+//! [`crate::proto::MAX_FRAME`] bytes, like wire frames. A record that is
+//! truncated (the write raced a crash), oversized, or checksum-corrupt
+//! ends the replay: the bad record **and everything after it** are
+//! discarded, the file is truncated back to the last good offset, and
+//! the daemon starts *degraded with a named reason* instead of refusing
+//! to start — losing tail cache entries only costs recomputation.
+//!
+//! Appends are deduplicated by payload checksum, so a hot request that
+//! is served a thousand times is journaled once and the file grows with
+//! the *working set*, not the request count.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use soccar_exec::FaultPlan;
+
+use crate::proto::MAX_FRAME;
+
+/// Journal file name inside the cache directory.
+pub const JOURNAL_FILE: &str = "journal.soccar";
+
+/// File magic: identifies the journal format (and its major revision)
+/// before the version word is trusted.
+const MAGIC: &[u8; 8] = b"SOCCARJ\x01";
+
+/// Current schema version, written after the magic.
+const VERSION: u32 = 1;
+
+/// Bytes of header before the first record.
+const HEADER_LEN: u64 = 12;
+
+/// Bytes of record framing before the payload (length + checksum).
+const RECORD_HEADER_LEN: u64 = 12;
+
+/// FNV-1a over `bytes` — the per-record checksum. Stable, dependency-free
+/// and byte-order-independent; this is an integrity check against torn
+/// writes, not an adversarial MAC.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What a [`Journal::open`] replay recovered.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Journaled request payloads, oldest first, each checksum-verified.
+    pub records: Vec<String>,
+    /// Records (or torn tails) discarded during recovery.
+    pub skipped: u64,
+    /// The named degradation reason, when recovery discarded anything.
+    pub degraded: Option<String>,
+}
+
+/// An open, replayed journal ready for appends.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    seen: HashSet<u64>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal in `dir` and replays it.
+    ///
+    /// Corrupt or truncated tail records are discarded — the file is
+    /// truncated back to the last good record and the loss is reported
+    /// through [`Replay::degraded`], never as an error: a crash-only
+    /// service must start on whatever survived. The
+    /// `journal_corrupt:replay` fault point (1-based record index)
+    /// treats a healthy record as corrupt to drive exactly that path.
+    ///
+    /// # Errors
+    ///
+    /// Only on real I/O failures (unreadable directory, permission
+    /// denied) and on a header that belongs to a different format or a
+    /// future schema version — silently replaying a file we do not
+    /// understand could poison the cache.
+    pub fn open(dir: &Path, plan: &FaultPlan) -> std::io::Result<(Journal, Replay)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(MAGIC)?;
+            file.write_all(&VERSION.to_be_bytes())?;
+            file.flush()?;
+            return Ok((
+                Journal {
+                    file,
+                    path,
+                    seen: HashSet::new(),
+                },
+                Replay::default(),
+            ));
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        if len < HEADER_LEN {
+            return Err(bad_header(&path, "file shorter than the journal header"));
+        }
+        file.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(bad_header(&path, "bad magic (not a soccar journal)"));
+        }
+        let version = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+        if version != VERSION {
+            return Err(bad_header(
+                &path,
+                &format!("schema version {version} (this build reads {VERSION})"),
+            ));
+        }
+
+        let mut replay = Replay::default();
+        let mut seen = HashSet::new();
+        let mut good_end = HEADER_LEN;
+        let mut offset = HEADER_LEN;
+        let mut index: u64 = 0;
+        loop {
+            if offset == len {
+                break;
+            }
+            index += 1;
+            let (verdict, next) = read_record(&mut file, offset, len);
+            match verdict {
+                RecordVerdict::Ok(payload) => {
+                    if plan.should_inject("journal_corrupt:replay", index) {
+                        replay.skipped += 1;
+                        replay.degraded = Some(format!(
+                            "journal: record {index} corrupt (injected fault); \
+                             discarded {} byte(s) of tail",
+                            len - offset
+                        ));
+                        break;
+                    }
+                    seen.insert(fnv1a(payload.as_bytes()));
+                    replay.records.push(payload);
+                    good_end = next;
+                    offset = next;
+                }
+                RecordVerdict::Corrupt(why) => {
+                    replay.skipped += 1;
+                    replay.degraded = Some(format!(
+                        "journal: record {index} {why}; discarded {} byte(s) of tail",
+                        len - offset
+                    ));
+                    break;
+                }
+            }
+        }
+        if good_end < len {
+            // Drop the corrupt tail so the next append lands on a clean
+            // record boundary instead of extending garbage.
+            file.set_len(good_end)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((Journal { file, path, seen }, replay))
+    }
+
+    /// Appends one request payload; `Ok(false)` when an identical
+    /// payload is already journaled (dedup by checksum). The record is
+    /// flushed before returning, so a crash after a served response
+    /// never loses that response's journal entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; rejects payloads over
+    /// [`crate::proto::MAX_FRAME`] bytes.
+    pub fn append(&mut self, payload: &str) -> std::io::Result<bool> {
+        let bytes = payload.as_bytes();
+        let len = u32::try_from(bytes.len())
+            .ok()
+            .filter(|len| *len <= MAX_FRAME)
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "journal record too large")
+            })?;
+        let checksum = fnv1a(bytes);
+        if !self.seen.insert(checksum) {
+            return Ok(false);
+        }
+        self.file.write_all(&len.to_be_bytes())?;
+        self.file.write_all(&checksum.to_be_bytes())?;
+        self.file.write_all(bytes)?;
+        self.file.flush()?;
+        Ok(true)
+    }
+
+    /// The journal file's path (diagnostics).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+enum RecordVerdict {
+    Ok(String),
+    Corrupt(&'static str),
+}
+
+/// Reads the record starting at `offset`; returns the verdict and the
+/// offset just past it. Every failure mode maps to `Corrupt` — at replay
+/// time a short read *is* a torn record, not an I/O environment error.
+fn read_record(file: &mut File, offset: u64, len: u64) -> (RecordVerdict, u64) {
+    if len - offset < RECORD_HEADER_LEN {
+        return (RecordVerdict::Corrupt("truncated mid-header"), len);
+    }
+    let mut header = [0u8; RECORD_HEADER_LEN as usize];
+    if file.read_exact(&mut header).is_err() {
+        return (RecordVerdict::Corrupt("unreadable header"), len);
+    }
+    let payload_len = u64::from(u32::from_be_bytes([
+        header[0], header[1], header[2], header[3],
+    ]));
+    let checksum = u64::from_be_bytes([
+        header[4], header[5], header[6], header[7], header[8], header[9], header[10], header[11],
+    ]);
+    if payload_len > u64::from(MAX_FRAME) {
+        return (RecordVerdict::Corrupt("oversized (corrupt length)"), len);
+    }
+    let end = offset + RECORD_HEADER_LEN + payload_len;
+    if end > len {
+        return (RecordVerdict::Corrupt("truncated mid-payload"), len);
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    if file.read_exact(&mut payload).is_err() {
+        return (RecordVerdict::Corrupt("unreadable payload"), len);
+    }
+    if fnv1a(&payload) != checksum {
+        return (RecordVerdict::Corrupt("corrupt (checksum mismatch)"), len);
+    }
+    match String::from_utf8(payload) {
+        Ok(text) => (RecordVerdict::Ok(text), end),
+        Err(_) => (RecordVerdict::Corrupt("corrupt (payload not utf-8)"), len),
+    }
+}
+
+fn bad_header(path: &Path, why: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("{}: {why}", path.display()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("soccar-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_survive_reopen_and_dedup() {
+        let dir = temp_dir("roundtrip");
+        let plan = FaultPlan::default();
+        {
+            let (mut journal, replay) = Journal::open(&dir, &plan).expect("create");
+            assert!(replay.records.is_empty() && replay.degraded.is_none());
+            assert!(journal.append("{\"cmd\":\"analyze\",\"n\":1}").unwrap());
+            assert!(journal.append("{\"cmd\":\"analyze\",\"n\":2}").unwrap());
+            assert!(
+                !journal.append("{\"cmd\":\"analyze\",\"n\":1}").unwrap(),
+                "identical payloads are journaled once"
+            );
+        }
+        let (mut journal, replay) = Journal::open(&dir, &plan).expect("reopen");
+        assert_eq!(
+            replay.records,
+            vec![
+                "{\"cmd\":\"analyze\",\"n\":1}",
+                "{\"cmd\":\"analyze\",\"n\":2}"
+            ]
+        );
+        assert_eq!(replay.skipped, 0);
+        assert!(replay.degraded.is_none());
+        assert!(
+            !journal.append("{\"cmd\":\"analyze\",\"n\":1}").unwrap(),
+            "dedup set is rebuilt from the replay"
+        );
+        assert!(journal.append("{\"cmd\":\"analyze\",\"n\":3}").unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_record_degrades_and_is_dropped() {
+        let dir = temp_dir("torn");
+        let plan = FaultPlan::default();
+        {
+            let (mut journal, _) = Journal::open(&dir, &plan).expect("create");
+            journal.append("first").unwrap();
+            journal.append("second-gets-torn").unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        // Tear the last record mid-payload, as a crash mid-write would.
+        std::fs::write(&path, &full[..full.len() - 4]).unwrap();
+        let (mut journal, replay) = Journal::open(&dir, &plan).expect("recover");
+        assert_eq!(replay.records, vec!["first"]);
+        assert_eq!(replay.skipped, 1);
+        let reason = replay.degraded.expect("named degradation");
+        assert!(
+            reason.contains("record 2 truncated mid-payload"),
+            "{reason}"
+        );
+        // The torn bytes are gone: a new append lands cleanly and both
+        // records replay on the next open.
+        journal.append("third").unwrap();
+        drop(journal);
+        let (_, replay) = Journal::open(&dir, &plan).expect("reopen");
+        assert_eq!(replay.records, vec!["first", "third"]);
+        assert!(replay.degraded.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_degrades_with_a_named_reason() {
+        let dir = temp_dir("bitflip");
+        let plan = FaultPlan::default();
+        {
+            let (mut journal, _) = Journal::open(&dir, &plan).expect("create");
+            journal.append("healthy").unwrap();
+            journal.append("flipped").unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // flip a payload bit of the second record
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replay) = Journal::open(&dir, &plan).expect("recover");
+        assert_eq!(replay.records, vec!["healthy"]);
+        assert_eq!(replay.skipped, 1);
+        let reason = replay.degraded.expect("named degradation");
+        assert!(
+            reason.contains("record 2 corrupt (checksum mismatch)"),
+            "{reason}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_fault_point_corrupts_the_indexed_record() {
+        let dir = temp_dir("fault");
+        {
+            let (mut journal, _) = Journal::open(&dir, &FaultPlan::default()).expect("create");
+            journal.append("one").unwrap();
+            journal.append("two").unwrap();
+            journal.append("three").unwrap();
+        }
+        let plan = FaultPlan::parse("journal_corrupt@replay:2").expect("plan");
+        let (_, replay) = Journal::open(&dir, &plan).expect("recover");
+        assert_eq!(replay.records, vec!["one"], "fault truncates from record 2");
+        assert_eq!(replay.skipped, 1);
+        let reason = replay.degraded.expect("named degradation");
+        assert!(
+            reason.contains("record 2 corrupt (injected fault)"),
+            "{reason}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_headers_are_refused() {
+        let dir = temp_dir("header");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        std::fs::write(&path, b"NOTAJRNL\x00\x00\x00\x01rest").unwrap();
+        assert!(Journal::open(&dir, &FaultPlan::default()).is_err());
+        // A future schema version is refused too, not misread.
+        let mut future = MAGIC.to_vec();
+        future.extend_from_slice(&2u32.to_be_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(Journal::open(&dir, &FaultPlan::default()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

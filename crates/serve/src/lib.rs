@@ -24,11 +24,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod journal;
 pub mod jsonval;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use client::{roundtrip_with_retry, Client, RetryPolicy};
+pub use journal::{Journal, Replay};
 pub use jsonval::Json;
 pub use proto::{read_frame, write_frame, Envelope, Request, MAX_FRAME};
-pub use server::{resolve_request, Server, ServerOptions, StatusBody, TierSizes};
+pub use server::{resolve_request, JournalStatus, Server, ServerOptions, StatusBody, TierSizes};

@@ -119,6 +119,10 @@ pub struct Request {
     pub allow: Vec<String>,
     /// Lint rules to escalate to errors (lint command).
     pub deny: Vec<String>,
+    /// Retry attempt number (0 = first try). Set by the retrying client
+    /// so the server can count `server.retries`; never part of a cache
+    /// key and normalized to 0 before journaling.
+    pub attempt: u64,
 }
 
 impl Request {
@@ -142,6 +146,7 @@ impl Request {
             round_deadline_ms: None,
             allow: Vec::new(),
             deny: Vec::new(),
+            attempt: 0,
         }
     }
 
@@ -183,6 +188,7 @@ impl Request {
         req.round_deadline_ms = v.u64_field("round_deadline_ms");
         req.allow = v.str_list_field("allow");
         req.deny = v.str_list_field("deny");
+        req.attempt = v.u64_field("attempt").unwrap_or(0);
         Ok(req)
     }
 }
@@ -205,6 +211,9 @@ pub struct Envelope {
     /// What the session reused vs recomputed for this request
     /// (analyze only).
     pub stats: Option<RequestStats>,
+    /// How long a shed client should wait before retrying, ms
+    /// (`busy` envelopes only; 0 otherwise).
+    pub retry_after_ms: u64,
 }
 
 impl Envelope {
@@ -219,6 +228,7 @@ impl Envelope {
             degraded_reasons: Vec::new(),
             violations: 0,
             stats: None,
+            retry_after_ms: 0,
         }
     }
 
@@ -233,7 +243,32 @@ impl Envelope {
             degraded_reasons: Vec::new(),
             violations: 0,
             stats: None,
+            retry_after_ms: 0,
         }
+    }
+
+    /// A load-shedding envelope: admission is saturated, retry after
+    /// `retry_after_ms`. Structured (`kind: "busy"`) so clients back off
+    /// instead of reading it as a hard failure.
+    #[must_use]
+    pub fn busy(retry_after_ms: u64) -> Envelope {
+        Envelope {
+            ok: false,
+            kind: "busy".to_owned(),
+            error: "server busy: admission saturated".to_owned(),
+            health: "ok".to_owned(),
+            degraded_reasons: Vec::new(),
+            violations: 0,
+            stats: None,
+            retry_after_ms,
+        }
+    }
+
+    /// `true` for a load-shedding envelope — the one failure a client
+    /// should always treat as retryable.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        !self.ok && self.kind == "busy"
     }
 
     /// Serializes for the wire.
@@ -266,6 +301,7 @@ impl Envelope {
             // The client never needs the stats breakdown; tests that do
             // parse the envelope JSON directly.
             stats: None,
+            retry_after_ms: v.u64_field("retry_after_ms").unwrap_or(0),
         })
     }
 }
@@ -352,5 +388,27 @@ mod tests {
         let err = Envelope::from_json(&Envelope::error("boom").to_json().unwrap()).unwrap();
         assert!(!err.ok);
         assert_eq!(err.error, "boom");
+    }
+
+    #[test]
+    fn busy_envelopes_round_trip_with_retry_hint() {
+        let busy = Envelope::busy(250);
+        assert!(busy.is_busy());
+        let decoded = Envelope::from_json(&busy.to_json().unwrap()).unwrap();
+        assert!(decoded.is_busy());
+        assert_eq!(decoded.retry_after_ms, 250);
+        assert!(!Envelope::ok("analyze").is_busy());
+        assert!(!Envelope::error("boom").is_busy());
+    }
+
+    #[test]
+    fn attempt_field_round_trips_and_defaults_to_zero() {
+        let mut req = Request::new("status");
+        req.attempt = 3;
+        let decoded = Request::from_json(&req.to_json().unwrap()).unwrap();
+        assert_eq!(decoded.attempt, 3);
+        // Requests from pre-retry clients simply omit the field.
+        let decoded = Request::from_json("{\"cmd\":\"status\"}").unwrap();
+        assert_eq!(decoded.attempt, 0);
     }
 }

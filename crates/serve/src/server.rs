@@ -11,11 +11,12 @@
 //! construction. Shutdown is cooperative: a `shutdown` request is
 //! acknowledged, then the acceptor drains and [`Server::run`] returns.
 
-use std::io::{BufReader, BufWriter};
+use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use soccar::cli::parse_property;
@@ -23,17 +24,19 @@ use soccar::incremental::{AnalysisSession, CacheCaps, SessionCounters};
 use soccar::SoccarConfig;
 use soccar_cfg::GovernorAnalysis;
 use soccar_concolic::{ConcolicConfig, SecurityProperty};
-use soccar_exec::Semaphore;
+use soccar_exec::{FaultPlan, Semaphore};
 use soccar_lint::{LintConfig, Linter, Severity};
 
-use crate::proto::{read_frame, write_frame, Envelope, Request};
+use crate::journal::Journal;
+use crate::proto::{write_frame, Envelope, Request, MAX_FRAME};
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Bind address (`host:port`; port 0 picks an ephemeral port).
     pub listen: String,
-    /// Concurrent connections admitted (further accepts queue).
+    /// Concurrent connections admitted (further accepts queue briefly,
+    /// then shed with a `busy` envelope).
     pub max_connections: usize,
     /// Worker threads for each request's parallel stages (0 = resolve
     /// via `SOCCAR_JOBS`, then available cores). Reports are identical
@@ -41,6 +44,25 @@ pub struct ServerOptions {
     pub jobs: usize,
     /// Cache capacities for the underlying session.
     pub caps: CacheCaps,
+    /// Directory for the persistent cache journal (`None` = in-memory
+    /// caches only, the pre-journal behavior).
+    pub cache_dir: Option<PathBuf>,
+    /// Serve-layer fault-injection plan (chaos testing; empty in
+    /// production).
+    pub fault_plan: FaultPlan,
+    /// How long a connection may sit silent *between* frames before the
+    /// server closes it (`None` = forever).
+    pub idle_timeout: Option<Duration>,
+    /// How long a started frame may take to arrive in full — the
+    /// slow-loris guard (`None` = forever).
+    pub frame_deadline: Option<Duration>,
+    /// Per-connection socket write deadline (`None` = blocking writes).
+    pub write_timeout: Option<Duration>,
+    /// How long an arriving connection may queue for an admission
+    /// permit before it is shed with a `busy` envelope.
+    pub admission_wait: Duration,
+    /// The `retry_after_ms` hint stamped on `busy` envelopes.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServerOptions {
@@ -50,6 +72,13 @@ impl Default for ServerOptions {
             max_connections: 4,
             jobs: 0,
             caps: CacheCaps::default(),
+            cache_dir: None,
+            fault_plan: FaultPlan::default(),
+            idle_timeout: None,
+            frame_deadline: None,
+            write_timeout: None,
+            admission_wait: Duration::from_millis(500),
+            retry_after_ms: 100,
         }
     }
 }
@@ -65,6 +94,27 @@ pub struct StatusBody {
     pub counters: SessionCounters,
     /// Entries currently held per cache tier.
     pub tiers: TierSizes,
+    /// Connections shed with a `busy` envelope since startup.
+    pub shed: u64,
+    /// Requests that arrived with `attempt > 0` (client retries).
+    pub retries: u64,
+    /// Persistent-journal state.
+    pub journal: JournalStatus,
+}
+
+/// Persistent-journal state in the `status` body.
+#[derive(Debug, Clone, Serialize)]
+pub struct JournalStatus {
+    /// A `--cache-dir` journal is attached.
+    pub enabled: bool,
+    /// Requests replayed from the journal at startup.
+    pub replayed: u64,
+    /// Journal records discarded at startup (corrupt/torn tail,
+    /// un-replayable payloads).
+    pub skipped: u64,
+    /// Named degradation reasons from journal recovery (empty when the
+    /// replay was clean).
+    pub degraded: Vec<String>,
 }
 
 /// Current entry counts of the session's cache tiers.
@@ -160,6 +210,25 @@ pub struct Server {
     admission: Semaphore,
     shutdown: AtomicBool,
     started: Instant,
+    journal: Option<Mutex<Journal>>,
+    journal_replayed: u64,
+    journal_skipped: u64,
+    journal_degraded: Vec<String>,
+    fault_plan: FaultPlan,
+    idle_timeout: Option<Duration>,
+    frame_deadline: Option<Duration>,
+    write_timeout: Option<Duration>,
+    admission_wait: Duration,
+    retry_after_ms: u64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    // Serve-layer fault-point sequences (serial per server): admission
+    // attempts, responses about to be written, frames written. They are
+    // *indices for fault plans*, not metrics — metrics live in the
+    // recorder and `StatusBody`.
+    admission_seq: AtomicU64,
+    response_seq: AtomicU64,
+    frame_seq: AtomicU64,
 }
 
 impl Server {
@@ -176,9 +245,18 @@ impl Server {
     /// counters and every request's pipeline spans land in it (snapshot
     /// after [`Server::run`] returns for `--trace-out`).
     ///
+    /// With a `cache_dir`, the persistent journal is opened and
+    /// **replayed before the first accept**: each journaled request
+    /// re-executes through the fresh session, rebuilding every cache
+    /// tier, so the first warm client request after a crash-restart is
+    /// served from cache exactly as it would have been pre-crash.
+    /// Corrupt journal tails degrade (named reasons in `status` and in
+    /// `server.journal_skipped`) — they never fail startup.
+    ///
     /// # Errors
     ///
-    /// Propagates socket bind failures.
+    /// Propagates socket bind failures and journal *environment*
+    /// failures (unreadable directory, foreign file format).
     pub fn bind_with_recorder(
         options: &ServerOptions,
         recorder: soccar_obs::Recorder,
@@ -186,8 +264,34 @@ impl Server {
         let listener = TcpListener::bind(&options.listen)?;
         let addr = listener.local_addr()?;
         let base = SoccarConfig::default();
-        let session =
+        let mut session =
             AnalysisSession::with_caps(base, options.caps).with_recorder(recorder.clone());
+
+        let mut journal = None;
+        let mut journal_replayed = 0u64;
+        let mut journal_skipped = 0u64;
+        let mut journal_degraded = Vec::new();
+        if let Some(dir) = &options.cache_dir {
+            let (handle, replay) = Journal::open(dir, &options.fault_plan)?;
+            journal_skipped = replay.skipped;
+            journal_degraded.extend(replay.degraded);
+            for payload in &replay.records {
+                match replay_request(&mut session, payload, options.jobs) {
+                    Ok(()) => journal_replayed += 1,
+                    Err(e) => {
+                        // A record this build cannot re-execute (e.g. a
+                        // property grammar that moved on) costs cache
+                        // warmth, never availability.
+                        journal_skipped += 1;
+                        journal_degraded.push(format!("journal: replay failed: {e}"));
+                    }
+                }
+            }
+            recorder.counter_add("server.journal_replayed", journal_replayed);
+            recorder.counter_add("server.journal_skipped", journal_skipped);
+            journal = Some(Mutex::new(handle));
+        }
+
         Ok(Server {
             listener,
             addr,
@@ -197,7 +301,29 @@ impl Server {
             admission: Semaphore::new(options.max_connections),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            journal,
+            journal_replayed,
+            journal_skipped,
+            journal_degraded,
+            fault_plan: options.fault_plan.clone(),
+            idle_timeout: options.idle_timeout,
+            frame_deadline: options.frame_deadline,
+            write_timeout: options.write_timeout,
+            admission_wait: options.admission_wait,
+            retry_after_ms: options.retry_after_ms,
+            shed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            admission_seq: AtomicU64::new(0),
+            response_seq: AtomicU64::new(0),
+            frame_seq: AtomicU64::new(0),
         })
+    }
+
+    /// Named degradation reasons from journal recovery (empty when the
+    /// journal replayed cleanly or is disabled).
+    #[must_use]
+    pub fn journal_degraded(&self) -> &[String] {
+        &self.journal_degraded
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -215,6 +341,9 @@ impl Server {
     /// Serves until a `shutdown` request arrives, then drains and
     /// returns the total number of requests served. In-flight handler
     /// threads finish before this returns — no request is abandoned.
+    /// Connections that cannot get an admission permit within the
+    /// configured wait are **shed** with a structured `busy` envelope
+    /// instead of queueing unboundedly.
     ///
     /// # Errors
     ///
@@ -227,7 +356,19 @@ impl Server {
             }
             // Admission control: bounding here (not in the handler)
             // bounds the thread count, not just the work in flight.
-            let permit = self.admission.acquire();
+            let admission_idx = self.admission_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let forced_shed = self
+                .fault_plan
+                .should_inject("shed:admission", admission_idx);
+            let permit = if forced_shed {
+                None
+            } else {
+                self.admission.acquire_timeout(self.admission_wait)
+            };
+            let Some(permit) = permit else {
+                self.shed_connection(stream);
+                continue;
+            };
             self.recorder.counter_add("server.connections", 1);
             scope.spawn(move || {
                 let _permit = permit;
@@ -242,6 +383,24 @@ impl Server {
             .unwrap_or(0))
     }
 
+    /// Sheds one connection: reads nothing, answers every queued byte
+    /// with nothing — just a `busy` envelope + empty body, then closes.
+    /// Cheap by design; the whole point is to spend no session time.
+    fn shed_connection(&self, stream: TcpStream) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.recorder.counter_add("server.shed", 1);
+        stream.set_nodelay(true).ok();
+        stream
+            .set_write_timeout(self.write_timeout.or(SHED_WRITE_TIMEOUT))
+            .ok();
+        let mut writer = BufWriter::new(stream);
+        let envelope = Envelope::busy(self.retry_after_ms);
+        if let Ok(json) = envelope.to_json() {
+            let _ = write_frame(&mut writer, json.as_bytes());
+            let _ = write_frame(&mut writer, &[]);
+        }
+    }
+
     /// Requests shutdown from outside a connection (used by tests and
     /// signal handling). The acceptor wakes on the next connection; pair
     /// with a dummy connect if none is expected.
@@ -251,9 +410,29 @@ impl Server {
 
     fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
         stream.set_nodelay(true).ok();
-        let mut reader = BufReader::new(stream.try_clone()?);
+        stream.set_write_timeout(self.write_timeout)?;
+        let mut reader = stream.try_clone()?;
         let mut writer = BufWriter::new(stream);
-        while let Some(frame) = read_frame(&mut reader)? {
+        loop {
+            let frame =
+                match read_frame_guarded(&mut reader, self.idle_timeout, self.frame_deadline)? {
+                    GuardedRead::Frame(frame) => frame,
+                    // An idle peer is closed silently — it is not waiting
+                    // for a response; a mid-frame staller (slow loris) gets
+                    // its socket dropped, freeing the handler permit.
+                    GuardedRead::ClosedClean
+                    | GuardedRead::IdleTimeout
+                    | GuardedRead::SlowLoris => break,
+                    GuardedRead::Oversized(len) => {
+                        // Name the offending length, then close: framing
+                        // cannot resynchronize past an unread payload.
+                        let envelope = Envelope::error(&format!(
+                            "request frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+                        ));
+                        self.write_response(&mut writer, &envelope, &[])?;
+                        break;
+                    }
+                };
             let (envelope, body, stop) = match std::str::from_utf8(&frame) {
                 Err(_) => (
                     Envelope::error("request frame is not utf-8"),
@@ -262,14 +441,16 @@ impl Server {
                 ),
                 Ok(text) => match Request::from_json(text) {
                     Err(e) => (Envelope::error(&e), Vec::new(), false),
-                    Ok(req) => self.dispatch(&req),
+                    Ok(req) => {
+                        if req.attempt > 0 {
+                            self.retries.fetch_add(1, Ordering::Relaxed);
+                            self.recorder.counter_add("server.retries", 1);
+                        }
+                        self.dispatch(&req)
+                    }
                 },
             };
-            let envelope_json = envelope
-                .to_json()
-                .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"));
-            write_frame(&mut writer, envelope_json.as_bytes())?;
-            write_frame(&mut writer, &body)?;
+            self.write_response(&mut writer, &envelope, &body)?;
             if stop {
                 // Acknowledge first, then wake the acceptor so `run`
                 // observes the flag and drains.
@@ -279,6 +460,59 @@ impl Server {
             }
         }
         Ok(())
+    }
+
+    /// Writes the two response frames, consulting the serve-layer fault
+    /// points: `conn_drop:respond` (indexed by response) drops the
+    /// connection before any byte; `frame_truncate:serve` (indexed by
+    /// frame) cuts that frame mid-payload and aborts.
+    fn write_response(
+        &self,
+        writer: &mut BufWriter<TcpStream>,
+        envelope: &Envelope,
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let response_idx = self.response_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if self
+            .fault_plan
+            .should_inject("conn_drop:respond", response_idx)
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "injected conn_drop:respond",
+            ));
+        }
+        let envelope_json = envelope
+            .to_json()
+            .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"));
+        self.write_frame_faulted(writer, envelope_json.as_bytes())?;
+        self.write_frame_faulted(writer, body)?;
+        Ok(())
+    }
+
+    /// [`write_frame`], except the `frame_truncate:serve` fault point
+    /// may cut this frame after the header plus half the payload — the
+    /// torn-write shape a crashing peer or a dying NIC produces.
+    fn write_frame_faulted(
+        &self,
+        writer: &mut BufWriter<TcpStream>,
+        payload: &[u8],
+    ) -> std::io::Result<()> {
+        let frame_idx = self.frame_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if self
+            .fault_plan
+            .should_inject("frame_truncate:serve", frame_idx)
+        {
+            let len = u32::try_from(payload.len()).unwrap_or(MAX_FRAME);
+            writer.write_all(&len.to_be_bytes())?;
+            writer.write_all(&payload[..payload.len() / 2])?;
+            writer.flush()?;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "injected frame_truncate:serve",
+            ));
+        }
+        write_frame(writer, payload)
     }
 
     /// Serves one request: `(envelope, body, shutdown?)`.
@@ -326,6 +560,7 @@ impl Server {
         match outcome {
             Err(e) => (Envelope::error(&e.to_string()), Vec::new()),
             Ok((report, stats)) => {
+                self.journal_analyze(req);
                 let body = match report.canonical_json() {
                     Ok(json) => json.into_bytes(),
                     Err(e) => return (Envelope::error(&e.to_string()), Vec::new()),
@@ -343,6 +578,32 @@ impl Server {
                 envelope.stats = Some(stats);
                 (envelope, body)
             }
+        }
+    }
+
+    /// Journals a successfully served analyze request (write-behind:
+    /// the response does not wait on anything but the final flush).
+    /// Wall-clock–deadlined requests are skipped — the session never
+    /// caches them, so replaying them would rebuild nothing. The
+    /// `attempt` field is normalized to 0 so a retried request
+    /// deduplicates against its first journaling.
+    fn journal_analyze(&self, req: &Request) {
+        let Some(journal) = &self.journal else { return };
+        if req.round_deadline_ms.is_some() {
+            return;
+        }
+        let mut canonical = req.clone();
+        canonical.attempt = 0;
+        let Ok(payload) = canonical.to_json() else {
+            return;
+        };
+        match journal.lock() {
+            Ok(mut journal) => {
+                if journal.append(&payload).is_err() {
+                    self.recorder.counter_add("server.journal_errors", 1);
+                }
+            }
+            Err(_) => self.recorder.counter_add("server.journal_errors", 1),
         }
     }
 
@@ -412,12 +673,157 @@ impl Server {
                 concolic,
                 report,
             },
+            shed: self.shed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            journal: JournalStatus {
+                enabled: self.journal.is_some(),
+                replayed: self.journal_replayed,
+                skipped: self.journal_skipped,
+                degraded: self.journal_degraded.clone(),
+            },
         };
         match soccar::json::to_json_pretty(&body) {
             Err(e) => (Envelope::error(&e.to_string()), Vec::new()),
             Ok(json) => (Envelope::ok("status"), json.into_bytes()),
         }
     }
+}
+
+/// Write deadline for `busy` envelopes when the server has no
+/// configured write timeout — a shed client that also refuses to read
+/// must not pin the acceptor.
+const SHED_WRITE_TIMEOUT: Option<Duration> = Some(Duration::from_millis(2_000));
+
+/// Granularity of deadline checks in [`read_frame_guarded`] — the
+/// socket wakes at least this often to compare clocks.
+const POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// Re-executes one journaled request against the session (startup
+/// replay). Only `analyze` records are meaningful; anything else in the
+/// journal is a format violation reported as a replay failure.
+fn replay_request(session: &mut AnalysisSession, payload: &str, jobs: usize) -> Result<(), String> {
+    let req = Request::from_json(payload)?;
+    if req.cmd != "analyze" {
+        return Err(format!("journaled `{}` request", req.cmd));
+    }
+    let (file_name, source, top, properties, mut config) = resolve_request(&req)?;
+    config.jobs = jobs;
+    session
+        .analyze_with_config(&file_name, &source, &top, properties, &config)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// Outcome of one guarded frame read.
+enum GuardedRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly at a frame boundary.
+    ClosedClean,
+    /// No byte arrived within the idle budget.
+    IdleTimeout,
+    /// A frame started but did not finish within the frame deadline —
+    /// the slow-loris signature.
+    SlowLoris,
+    /// The announced length exceeds [`MAX_FRAME`]; the payload was not
+    /// read (framing is now unrecoverable, close after reporting).
+    Oversized(u32),
+}
+
+enum ReadStep {
+    Bytes(usize),
+    Eof,
+    Expired,
+}
+
+/// One `read` under an optional deadline: blocks in [`POLL_SLICE`]
+/// increments so an armed deadline is honored within one slice.
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Option<Instant>,
+) -> std::io::Result<ReadStep> {
+    loop {
+        let timeout = match deadline {
+            None => None,
+            Some(at) => {
+                let remaining = at.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Ok(ReadStep::Expired);
+                }
+                Some(remaining.min(POLL_SLICE))
+            }
+        };
+        stream.set_read_timeout(timeout)?;
+        match stream.read(buf) {
+            Ok(0) => return Ok(ReadStep::Eof),
+            Ok(n) => return Ok(ReadStep::Bytes(n)),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// [`crate::proto::read_frame`] with the transport guards: the idle
+/// clock runs while waiting for a frame's first byte; once one arrives
+/// the frame deadline takes over and covers the rest of the header and
+/// the whole payload.
+fn read_frame_guarded(
+    stream: &mut TcpStream,
+    idle: Option<Duration>,
+    frame_deadline: Option<Duration>,
+) -> std::io::Result<GuardedRead> {
+    let mut header = [0u8; 4];
+    let idle_deadline = idle.map(|d| Instant::now() + d);
+    let mut filled = 0usize;
+    while filled == 0 {
+        match read_some(stream, &mut header, idle_deadline)? {
+            ReadStep::Bytes(n) => filled = n,
+            ReadStep::Eof => return Ok(GuardedRead::ClosedClean),
+            ReadStep::Expired => return Ok(GuardedRead::IdleTimeout),
+        }
+    }
+    let frame_by = frame_deadline.map(|d| Instant::now() + d);
+    while filled < header.len() {
+        match read_some(stream, &mut header[filled..], frame_by)? {
+            ReadStep::Bytes(n) => filled += n,
+            ReadStep::Eof => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            ReadStep::Expired => return Ok(GuardedRead::SlowLoris),
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME {
+        return Ok(GuardedRead::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < payload.len() {
+        match read_some(stream, &mut payload[got..], frame_by)? {
+            ReadStep::Bytes(n) => got += n,
+            ReadStep::Eof => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame payload",
+                ))
+            }
+            ReadStep::Expired => return Ok(GuardedRead::SlowLoris),
+        }
+    }
+    Ok(GuardedRead::Frame(payload))
 }
 
 #[cfg(test)]
