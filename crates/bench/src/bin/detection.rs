@@ -91,10 +91,13 @@ fn main() -> ExitCode {
     // and incrementally; counters are gated, the speedup is reported.
     for (model, record) in append_flip_solving(&mut reports, &args.config()) {
         println!(
-            "flip_solving {model:?}: one-shot {:.1}ms vs incremental {:.1}ms — {:.2}x speedup",
+            "flip_solving {model:?}: one-shot {:.1}ms vs incremental {:.1}ms — {:.2}x speedup; \
+             trail reuse off {:.1}ms — {:.2}x reuse win",
             record.oneshot.as_secs_f64() * 1e3,
             record.incremental.as_secs_f64() * 1e3,
-            record.speedup()
+            record.speedup(),
+            record.trail_reuse_off.as_secs_f64() * 1e3,
+            record.trail_reuse_speedup()
         );
     }
     // Serving records: the warm-session reanalysis win (timings reported,

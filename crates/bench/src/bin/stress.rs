@@ -56,6 +56,24 @@ fn main() -> ExitCode {
         v.seconds_q
     );
 
+    let ft = &x10.variants[1];
+    println!(
+        "x10 {}: {} candidates, {} sat, trail reuse {} ({} lits kept, {} vars eliminated), \
+         incremental {:.3}s vs floor-backtracking {:.3}s (q)",
+        ft.variant,
+        ft.counters["flip_candidates"],
+        ft.counters["flip_sat"],
+        if ft.counters["trail_reuse_engaged"] == 1 {
+            "ENGAGED"
+        } else {
+            "not engaged"
+        },
+        ft.counters["smt.trail_reused"],
+        ft.counters["smt.eliminated_vars"],
+        ft.timings_q["flip_incremental_q"],
+        ft.timings_q["flip_trail_reuse_q"]
+    );
+
     let x50 = soccar_bench::gen_x50_report();
     for v in &x50.variants {
         if let Some(reused) = v.counters.get("smt.clauses_reused") {

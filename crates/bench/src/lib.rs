@@ -78,9 +78,13 @@ pub fn stress_config() -> SoccarConfig {
             // Pinned rather than env-derived: the gated `smt.*` counters
             // differ between solver strategies (the canonical *report*
             // does not), so the baseline must depend on neither
-            // `SOCCAR_INCREMENTAL` nor `SOCCAR_PORTFOLIO`.
+            // `SOCCAR_INCREMENTAL` nor `SOCCAR_PORTFOLIO` — nor on the
+            // solver-speed escape hatches below.
             incremental: true,
             portfolio: false,
+            bve: true,
+            clause_sharing: true,
+            trail_reuse: true,
             ..ConcolicConfig::default()
         },
         jobs: 1,
@@ -195,8 +199,108 @@ pub fn gen_sweep_report(config: &SoccarConfig) -> soccar_obs::BenchReport {
     }
 }
 
+/// Flip-candidate cap of the x10 `flip_timing` record: deep enough into
+/// the generated window that assumption prefixes repeat (so trail reuse
+/// has prefixes to keep), small enough to keep the stress tier in
+/// budget.
+const GEN_X10_FLIP_CAP: usize = 512;
+
+/// The `flip_timing` record on the `gen:11:15` x10 stress design: the
+/// frozen flip workload solved incrementally with the solver-speed
+/// passes pinned on, against a floor-backtracking control with trail
+/// reuse disabled. `flip_incremental_q` / `flip_trail_reuse_q` timings
+/// are reported only; the solver counters — including
+/// `smt.eliminated_vars`, `smt.trail_reused`, and the derived
+/// `trail_reuse_engaged` flag — are gated at their measured values, so
+/// a change in whether the passes engage at generated scale trips the
+/// baseline, not an assumption.
+///
+/// # Panics
+///
+/// Panics if trail reuse changes any flip answer — reuse is a pure
+/// optimization, never a semantics knob.
+#[must_use]
+pub fn gen_x10_flip_record() -> soccar_obs::BenchVariant {
+    let soc = soccar_soc::generate::generate(&STRESS_X10);
+    // Pinned rather than env-derived, like every gated record: the
+    // counters below differ across the solver-speed CI legs.
+    let concolic = ConcolicConfig {
+        cycles: 10,
+        seed: 7,
+        symbolic_inputs: soc.symbolic.clone(),
+        bve: true,
+        clause_sharing: true,
+        trail_reuse: true,
+        ..ConcolicConfig::default()
+    };
+    let workload = custom_flip_workload(&soc.source, &soc.top, concolic);
+    let cap = GEN_X10_FLIP_CAP;
+    let recorder = soccar_obs::Recorder::disabled();
+    // One warm-up pass, then the best of a few runs, per timing side.
+    let time_best = |w: &soccar_concolic::FlipWorkload| {
+        let (sat, mut best) = recorder.time("bench.gen_x10.flip_warmup", || {
+            w.solve_incremental(cap, &recorder)
+        });
+        for _ in 0..2 {
+            let (again, t) = recorder.time("bench.gen_x10.flip_run", || {
+                w.solve_incremental(cap, &recorder)
+            });
+            assert_eq!(sat, again, "gen_x10: flip solving is not deterministic");
+            best = best.min(t);
+        }
+        (sat, best)
+    };
+    let (sat, incremental) = time_best(&workload);
+    let control = workload.clone().with_trail_reuse(false);
+    let (control_sat, trail_reuse_off) = time_best(&control);
+    assert_eq!(
+        sat, control_sat,
+        "gen_x10: trail reuse changed a flip answer"
+    );
+    // One separately counted pass feeds the gated counters.
+    let counted = soccar_obs::Recorder::enabled();
+    assert_eq!(workload.solve_incremental(cap, &counted), sat);
+    let snap = counted.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let mut counters = std::collections::BTreeMap::new();
+    counters.insert(
+        "flip_candidates".to_owned(),
+        workload.candidates(cap) as u64,
+    );
+    counters.insert("flip_sat".to_owned(), sat as u64);
+    counters.insert(
+        "trail_reuse_engaged".to_owned(),
+        u64::from(counter("smt.trail_reused") > 0),
+    );
+    for name in [
+        "smt.incremental_calls",
+        "smt.blast_cache_hits",
+        "smt.clauses_reused",
+        "smt.eliminated_vars",
+        "smt.trail_reused",
+    ] {
+        counters.insert(name.to_owned(), counter(name));
+    }
+    let mut timings_q = std::collections::BTreeMap::new();
+    timings_q.insert(
+        "flip_incremental_q".to_owned(),
+        soccar_obs::quantize_seconds(incremental.as_secs_f64()),
+    );
+    timings_q.insert(
+        "flip_trail_reuse_q".to_owned(),
+        soccar_obs::quantize_seconds(trail_reuse_off.as_secs_f64()),
+    );
+    soccar_obs::BenchVariant {
+        variant: format!("{} flip_timing", soc.name),
+        counters,
+        timings_q,
+        seconds_q: soccar_obs::quantize_seconds((incremental + trail_reuse_off).as_secs_f64()),
+    }
+}
+
 /// The 10x-scale report (`BENCH_gen_x10.json`): [`STRESS_X10`] analyzed
-/// in full. Gated like the sweep, plus the ISSUE 7 acceptance floor
+/// in full, plus the [`gen_x10_flip_record`] solver-speed timing on the
+/// same design. Gated like the sweep, plus the ISSUE 7 acceptance floor
 /// asserted directly: ≥160 modules and at least one real solver call
 /// per concolic round.
 ///
@@ -229,7 +333,7 @@ pub fn gen_x10_report(config: &SoccarConfig) -> soccar_obs::BenchReport {
     soccar_obs::BenchReport {
         soc: "gen_x10".to_owned(),
         mode: "stress".to_owned(),
-        variants: vec![v],
+        variants: vec![v, gen_x10_flip_record()],
     }
 }
 
@@ -301,11 +405,17 @@ pub fn gen_x50_report() -> soccar_obs::BenchReport {
         seconds_q: soccar_obs::quantize_seconds(lint_elapsed.as_secs_f64()),
     };
 
-    // Clause-reuse probe on the real 50x flip workload.
+    // Clause-reuse probe on the real 50x flip workload. The solver-speed
+    // knobs are pinned on so the gated counters — `smt.eliminated_vars`,
+    // `smt.trail_reused`, and the derived engagement flags — are one
+    // fixed point across the `SOCCAR_BVE` / `SOCCAR_TRAIL_REUSE` legs.
     let concolic = ConcolicConfig {
         cycles: 10,
         seed: 7,
         symbolic_inputs: soc.symbolic.clone(),
+        bve: true,
+        clause_sharing: true,
+        trail_reuse: true,
         ..ConcolicConfig::default()
     };
     let workload = custom_flip_workload(&soc.source, &soc.top, concolic);
@@ -327,10 +437,16 @@ pub fn gen_x50_report() -> soccar_obs::BenchReport {
     );
     probe_counters.insert("flip_sat".to_owned(), sat as u64);
     probe_counters.insert("clause_reuse_engaged".to_owned(), u64::from(reused > 0));
+    probe_counters.insert(
+        "trail_reuse_engaged".to_owned(),
+        u64::from(counter("smt.trail_reused") > 0),
+    );
     for name in [
         "smt.incremental_calls",
         "smt.blast_cache_hits",
         "smt.clauses_reused",
+        "smt.eliminated_vars",
+        "smt.trail_reused",
     ] {
         probe_counters.insert(name.to_owned(), counter(name));
     }
@@ -541,13 +657,18 @@ pub struct FlipSolvingRecord {
     /// The `flip_solving` record appended to the SoC's bench report:
     /// deterministic counters (`flip_candidates`, `flip_sat`,
     /// `smt.incremental_calls`, `smt.blast_cache_hits`,
-    /// `smt.clauses_reused`) are gated; `flip_oneshot_q` /
-    /// `flip_incremental_q` timings are reported only.
+    /// `smt.clauses_reused`, `smt.eliminated_vars`, `smt.trail_reused`)
+    /// are gated; `flip_oneshot_q` / `flip_incremental_q` /
+    /// `flip_trail_reuse_q` timings are reported only.
     pub variant: soccar_obs::BenchVariant,
     /// Wall-clock of the one-shot pass.
     pub oneshot: std::time::Duration,
-    /// Wall-clock of the incremental pass.
+    /// Wall-clock of the incremental pass (trail reuse on).
     pub incremental: std::time::Duration,
+    /// Wall-clock of the incremental control pass with trail reuse
+    /// disabled — the floor-backtracking baseline `flip_incremental_q`
+    /// is compared against.
+    pub trail_reuse_off: std::time::Duration,
 }
 
 impl FlipSolvingRecord {
@@ -555,6 +676,13 @@ impl FlipSolvingRecord {
     #[must_use]
     pub fn speedup(&self) -> f64 {
         self.oneshot.as_secs_f64() / self.incremental.as_secs_f64().max(1e-9)
+    }
+
+    /// Floor-backtracking time over trail-reuse time — the trail-reuse
+    /// win inside the incremental strategy.
+    #[must_use]
+    pub fn trail_reuse_speedup(&self) -> f64 {
+        self.trail_reuse_off.as_secs_f64() / self.incremental.as_secs_f64().max(1e-9)
     }
 }
 
@@ -577,7 +705,14 @@ pub const FLIP_SOLVING_CAP: usize = 256;
 /// check-obligation clauses precisely so this stays observable.
 #[must_use]
 pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvingRecord {
-    let workload = flip_workload(model, config);
+    // Pinned rather than env-derived: the gated counters below include
+    // `smt.eliminated_vars` and `smt.trail_reused`, which differ across
+    // the `SOCCAR_BVE` / `SOCCAR_TRAIL_REUSE` CI legs.
+    let mut config = config.clone();
+    config.concolic.bve = true;
+    config.concolic.clause_sharing = true;
+    config.concolic.trail_reuse = true;
+    let workload = flip_workload(model, &config);
     let cap = FLIP_SOLVING_CAP;
     // Criterion-style timing: one warm-up pass, then the best of a few
     // runs (the timings are reported, never gated, so "best" beats "one
@@ -599,6 +734,16 @@ pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvin
         oneshot_sat, incremental_sat,
         "{model:?}: one-shot and incremental flip solving disagreed"
     );
+    // The floor-backtracking control: the same incremental pass with
+    // trail reuse disabled. Its timing rides along as
+    // `flip_trail_reuse_q`, so the reuse win stays measured, and its
+    // SAT count must agree — trail reuse never changes an answer.
+    let control = workload.clone().with_trail_reuse(false);
+    let (control_sat, trail_reuse_off) = time_best(&|| control.solve_incremental(cap, &recorder));
+    assert_eq!(
+        incremental_sat, control_sat,
+        "{model:?}: trail reuse changed a flip answer"
+    );
     // One separately counted pass feeds the gated counters.
     let inc_recorder = soccar_obs::Recorder::enabled();
     assert_eq!(
@@ -615,6 +760,15 @@ pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvin
         "{model:?}: the bundled SoC's own flip window reused no clauses — \
          check-obligation folding has silently stopped engaging"
     );
+    assert!(
+        snap.counters
+            .get("smt.eliminated_vars")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "{model:?}: inprocessing eliminated no variables on the flip window — \
+         bounded variable elimination has silently stopped engaging"
+    );
     let mut counters = std::collections::BTreeMap::new();
     counters.insert(
         "flip_candidates".to_owned(),
@@ -625,6 +779,8 @@ pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvin
         "smt.incremental_calls",
         "smt.blast_cache_hits",
         "smt.clauses_reused",
+        "smt.eliminated_vars",
+        "smt.trail_reused",
     ] {
         counters.insert(
             name.to_owned(),
@@ -640,6 +796,10 @@ pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvin
         "flip_incremental_q".to_owned(),
         soccar_obs::quantize_seconds(incremental.as_secs_f64()),
     );
+    timings_q.insert(
+        "flip_trail_reuse_q".to_owned(),
+        soccar_obs::quantize_seconds(trail_reuse_off.as_secs_f64()),
+    );
     FlipSolvingRecord {
         variant: soccar_obs::BenchVariant {
             variant: format!("{model:?} flip_solving"),
@@ -649,6 +809,7 @@ pub fn flip_solving_record(model: SocModel, config: &SoccarConfig) -> FlipSolvin
         },
         oneshot,
         incremental,
+        trail_reuse_off,
     }
 }
 
@@ -764,30 +925,15 @@ pub fn clause_reuse_record() -> soccar_obs::BenchVariant {
     }
 }
 
-/// Runs the `solver_maintenance` record: a conflict-rich pigeonhole
-/// formula (6 bit-vector pigeons into 5 holes, UNSAT) solved under a
-/// pinned aggressive [`soccar_smt::SolverProfile`] (restart interval 2,
-/// learnt-DB reduction from 8 clauses), with the modern-CDCL maintenance
-/// counters `smt.restarts` and `smt.learnt_deleted` gated **non-zero**
-/// (and exact, like every gated counter). The bundled SoCs' own flip
-/// solves are conflict-free, so without this record a regression that
-/// silently disabled restarts or learnt-DB reduction would pass CI.
-///
-/// # Panics
-///
-/// Panics if the formula stops being UNSAT, or if restarts or learnt-DB
-/// reduction fail to engage — the regressions this record exists to
-/// catch must fail loudly even before the baseline diff runs.
-#[must_use]
-pub fn solver_maintenance_record() -> soccar_obs::BenchVariant {
-    let mut g = soccar_smt::TermGraph::new();
-    let mut solver = soccar_smt::Solver::new();
-    solver.set_profile(soccar_smt::SolverProfile {
-        seed: 0,
-        invert_phase: false,
-        restart_base: 2,
-        reduce_base: 8,
-    });
+/// Per-profile conflict budget of the `solver_maintenance` sharing race.
+/// Small enough that the canonical profile cannot finish the pigeonhole
+/// formula inside its first slice (so clones exist and learn), and fixed
+/// so the race — and with it every gated counter — is deterministic.
+const SHARING_RACE_CONFLICTS: u64 = 64;
+
+/// Asserts the 6-pigeons-into-5-holes formula (UNSAT, conflict-rich)
+/// into `solver` over `g`.
+fn assert_pigeonhole(g: &mut soccar_smt::TermGraph, solver: &mut soccar_smt::Solver) {
     let holes = g.const_u64(3, 5);
     let pigeons: Vec<_> = (0..6).map(|i| g.var(format!("p{i}"), 3)).collect();
     for &p in &pigeons {
@@ -800,6 +946,50 @@ pub fn solver_maintenance_record() -> soccar_obs::BenchVariant {
             solver.assert(distinct);
         }
     }
+}
+
+/// Runs the `solver_maintenance` record, two phases over the same
+/// conflict-rich pigeonhole formula (6 bit-vector pigeons into 5 holes,
+/// UNSAT):
+///
+/// 1. **Maintenance**: one-shot solve under a pinned aggressive
+///    [`soccar_smt::SolverProfile`] (restart interval 2, learnt-DB
+///    reduction from 8 clauses), with the modern-CDCL maintenance
+///    counters `smt.restarts` and `smt.learnt_deleted` gated
+///    **non-zero** (and exact, like every gated counter).
+/// 2. **Sharing race**: a portfolio race on a fresh solver under a
+///    per-profile budget of `SHARING_RACE_CONFLICTS` (64) conflicts —
+///    deliberately too small for the canonical profile's first slice, so
+///    clones are created, learn, and drain their glue clauses back
+///    through the export filter. `smt.shared_imported` and
+///    `smt.portfolio_learnts_discarded` are gated non-zero: without this
+///    phase the bundled SoCs' flip solves (which never outlive the first
+///    slice) would let a silently broken sharing path pass CI. The
+///    solver-speed knobs are pinned on so the record is byte-identical
+///    across `SOCCAR_BVE` / `SOCCAR_CLAUSE_SHARING` /
+///    `SOCCAR_TRAIL_REUSE` legs.
+///
+/// The bundled SoCs' own flip solves are conflict-free, so without this
+/// record a regression that silently disabled restarts, learnt-DB
+/// reduction, or clause sharing would pass CI.
+///
+/// # Panics
+///
+/// Panics if the formula stops being UNSAT, or if restarts, learnt-DB
+/// reduction, or clause sharing fail to engage — the regressions this
+/// record exists to catch must fail loudly even before the baseline
+/// diff runs.
+#[must_use]
+pub fn solver_maintenance_record() -> soccar_obs::BenchVariant {
+    let mut g = soccar_smt::TermGraph::new();
+    let mut solver = soccar_smt::Solver::new();
+    solver.set_profile(soccar_smt::SolverProfile {
+        seed: 0,
+        invert_phase: false,
+        restart_base: 2,
+        reduce_base: 8,
+    });
+    assert_pigeonhole(&mut g, &mut solver);
     let recorder = soccar_obs::Recorder::enabled();
     let (result, elapsed) = recorder.time("bench.solver_maintenance.run", || {
         solver.check_traced(&g, &recorder)
@@ -820,20 +1010,61 @@ pub fn solver_maintenance_record() -> soccar_obs::BenchVariant {
         "the aggressive profile deleted no learnt clauses — learnt-DB \
          reduction has silently stopped engaging"
     );
+
+    // Phase 2: the sharing race, on its own recorder so the maintenance
+    // counters above stay exactly what phase 1 produced.
+    let mut race_g = soccar_smt::TermGraph::new();
+    let mut race = soccar_smt::Solver::with_budget(soccar_smt::SolveBudget {
+        max_conflicts: Some(SHARING_RACE_CONFLICTS),
+        max_decisions: None,
+    });
+    race.set_bve(true);
+    race.set_clause_sharing(true);
+    race.set_trail_reuse(true);
+    assert_pigeonhole(&mut race_g, &mut race);
+    let race_recorder = soccar_obs::Recorder::enabled();
+    let (race_result, race_elapsed) = race_recorder.time("bench.solver_maintenance.race", || {
+        race.check_assuming_portfolio_traced(&race_g, &[], &race_recorder)
+    });
+    assert!(
+        !race_result.is_sat(),
+        "the budgeted race must answer Unsat or Unknown on the pigeonhole \
+         formula, got {race_result:?}"
+    );
+    let race_snap = race_recorder.snapshot();
+    let race_counter = |name: &str| race_snap.counters.get(name).copied().unwrap_or(0);
+    assert!(
+        race_counter("smt.shared_imported") > 0,
+        "the budgeted portfolio race imported no clone glue clauses — \
+         clause sharing has silently stopped engaging"
+    );
+    assert!(
+        race_counter("smt.portfolio_learnts_discarded") > 0,
+        "the budgeted portfolio race discarded no clone learnt clauses — \
+         the export filter has silently stopped filtering"
+    );
+
     let mut counters = std::collections::BTreeMap::new();
     for name in ["smt.restarts", "smt.learnt_deleted", "smt.learnt_kept"] {
         counters.insert(name.to_owned(), counter(name));
+    }
+    for name in ["smt.shared_imported", "smt.portfolio_learnts_discarded"] {
+        counters.insert(name.to_owned(), race_counter(name));
     }
     let mut timings_q = std::collections::BTreeMap::new();
     timings_q.insert(
         "solver_maintenance_q".to_owned(),
         soccar_obs::quantize_seconds(elapsed.as_secs_f64()),
     );
+    timings_q.insert(
+        "sharing_race_q".to_owned(),
+        soccar_obs::quantize_seconds(race_elapsed.as_secs_f64()),
+    );
     soccar_obs::BenchVariant {
         variant: "solver_maintenance".to_owned(),
         counters,
         timings_q,
-        seconds_q: soccar_obs::quantize_seconds(elapsed.as_secs_f64()),
+        seconds_q: soccar_obs::quantize_seconds((elapsed + race_elapsed).as_secs_f64()),
     }
 }
 
@@ -1442,6 +1673,25 @@ mod tests {
             x50.manifest.bugs.iter().any(|b| b.implicit),
             "the 50x lint-recall record needs at least one implicit bug"
         );
+    }
+
+    #[test]
+    fn solver_maintenance_record_engages_both_phases() {
+        // The record self-gates (it panics if restarts, reduction, or
+        // clause sharing fail to engage); this test just keeps it
+        // exercised in the tier-1 suite and pins the counter surface.
+        let v = solver_maintenance_record();
+        for name in [
+            "smt.restarts",
+            "smt.learnt_deleted",
+            "smt.shared_imported",
+            "smt.portfolio_learnts_discarded",
+        ] {
+            assert!(
+                v.counters.contains_key(name),
+                "solver_maintenance must record {name}"
+            );
+        }
     }
 
     #[test]

@@ -124,6 +124,27 @@ pub struct ConcolicConfig {
     /// give `check_assuming` real clauses to carry across candidates.
     /// `0` disables the folding.
     pub max_window_checks: usize,
+    /// Bounded variable elimination during solver inprocessing: gate
+    /// variables introduced by bit-blasting (carries, comparator
+    /// intermediates) are resolved away when the clause database does
+    /// not grow, with model reconstruction keeping answers and extracted
+    /// models identical. Defaults to on; `SOCCAR_BVE=0` is the escape
+    /// hatch.
+    pub bve: bool,
+    /// Learnt-clause sharing across portfolio profiles: clone profiles
+    /// drain their glue clauses (low LBD, short) back into the base
+    /// solver between time slices instead of learning alone and being
+    /// discarded. Only consulted when [`ConcolicConfig::portfolio`] is
+    /// on. Defaults to on; `SOCCAR_CLAUSE_SHARING=0` is the escape
+    /// hatch.
+    pub clause_sharing: bool,
+    /// Trail reuse between `check_assuming` calls: a new call keeps the
+    /// longest common prefix of the previous call's assumption trail
+    /// instead of backtracking to the assumption floor and
+    /// re-propagating it. Answers are unchanged; per-candidate
+    /// re-propagation cost drops on the flip fan-out's shared prefixes.
+    /// Defaults to on; `SOCCAR_TRAIL_REUSE=0` is the escape hatch.
+    pub trail_reuse: bool,
 }
 
 /// Reads the `SOCCAR_INCREMENTAL` escape hatch: `0`/`false`/`off`
@@ -169,6 +190,9 @@ impl Default for ConcolicConfig {
             incremental: incremental_default(),
             portfolio: portfolio_default(),
             max_window_checks: 4,
+            bve: soccar_smt::sat::bve_default(),
+            clause_sharing: soccar_smt::solver::clause_sharing_default(),
+            trail_reuse: soccar_smt::sat::trail_reuse_default(),
         }
     }
 }
@@ -1051,6 +1075,12 @@ impl<'d> ConcolicEngine<'d> {
         let max_prefix = self.config.max_prefix;
         let portfolio = self.config.portfolio;
         let budget = self.config.solver_budget;
+        let tuning = SolverTuning {
+            budget,
+            bve: self.config.bve,
+            clause_sharing: self.config.clause_sharing,
+            trail_reuse: self.config.trail_reuse,
+        };
         let plan = &self.config.fault_plan;
         let recorder = &self.recorder;
         let (solved, stats) = if self.config.incremental && !candidates.is_empty() {
@@ -1105,6 +1135,11 @@ impl<'d> ConcolicEngine<'d> {
                 h ^ budget.max_conflicts.unwrap_or(u64::MAX).rotate_left(17)
                     ^ budget.max_decisions.unwrap_or(u64::MAX).rotate_left(31)
                     ^ u64::from(self.config.portfolio).rotate_left(43)
+                    // The solver-speed knobs are baked into a retained
+                    // base's behavior, so they key the pool too.
+                    ^ u64::from(self.config.bve).rotate_left(47)
+                    ^ u64::from(self.config.clause_sharing).rotate_left(53)
+                    ^ u64::from(self.config.trail_reuse).rotate_left(59)
             });
             let warm = warm_key.and_then(|key| {
                 let pool = self.warm_blast.as_ref().expect("key implies pool");
@@ -1117,7 +1152,7 @@ impl<'d> ConcolicEngine<'d> {
             let base = match warm {
                 Some(base) => base,
                 None => {
-                    let mut base = Solver::with_budget(budget);
+                    let mut base = tuning.build();
                     base.preblast(graph, &window);
                     // Shared-prefix blasting work saved while building
                     // the base context (recorded once; per-call hits are
@@ -1189,7 +1224,7 @@ impl<'d> ConcolicEngine<'d> {
                         c.obs_index,
                         c.dir,
                         max_prefix,
-                        budget,
+                        tuning,
                         recorder,
                     )
                 },
@@ -1329,7 +1364,12 @@ impl<'d> ConcolicEngine<'d> {
             checks,
             schedule,
             max_prefix: self.config.max_prefix,
-            budget: self.config.solver_budget,
+            tuning: SolverTuning {
+                budget: self.config.solver_budget,
+                bve: self.config.bve,
+                clause_sharing: self.config.clause_sharing,
+                trail_reuse: self.config.trail_reuse,
+            },
         })
     }
 }
@@ -1349,10 +1389,19 @@ pub struct FlipWorkload {
     checks: Vec<TermId>,
     schedule: TestSchedule,
     max_prefix: usize,
-    budget: SolveBudget,
+    tuning: SolverTuning,
 }
 
 impl FlipWorkload {
+    /// Overrides the trail-reuse knob for this workload's solvers — the
+    /// `flip_trail_reuse_q` benchmark control, which re-times the
+    /// incremental pass with reuse disabled on otherwise identical
+    /// inputs.
+    #[must_use]
+    pub fn with_trail_reuse(mut self, on: bool) -> Self {
+        self.tuning.trail_reuse = on;
+        self
+    }
     /// Number of flip candidates a `cap`-limited pass solves (the last
     /// `cap` observations of the round, longest path prefixes first-class).
     #[must_use]
@@ -1378,7 +1427,7 @@ impl FlipWorkload {
                 k,
                 dir,
                 self.max_prefix,
-                self.budget,
+                self.tuning,
                 recorder,
             );
             sat += usize::from(matches!(outcome, FlipOutcome::Sat(_)));
@@ -1394,7 +1443,7 @@ impl FlipWorkload {
     pub fn solve_incremental(&self, cap: usize, recorder: &soccar_obs::Recorder) -> usize {
         let n = self.candidates(cap);
         let len = self.observations.len();
-        let mut base = Solver::with_budget(self.budget);
+        let mut base = self.tuning.build();
         let window_start = (len - n).saturating_sub(self.max_prefix);
         let mut window = Vec::with_capacity(2 * (len - window_start) + self.checks.len());
         for i in window_start..len {
@@ -1452,6 +1501,30 @@ enum FlipOutcome {
     Unknown(String),
 }
 
+/// Solver construction parameters a flip solve inherits from the engine
+/// config: the per-query budget plus the solver-speed knobs (BVE,
+/// portfolio clause sharing, trail reuse). Bundled so one-shot workers,
+/// the incremental base, and the warm-blast pool all build identically
+/// tuned solvers.
+#[derive(Debug, Clone, Copy)]
+struct SolverTuning {
+    budget: SolveBudget,
+    bve: bool,
+    clause_sharing: bool,
+    trail_reuse: bool,
+}
+
+impl SolverTuning {
+    /// A fresh [`Solver`] with this tuning applied.
+    fn build(self) -> Solver {
+        let mut s = Solver::with_budget(self.budget);
+        s.set_bve(self.bve);
+        s.set_clause_sharing(self.clause_sharing);
+        s.set_trail_reuse(self.trail_reuse);
+        s
+    }
+}
+
 /// Attempts to flip observation `k` towards `dir`, conjoining the path
 /// prefix, and rebuilds the schedule from the model.
 ///
@@ -1467,10 +1540,10 @@ fn solve_flip(
     k: usize,
     dir: bool,
     max_prefix: usize,
-    budget: SolveBudget,
+    tuning: SolverTuning,
     recorder: &soccar_obs::Recorder,
 ) -> FlipOutcome {
-    let mut solver = Solver::with_budget(budget);
+    let mut solver = tuning.build();
     let prefix_start = k.saturating_sub(max_prefix);
     for o in &obs[prefix_start..k] {
         let c = if o.taken { o.cond } else { graph.not(o.cond) };

@@ -28,6 +28,7 @@ impl BitBlaster {
     pub fn new() -> BitBlaster {
         let mut solver = SatSolver::new();
         let t = solver.new_var();
+        solver.freeze_var(t);
         solver.add_clause(&[Lit::pos(t)]);
         BitBlaster {
             solver,
@@ -193,6 +194,16 @@ impl BitBlaster {
             }
         };
         debug_assert_eq!(bits.len(), w);
+        // Cached bit vectors are the solver's external surface: the
+        // word-level layer builds assumptions from them and reads them
+        // back as models, so their vars must never be eliminated by
+        // inprocessing. Internal gate vars (carries, partial products,
+        // comparator intermediates from `fresh`) stay unfrozen — they
+        // are exactly the population bounded variable elimination is
+        // allowed to resolve away.
+        for l in &bits {
+            self.solver.freeze_var(l.var());
+        }
         self.cache.insert(id, bits.clone());
         bits
     }

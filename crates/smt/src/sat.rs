@@ -13,13 +13,43 @@
 //!   reduction (glue clauses are permanent, the worse half of the rest is
 //!   dropped once the database crosses its growth threshold);
 //! * bounded inprocessing at decision level 0: level-0 clause
-//!   simplification, forward subsumption, and self-subsuming resolution
+//!   simplification, forward subsumption, self-subsuming resolution, and
+//!   bounded variable elimination with model reconstruction
 //!   (see [`SatSolver::inprocess`]);
+//! * trail reuse between assumption solves: a new [`SatSolver::solve_assuming`]
+//!   call keeps the longest common prefix of the previous call's
+//!   assumption trail instead of re-propagating it from scratch
+//!   (`SOCCAR_TRAIL_REUSE=0` disables);
 //! * deterministic [`SolverProfile`]s (branching seed, phase polarity,
 //!   restart schedule) so a portfolio can race diverse configurations of
-//!   the same search without sacrificing reproducibility.
+//!   the same search without sacrificing reproducibility, plus a
+//!   learnt-clause export/import surface ([`SatSolver::export_learnts`],
+//!   [`SatSolver::import_learnt`]) so portfolio members can share glue
+//!   clauses instead of learning alone.
 
 use std::fmt;
+
+/// Reads the `SOCCAR_BVE` escape hatch: `0`/`false`/`off` disable bounded
+/// variable elimination in the inprocessing pass, anything else (or
+/// unset) enables it.
+#[must_use]
+pub fn bve_default() -> bool {
+    !matches!(
+        std::env::var("SOCCAR_BVE").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
+}
+
+/// Reads the `SOCCAR_TRAIL_REUSE` escape hatch: `0`/`false`/`off` disable
+/// assumption-trail reuse between `solve_assuming` calls, anything else
+/// (or unset) enables it.
+#[must_use]
+pub fn trail_reuse_default() -> bool {
+    !matches!(
+        std::env::var("SOCCAR_TRAIL_REUSE").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
+}
 
 /// A propositional variable, numbered from 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -193,6 +223,10 @@ struct Clause {
     learnt: bool,
     /// Literal-block distance at learn time (0 for originals).
     lbd: u32,
+    /// `clauses_added` snapshot when this clause entered the database —
+    /// a birth stamp so portfolio clause sharing can export exactly the
+    /// clauses learnt after a given mark (see [`SatSolver::export_learnts`]).
+    birth: u64,
 }
 
 /// The CDCL solver.
@@ -246,17 +280,44 @@ pub struct SatSolver {
     learnt_deleted: u64,
     learnt_kept: u64,
     subsumed: u64,
+    /// Vars that bounded variable elimination must never touch: every
+    /// var visible outside the solver (blast-cache bits, assumption
+    /// vars, obligation vars). Fresh internal gate vars stay unfrozen.
+    frozen: Vec<bool>,
+    /// Vars removed from the clause database by BVE. Their model values
+    /// come from `elim_values` (reconstructed on every Sat answer).
+    eliminated: Vec<bool>,
+    /// Reconstructed model values for eliminated vars (valid after Sat).
+    elim_values: Vec<bool>,
+    /// Elimination stack: per eliminated var, the original clauses it
+    /// occurred in, replayed in reverse on Sat to rebuild its value.
+    elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
+    eliminated_vars: u64,
+    /// Bounded variable elimination enabled (SOCCAR_BVE).
+    bve: bool,
+    /// Assumption-trail reuse enabled (SOCCAR_TRAIL_REUSE).
+    trail_reuse: bool,
+    /// Assumptions of the most recent `search` call, kept so the next
+    /// call can reuse the longest common prefix of the trail.
+    last_assumptions: Vec<Lit>,
+    /// Trail literals kept (not re-propagated) thanks to prefix reuse.
+    trail_reused_lits: u64,
 }
 
 const VAR_DECAY: f64 = 0.95;
 const ACTIVITY_RESCALE: f64 = 1e100;
 
 impl SatSolver {
-    /// Creates an empty solver.
+    /// Creates an empty solver. The `SOCCAR_BVE` and `SOCCAR_TRAIL_REUSE`
+    /// escape hatches set the initial feature flags; use
+    /// [`SatSolver::set_bve`] / [`SatSolver::set_trail_reuse`] to pin
+    /// them regardless of the environment.
     #[must_use]
     pub fn new() -> SatSolver {
         SatSolver {
             var_inc: 1.0,
+            bve: bve_default(),
+            trail_reuse: trail_reuse_default(),
             ..SatSolver::default()
         }
     }
@@ -336,6 +397,63 @@ impl SatSolver {
         self.subsumed
     }
 
+    /// Variables removed by bounded variable elimination so far.
+    #[must_use]
+    pub fn eliminated_vars(&self) -> u64 {
+        self.eliminated_vars
+    }
+
+    /// Trail literals kept across `solve_assuming` calls via
+    /// assumption-prefix reuse (instead of being re-propagated), so far.
+    #[must_use]
+    pub fn trail_reused_lits(&self) -> u64 {
+        self.trail_reused_lits
+    }
+
+    /// Enables or disables bounded variable elimination in
+    /// [`SatSolver::inprocess`]. Already-eliminated vars stay eliminated;
+    /// disabling only stops future passes.
+    pub fn set_bve(&mut self, on: bool) {
+        self.bve = on;
+    }
+
+    /// Enables or disables assumption-trail reuse between
+    /// [`SatSolver::solve_assuming`] calls.
+    pub fn set_trail_reuse(&mut self, on: bool) {
+        self.trail_reuse = on;
+    }
+
+    /// Marks `v` untouchable by bounded variable elimination. Every var
+    /// the caller will ever mention again — in a clause, an assumption,
+    /// or a model query whose exact clause-implied value matters — must
+    /// be frozen; only internal gate vars should stay unfrozen.
+    pub fn freeze_var(&mut self, v: Var) {
+        self.frozen[v.0 as usize] = true;
+    }
+
+    /// Exports the live learnt clauses born after `mark` (a
+    /// [`SatSolver::clauses_added`] snapshot) that pass the sharing
+    /// filter: LBD ≤ `max_lbd` and at most `max_len` literals. Clause
+    /// order follows database order, so the export is deterministic.
+    #[must_use]
+    pub fn export_learnts(&self, mark: u64, max_lbd: u32, max_len: usize) -> Vec<(Vec<Lit>, u32)> {
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt && c.birth >= mark && c.lbd <= max_lbd && c.lits.len() <= max_len)
+            .map(|c| (c.lits.clone(), c.lbd))
+            .collect()
+    }
+
+    /// Imports a clause learnt by another solver over the *same variable
+    /// numbering* (a portfolio clone). The clause enters the learnt
+    /// database with the exporter's LBD and is eligible for reduction
+    /// like any local learnt. Returns `true` if the clause (or a unit
+    /// derived from it) was actually added. Like [`SatSolver::add_clause`]
+    /// this retracts the trail to level 0 first.
+    pub fn import_learnt(&mut self, lits: &[Lit], lbd: u32) -> bool {
+        self.add_clause_with(lits, true, lbd)
+    }
+
     /// The active [`SolverProfile`].
     #[must_use]
     pub fn profile(&self) -> SolverProfile {
@@ -375,6 +493,9 @@ impl SatSolver {
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.push(v);
+        self.frozen.push(false);
+        self.eliminated.push(false);
+        self.elim_values.push(false);
         v
     }
 
@@ -386,9 +507,20 @@ impl SatSolver {
     /// A unit landed on a stale search trail would be popped — and
     /// silently lost — by the next solve's entry backtrack.
     pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.add_clause_with(lits, false, 0);
+    }
+
+    /// Shared implementation of [`SatSolver::add_clause`] (original
+    /// clauses) and [`SatSolver::import_learnt`] (shared learnt clauses).
+    /// Returns `true` if a clause or unit actually entered the database.
+    fn add_clause_with(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> bool {
         if self.unsat {
-            return;
+            return false;
         }
+        debug_assert!(
+            lits.iter().all(|l| !self.eliminated[l.var().0 as usize]),
+            "clause mentions a BVE-eliminated var; freeze vars that get new clauses"
+        );
         self.backtrack(0);
         // Every mentioned variable gets a defined model value, even if the
         // clause itself is dropped below (tautology / already satisfied).
@@ -400,7 +532,7 @@ impl SatSolver {
         ls.sort_unstable();
         ls.dedup();
         if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
-            return; // x ∨ ¬x: tautology
+            return false; // x ∨ ¬x: tautology
         }
         // Drop literals already false at level 0; satisfied clauses vanish.
         ls.retain(|l| !(self.value_lit(*l) == Some(false) && self.levels[l.var().0 as usize] == 0));
@@ -408,14 +540,18 @@ impl SatSolver {
             .iter()
             .any(|l| self.value_lit(*l) == Some(true) && self.levels[l.var().0 as usize] == 0)
         {
-            return;
+            return false;
         }
         match ls.len() {
-            0 => self.unsat = true,
+            0 => {
+                self.unsat = true;
+                true
+            }
             1 => {
                 if !self.enqueue(ls[0], None) {
                     self.unsat = true;
                 }
+                true
             }
             _ => {
                 let idx = self.clauses.len() as u32;
@@ -423,10 +559,15 @@ impl SatSolver {
                 self.watches[ls[1].negate().index()].push(idx);
                 self.clauses.push(Clause {
                     lits: ls,
-                    learnt: false,
-                    lbd: 0,
+                    learnt,
+                    lbd,
+                    birth: self.clauses_added,
                 });
                 self.clauses_added += 1;
+                if learnt {
+                    self.num_learnts += 1;
+                }
+                true
             }
         }
     }
@@ -438,8 +579,15 @@ impl SatSolver {
     /// `None`. Callers needing a total assignment pick their own default
     /// — the bit-blaster's `model_bits` defaults unconstrained bits to
     /// `false`, matching what the one-shot solver's models contain.
+    /// BVE-eliminated variables report their reconstructed value (the
+    /// elimination stack is replayed on every `Sat` answer), so models
+    /// stay total over eliminated vars exactly as if they had never been
+    /// eliminated.
     #[must_use]
     pub fn value(&self, v: Var) -> Option<bool> {
+        if self.eliminated[v.0 as usize] {
+            return Some(self.elim_values[v.0 as usize]);
+        }
         match self.assigns[v.0 as usize] {
             Assign::Unset => None,
             Assign::True => Some(true),
@@ -699,17 +847,55 @@ impl SatSolver {
         self.search(assumptions, budget)
     }
 
+    /// Decision levels whose pseudo-decisions can be kept from the
+    /// previous `search` call: the longest common prefix of the old and
+    /// new assumption lists, capped by the levels actually still on the
+    /// trail. Level k (1-based) holds `last_assumptions[k-1]`, an
+    /// invariant every exit path of `search` maintains.
+    fn reusable_prefix(&self, assumptions: &[Lit]) -> u32 {
+        if !self.trail_reuse || self.unsat {
+            return 0;
+        }
+        let max = (self.decision_level() as usize)
+            .min(self.last_assumptions.len())
+            .min(assumptions.len());
+        let mut k = 0;
+        while k < max && assumptions[k] == self.last_assumptions[k] {
+            k += 1;
+        }
+        k as u32
+    }
+
     /// The CDCL main loop shared by plain and assumption solving.
     fn search(&mut self, assumptions: &[Lit], budget: SolveBudget) -> SatOutcome {
-        // Retract whatever a previous call left on the trail.
-        self.backtrack(0);
+        debug_assert!(
+            assumptions
+                .iter()
+                .all(|l| !self.eliminated[l.var().0 as usize]),
+            "assumption on a BVE-eliminated var; freeze assumption vars"
+        );
+        // Retract whatever a previous call left on the trail — wholly,
+        // or (with trail reuse on) only past the longest common prefix
+        // of retractable assumptions, skipping re-propagation of the
+        // shared prefix. The kept prefix was a propagation fixpoint when
+        // the previous call left it and the clause database is unchanged
+        // since (`add_clause`/`inprocess` both retract to level 0, which
+        // empties the reusable prefix), so it still is one.
+        let keep = self.reusable_prefix(assumptions);
+        self.backtrack(keep);
         if self.unsat {
             return SatOutcome::Unsat;
         }
-        if self.propagate().is_some() {
-            self.unsat = true;
-            return SatOutcome::Unsat;
+        if keep == 0 {
+            if self.propagate().is_some() {
+                self.unsat = true;
+                return SatOutcome::Unsat;
+            }
+        } else {
+            self.trail_reused_lits += self.trail.len() as u64;
         }
+        self.last_assumptions.clear();
+        self.last_assumptions.extend_from_slice(assumptions);
         let n_assumps = assumptions.len() as u32;
         let conflicts_at_entry = self.conflicts;
         let decisions_at_entry = self.decisions;
@@ -726,8 +912,16 @@ impl SatSolver {
                     }
                     if self.decision_level() <= n_assumps {
                         // The conflict is forced by the assumptions alone:
-                        // unsat under them, but not permanently.
-                        self.backtrack(0);
+                        // unsat under them, but not permanently. With
+                        // trail reuse, keep the consistent prefix below
+                        // the conflicting assumption level for the next
+                        // call; the conflicting level itself is popped.
+                        let floor = if self.trail_reuse {
+                            self.decision_level() - 1
+                        } else {
+                            0
+                        };
+                        self.backtrack(floor);
                         return SatOutcome::Unsat;
                     }
                     let (learnt, bt, lbd) = self.analyze(conflict);
@@ -745,6 +939,7 @@ impl SatSolver {
                             lits: learnt,
                             learnt: true,
                             lbd,
+                            birth: self.clauses_added,
                         });
                         self.clauses_added += 1;
                         self.num_learnts += 1;
@@ -758,7 +953,7 @@ impl SatSolver {
                         .max_conflicts
                         .is_some_and(|max| self.conflicts - conflicts_at_entry >= max)
                     {
-                        self.backtrack(0);
+                        self.backtrack(self.unknown_floor(n_assumps));
                         return SatOutcome::Unknown;
                     }
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
@@ -792,7 +987,12 @@ impl SatSolver {
                                 self.trail_lim.push(self.trail.len());
                             }
                             Some(false) => {
-                                self.backtrack(0);
+                                // The assumption is falsified by the
+                                // prefix below; with trail reuse the
+                                // consistent prefix levels stay put.
+                                if !self.trail_reuse {
+                                    self.backtrack(0);
+                                }
                                 return SatOutcome::Unsat;
                             }
                             None => {
@@ -803,13 +1003,16 @@ impl SatSolver {
                         }
                     } else {
                         match self.pick_branch() {
-                            None => return SatOutcome::Sat,
+                            None => {
+                                self.reconstruct_eliminated();
+                                return SatOutcome::Sat;
+                            }
                             Some(decision) => {
                                 if budget
                                     .max_decisions
                                     .is_some_and(|max| self.decisions - decisions_at_entry >= max)
                                 {
-                                    self.backtrack(0);
+                                    self.backtrack(self.unknown_floor(n_assumps));
                                     return SatOutcome::Unknown;
                                 }
                                 self.decisions += 1;
@@ -824,14 +1027,87 @@ impl SatSolver {
         }
     }
 
+    /// The backtrack floor for a budget-exhausted (`Unknown`) exit: with
+    /// trail reuse the assumption levels stay on the trail so a re-solve
+    /// under the same (or prefix-sharing) assumptions resumes without
+    /// re-propagating them; without it, the classic full retraction.
+    fn unknown_floor(&self, n_assumps: u32) -> u32 {
+        if self.trail_reuse {
+            n_assumps.min(self.decision_level())
+        } else {
+            0
+        }
+    }
+
+    /// Replays the elimination stack in reverse to give every
+    /// BVE-eliminated variable a value consistent with the clauses it
+    /// was resolved out of. Runs on every `Sat` exit; afterwards
+    /// [`SatSolver::value`] is total over eliminated vars and satisfies
+    /// the original (pre-elimination) clause set.
+    fn reconstruct_eliminated(&mut self) {
+        if self.elim_stack.is_empty() {
+            return;
+        }
+        let stack = std::mem::take(&mut self.elim_stack);
+        for (v, stored) in stack.iter().rev() {
+            let vi = v.0 as usize;
+            // A var's stored clauses only mention vars that are either
+            // still live (assigned or defaulted like any model read) or
+            // eliminated *later* — already reconstructed by this reverse
+            // walk. Default to the saved phase; flip only if some stored
+            // clause is otherwise unsatisfied.
+            let mut val = self.phase[vi];
+            for clause in stored {
+                let needs_v = !clause
+                    .iter()
+                    .any(|&l| l.var() != *v && self.recon_lit_true(l));
+                if needs_v {
+                    let polarity = clause
+                        .iter()
+                        .find(|l| l.var() == *v)
+                        .expect("stored clause mentions its eliminated var")
+                        .is_pos();
+                    val = polarity;
+                }
+            }
+            self.elim_values[vi] = val;
+            debug_assert!(
+                stored.iter().all(|clause| clause.iter().any(|&l| {
+                    if l.var() == *v {
+                        val == l.is_pos()
+                    } else {
+                        self.recon_lit_true(l)
+                    }
+                })),
+                "reconstruction left a resolved-away clause unsatisfied"
+            );
+        }
+        self.elim_stack = stack;
+    }
+
+    /// Truth of `l` during model reconstruction: live vars read the
+    /// trail (unassigned defaults to `false`, the same default callers
+    /// apply to partial models), already-reconstructed vars read
+    /// `elim_values`.
+    fn recon_lit_true(&self, l: Lit) -> bool {
+        let vi = l.var().0 as usize;
+        let val = if self.eliminated[vi] {
+            self.elim_values[vi]
+        } else {
+            matches!(self.assigns[vi], Assign::True)
+        };
+        val == l.is_pos()
+    }
+
     /// Runs bounded inprocessing at decision level 0: level-0 clause
     /// simplification, forward subsumption, self-subsuming resolution,
-    /// and — when the learnt database has outgrown its threshold —
-    /// two-tier LBD-based reduction. Any active trail is retracted
+    /// bounded variable elimination (unless disabled), and — when the
+    /// learnt database has outgrown its threshold — two-tier LBD-based
+    /// reduction. Any active trail is retracted
     /// first, so call it *between* solves (the word-level solver does so
-    /// between `check_assuming` calls). Satisfiability, all future solve
-    /// answers, and variable numbering are preserved; only clause
-    /// indices are compacted.
+    /// between `check_assuming` calls). Satisfiability over the frozen
+    /// variables, all future solve answers, and variable numbering are
+    /// preserved; only clause indices are compacted.
     pub fn inprocess(&mut self) {
         if self.unsat {
             return;
@@ -867,8 +1143,142 @@ impl SatSolver {
             if self.unsat || !self.simplify_pass(&mut deleted) {
                 return;
             }
+            if self.bve {
+                self.bve_pass(&mut deleted);
+                // Unit resolvents assign vars; re-simplify so the
+                // compaction precondition (no clause mentions an
+                // assigned var) holds for the resolvents too.
+                if self.unsat || !self.simplify_pass(&mut deleted) {
+                    return;
+                }
+            }
         }
         self.compact(&deleted);
+    }
+
+    /// Bounded variable elimination (SatELite-style, NiVER-bounded):
+    /// resolves an unfrozen, unassigned variable out of the database
+    /// when the non-tautological resolvents of its positive × negative
+    /// occurrences do not outnumber the clauses they replace. Learnt
+    /// clauses mentioning the variable are simply deleted (they are
+    /// consequences, never needed for equisatisfiability); the replaced
+    /// *original* clauses go onto the elimination stack so
+    /// `reconstruct_eliminated` can rebuild the var's model value on
+    /// Sat. Work is capped by occurrence-count, resolvent-length, and
+    /// literal-visit budgets so the pass stays a bounded pause.
+    ///
+    /// Resolvents deliberately do **not** bump `clauses_added`: that
+    /// counter feeds the blast context's reuse accounting and the
+    /// inprocessing cadence, both of which must not drift between
+    /// `SOCCAR_BVE` on/off runs.
+    fn bve_pass(&mut self, deleted: &mut Vec<bool>) {
+        const BVE_MAX_OCC: usize = 10;
+        const BVE_MAX_RESOLVENT: usize = 16;
+        const BVE_BUDGET: u64 = 200_000;
+
+        // Occurrence lists over the live clauses, maintained as
+        // resolvents are appended so later candidates see them.
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); self.num_vars() * 2];
+        for (ci, clause) in self.clauses.iter().enumerate() {
+            if deleted[ci] {
+                continue;
+            }
+            for &l in &clause.lits {
+                occ[l.index()].push(ci as u32);
+            }
+        }
+        let mut budget = BVE_BUDGET;
+        for v in 0..self.num_vars() {
+            if budget == 0 {
+                break;
+            }
+            if self.frozen[v] || self.eliminated[v] || self.assigns[v] != Assign::Unset {
+                continue;
+            }
+            let pos_lit = Lit::pos(Var(v as u32));
+            let neg_lit = Lit::neg(Var(v as u32));
+            let live = |list: &[u32], deleted: &[bool], clauses: &[Clause], learnt: bool| {
+                list.iter()
+                    .copied()
+                    .filter(|&c| !deleted[c as usize] && clauses[c as usize].learnt == learnt)
+                    .collect::<Vec<u32>>()
+            };
+            let pos_cls = live(&occ[pos_lit.index()], deleted, &self.clauses, false);
+            let neg_cls = live(&occ[neg_lit.index()], deleted, &self.clauses, false);
+            if pos_cls.len() > BVE_MAX_OCC || neg_cls.len() > BVE_MAX_OCC {
+                continue;
+            }
+            // Build all non-tautological resolvents; abort the candidate
+            // if any grows too long or the visit budget runs dry.
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut aborted = false;
+            'outer: for &pi in &pos_cls {
+                for &ni in &neg_cls {
+                    let pc = &self.clauses[pi as usize].lits;
+                    let nc = &self.clauses[ni as usize].lits;
+                    let cost = (pc.len() + nc.len()) as u64;
+                    if budget < cost {
+                        budget = 0;
+                        aborted = true;
+                        break 'outer;
+                    }
+                    budget -= cost;
+                    if let Some(r) = resolve_on(pc, nc, Var(v as u32)) {
+                        if r.len() > BVE_MAX_RESOLVENT {
+                            aborted = true;
+                            break 'outer;
+                        }
+                        resolvents.push(r);
+                    }
+                }
+            }
+            // NiVER growth bound: never let elimination grow the database.
+            if aborted || resolvents.len() > pos_cls.len() + neg_cls.len() {
+                continue;
+            }
+            // Commit. Store the replaced originals for reconstruction,
+            // drop every clause mentioning v (learnt ones outright), and
+            // append the resolvents.
+            let mut stored: Vec<Vec<Lit>> = Vec::with_capacity(pos_cls.len() + neg_cls.len());
+            for &ci in pos_cls.iter().chain(neg_cls.iter()) {
+                stored.push(self.clauses[ci as usize].lits.clone());
+                self.unlink(ci as usize, deleted);
+            }
+            for lit in [pos_lit, neg_lit] {
+                let learnt_with_v = live(&occ[lit.index()], deleted, &self.clauses, true);
+                for ci in learnt_with_v {
+                    self.unlink(ci as usize, deleted);
+                }
+            }
+            self.eliminated[v] = true;
+            self.occurs[v] = false;
+            self.eliminated_vars += 1;
+            self.elim_stack.push((Var(v as u32), stored));
+            for r in resolvents {
+                match r.len() {
+                    0 => unreachable!("both parents of an empty resolvent would be units"),
+                    1 => {
+                        if !self.enqueue(r[0], None) {
+                            self.unsat = true;
+                            return;
+                        }
+                    }
+                    _ => {
+                        let idx = self.clauses.len() as u32;
+                        for &l in &r {
+                            occ[l.index()].push(idx);
+                        }
+                        deleted.push(false);
+                        self.clauses.push(Clause {
+                            lits: r,
+                            learnt: false,
+                            lbd: 0,
+                            birth: self.clauses_added,
+                        });
+                    }
+                }
+            }
+        }
     }
 
     fn unlink(&mut self, ci: usize, deleted: &mut [bool]) {
@@ -1081,6 +1491,24 @@ impl SatSolver {
 
 fn clause_sig(lits: &[Lit]) -> u64 {
     lits.iter().fold(0u64, |s, l| s | 1u64 << (l.var().0 % 64))
+}
+
+/// The resolvent of `pc` (containing `v` positively) and `nc`
+/// (containing `v` negatively) on `v`, or `None` if it is a tautology.
+/// The result is sorted and deduplicated.
+fn resolve_on(pc: &[Lit], nc: &[Lit], v: Var) -> Option<Vec<Lit>> {
+    let mut r: Vec<Lit> = pc
+        .iter()
+        .chain(nc.iter())
+        .copied()
+        .filter(|l| l.var() != v)
+        .collect();
+    r.sort_unstable();
+    r.dedup();
+    if r.windows(2).any(|w| w[0].var() == w[1].var()) {
+        return None; // x ∨ ¬x: tautology
+    }
+    Some(r)
 }
 
 fn is_subset(small: &[Lit], big: &[Lit]) -> bool {
@@ -1635,7 +2063,11 @@ mod tests {
                 .collect();
             let mut inc = SatSolver::new();
             for _ in 0..n_vars {
-                inc.new_var();
+                let v = inc.new_var();
+                // Assumptions below land on arbitrary vars, so all vars
+                // must be frozen against BVE (the freeze contract);
+                // bve_agrees_with_unsimplified covers the unfrozen case.
+                inc.freeze_var(v);
             }
             for c in &clauses {
                 inc.add_clause(c);
@@ -1663,6 +2095,273 @@ mod tests {
                 assert_eq!(got, want, "round {round} set {set} disagreed");
             }
         }
+    }
+
+    #[test]
+    fn bve_eliminates_internal_var_and_reconstructs_model() {
+        // x is internal (unfrozen): (a ∨ x) ∧ (¬x ∨ b) resolves to
+        // (a ∨ b), so x is eliminated with zero growth.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let x = s.new_var();
+        let b = s.new_var();
+        s.freeze_var(a);
+        s.freeze_var(b);
+        s.set_bve(true);
+        s.add_clause(&[Lit::pos(a), Lit::pos(x)]);
+        s.add_clause(&[Lit::neg(x), Lit::pos(b)]);
+        s.inprocess();
+        assert_eq!(s.eliminated_vars(), 1);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        // The reconstructed model must satisfy the *original* clauses.
+        let av = s.value(a).unwrap_or(false);
+        let xv = s
+            .value(x)
+            .expect("eliminated var has a reconstructed value");
+        let bv = s.value(b).unwrap_or(false);
+        assert!(av || xv, "model violates (a ∨ x)");
+        assert!(!xv || bv, "model violates (¬x ∨ b)");
+        // The resolvent still constrains the frozen vars: ¬a ∧ ¬b is
+        // unsat exactly as in the unsimplified formula.
+        assert_eq!(
+            s.solve_assuming(&[Lit::neg(a), Lit::neg(b)], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn bve_agrees_with_unsimplified() {
+        // Random instances with a frozen interface half and an unfrozen
+        // internal half: inprocessing (with BVE) between assumption
+        // calls must preserve every answer, and Sat models must satisfy
+        // every original clause — including via reconstructed values of
+        // eliminated internal vars.
+        let mut seed = 0xB7E1_5162_8AED_2A6B_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut total_eliminated = 0u64;
+        for round in 0..30 {
+            let n_frozen = 3 + (rng() % 4) as usize;
+            let n_internal = 3 + (rng() % 4) as usize;
+            let n_vars = n_frozen + n_internal;
+            let n_clauses = 3 + (rng() % (3 * n_vars as u64)) as usize;
+            let clauses: Vec<Vec<Lit>> = (0..n_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| Lit::new(Var((rng() % n_vars as u64) as u32), rng() % 2 == 0))
+                        .collect()
+                })
+                .collect();
+            let mut inc = SatSolver::new();
+            inc.set_bve(true);
+            for i in 0..n_vars {
+                let v = inc.new_var();
+                if i < n_frozen {
+                    inc.freeze_var(v);
+                }
+            }
+            for c in &clauses {
+                inc.add_clause(c);
+            }
+            for set in 0..3 {
+                inc.inprocess();
+                total_eliminated += inc.eliminated_vars();
+                // Assumptions only over the frozen interface.
+                let n_assumps = (rng() % 3) as usize;
+                let assumps: Vec<Lit> = (0..n_assumps)
+                    .map(|_| Lit::new(Var((rng() % n_frozen as u64) as u32), rng() % 2 == 0))
+                    .collect();
+                let mut fresh = SatSolver::new();
+                fresh.set_bve(false);
+                for _ in 0..n_vars {
+                    fresh.new_var();
+                }
+                for c in &clauses {
+                    fresh.add_clause(c);
+                }
+                for a in &assumps {
+                    fresh.add_clause(&[*a]);
+                }
+                let want = fresh.solve();
+                let got = inc.solve_assuming(&assumps, SolveBudget::UNLIMITED);
+                assert_eq!(got, want, "round {round} set {set} disagreed");
+                if got == SatOutcome::Sat {
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|l| inc.value(l.var()) == Some(l.is_pos())),
+                            "round {round} set {set}: model violates an original clause"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(
+            total_eliminated > 0,
+            "the unfrozen internal half should yield at least one elimination"
+        );
+    }
+
+    #[test]
+    fn bve_budgeted_unknown_stays_sound() {
+        // A budget-starved solve after BVE inprocessing must answer
+        // Unknown (never a wrong definite) and resume to the right one.
+        let mut s = pigeonhole(6, 5);
+        s.set_bve(true);
+        let extra = s.new_var();
+        // Only the assumption var is frozen; the pigeonhole vars are
+        // fair game for elimination, which must stay equisatisfiable.
+        s.freeze_var(extra);
+        s.inprocess();
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(extra)], SolveBudget::conflicts(1)),
+            SatOutcome::Unknown
+        );
+        assert_eq!(
+            s.solve_assuming(&[Lit::pos(extra)], SolveBudget::UNLIMITED),
+            SatOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn trail_reuse_agrees_with_floor_backtracking() {
+        // Two incremental solvers over the same instance, one with trail
+        // reuse and one with classic full retraction, driven through
+        // randomized assumption sequences with divergent prefixes: every
+        // answer must agree, and Sat models must satisfy the formula and
+        // the assumptions in both.
+        let mut seed = 0x0DDB_1A5E_5BAD_5EED_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..25 {
+            let n_vars = 5 + (rng() % 8) as usize;
+            let n_clauses = 3 + (rng() % (3 * n_vars as u64)) as usize;
+            let clauses: Vec<Vec<Lit>> = (0..n_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| Lit::new(Var((rng() % n_vars as u64) as u32), rng() % 2 == 0))
+                        .collect()
+                })
+                .collect();
+            let mut reusing = SatSolver::new();
+            reusing.set_trail_reuse(true);
+            let mut classic = SatSolver::new();
+            classic.set_trail_reuse(false);
+            for _ in 0..n_vars {
+                reusing.new_var();
+                classic.new_var();
+            }
+            for c in &clauses {
+                reusing.add_clause(c);
+                classic.add_clause(c);
+            }
+            // A shared prefix that mutates gradually: flip one position
+            // per call so consecutive calls share long prefixes — the
+            // production flip-loop shape.
+            let mut prefix: Vec<Lit> = (0..4)
+                .map(|i| Lit::new(Var(i % n_vars as u32), rng() % 2 == 0))
+                .collect();
+            for call in 0..8 {
+                let slot = (rng() % prefix.len() as u64) as usize;
+                prefix[slot] = Lit::new(Var((rng() % n_vars as u64) as u32), rng() % 2 == 0);
+                let got = reusing.solve_assuming(&prefix, SolveBudget::UNLIMITED);
+                let want = classic.solve_assuming(&prefix, SolveBudget::UNLIMITED);
+                assert_eq!(got, want, "round {round} call {call} disagreed");
+                if got == SatOutcome::Sat {
+                    for (s, tag) in [(&reusing, "reusing"), (&classic, "classic")] {
+                        for c in &clauses {
+                            assert!(
+                                c.iter().any(|l| s.value(l.var()) == Some(l.is_pos())),
+                                "round {round} call {call}: {tag} model violates a clause"
+                            );
+                        }
+                        for a in &prefix {
+                            assert_eq!(
+                                s.value(a.var()),
+                                Some(a.is_pos()),
+                                "round {round} call {call}: {tag} dropped an assumption"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trail_reuse_skips_repropagation_on_shared_prefixes() {
+        // An easily-implied chain: reusing the prefix must cut the
+        // propagation count versus classic floor-backtracking.
+        let n = 40usize;
+        let build = || {
+            let mut s = SatSolver::new();
+            let vs: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            for w in vs.windows(2) {
+                s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+            }
+            (s, vs)
+        };
+        let (mut reusing, vs) = build();
+        reusing.set_trail_reuse(true);
+        let (mut classic, _) = build();
+        classic.set_trail_reuse(false);
+        // Same assumption prefix, different final literal per call.
+        for k in 1..5 {
+            let assumps = vec![Lit::pos(vs[0]), Lit::pos(vs[k])];
+            assert_eq!(
+                reusing.solve_assuming(&assumps, SolveBudget::UNLIMITED),
+                SatOutcome::Sat
+            );
+            assert_eq!(
+                classic.solve_assuming(&assumps, SolveBudget::UNLIMITED),
+                SatOutcome::Sat
+            );
+        }
+        assert!(
+            reusing.trail_reused_lits() > 0,
+            "shared prefixes should be reused"
+        );
+        assert!(
+            reusing.propagations() < classic.propagations(),
+            "reuse should re-propagate less: {} vs {}",
+            reusing.propagations(),
+            classic.propagations()
+        );
+    }
+
+    #[test]
+    fn export_import_shares_learnt_clauses() {
+        // A learns on a hard instance; its post-mark glue clauses import
+        // into B (same numbering, same clauses) without changing answers.
+        let mut a = pigeonhole(6, 5);
+        let mark = a.clauses_added();
+        assert_eq!(a.solve(), SatOutcome::Unsat);
+        let shared = a.export_learnts(mark, 4, 16);
+        assert!(
+            !shared.is_empty(),
+            "a hard UNSAT search should produce shareable glue clauses"
+        );
+        let mut b = pigeonhole(6, 5);
+        let before = b.num_learnts();
+        let mut imported = 0u64;
+        for (lits, lbd) in &shared {
+            if b.import_learnt(lits, *lbd) {
+                imported += 1;
+            }
+        }
+        assert!(imported > 0);
+        assert!(b.num_learnts() >= before);
+        assert_eq!(b.solve(), SatOutcome::Unsat);
+        // Export filter honors the mark: nothing born before it leaks.
+        let none = a.export_learnts(a.clauses_added(), 4, 16);
+        assert!(none.is_empty());
     }
 
     #[test]

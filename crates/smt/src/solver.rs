@@ -48,6 +48,49 @@ const PORTFOLIO_FIRST_SLICE: u64 = 4096;
 /// inprocessing passes on an incremental context.
 const INPROCESS_GROWTH: u64 = 512;
 
+/// Export filter for portfolio clause sharing: only glue clauses (LBD at
+/// most this) flow from clones back into the base solver.
+pub const SHARE_MAX_LBD: u32 = 4;
+
+/// Export filter for portfolio clause sharing: size cap on shared clauses.
+pub const SHARE_MAX_LEN: usize = 16;
+
+/// Reads the `SOCCAR_CLAUSE_SHARING` escape hatch: `0`/`false`/`off`
+/// disable learnt-clause sharing between portfolio profiles, anything
+/// else (or unset) enables it.
+#[must_use]
+pub fn clause_sharing_default() -> bool {
+    !matches!(
+        std::env::var("SOCCAR_CLAUSE_SHARING").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
+}
+
+/// Learnt-clause flow of one portfolio race: clauses imported into the
+/// base solver from clone profiles, and clone learnts that were thrown
+/// away with the clones.
+#[derive(Debug, Clone, Copy, Default)]
+struct SharingDelta {
+    imported: u64,
+    discarded: u64,
+}
+
+/// Learnt clauses the race's clones produced that never passed the
+/// export filter — they die with the clones. Clones only ever learn
+/// (the blast surface is fixed for the duration of a race), so the
+/// `clauses_added` delta since the clone point counts learnts exactly.
+fn portfolio_discarded(clones: &[Option<Solver>], births: &[u64], exported: &[u64]) -> u64 {
+    clones
+        .iter()
+        .zip(births.iter().zip(exported))
+        .filter_map(|(c, (b, e))| {
+            let c = c.as_ref()?;
+            let added = c.ctx.as_ref().map_or(*b, |x| x.bb.solver.clauses_added());
+            Some(added.saturating_sub(*b).saturating_sub(*e))
+        })
+        .sum()
+}
+
 /// A satisfying assignment for the asserted formula.
 ///
 /// Every variable term of the graph gets a value (unconstrained bits are
@@ -151,6 +194,9 @@ pub struct SolveStats {
     /// Clauses removed by subsumption plus literals removed by
     /// self-subsuming resolution.
     pub subsumed: u64,
+    /// Trail literals kept across `check_assuming` calls via
+    /// assumption-prefix reuse instead of being re-propagated.
+    pub trail_reused: u64,
 }
 
 /// Blasted solver state kept alive across [`Solver::check_assuming`]
@@ -217,13 +263,33 @@ impl BlastContext {
 ///     other => unreachable!("{other:?}"),
 /// }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Solver {
     assertions: Vec<TermId>,
     budget: SolveBudget,
     last_stats: SolveStats,
     ctx: Option<BlastContext>,
     profile: SolverProfile,
+    bve: bool,
+    trail_reuse: bool,
+    clause_sharing: bool,
+}
+
+impl Default for Solver {
+    /// An empty solver with the environment-default solver-speed knobs
+    /// (`SOCCAR_BVE`, `SOCCAR_TRAIL_REUSE`, `SOCCAR_CLAUSE_SHARING`).
+    fn default() -> Solver {
+        Solver {
+            assertions: Vec::new(),
+            budget: SolveBudget::default(),
+            last_stats: SolveStats::default(),
+            ctx: None,
+            profile: SolverProfile::default(),
+            bve: crate::sat::bve_default(),
+            trail_reuse: crate::sat::trail_reuse_default(),
+            clause_sharing: clause_sharing_default(),
+        }
+    }
 }
 
 impl Solver {
@@ -269,6 +335,32 @@ impl Solver {
         if let Some(ctx) = self.ctx.as_mut() {
             ctx.bb.solver.set_profile(profile);
         }
+    }
+
+    /// Pins bounded variable elimination on or off for this solver (and
+    /// its live incremental context), overriding the `SOCCAR_BVE`
+    /// environment default.
+    pub fn set_bve(&mut self, on: bool) {
+        self.bve = on;
+        if let Some(ctx) = self.ctx.as_mut() {
+            ctx.bb.solver.set_bve(on);
+        }
+    }
+
+    /// Pins assumption-trail reuse on or off for this solver (and its
+    /// live incremental context), overriding `SOCCAR_TRAIL_REUSE`.
+    pub fn set_trail_reuse(&mut self, on: bool) {
+        self.trail_reuse = on;
+        if let Some(ctx) = self.ctx.as_mut() {
+            ctx.bb.solver.set_trail_reuse(on);
+        }
+    }
+
+    /// Pins portfolio clause sharing on or off, overriding
+    /// `SOCCAR_CLAUSE_SHARING`. Only
+    /// [`Solver::check_assuming_portfolio_traced`] consults it.
+    pub fn set_clause_sharing(&mut self, on: bool) {
+        self.clause_sharing = on;
     }
 
     /// Adds a 1-bit assertion.
@@ -351,6 +443,9 @@ impl Solver {
         if st.subsumed > 0 {
             recorder.counter_add("smt.subsumed", st.subsumed);
         }
+        if st.trail_reused > 0 {
+            recorder.counter_add("smt.trail_reused", st.trail_reused);
+        }
     }
 
     fn check_inner(&mut self, graph: &TermGraph) -> CheckResult {
@@ -365,6 +460,11 @@ impl Solver {
         }
         let mut bb = BitBlaster::new();
         bb.solver.set_profile(self.profile);
+        // One-shot solves never inprocess or re-solve, so BVE and trail
+        // reuse have nothing to do here; the flags are still applied for
+        // uniformity with the incremental context.
+        bb.solver.set_bve(self.bve);
+        bb.solver.set_trail_reuse(self.trail_reuse);
         for t in &self.assertions {
             bb.assert_true(graph, *t);
         }
@@ -384,6 +484,7 @@ impl Solver {
             learnt_deleted: bb.solver.learnt_deleted(),
             learnt_kept: bb.solver.learnt_kept(),
             subsumed: bb.solver.subsumed(),
+            trail_reused: 0,
         };
         match outcome {
             SatOutcome::Unsat => CheckResult::Unsat,
@@ -435,6 +536,8 @@ impl Solver {
         if self.ctx.is_none() {
             let mut ctx = BlastContext::new();
             ctx.bb.solver.set_profile(self.profile);
+            ctx.bb.solver.set_bve(self.bve);
+            ctx.bb.solver.set_trail_reuse(self.trail_reuse);
             self.ctx = Some(ctx);
         }
         let ctx = self.ctx.as_mut().expect("context just created");
@@ -510,11 +613,21 @@ impl Solver {
     /// discarded afterwards. The first definite answer wins; a win by a
     /// non-canonical profile bumps `smt.portfolio_wins`.
     ///
-    /// Determinism: the rotation order, slice schedule, and clone points
-    /// are fixed, so the same query on the same state always returns the
-    /// same result — and any query profile 0 finishes within the first
-    /// slice returns exactly what [`Solver::check_assuming_traced`]
-    /// would. The configured [`SolveBudget`] applies *per profile*;
+    /// After every clone slice (including a winning one), the clone's
+    /// fresh glue clauses — learnt after the clone's export mark, LBD ≤
+    /// [`SHARE_MAX_LBD`], at most [`SHARE_MAX_LEN`] literals — drain
+    /// back into this solver's clause database in deterministic clause
+    /// order, so clone work survives the clone (`smt.shared_imported`).
+    /// Learnt clauses that fail the export filter die with the clone and
+    /// are tallied as `smt.portfolio_learnts_discarded`.
+    ///
+    /// Determinism: the rotation order, slice schedule, clone points,
+    /// and export filter are fixed, so the same query on the same state
+    /// always returns the same result — and any query profile 0 finishes
+    /// within the first slice returns exactly what
+    /// [`Solver::check_assuming_traced`] would (clones, and therefore
+    /// sharing, only exist once the race outlives profile 0's first
+    /// slice). The configured [`SolveBudget`] applies *per profile*;
     /// `Unknown` is returned only once every profile has exhausted it.
     ///
     /// # Panics
@@ -527,9 +640,15 @@ impl Solver {
         recorder: &soccar_obs::Recorder,
     ) -> CheckResult {
         let entry = self.assuming_entry_marks();
-        let (result, winner) = self.check_assuming_portfolio_inner(graph, assumptions);
+        let (result, winner, sharing) = self.check_assuming_portfolio_inner(graph, assumptions);
         if winner > 0 {
             recorder.counter_add("smt.portfolio_wins", 1);
+        }
+        if sharing.imported > 0 {
+            recorder.counter_add("smt.shared_imported", sharing.imported);
+        }
+        if sharing.discarded > 0 {
+            recorder.counter_add("smt.portfolio_learnts_discarded", sharing.discarded);
         }
         self.record_assuming_metrics(recorder, entry, &result);
         self.maintain_ctx(recorder);
@@ -593,6 +712,7 @@ impl Solver {
         let subsumed_before = ctx.bb.solver.subsumed();
         let deleted_before = ctx.bb.solver.learnt_deleted();
         let kept_before = ctx.bb.solver.learnt_kept();
+        let eliminated_before = ctx.bb.solver.eliminated_vars();
         ctx.bb.solver.inprocess();
         ctx.inprocessed_at = added;
         let subsumed = ctx.bb.solver.subsumed() - subsumed_before;
@@ -607,15 +727,20 @@ impl Solver {
         if kept > 0 {
             recorder.counter_add("smt.learnt_kept", kept);
         }
+        let eliminated = ctx.bb.solver.eliminated_vars() - eliminated_before;
+        if eliminated > 0 {
+            recorder.counter_add("smt.eliminated_vars", eliminated);
+        }
     }
 
-    /// The deterministic portfolio race; returns the result and the
-    /// index of the winning profile (0 when no profile answered).
+    /// The deterministic portfolio race; returns the result, the index
+    /// of the winning profile (0 when no profile answered), and the
+    /// clause-sharing tally for the race.
     fn check_assuming_portfolio_inner(
         &mut self,
         graph: &TermGraph,
         assumptions: &[TermId],
-    ) -> (CheckResult, usize) {
+    ) -> (CheckResult, usize, SharingDelta) {
         let user = self.budget;
         let n = PORTFOLIO_PROFILES.len();
         let mut clones: Vec<Option<Solver>> = (0..n).map(|_| None).collect();
@@ -623,6 +748,13 @@ impl Solver {
         let mut spent_decisions = vec![0u64; n];
         let mut ran = vec![false; n];
         let mut done = vec![false; n];
+        // Per-clone sharing state: `clauses_added` at the clone point
+        // (everything older is already in the base database) and the
+        // export high-water mark advanced by each drain.
+        let mut clone_births = vec![0u64; n];
+        let mut export_marks = vec![0u64; n];
+        let mut exported = vec![0u64; n];
+        let mut delta = SharingDelta::default();
         let mut slice = PORTFOLIO_FIRST_SLICE;
         loop {
             let mut all_done = true;
@@ -664,6 +796,9 @@ impl Solver {
                         // deterministic as an eager clone.
                         let mut c = self.clone();
                         c.set_profile(PORTFOLIO_PROFILES[p]);
+                        let born = c.ctx.as_ref().map_or(0, |x| x.bb.solver.clauses_added());
+                        clone_births[p] = born;
+                        export_marks[p] = born;
                         clones[p] = Some(c);
                     }
                     let c = clones[p].as_mut().expect("clone just created");
@@ -674,6 +809,17 @@ impl Solver {
                 ran[p] = true;
                 spent_conflicts[p] += stats.conflicts;
                 spent_decisions[p] += stats.decisions;
+                if p != 0 && self.clause_sharing {
+                    // Drain the clone's fresh glue clauses into the base
+                    // database between slices (and before a winning
+                    // return), so clone work survives the clone.
+                    let c = clones[p].as_ref().expect("clone just ran");
+                    let (passed, imported, next_mark) =
+                        self.drain_clone_exports(c, export_marks[p]);
+                    exported[p] += passed;
+                    delta.imported += imported;
+                    export_marks[p] = next_mark;
+                }
                 match outcome {
                     CheckResult::Unknown { .. } => {}
                     definite => {
@@ -683,20 +829,53 @@ impl Solver {
                             // winner's).
                             self.last_stats = stats;
                         }
-                        return (definite, p);
+                        delta.discarded = portfolio_discarded(&clones, &clone_births, &exported);
+                        return (definite, p, delta);
                     }
                 }
             }
             if all_done {
+                delta.discarded = portfolio_discarded(&clones, &clone_births, &exported);
                 return (
                     CheckResult::Unknown {
                         reason: format!("solver budget exhausted across {n} portfolio profiles"),
                     },
                     0,
+                    delta,
                 );
             }
             slice = slice.saturating_mul(2);
         }
+    }
+
+    /// Imports `clone`'s learnt clauses born at or after `mark` that
+    /// pass the sharing filter (LBD ≤ [`SHARE_MAX_LBD`], at most
+    /// [`SHARE_MAX_LEN`] literals) into this solver's blast context, in
+    /// clause-database order. Returns `(filter passes, actual imports,
+    /// clone's new export mark)` — an import is a no-op (counted as a
+    /// pass but not an import) when the base database already satisfies
+    /// the clause at level 0.
+    fn drain_clone_exports(&mut self, clone: &Solver, mark: u64) -> (u64, u64, u64) {
+        let Some(src) = clone.ctx.as_ref() else {
+            return (0, 0, mark);
+        };
+        let next_mark = src.bb.solver.clauses_added();
+        let Some(dst) = self.ctx.as_mut() else {
+            return (0, 0, next_mark);
+        };
+        let mut passed = 0;
+        let mut imported = 0;
+        for (lits, lbd) in src
+            .bb
+            .solver
+            .export_learnts(mark, SHARE_MAX_LBD, SHARE_MAX_LEN)
+        {
+            passed += 1;
+            if dst.bb.solver.import_learnt(&lits, lbd) {
+                imported += 1;
+            }
+        }
+        (passed, imported, next_mark)
     }
 
     fn check_assuming_inner(&mut self, graph: &TermGraph, assumptions: &[TermId]) -> CheckResult {
@@ -725,6 +904,7 @@ impl Solver {
         let deleted_at_entry = ctx.bb.solver.learnt_deleted();
         let kept_at_entry = ctx.bb.solver.learnt_kept();
         let subsumed_at_entry = ctx.bb.solver.subsumed();
+        let reused_at_entry = ctx.bb.solver.trail_reused_lits();
         let outcome = ctx.bb.solver.solve_assuming(&lits, self.budget);
         self.last_stats = SolveStats {
             sat_vars: ctx.bb.solver.num_vars(),
@@ -737,6 +917,7 @@ impl Solver {
             learnt_deleted: ctx.bb.solver.learnt_deleted() - deleted_at_entry,
             learnt_kept: ctx.bb.solver.learnt_kept() - kept_at_entry,
             subsumed: ctx.bb.solver.subsumed() - subsumed_at_entry,
+            trail_reused: ctx.bb.solver.trail_reused_lits() - reused_at_entry,
         };
         match outcome {
             SatOutcome::Unsat => CheckResult::Unsat,

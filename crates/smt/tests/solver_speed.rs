@@ -1,0 +1,233 @@
+//! Property tests for the solver-speed passes of `crates/smt`: bounded
+//! variable elimination (BVE) during inprocessing, and trail reuse
+//! between `check_assuming` calls. Both are pure optimizations — on any
+//! random formula and assumption sequence the optimized solver must
+//! return the same answers as the unoptimized one, and every model it
+//! returns must satisfy the word-level constraints. The formulas here
+//! deliberately include multiplications so the blasted CNF crosses the
+//! inprocessing growth trigger and BVE genuinely runs.
+
+use proptest::prelude::*;
+use soccar_smt::{model_satisfies, BvVal, CheckResult, SolveBudget, Solver, TermGraph, TermId};
+
+/// A multiplication-heavy expression over three variables (so blasting
+/// emits enough clauses to cross the inprocessing trigger), plus 1-bit
+/// goal terms `expr == target` for each requested target.
+fn build_goals(g: &mut TermGraph, width: u32, seeds: &[u64], targets: &[u64]) -> Vec<TermId> {
+    let vars: Vec<TermId> = (0..3).map(|i| g.var(format!("v{i}"), width)).collect();
+    let mut acc = g.mul(vars[0], vars[1]);
+    for (i, s) in seeds.iter().enumerate() {
+        let c = g.constant(BvVal::from_u64(width, *s));
+        acc = match i % 4 {
+            0 => {
+                let m = g.mul(acc, c);
+                g.add(m, vars[2])
+            }
+            1 => g.xor(acc, vars[1]),
+            2 => g.mul(acc, vars[2]),
+            _ => {
+                let a = g.add(acc, c);
+                g.and(a, vars[0])
+            }
+        };
+    }
+    targets
+        .iter()
+        .map(|t| {
+            let c = g.constant(BvVal::from_u64(width, *t));
+            g.eq(acc, c)
+        })
+        .collect()
+}
+
+/// The assumption set for step `i` of a sequence: single goals
+/// alternating with overlapping pairs, so consecutive calls share
+/// prefixes sometimes and diverge other times — the shape trail reuse
+/// keys on.
+fn step_set(goals: &[TermId], i: usize) -> Vec<TermId> {
+    if i % 2 == 0 {
+        vec![goals[i]]
+    } else {
+        vec![goals[i - 1], goals[i]]
+    }
+}
+
+/// Incremental solver with the given solver-speed knob settings. The
+/// knobs are pinned explicitly so the tests mean the same thing under
+/// any `SOCCAR_BVE` / `SOCCAR_TRAIL_REUSE` environment.
+fn tuned(bve: bool, trail_reuse: bool, budget: SolveBudget) -> Solver {
+    let mut s = Solver::with_budget(budget);
+    s.set_bve(bve);
+    s.set_trail_reuse(trail_reuse);
+    s
+}
+
+/// The mul-heavy formulas above must actually drive the BVE pass: an
+/// enabled recorder sees `smt.eliminated_vars` (and trail reuse sees
+/// `smt.trail_reused`) after a short assumption sequence. Guards the
+/// proptests against silently testing a pass that never runs.
+#[test]
+fn speed_passes_engage_on_blasted_formulas() {
+    let mut g = TermGraph::new();
+    let goals = build_goals(&mut g, 6, &[3, 17, 9], &[5, 11, 23, 2]);
+    let recorder = soccar_obs::Recorder::enabled();
+    let mut s = tuned(true, true, SolveBudget::UNLIMITED);
+    // Pre-blast the whole window like the flip loop does: trail reuse
+    // needs a stable clause database (adding clauses between calls
+    // resets the trail to level 0).
+    s.preblast(&g, &goals);
+    for _ in 0..3 {
+        for i in 0..goals.len() {
+            let mut set = vec![goals[0]];
+            set.extend(step_set(&goals, i));
+            set.dedup();
+            s.check_assuming_traced(&g, &set, &recorder);
+        }
+    }
+    let snap = recorder.snapshot();
+    let counter = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+    assert!(
+        counter("smt.eliminated_vars") > 0,
+        "BVE never engaged: {:?}",
+        snap.counters
+    );
+    assert!(
+        counter("smt.trail_reused") > 0,
+        "trail reuse never engaged: {:?}",
+        snap.counters
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// BVE on vs. off: the same assumption sequence through two
+    /// incremental solvers must produce identical sat-ness at every
+    /// step, and the BVE solver's models must satisfy the original
+    /// (unsimplified) word-level constraints — which exercises model
+    /// reconstruction for every eliminated gate variable. The traced
+    /// entry point is used so inprocessing (and with it the BVE pass)
+    /// actually triggers on clause-database growth.
+    #[test]
+    fn bve_assumption_sequence_agrees_with_bve_off(
+        width in 4u32..7,
+        seeds in proptest::collection::vec(0u64..64, 2..5),
+        targets in proptest::collection::vec(0u64..64, 3..6),
+    ) {
+        let mut g = TermGraph::new();
+        let goals = build_goals(&mut g, width, &seeds, &targets);
+        let recorder = soccar_obs::Recorder::disabled();
+
+        let mut with_bve = tuned(true, false, SolveBudget::UNLIMITED);
+        let mut without = tuned(false, false, SolveBudget::UNLIMITED);
+        for i in 0..goals.len() {
+            let set = step_set(&goals, i);
+            let got = with_bve.check_assuming_traced(&g, &set, &recorder);
+            let want = without.check_assuming_traced(&g, &set, &recorder);
+            prop_assert_eq!(
+                got.is_sat(),
+                want.is_sat(),
+                "set {} disagreed: bve {:?} vs plain {:?}",
+                i,
+                got,
+                want
+            );
+            if let CheckResult::Sat(model) = &got {
+                prop_assert!(model_satisfies(&g, &set, model));
+            }
+        }
+    }
+
+    /// Budgeted BVE solving stays sound: a definite answer from the
+    /// budgeted BVE solver matches the unbudgeted truth, Unknown is the
+    /// only other option, and the sequence can resume after an Unknown
+    /// without corrupting later answers.
+    #[test]
+    fn bve_budgeted_sequence_is_sound(
+        width in 4u32..7,
+        seeds in proptest::collection::vec(0u64..64, 2..5),
+        targets in proptest::collection::vec(0u64..64, 3..5),
+        max_conflicts in 1u64..24,
+    ) {
+        let budget = SolveBudget {
+            max_conflicts: Some(max_conflicts),
+            max_decisions: None,
+        };
+        let mut g = TermGraph::new();
+        let goals = build_goals(&mut g, width, &seeds, &targets);
+        let recorder = soccar_obs::Recorder::disabled();
+
+        let mut budgeted = tuned(true, false, budget);
+        let mut oracle = tuned(false, false, SolveBudget::UNLIMITED);
+        for i in 0..goals.len() {
+            let set = step_set(&goals, i);
+            let truth = oracle.check_assuming_traced(&g, &set, &recorder);
+            match budgeted.check_assuming_traced(&g, &set, &recorder) {
+                CheckResult::Unknown { reason } => {
+                    prop_assert!(reason.contains("budget exhausted"));
+                }
+                CheckResult::Unsat => prop_assert!(
+                    !truth.is_sat(),
+                    "set {} budgeted Unsat but truth Sat",
+                    i
+                ),
+                CheckResult::Sat(model) => {
+                    prop_assert!(truth.is_sat(), "set {i} budgeted Sat but truth Unsat");
+                    prop_assert!(model_satisfies(&g, &set, &model));
+                }
+            }
+        }
+    }
+
+    /// Trail reuse on vs. off over randomized divergent prefixes: the
+    /// reusing solver walks an assumption sequence whose sets overlap,
+    /// extend, shrink, and diverge, and must agree step-by-step with a
+    /// floor-backtracking solver on the same sequence (and both with a
+    /// fresh one-shot check).
+    #[test]
+    fn trail_reuse_sequence_agrees_with_floor_backtracking(
+        width in 3u32..7,
+        seeds in proptest::collection::vec(0u64..64, 1..4),
+        targets in proptest::collection::vec(0u64..64, 4..7),
+        order in proptest::collection::vec(0usize..6, 6..10),
+    ) {
+        let mut g = TermGraph::new();
+        let goals = build_goals(&mut g, width, &seeds, &targets);
+        let recorder = soccar_obs::Recorder::disabled();
+
+        let mut reusing = tuned(true, true, SolveBudget::UNLIMITED);
+        let mut classic = tuned(true, false, SolveBudget::UNLIMITED);
+        // Stable clause database, like the flip loop's preblasted
+        // window — the regime where trail reuse actually keeps prefixes.
+        reusing.preblast(&g, &goals);
+        classic.preblast(&g, &goals);
+        for (i, pick) in order.iter().enumerate() {
+            // Prefix growth/shrink/divergence: each step keeps goal 0,
+            // varies the middle, and rotates the tail by `pick`.
+            let mut set = vec![goals[0]];
+            if i % 3 != 0 {
+                set.push(goals[(i / 3) % goals.len()]);
+            }
+            set.push(goals[pick % goals.len()]);
+            set.dedup();
+            let got = reusing.check_assuming_traced(&g, &set, &recorder);
+            let want = classic.check_assuming_traced(&g, &set, &recorder);
+            prop_assert_eq!(
+                got.is_sat(),
+                want.is_sat(),
+                "step {} disagreed: reuse {:?} vs classic {:?}",
+                i,
+                got,
+                want
+            );
+            let mut one_shot = Solver::new();
+            for t in &set {
+                one_shot.assert(*t);
+            }
+            prop_assert_eq!(got.is_sat(), one_shot.check(&g).is_sat());
+            if let CheckResult::Sat(model) = &got {
+                prop_assert!(model_satisfies(&g, &set, model));
+            }
+        }
+    }
+}
